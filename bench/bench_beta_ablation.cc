@@ -1,0 +1,65 @@
+// Design-choice ablation (Section 3.1.2): the parallel GFK doubles beta
+// every round ("crucial for achieving a low depth bound"), while the
+// sequential algorithm of Chatterjee et al. increments it. This ablation
+// runs MemoGFK with beta *= 2 vs beta += 1 vs beta += 8 and reports the
+// round-loop cost difference.
+#include "bench_common.h"
+
+#include "emst/emst_memogfk.h"
+
+namespace parhc_bench {
+namespace {
+
+void RegisterAll() {
+  size_t n = EnvN();
+  int maxt = EnvMaxThreads();
+  struct Growth {
+    const char* name;
+    MemoGfkOptions opts;
+  } growths[] = {
+      {"beta-x2", {2.0, 0}},
+      {"beta-x4", {4.0, 0}},
+      {"beta-add1", {1.0, 1}},
+      {"beta-add8", {1.0, 8}},
+  };
+  std::vector<DatasetSpec> sets = {
+      {"2D-UniformFill", 2, "uniform"},
+      {"5D-UniformFill", 5, "uniform"},
+      {"3D-SS-varden", 3, "varden"},
+  };
+  for (const DatasetSpec& ds : sets) {
+    for (const Growth& g : growths) {
+      std::string name =
+          std::string("BetaAblation/") + g.name + "/" + ds.label;
+      benchmark::RegisterBenchmark(
+          name.c_str(),
+          [=](benchmark::State& st) {
+            DispatchDataset(ds, n, [&](const auto& pts) {
+              SetNumWorkers(maxt);
+              for (auto _ : st) {
+                Stats::Get().Reset();
+                benchmark::DoNotOptimize(
+                    EmstMemoGfk(pts, nullptr, g.opts).data());
+              }
+              st.counters["pairs_visited"] = static_cast<double>(
+                  Stats::Get().wspd_pairs_visited.load());
+              st.counters["bccp_calls"] =
+                  static_cast<double>(Stats::Get().bccp_computed.load());
+            });
+          })
+          ->Unit(benchmark::kMillisecond)
+          ->Iterations(EnvIters());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace parhc_bench
+
+int main(int argc, char** argv) {
+  parhc_bench::RegisterAll();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,157 @@
+// Shared benchmark infrastructure: the dataset registry (paper Section 5
+// datasets and their simulated stand-ins, see DESIGN.md), environment knobs,
+// and thread sweeps.
+//
+// Environment variables:
+//   PARHC_N      base dataset size            (default 10000)
+//   PARHC_MAXT   max worker count for sweeps  (default max(4, hw threads))
+//   PARHC_ITERS  iterations per benchmark     (default 1)
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "parhc.h"
+#include "util/stats.h"
+#include "util/timer.h"
+
+namespace parhc_bench {
+
+using namespace parhc;  // NOLINT — benchmark binaries only
+
+inline size_t EnvN(size_t dflt = 10000) {
+  const char* s = std::getenv("PARHC_N");
+  return s ? std::strtoull(s, nullptr, 10) : dflt;
+}
+
+inline int EnvMaxThreads() {
+  const char* s = std::getenv("PARHC_MAXT");
+  if (s) return std::max(1, std::atoi(s));
+  unsigned hw = std::thread::hardware_concurrency();
+  return std::max(4u, hw);  // demonstrate the sweep even on small machines
+}
+
+inline int EnvIters() {
+  const char* s = std::getenv("PARHC_ITERS");
+  return s ? std::max(1, std::atoi(s)) : 1;
+}
+
+/// Threads for the scaling figures: 1, 2, 4, ..., maxt.
+inline std::vector<int> ThreadSweep() {
+  std::vector<int> out;
+  int maxt = EnvMaxThreads();
+  for (int t = 1; t < maxt; t *= 2) out.push_back(t);
+  out.push_back(maxt);
+  return out;
+}
+
+/// One evaluation dataset: a paper dataset or its simulated stand-in.
+struct DatasetSpec {
+  const char* label;  ///< paper-style label used in benchmark names
+  int dim;
+  const char* kind;   ///< uniform | varden | levy | gauss
+};
+
+/// The paper's Section 5 dataset suite (real sets replaced by matched
+/// synthetic stand-ins; see DESIGN.md substitution 2).
+inline const std::vector<DatasetSpec>& StandardDatasets() {
+  static const std::vector<DatasetSpec> kSets = {
+      {"2D-UniformFill", 2, "uniform"},  {"3D-UniformFill", 3, "uniform"},
+      {"5D-UniformFill", 5, "uniform"},  {"7D-UniformFill", 7, "uniform"},
+      {"2D-SS-varden", 2, "varden"},     {"3D-SS-varden", 3, "varden"},
+      {"5D-SS-varden", 5, "varden"},     {"7D-SS-varden", 7, "varden"},
+      {"3D-GeoLife-sim", 3, "levy"},     {"7D-Household-sim", 7, "gauss"},
+      {"10D-HT-sim", 10, "gauss"},       {"16D-CHEM-sim", 16, "gauss"},
+  };
+  return kSets;
+}
+
+/// A small representative subset for the more expensive sweeps.
+inline const std::vector<DatasetSpec>& CoreDatasets() {
+  static const std::vector<DatasetSpec> kSets = {
+      {"2D-UniformFill", 2, "uniform"},
+      {"5D-UniformFill", 5, "uniform"},
+      {"3D-SS-varden", 3, "varden"},
+      {"3D-GeoLife-sim", 3, "levy"},
+  };
+  return kSets;
+}
+
+template <int D>
+const std::vector<Point<D>>& GetDataset(const std::string& kind, size_t n) {
+  static std::map<std::string, std::vector<Point<D>>> cache;
+  std::string key = kind + "/" + std::to_string(n);
+  auto it = cache.find(key);
+  if (it != cache.end()) return it->second;
+  std::vector<Point<D>> pts;
+  if (kind == "uniform") {
+    pts = UniformFill<D>(n, 1);
+  } else if (kind == "varden") {
+    pts = SeedSpreaderVarden<D>(n, 1);
+  } else if (kind == "levy") {
+    pts = SkewedLevy<D>(n, 1);
+  } else {
+    pts = ClusteredGaussians<D>(n, 1);
+  }
+  return cache.emplace(key, std::move(pts)).first->second;
+}
+
+/// Invokes `fn` with the dataset as a `const std::vector<Point<D>>&` of the
+/// spec's dimension.
+template <typename Fn>
+void DispatchDataset(const DatasetSpec& ds, size_t n, Fn&& fn) {
+  switch (ds.dim) {
+    case 2:
+      fn(GetDataset<2>(ds.kind, n));
+      break;
+    case 3:
+      fn(GetDataset<3>(ds.kind, n));
+      break;
+    case 5:
+      fn(GetDataset<5>(ds.kind, n));
+      break;
+    case 7:
+      fn(GetDataset<7>(ds.kind, n));
+      break;
+    case 10:
+      fn(GetDataset<10>(ds.kind, n));
+      break;
+    case 16:
+      fn(GetDataset<16>(ds.kind, n));
+      break;
+    default:
+      PARHC_CHECK_MSG(false, "unsupported dimension");
+  }
+}
+
+/// EMST method table shared by several benchmarks.
+struct EmstMethod {
+  const char* name;
+  EmstAlgorithm algo;
+  int max_dim;  ///< skip datasets above this dimension (paper's "-" cells)
+};
+
+inline const std::vector<EmstMethod>& EmstMethods() {
+  static const std::vector<EmstMethod> kMethods = {
+      {"EMST-Naive", EmstAlgorithm::kNaive, 10},
+      {"EMST-GFK", EmstAlgorithm::kGfk, 10},
+      {"EMST-MemoGFK", EmstAlgorithm::kMemoGfk, 16},
+      {"EMST-Boruvka", EmstAlgorithm::kBoruvka, 16},
+  };
+  return kMethods;
+}
+
+/// Runs an EMST method on any-dimension data (Delaunay handled separately).
+template <int D>
+std::vector<WeightedEdge> RunEmst(const std::vector<Point<D>>& pts,
+                                  EmstAlgorithm algo,
+                                  PhaseBreakdown* phases = nullptr) {
+  return Emst(pts, algo, phases);
+}
+
+}  // namespace parhc_bench

@@ -1,0 +1,78 @@
+// Figure 10 / Appendix C: approximate OPTICS (rho = 0.125, separation s = 8)
+// vs the exact HDBSCAN* variants. The paper finds the approximate algorithm
+// 1.00-1.96x slower than HDBSCAN*-GanTao and 1.72-7.48x slower than
+// HDBSCAN*-MemoGFK because the large separation constant explodes the
+// number of well-separated pairs; base_edges counters expose that cause.
+#include "bench_common.h"
+
+namespace parhc_bench {
+namespace {
+
+constexpr int kMinPts = 10;
+constexpr double kRho = 0.125;
+
+void RegisterAll() {
+  size_t n = EnvN();
+  int maxt = EnvMaxThreads();
+  // The paper's Figure 10 uses the 7D-Household and 16D-CHEM datasets;
+  // include a low-dimensional control as well.
+  std::vector<DatasetSpec> sets = {
+      {"2D-UniformFill", 2, "uniform"},
+      {"7D-Household-sim", 7, "gauss"},
+      {"16D-CHEM-sim", 16, "gauss"},
+  };
+  for (const DatasetSpec& ds : sets) {
+    for (int threads : {1, maxt}) {
+      std::string suffix =
+          std::string("/") + ds.label + "/workers:" + std::to_string(threads);
+      benchmark::RegisterBenchmark(
+          ("Fig10/OPTICS-GanTaoApprox" + suffix).c_str(),
+          [=](benchmark::State& st) {
+            DispatchDataset(ds, n, [&](const auto& pts) {
+              SetNumWorkers(threads);
+              uint64_t base_edges = 0;
+              for (auto _ : st) {
+                auto r = OpticsApproxMst(pts, kMinPts, kRho);
+                base_edges = r.base_graph_edges;
+                benchmark::DoNotOptimize(r.mst.data());
+              }
+              st.counters["base_edges"] = static_cast<double>(base_edges);
+              st.counters["rho"] = kRho;
+            });
+          })
+          ->Unit(benchmark::kMillisecond)
+          ->Iterations(EnvIters());
+      for (auto [vname, v] :
+           {std::pair{"HDBSCAN-MemoGFK", HdbscanVariant::kMemoGfk},
+            std::pair{"HDBSCAN-GanTao", HdbscanVariant::kGanTao}}) {
+        benchmark::RegisterBenchmark(
+            (std::string("Fig10/") + vname + suffix).c_str(),
+            [=, v = v](benchmark::State& st) {
+              DispatchDataset(ds, n, [&](const auto& pts) {
+                SetNumWorkers(threads);
+                Stats::Get().Reset();
+                for (auto _ : st) {
+                  auto r = HdbscanMst(pts, kMinPts, v);
+                  benchmark::DoNotOptimize(r.mst.data());
+                }
+                st.counters["pairs"] = static_cast<double>(
+                    Stats::Get().wspd_pairs_materialized.load());
+              });
+            })
+            ->Unit(benchmark::kMillisecond)
+            ->Iterations(EnvIters());
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace parhc_bench
+
+int main(int argc, char** argv) {
+  parhc_bench::RegisterAll();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

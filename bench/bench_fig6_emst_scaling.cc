@@ -1,0 +1,59 @@
+// Figure 6: EMST speedup vs worker count. One benchmark per
+// (method, dataset, workers); the speedup_vs_1w counter divides the
+// method's 1-worker time (measured first, registration order) by the
+// current run's time.
+#include "bench_common.h"
+
+namespace parhc_bench {
+namespace {
+
+std::map<std::string, double>& BaselineTimes() {
+  static std::map<std::string, double> t1;
+  return t1;
+}
+
+void RegisterAll() {
+  size_t n = EnvN();
+  for (const DatasetSpec& ds : CoreDatasets()) {
+    for (const EmstMethod& m : EmstMethods()) {
+      if (ds.dim > m.max_dim) continue;
+      std::string base = std::string(m.name) + "/" + ds.label;
+      for (int threads : ThreadSweep()) {
+        std::string name =
+            "Fig6/" + base + "/workers:" + std::to_string(threads);
+        benchmark::RegisterBenchmark(
+            name.c_str(),
+            [=](benchmark::State& st) {
+              DispatchDataset(ds, n, [&](const auto& pts) {
+                SetNumWorkers(threads);
+                double secs = 0;
+                for (auto _ : st) {
+                  Timer t;
+                  benchmark::DoNotOptimize(RunEmst(pts, m.algo).data());
+                  secs = t.Seconds();
+                }
+                if (threads == 1) BaselineTimes()[base] = secs;
+                auto it = BaselineTimes().find(base);
+                if (it != BaselineTimes().end()) {
+                  st.counters["speedup_vs_1w"] = it->second / secs;
+                }
+                st.counters["workers"] = threads;
+              });
+            })
+            ->Unit(benchmark::kMillisecond)
+            ->Iterations(EnvIters());
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace parhc_bench
+
+int main(int argc, char** argv) {
+  parhc_bench::RegisterAll();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

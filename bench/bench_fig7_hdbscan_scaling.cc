@@ -1,0 +1,64 @@
+// Figure 7: HDBSCAN* MST + dendrogram speedup vs worker count
+// (minPts = 10), for both exact variants.
+#include "bench_common.h"
+
+namespace parhc_bench {
+namespace {
+
+std::map<std::string, double>& BaselineTimes() {
+  static std::map<std::string, double> t1;
+  return t1;
+}
+
+void RegisterAll() {
+  size_t n = EnvN();
+  struct Variant {
+    const char* name;
+    HdbscanVariant v;
+  } variants[] = {
+      {"HDBSCAN-MemoGFK", HdbscanVariant::kMemoGfk},
+      {"HDBSCAN-GanTao", HdbscanVariant::kGanTao},
+  };
+  for (const DatasetSpec& ds : CoreDatasets()) {
+    for (const Variant& var : variants) {
+      std::string base = std::string(var.name) + "/" + ds.label;
+      for (int threads : ThreadSweep()) {
+        std::string name =
+            "Fig7/" + base + "/workers:" + std::to_string(threads);
+        benchmark::RegisterBenchmark(
+            name.c_str(),
+            [=](benchmark::State& st) {
+              DispatchDataset(ds, n, [&](const auto& pts) {
+                SetNumWorkers(threads);
+                double secs = 0;
+                for (auto _ : st) {
+                  Timer t;
+                  auto r = Hdbscan(pts, 10, var.v);
+                  benchmark::DoNotOptimize(r.mst.data());
+                  secs = t.Seconds();
+                }
+                if (threads == 1) BaselineTimes()[base] = secs;
+                auto it = BaselineTimes().find(base);
+                if (it != BaselineTimes().end()) {
+                  st.counters["speedup_vs_1w"] = it->second / secs;
+                }
+                st.counters["workers"] = threads;
+              });
+            })
+            ->Unit(benchmark::kMillisecond)
+            ->Iterations(EnvIters());
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace parhc_bench
+
+int main(int argc, char** argv) {
+  parhc_bench::RegisterAll();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,93 @@
+// Figure 8: per-phase decomposition of EMST and HDBSCAN* construction on
+// all workers — build-tree / core-dist / wspd / kruskal / dendrogram /
+// delaunay, reported as *_ms counters (the paper's stacked bars).
+#include "bench_common.h"
+
+#include "emst/emst_delaunay.h"
+
+namespace parhc_bench {
+namespace {
+
+void ReportPhases(benchmark::State& st, const PhaseBreakdown& ph) {
+  st.counters["build_tree_ms"] = ph.build_tree * 1e3;
+  st.counters["core_dist_ms"] = ph.core_dist * 1e3;
+  st.counters["wspd_ms"] = ph.wspd * 1e3;
+  st.counters["kruskal_ms"] = ph.kruskal * 1e3;
+  st.counters["delaunay_ms"] = ph.delaunay * 1e3;
+  st.counters["dendrogram_ms"] = ph.dendrogram * 1e3;
+}
+
+void RegisterAll() {
+  size_t n = EnvN();
+  int maxt = EnvMaxThreads();
+  for (const DatasetSpec& ds : CoreDatasets()) {
+    for (const EmstMethod& m : EmstMethods()) {
+      if (ds.dim > m.max_dim) continue;
+      std::string name =
+          std::string("Fig8/") + m.name + "/" + ds.label;
+      benchmark::RegisterBenchmark(
+          name.c_str(),
+          [=](benchmark::State& st) {
+            DispatchDataset(ds, n, [&](const auto& pts) {
+              SetNumWorkers(maxt);
+              PhaseBreakdown ph;
+              for (auto _ : st) {
+                ph = PhaseBreakdown{};
+                benchmark::DoNotOptimize(RunEmst(pts, m.algo, &ph).data());
+              }
+              ReportPhases(st, ph);
+            });
+          })
+          ->Unit(benchmark::kMillisecond)
+          ->Iterations(EnvIters());
+    }
+    for (auto [vname, v] :
+         {std::pair{"HDBSCAN-MemoGFK", HdbscanVariant::kMemoGfk},
+          std::pair{"HDBSCAN-GanTao", HdbscanVariant::kGanTao}}) {
+      std::string name = std::string("Fig8/") + vname + "/" + ds.label;
+      benchmark::RegisterBenchmark(
+          name.c_str(),
+          [=, v = v](benchmark::State& st) {
+            DispatchDataset(ds, n, [&](const auto& pts) {
+              SetNumWorkers(maxt);
+              PhaseBreakdown ph;
+              for (auto _ : st) {
+                ph = PhaseBreakdown{};
+                auto r = Hdbscan(pts, 10, v, &ph);
+                benchmark::DoNotOptimize(r.mst.data());
+              }
+              ReportPhases(st, ph);
+            });
+          })
+          ->Unit(benchmark::kMillisecond)
+          ->Iterations(EnvIters());
+    }
+  }
+  // EMST-Delaunay decomposition (2D panels of Figure 8).
+  std::string name = "Fig8/EMST-Delaunay/2D-UniformFill";
+  benchmark::RegisterBenchmark(
+      name.c_str(),
+      [=](benchmark::State& st) {
+        const auto& pts = GetDataset<2>("uniform", n);
+        SetNumWorkers(maxt);
+        PhaseBreakdown ph;
+        for (auto _ : st) {
+          ph = PhaseBreakdown{};
+          benchmark::DoNotOptimize(EmstDelaunay(pts, &ph).data());
+        }
+        ReportPhases(st, ph);
+      })
+      ->Unit(benchmark::kMillisecond)
+      ->Iterations(EnvIters());
+}
+
+}  // namespace
+}  // namespace parhc_bench
+
+int main(int argc, char** argv) {
+  parhc_bench::RegisterAll();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

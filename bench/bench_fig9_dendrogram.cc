@@ -1,0 +1,78 @@
+// Figure 9: ordered dendrogram construction — self-relative speedup and
+// running time for (a) single-linkage clustering input (the EMST) and
+// (b) the HDBSCAN* MST (minPts = 10), per dataset.
+//
+// The MSTs are built once per dataset outside the timed region; each
+// benchmark times BuildDendrogramParallel and reports the sequential
+// builder's time and the self-speedup as counters.
+#include "bench_common.h"
+
+namespace parhc_bench {
+namespace {
+
+struct TreeCase {
+  std::string label;
+  size_t n;
+  std::vector<WeightedEdge> edges;
+};
+
+std::vector<TreeCase>& Cases() {
+  static std::vector<TreeCase> cases;
+  return cases;
+}
+
+void BuildCases(size_t n) {
+  for (const DatasetSpec& ds : CoreDatasets()) {
+    DispatchDataset(ds, n, [&](const auto& pts) {
+      SetNumWorkers(EnvMaxThreads());
+      Cases().push_back({std::string("SingleLinkage/") + ds.label,
+                         pts.size(), EmstMemoGfk(pts)});
+      auto h = HdbscanMst(pts, 10, HdbscanVariant::kMemoGfk);
+      Cases().push_back({std::string("HDBSCAN-minPts10/") + ds.label,
+                         pts.size(), std::move(h.mst)});
+    });
+  }
+}
+
+void RegisterAll() {
+  BuildCases(EnvN());
+  int maxt = EnvMaxThreads();
+  for (size_t i = 0; i < Cases().size(); ++i) {
+    std::string name = "Fig9/" + Cases()[i].label;
+    benchmark::RegisterBenchmark(
+        name.c_str(),
+        [i, maxt](benchmark::State& st) {
+          const TreeCase& tc = Cases()[i];
+          SetNumWorkers(1);
+          Timer t;
+          Dendrogram ds = BuildDendrogramSequential(tc.n, tc.edges, 0);
+          benchmark::DoNotOptimize(ds.root());
+          double t_seq = t.Seconds();
+          SetNumWorkers(maxt);
+          double t_par = 0;
+          for (auto _ : st) {
+            Timer tt;
+            Dendrogram dp = BuildDendrogramParallel(tc.n, tc.edges, 0);
+            benchmark::DoNotOptimize(dp.root());
+            t_par = tt.Seconds();
+          }
+          st.counters["seq_ms"] = t_seq * 1e3;
+          st.counters["par_ms"] = t_par * 1e3;
+          st.counters["self_speedup"] = t_seq / t_par;
+          st.counters["workers"] = maxt;
+        })
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(EnvIters());
+  }
+}
+
+}  // namespace
+}  // namespace parhc_bench
+
+int main(int argc, char** argv) {
+  parhc_bench::RegisterAll();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

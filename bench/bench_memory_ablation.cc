@@ -1,0 +1,77 @@
+// Memory ablation (Section 5, "MemoGFK Memory Usage"): materialized
+// well-separated pairs — total and peak-live — for GFK vs MemoGFK (EMST)
+// and GanTao vs MemoGFK (HDBSCAN*). The paper reports up to 10x memory
+// savings for MemoGFK and 2.5-10.29x fewer pairs for the new HDBSCAN*
+// well-separation.
+#include "bench_common.h"
+
+namespace parhc_bench {
+namespace {
+
+void RegisterAll() {
+  size_t n = EnvN();
+  int maxt = EnvMaxThreads();
+  for (const DatasetSpec& ds : StandardDatasets()) {
+    for (const EmstMethod& m : EmstMethods()) {
+      if (m.algo == EmstAlgorithm::kBoruvka) continue;  // no WSPD
+      if (ds.dim > m.max_dim) continue;
+      std::string name =
+          std::string("Memory/") + m.name + "/" + ds.label;
+      benchmark::RegisterBenchmark(
+          name.c_str(),
+          [=](benchmark::State& st) {
+            DispatchDataset(ds, n, [&](const auto& pts) {
+              SetNumWorkers(maxt);
+              for (auto _ : st) {
+                Stats::Get().Reset();
+                benchmark::DoNotOptimize(RunEmst(pts, m.algo).data());
+              }
+              auto& s = Stats::Get();
+              st.counters["pairs_total"] =
+                  static_cast<double>(s.wspd_pairs_materialized.load());
+              st.counters["pairs_peak"] =
+                  static_cast<double>(s.wspd_pairs_peak.load());
+              st.counters["bccp_calls"] =
+                  static_cast<double>(s.bccp_computed.load());
+            });
+          })
+          ->Unit(benchmark::kMillisecond)
+          ->Iterations(EnvIters());
+    }
+    for (auto [vname, v] :
+         {std::pair{"HDBSCAN-MemoGFK", HdbscanVariant::kMemoGfk},
+          std::pair{"HDBSCAN-GanTao", HdbscanVariant::kGanTao}}) {
+      std::string name = std::string("Memory/") + vname + "/" + ds.label;
+      benchmark::RegisterBenchmark(
+          name.c_str(),
+          [=, v = v](benchmark::State& st) {
+            DispatchDataset(ds, n, [&](const auto& pts) {
+              SetNumWorkers(maxt);
+              for (auto _ : st) {
+                Stats::Get().Reset();
+                auto r = HdbscanMst(pts, 10, v);
+                benchmark::DoNotOptimize(r.mst.data());
+              }
+              auto& s = Stats::Get();
+              st.counters["pairs_total"] =
+                  static_cast<double>(s.wspd_pairs_materialized.load());
+              st.counters["pairs_peak"] =
+                  static_cast<double>(s.wspd_pairs_peak.load());
+            });
+          })
+          ->Unit(benchmark::kMillisecond)
+          ->Iterations(EnvIters());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace parhc_bench
+
+int main(int argc, char** argv) {
+  parhc_bench::RegisterAll();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,48 @@
+// minPts sensitivity (Section 5): the paper reports "just a moderate
+// increase in the running time for increasing minPts" over 10..50.
+// Sweeps HDBSCAN*-MemoGFK across minPts on representative datasets.
+#include "bench_common.h"
+
+namespace parhc_bench {
+namespace {
+
+void RegisterAll() {
+  size_t n = EnvN();
+  int maxt = EnvMaxThreads();
+  std::vector<DatasetSpec> sets = {
+      {"2D-UniformFill", 2, "uniform"},
+      {"3D-SS-varden", 3, "varden"},
+      {"7D-Household-sim", 7, "gauss"},
+  };
+  for (const DatasetSpec& ds : sets) {
+    for (int min_pts : {10, 20, 30, 40, 50}) {
+      std::string name = std::string("MinPtsSweep/") + ds.label +
+                         "/minPts:" + std::to_string(min_pts);
+      benchmark::RegisterBenchmark(
+          name.c_str(),
+          [=](benchmark::State& st) {
+            DispatchDataset(ds, n, [&](const auto& pts) {
+              SetNumWorkers(maxt);
+              for (auto _ : st) {
+                auto r = Hdbscan(pts, min_pts);
+                benchmark::DoNotOptimize(r.mst.data());
+              }
+              st.counters["minPts"] = min_pts;
+            });
+          })
+          ->Unit(benchmark::kMillisecond)
+          ->Iterations(EnvIters());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace parhc_bench
+
+int main(int argc, char** argv) {
+  parhc_bench::RegisterAll();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

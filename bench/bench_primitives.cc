@@ -1,0 +1,101 @@
+// Microbenchmarks for the parallel substrate (not a paper artifact; sanity
+// checks that the primitives underlying every algorithm behave sensibly).
+#include "bench_common.h"
+
+#include <numeric>
+
+#include "parallel/semisort.h"
+#include "parallel/sort.h"
+
+namespace parhc_bench {
+namespace {
+
+void BM_Scan(benchmark::State& st) {
+  size_t n = static_cast<size_t>(st.range(0));
+  SetNumWorkers(EnvMaxThreads());
+  std::vector<int64_t> base(n, 1);
+  for (auto _ : st) {
+    std::vector<int64_t> a = base;
+    int64_t total = ScanExclusive(a.data(), n, int64_t{0},
+                                  [](int64_t x, int64_t y) { return x + y; });
+    benchmark::DoNotOptimize(total);
+  }
+  st.SetItemsProcessed(st.iterations() * n);
+}
+BENCHMARK(BM_Scan)->Arg(1 << 16)->Arg(1 << 20)->Unit(benchmark::kMillisecond);
+
+void BM_Filter(benchmark::State& st) {
+  size_t n = static_cast<size_t>(st.range(0));
+  SetNumWorkers(EnvMaxThreads());
+  std::vector<uint64_t> a(n);
+  std::iota(a.begin(), a.end(), 0);
+  for (auto _ : st) {
+    auto out = Filter(a, [](uint64_t x) { return (x & 7) == 0; });
+    benchmark::DoNotOptimize(out.data());
+  }
+  st.SetItemsProcessed(st.iterations() * n);
+}
+BENCHMARK(BM_Filter)->Arg(1 << 20)->Unit(benchmark::kMillisecond);
+
+void BM_ParallelSort(benchmark::State& st) {
+  size_t n = static_cast<size_t>(st.range(0));
+  SetNumWorkers(EnvMaxThreads());
+  std::vector<uint64_t> base(n);
+  std::mt19937_64 rng(1);
+  for (auto& x : base) x = rng();
+  for (auto _ : st) {
+    std::vector<uint64_t> a = base;
+    ParallelSort(a);
+    benchmark::DoNotOptimize(a.data());
+  }
+  st.SetItemsProcessed(st.iterations() * n);
+}
+BENCHMARK(BM_ParallelSort)
+    ->Arg(1 << 16)
+    ->Arg(1 << 20)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SemiSort(benchmark::State& st) {
+  size_t n = static_cast<size_t>(st.range(0));
+  SetNumWorkers(EnvMaxThreads());
+  std::vector<uint32_t> base(n);
+  std::mt19937_64 rng(2);
+  for (auto& x : base) x = static_cast<uint32_t>(rng() % (n / 64 + 1));
+  for (auto _ : st) {
+    auto [items, starts] = SemiSort(base, [](uint32_t x) { return x; });
+    benchmark::DoNotOptimize(items.data());
+    benchmark::DoNotOptimize(starts.data());
+  }
+  st.SetItemsProcessed(st.iterations() * n);
+}
+BENCHMARK(BM_SemiSort)->Arg(1 << 18)->Unit(benchmark::kMillisecond);
+
+void BM_KdTreeBuild(benchmark::State& st) {
+  size_t n = static_cast<size_t>(st.range(0));
+  SetNumWorkers(EnvMaxThreads());
+  const auto& pts = GetDataset<3>("uniform", n);
+  for (auto _ : st) {
+    KdTree<3> tree(pts, 1);
+    benchmark::DoNotOptimize(tree.root());
+  }
+  st.SetItemsProcessed(st.iterations() * n);
+}
+BENCHMARK(BM_KdTreeBuild)->Arg(1 << 17)->Unit(benchmark::kMillisecond);
+
+void BM_Knn10(benchmark::State& st) {
+  size_t n = static_cast<size_t>(st.range(0));
+  SetNumWorkers(EnvMaxThreads());
+  const auto& pts = GetDataset<3>("uniform", n);
+  KdTree<3> tree(pts, 8);
+  for (auto _ : st) {
+    auto cd = KthNeighborDistances(tree, 10);
+    benchmark::DoNotOptimize(cd.data());
+  }
+  st.SetItemsProcessed(st.iterations() * n);
+}
+BENCHMARK(BM_Knn10)->Arg(1 << 16)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace parhc_bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,77 @@
+// Table 2: self-relative speedup of every method on all workers vs one
+// worker. Each benchmark measures both configurations internally and
+// reports t1_ms, tp_ms, and self_speedup counters; the timed iteration is
+// the all-workers run.
+#include "bench_common.h"
+
+namespace parhc_bench {
+namespace {
+
+template <typename RunFn>
+void MeasureSpeedup(benchmark::State& st, int maxt, RunFn run) {
+  SetNumWorkers(1);
+  Timer t;
+  run();
+  double t1 = t.Seconds();
+  SetNumWorkers(maxt);
+  double tp = 0;
+  for (auto _ : st) {
+    Timer tt;
+    run();
+    tp = tt.Seconds();
+  }
+  st.counters["t1_ms"] = t1 * 1e3;
+  st.counters["tp_ms"] = tp * 1e3;
+  st.counters["self_speedup"] = t1 / tp;
+  st.counters["workers"] = maxt;
+}
+
+void RegisterAll() {
+  size_t n = EnvN();
+  int maxt = EnvMaxThreads();
+  for (const DatasetSpec& ds : CoreDatasets()) {
+    for (const EmstMethod& m : EmstMethods()) {
+      if (ds.dim > m.max_dim) continue;
+      std::string name =
+          std::string("Table2/") + m.name + "/" + ds.label;
+      benchmark::RegisterBenchmark(
+          name.c_str(),
+          [=](benchmark::State& st) {
+            DispatchDataset(ds, n, [&](const auto& pts) {
+              MeasureSpeedup(st, maxt, [&] {
+                benchmark::DoNotOptimize(RunEmst(pts, m.algo).data());
+              });
+            });
+          })
+          ->Unit(benchmark::kMillisecond)
+          ->Iterations(EnvIters());
+    }
+    for (auto [vname, v] :
+         {std::pair{"HDBSCAN-MemoGFK", HdbscanVariant::kMemoGfk},
+          std::pair{"HDBSCAN-GanTao", HdbscanVariant::kGanTao}}) {
+      std::string name = std::string("Table2/") + vname + "/" + ds.label;
+      benchmark::RegisterBenchmark(
+          name.c_str(),
+          [=, v = v](benchmark::State& st) {
+            DispatchDataset(ds, n, [&](const auto& pts) {
+              MeasureSpeedup(st, maxt, [&] {
+                benchmark::DoNotOptimize(Hdbscan(pts, 10, v).mst.data());
+              });
+            });
+          })
+          ->Unit(benchmark::kMillisecond)
+          ->Iterations(EnvIters());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace parhc_bench
+
+int main(int argc, char** argv) {
+  parhc_bench::RegisterAll();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

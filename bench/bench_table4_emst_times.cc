@@ -1,0 +1,71 @@
+// Table 4: EMST running times — four WSPD/tree methods plus EMST-Delaunay
+// (2D only) x full dataset suite x {1 worker, all workers}. Methods the
+// paper marks "-" at high dimension (Naive/GFK beyond 10D) are skipped the
+// same way.
+#include "bench_common.h"
+
+#include "emst/emst_delaunay.h"
+
+namespace parhc_bench {
+namespace {
+
+void RegisterAll() {
+  size_t n = EnvN();
+  int maxt = EnvMaxThreads();
+  for (const DatasetSpec& ds : StandardDatasets()) {
+    for (const EmstMethod& m : EmstMethods()) {
+      if (ds.dim > m.max_dim) continue;
+      for (int threads : {1, maxt}) {
+        std::string name = std::string("Table4/") + m.name + "/" + ds.label +
+                           "/workers:" + std::to_string(threads);
+        benchmark::RegisterBenchmark(
+            name.c_str(),
+            [=](benchmark::State& st) {
+              DispatchDataset(ds, n, [&](const auto& pts) {
+                SetNumWorkers(threads);
+                size_t edges = 0;
+                for (auto _ : st) {
+                  auto mst = RunEmst(pts, m.algo);
+                  edges = mst.size();
+                  benchmark::DoNotOptimize(edges);
+                }
+                st.counters["n"] = static_cast<double>(pts.size());
+                st.counters["edges"] = static_cast<double>(edges);
+              });
+            })
+            ->Unit(benchmark::kMillisecond)
+            ->Iterations(EnvIters());
+      }
+    }
+    if (ds.dim == 2) {
+      for (int threads : {1, maxt}) {
+        std::string name = std::string("Table4/EMST-Delaunay/") + ds.label +
+                           "/workers:" + std::to_string(threads);
+        benchmark::RegisterBenchmark(
+            name.c_str(),
+            [=](benchmark::State& st) {
+              const auto& pts = GetDataset<2>(ds.kind, n);
+              SetNumWorkers(threads);
+              for (auto _ : st) {
+                auto mst = EmstDelaunay(pts);
+                benchmark::DoNotOptimize(mst.data());
+              }
+              st.counters["n"] = static_cast<double>(pts.size());
+            })
+            ->Unit(benchmark::kMillisecond)
+            ->Iterations(EnvIters());
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace parhc_bench
+
+int main(int argc, char** argv) {
+  parhc_bench::RegisterAll();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

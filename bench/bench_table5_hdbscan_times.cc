@@ -1,0 +1,56 @@
+// Table 5: HDBSCAN* running times (minPts = 10) — HDBSCAN*-MemoGFK vs
+// HDBSCAN*-GanTao x full dataset suite x {1 worker, all workers}. As in the
+// paper, the measured time covers the mutual-reachability MST plus the
+// ordered dendrogram.
+#include "bench_common.h"
+
+namespace parhc_bench {
+namespace {
+
+constexpr int kMinPts = 10;
+
+void RegisterAll() {
+  size_t n = EnvN();
+  int maxt = EnvMaxThreads();
+  struct Variant {
+    const char* name;
+    HdbscanVariant v;
+  } variants[] = {
+      {"HDBSCAN-MemoGFK", HdbscanVariant::kMemoGfk},
+      {"HDBSCAN-GanTao", HdbscanVariant::kGanTao},
+  };
+  for (const DatasetSpec& ds : StandardDatasets()) {
+    for (const Variant& var : variants) {
+      for (int threads : {1, maxt}) {
+        std::string name = std::string("Table5/") + var.name + "/" +
+                           ds.label + "/workers:" + std::to_string(threads);
+        benchmark::RegisterBenchmark(
+            name.c_str(),
+            [=](benchmark::State& st) {
+              DispatchDataset(ds, n, [&](const auto& pts) {
+                SetNumWorkers(threads);
+                for (auto _ : st) {
+                  auto result = Hdbscan(pts, kMinPts, var.v);
+                  benchmark::DoNotOptimize(result.mst.data());
+                }
+                st.counters["n"] = static_cast<double>(pts.size());
+                st.counters["minPts"] = kMinPts;
+              });
+            })
+            ->Unit(benchmark::kMillisecond)
+            ->Iterations(EnvIters());
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace parhc_bench
+
+int main(int argc, char** argv) {
+  parhc_bench::RegisterAll();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,208 @@
+// parhc_cli — command-line driver for the library: generate datasets and
+// run any of the algorithms on CSV point files, writing CSV results. This
+// is the "downstream user" entry point; it exercises the whole public API.
+//
+// Usage:
+//   parhc_cli generate <uniform|varden|levy|gauss> <dim> <n> <out.csv> [seed]
+//   parhc_cli emst     <naive|gfk|memogfk|boruvka|delaunay> <dim> <in.csv> <out-edges.csv>
+//   parhc_cli hdbscan  <memogfk|gantao> <dim> <minPts> <in.csv> <out-labels.csv> [min_cluster_size]
+//   parhc_cli slink    <dim> <k> <in.csv> <out-labels.csv>
+//   parhc_cli reach    <dim> <minPts> <in.csv> <out-reachability.csv>
+//
+// Supported dims: 2, 3, 5, 7, 10, 16.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "hdbscan/stability.h"
+#include "parhc.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace parhc;
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  parhc_cli generate <uniform|varden|levy|gauss> <dim> <n> "
+               "<out.csv> [seed]\n"
+               "  parhc_cli emst <naive|gfk|memogfk|boruvka|delaunay> <dim> "
+               "<in.csv> <out-edges.csv>\n"
+               "  parhc_cli hdbscan <memogfk|gantao> <dim> <minPts> <in.csv> "
+               "<out-labels.csv> [min_cluster_size]\n"
+               "  parhc_cli slink <dim> <k> <in.csv> <out-labels.csv>\n"
+               "  parhc_cli reach <dim> <minPts> <in.csv> "
+               "<out-reachability.csv>\n");
+  return 2;
+}
+
+void WriteEdgesCsv(const std::string& path,
+                   const std::vector<WeightedEdge>& edges) {
+  std::ofstream out(path);
+  out.precision(17);
+  out << "# u,v,weight\n";
+  for (const auto& e : edges) out << e.u << ',' << e.v << ',' << e.w << '\n';
+}
+
+void WriteLabelsCsv(const std::string& path,
+                    const std::vector<int32_t>& labels) {
+  std::ofstream out(path);
+  out << "# point_id,cluster (-1 = noise)\n";
+  for (size_t i = 0; i < labels.size(); ++i) {
+    out << i << ',' << labels[i] << '\n';
+  }
+}
+
+template <int D>
+int RunGenerate(const std::string& kind, size_t n, const std::string& out,
+                uint64_t seed) {
+  std::vector<Point<D>> pts;
+  if (kind == "uniform") {
+    pts = UniformFill<D>(n, seed);
+  } else if (kind == "varden") {
+    pts = SeedSpreaderVarden<D>(n, seed);
+  } else if (kind == "levy") {
+    pts = SkewedLevy<D>(n, seed);
+  } else if (kind == "gauss") {
+    pts = ClusteredGaussians<D>(n, seed);
+  } else {
+    return Usage();
+  }
+  WritePointsCsv(out, pts);
+  std::printf("wrote %zu %dD points to %s\n", pts.size(), D, out.c_str());
+  return 0;
+}
+
+template <int D>
+int RunEmstCmd(const std::string& method, const std::string& in,
+               const std::string& out) {
+  auto pts = ReadPointsCsvAs<D>(in);
+  Timer t;
+  std::vector<WeightedEdge> mst;
+  if (method == "delaunay") {
+    if constexpr (D == 2) {
+      mst = EmstDelaunay(pts);
+    } else {
+      std::fprintf(stderr, "delaunay requires dim 2\n");
+      return 2;
+    }
+  } else {
+    EmstAlgorithm algo = EmstAlgorithm::kMemoGfk;
+    if (method == "naive") algo = EmstAlgorithm::kNaive;
+    else if (method == "gfk") algo = EmstAlgorithm::kGfk;
+    else if (method == "boruvka") algo = EmstAlgorithm::kBoruvka;
+    else if (method != "memogfk") return Usage();
+    mst = Emst(pts, algo);
+  }
+  double w = 0;
+  for (auto& e : mst) w += e.w;
+  std::printf("emst(%s): n=%zu, %zu edges, weight %.6e, %.3fs\n",
+              method.c_str(), pts.size(), mst.size(), w, t.Seconds());
+  WriteEdgesCsv(out, mst);
+  return 0;
+}
+
+template <int D>
+int RunHdbscanCmd(const std::string& variant, int min_pts,
+                  const std::string& in, const std::string& out,
+                  size_t min_cluster_size) {
+  auto pts = ReadPointsCsvAs<D>(in);
+  Timer t;
+  HdbscanResult h = Hdbscan(pts, min_pts,
+                            variant == "gantao" ? HdbscanVariant::kGanTao
+                                                : HdbscanVariant::kMemoGfk);
+  StabilityClusters sc = ExtractStableClusters(h.dendrogram,
+                                               min_cluster_size);
+  std::printf("hdbscan(%s, minPts=%d): n=%zu, %zu stable clusters, %.3fs\n",
+              variant.c_str(), min_pts, pts.size(), sc.stability.size(),
+              t.Seconds());
+  WriteLabelsCsv(out, sc.label);
+  return 0;
+}
+
+template <int D>
+int RunSlinkCmd(size_t k, const std::string& in, const std::string& out) {
+  auto pts = ReadPointsCsvAs<D>(in);
+  SingleLinkageResult sl = SingleLinkage(pts);
+  WriteLabelsCsv(out, sl.Clusters(k));
+  std::printf("single-linkage: n=%zu, k=%zu\n", pts.size(), k);
+  return 0;
+}
+
+template <int D>
+int RunReachCmd(int min_pts, const std::string& in, const std::string& out) {
+  auto pts = ReadPointsCsvAs<D>(in);
+  HdbscanResult h = Hdbscan(pts, min_pts);
+  ReachabilityPlot plot = h.Reachability();
+  std::ofstream os(out);
+  os.precision(17);
+  os << "# position,point_id,reachability\n";
+  for (size_t i = 0; i < plot.order.size(); ++i) {
+    os << i << ',' << plot.order[i] << ',' << plot.value[i] << '\n';
+  }
+  std::printf("reachability plot: n=%zu points\n", pts.size());
+  return 0;
+}
+
+template <typename Fn>
+int DispatchDim(int dim, Fn&& fn) {
+  switch (dim) {
+    case 2: return fn(std::integral_constant<int, 2>{});
+    case 3: return fn(std::integral_constant<int, 3>{});
+    case 5: return fn(std::integral_constant<int, 5>{});
+    case 7: return fn(std::integral_constant<int, 7>{});
+    case 10: return fn(std::integral_constant<int, 10>{});
+    case 16: return fn(std::integral_constant<int, 16>{});
+    default:
+      std::fprintf(stderr, "unsupported dim %d (use 2,3,5,7,10,16)\n", dim);
+      return 2;
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  std::string cmd = argv[1];
+  if (cmd == "generate" && (argc == 6 || argc == 7)) {
+    std::string kind = argv[2];
+    int dim = std::atoi(argv[3]);
+    size_t n = std::strtoull(argv[4], nullptr, 10);
+    uint64_t seed = argc == 7 ? std::strtoull(argv[6], nullptr, 10) : 1;
+    return DispatchDim(dim, [&](auto d) {
+      return RunGenerate<decltype(d)::value>(kind, n, argv[5], seed);
+    });
+  }
+  if (cmd == "emst" && argc == 6) {
+    int dim = std::atoi(argv[3]);
+    return DispatchDim(dim, [&](auto d) {
+      return RunEmstCmd<decltype(d)::value>(argv[2], argv[4], argv[5]);
+    });
+  }
+  if (cmd == "hdbscan" && (argc == 7 || argc == 8)) {
+    int dim = std::atoi(argv[3]);
+    int min_pts = std::atoi(argv[4]);
+    size_t mcs = argc == 8 ? std::strtoull(argv[7], nullptr, 10) : 5;
+    return DispatchDim(dim, [&](auto d) {
+      return RunHdbscanCmd<decltype(d)::value>(argv[2], min_pts, argv[5],
+                                               argv[6], mcs);
+    });
+  }
+  if (cmd == "slink" && argc == 6) {
+    int dim = std::atoi(argv[2]);
+    size_t k = std::strtoull(argv[3], nullptr, 10);
+    return DispatchDim(dim, [&](auto d) {
+      return RunSlinkCmd<decltype(d)::value>(k, argv[4], argv[5]);
+    });
+  }
+  if (cmd == "reach" && argc == 6) {
+    int dim = std::atoi(argv[2]);
+    int min_pts = std::atoi(argv[3]);
+    return DispatchDim(dim, [&](auto d) {
+      return RunReachCmd<decltype(d)::value>(min_pts, argv[4], argv[5]);
+    });
+  }
+  return Usage();
+}

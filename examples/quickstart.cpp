@@ -1,0 +1,51 @@
+// Quickstart: compute an EMST and an HDBSCAN* clustering in ~30 lines.
+//
+//   ./examples/quickstart [n]
+#include <cstdio>
+#include <cstdlib>
+
+#include "parhc.h"
+
+int main(int argc, char** argv) {
+  using namespace parhc;
+  size_t n = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 10000;
+
+  // 1. Make some 2-D data: three dense clusters plus background noise.
+  std::vector<Point<2>> pts = SeedSpreaderVarden<2>(n, /*seed=*/42,
+                                                    /*clusters=*/3);
+
+  // 2. Euclidean minimum spanning tree (MemoGFK — the paper's fastest).
+  std::vector<WeightedEdge> mst = Emst(pts);
+  double total = 0;
+  for (const auto& e : mst) total += e.w;
+  std::printf("EMST: %zu edges, total weight %.3f\n", mst.size(), total);
+
+  // 3. HDBSCAN* hierarchy: mutual-reachability MST + ordered dendrogram.
+  HdbscanResult h = Hdbscan(pts, /*min_pts=*/10);
+  std::printf("HDBSCAN* dendrogram root height: %.3f\n",
+              h.dendrogram.Height(h.dendrogram.root()));
+
+  // 4. Flat DBSCAN* clusters at a density threshold.
+  double eps = 120.0;
+  std::vector<int32_t> labels = h.ClustersAt(eps);
+  int32_t k = 0;
+  size_t noise = 0;
+  for (int32_t l : labels) {
+    if (l == kNoise) {
+      ++noise;
+    } else {
+      k = std::max(k, l + 1);
+    }
+  }
+  std::printf("DBSCAN* at eps=%.1f: %d clusters, %zu noise points\n", eps, k,
+              noise);
+
+  // 5. The reachability plot (OPTICS sequence): valleys are clusters.
+  ReachabilityPlot plot = h.Reachability();
+  std::printf("first 5 reachability bars:");
+  for (size_t i = 1; i < 6 && i < plot.value.size(); ++i) {
+    std::printf(" %.2f", plot.value[i]);
+  }
+  std::printf("\n");
+  return 0;
+}

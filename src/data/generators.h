@@ -1,0 +1,141 @@
+// Synthetic dataset generators (paper Section 5, "Data Sets").
+//
+//  * UniformFill: n points uniform in a hypergrid of side sqrt(n).
+//  * SeedSpreaderVarden ("SS-varden"): the variable-density seed-spreader of
+//    Gan & Tao [27] — a spreader performs a random walk, emitting points in
+//    a local vicinity whose radius changes on restarts, producing clusters
+//    of varying density plus background noise.
+//  * SkewedLevy: heavy-tailed random walk; stand-in for the extremely skewed
+//    GeoLife GPS dataset (see DESIGN.md substitutions).
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "geometry/point.h"
+#include "parallel/scheduler.h"
+#include "parallel/semisort.h"
+
+namespace parhc {
+
+namespace internal {
+// Deterministic per-index double in [0, 1): parallel-friendly counter RNG.
+inline double U01(uint64_t seed, uint64_t idx, uint64_t dim) {
+  uint64_t h = HashU64(seed ^ HashU64(idx * 0x51ul + dim + 1));
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+}  // namespace internal
+
+/// n points uniformly distributed in [0, sqrt(n))^D (paper's UniformFill).
+template <int D>
+std::vector<Point<D>> UniformFill(size_t n, uint64_t seed = 1) {
+  double side = std::sqrt(static_cast<double>(n));
+  std::vector<Point<D>> pts(n);
+  ParallelFor(0, n, [&](size_t i) {
+    for (int d = 0; d < D; ++d) {
+      pts[i][d] = side * internal::U01(seed, i, static_cast<uint64_t>(d));
+    }
+  });
+  return pts;
+}
+
+/// Variable-density seed-spreader (SS-varden) of Gan & Tao [27]: `clusters`
+/// random-walk clusters with vicinity radii varying by an order of
+/// magnitude, plus a 10^-4 fraction of uniform noise, in [0, 1e5)^D.
+template <int D>
+std::vector<Point<D>> SeedSpreaderVarden(size_t n, uint64_t seed = 1,
+                                         int clusters = 10) {
+  constexpr double kSide = 1e5;
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> u01(0.0, 1.0);
+  std::normal_distribution<double> gauss(0.0, 1.0);
+  std::vector<Point<D>> pts;
+  pts.reserve(n);
+  size_t noise = n / 10000;
+  size_t walk_points = n - noise;
+  size_t per_cluster = walk_points / static_cast<size_t>(clusters);
+  for (int c = 0; c < clusters; ++c) {
+    size_t count = (c + 1 == clusters) ? walk_points - pts.size()
+                                       : per_cluster;
+    // Restart: new location and new vicinity radius (log-uniform over one
+    // order of magnitude -> varying density).
+    Point<D> pos;
+    for (int d = 0; d < D; ++d) pos[d] = kSide * (0.1 + 0.8 * u01(rng));
+    double radius = 50.0 * std::pow(10.0, u01(rng));
+    for (size_t i = 0; i < count; ++i) {
+      Point<D> p;
+      for (int d = 0; d < D; ++d) {
+        p[d] = pos[d] + radius * (2.0 * u01(rng) - 1.0);
+      }
+      pts.push_back(p);
+      // Step the spreader by radius/2 in a random direction.
+      double norm = 0;
+      double dir[D];
+      for (int d = 0; d < D; ++d) {
+        dir[d] = gauss(rng);
+        norm += dir[d] * dir[d];
+      }
+      norm = std::sqrt(norm) + 1e-12;
+      for (int d = 0; d < D; ++d) pos[d] += 0.5 * radius * dir[d] / norm;
+    }
+  }
+  while (pts.size() < n) {  // background noise
+    Point<D> p;
+    for (int d = 0; d < D; ++d) p[d] = kSide * u01(rng);
+    pts.push_back(p);
+  }
+  return pts;
+}
+
+/// Heavy-tailed (Pareto step length) random walk; an extremely skewed point
+/// distribution standing in for GPS-trajectory data such as GeoLife.
+template <int D>
+std::vector<Point<D>> SkewedLevy(size_t n, uint64_t seed = 1) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> u01(1e-9, 1.0);
+  std::normal_distribution<double> gauss(0.0, 1.0);
+  std::vector<Point<D>> pts(n);
+  Point<D> pos{};
+  for (size_t i = 0; i < n; ++i) {
+    double step = std::pow(u01(rng), -1.0 / 1.2);  // Pareto(alpha=1.2)
+    double norm = 0;
+    double dir[D];
+    for (int d = 0; d < D; ++d) {
+      dir[d] = gauss(rng);
+      norm += dir[d] * dir[d];
+    }
+    norm = std::sqrt(norm) + 1e-12;
+    for (int d = 0; d < D; ++d) pos[d] += step * dir[d] / norm;
+    pts[i] = pos;
+  }
+  return pts;
+}
+
+/// Mixture of uniform background and Gaussian blobs; stand-in for the
+/// mid-dimensional sensor datasets (Household / HT / CHEM).
+template <int D>
+std::vector<Point<D>> ClusteredGaussians(size_t n, uint64_t seed = 1,
+                                         int blobs = 16) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> u01(0.0, 1.0);
+  std::normal_distribution<double> gauss(0.0, 1.0);
+  constexpr double kSide = 1e3;
+  std::vector<Point<D>> centers(blobs);
+  for (int b = 0; b < blobs; ++b) {
+    for (int d = 0; d < D; ++d) centers[b][d] = kSide * u01(rng);
+  }
+  std::vector<Point<D>> pts(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (u01(rng) < 0.05) {  // 5% uniform background
+      for (int d = 0; d < D; ++d) pts[i][d] = kSide * u01(rng);
+    } else {
+      const Point<D>& c = centers[rng() % blobs];
+      for (int d = 0; d < D; ++d) pts[i][d] = c[d] + 10.0 * gauss(rng);
+    }
+  }
+  return pts;
+}
+
+}  // namespace parhc

@@ -1,0 +1,40 @@
+#include "data/io.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace parhc {
+
+void WritePointsCsv(const std::string& path,
+                    const std::vector<std::vector<double>>& rows) {
+  std::ofstream out(path);
+  PARHC_CHECK_MSG(out.good(), "cannot open output file");
+  out.precision(17);
+  for (const auto& row : rows) {
+    for (size_t d = 0; d < row.size(); ++d) {
+      if (d) out << ',';
+      out << row[d];
+    }
+    out << '\n';
+  }
+}
+
+std::vector<std::vector<double>> ReadPointsCsv(const std::string& path) {
+  std::ifstream in(path);
+  PARHC_CHECK_MSG(in.good(), "cannot open input file");
+  std::vector<std::vector<double>> rows;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::vector<double> row;
+    std::stringstream ss(line);
+    std::string cell;
+    while (std::getline(ss, cell, ',')) {
+      row.push_back(std::stod(cell));
+    }
+    if (!row.empty()) rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+}  // namespace parhc

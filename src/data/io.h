@@ -1,0 +1,43 @@
+// CSV point IO.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "geometry/point.h"
+#include "util/check.h"
+
+namespace parhc {
+
+/// Writes one point per line, comma-separated coordinates.
+void WritePointsCsv(const std::string& path,
+                    const std::vector<std::vector<double>>& rows);
+
+/// Reads a CSV of doubles; returns rows. Blank lines and lines starting
+/// with '#' are skipped.
+std::vector<std::vector<double>> ReadPointsCsv(const std::string& path);
+
+/// Typed helpers.
+template <int D>
+void WritePointsCsv(const std::string& path,
+                    const std::vector<Point<D>>& pts) {
+  std::vector<std::vector<double>> rows(pts.size());
+  for (size_t i = 0; i < pts.size(); ++i) {
+    rows[i].assign(pts[i].x.begin(), pts[i].x.end());
+  }
+  WritePointsCsv(path, rows);
+}
+
+template <int D>
+std::vector<Point<D>> ReadPointsCsvAs(const std::string& path) {
+  auto rows = ReadPointsCsv(path);
+  std::vector<Point<D>> pts(rows.size());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    PARHC_CHECK_MSG(rows[i].size() == static_cast<size_t>(D),
+                    "CSV row dimension mismatch");
+    for (int d = 0; d < D; ++d) pts[i][d] = rows[i][d];
+  }
+  return pts;
+}
+
+}  // namespace parhc

@@ -1,0 +1,233 @@
+#include "delaunay/delaunay.h"
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+#include <unordered_map>
+
+#include "util/check.h"
+
+namespace parhc {
+namespace {
+
+using P2 = Point<2>;
+
+/// > 0 if (a, b, c) is counter-clockwise.
+long double Orient(const P2& a, const P2& b, const P2& c) {
+  long double abx = static_cast<long double>(b[0]) - a[0];
+  long double aby = static_cast<long double>(b[1]) - a[1];
+  long double acx = static_cast<long double>(c[0]) - a[0];
+  long double acy = static_cast<long double>(c[1]) - a[1];
+  return abx * acy - aby * acx;
+}
+
+/// > 0 if d lies strictly inside the circumcircle of ccw triangle (a, b, c).
+long double InCircle(const P2& a, const P2& b, const P2& c, const P2& d) {
+  long double adx = static_cast<long double>(a[0]) - d[0];
+  long double ady = static_cast<long double>(a[1]) - d[1];
+  long double bdx = static_cast<long double>(b[0]) - d[0];
+  long double bdy = static_cast<long double>(b[1]) - d[1];
+  long double cdx = static_cast<long double>(c[0]) - d[0];
+  long double cdy = static_cast<long double>(c[1]) - d[1];
+  long double ad2 = adx * adx + ady * ady;
+  long double bd2 = bdx * bdx + bdy * bdy;
+  long double cd2 = cdx * cdx + cdy * cdy;
+  return adx * (bdy * cd2 - cdy * bd2) - ady * (bdx * cd2 - cdx * bd2) +
+         ad2 * (bdx * cdy - cdx * bdy);
+}
+
+struct Tri {
+  std::array<uint32_t, 3> v;    // vertices, counter-clockwise
+  std::array<int32_t, 3> nbr;   // nbr[i] faces the edge opposite v[i]
+  bool alive = true;
+};
+
+uint64_t EdgeKey(uint32_t u, uint32_t v) {
+  if (u > v) std::swap(u, v);
+  return (static_cast<uint64_t>(u) << 32) | v;
+}
+
+class BowyerWatson {
+ public:
+  explicit BowyerWatson(const std::vector<P2>& pts) : pts_(pts), n_(pts.size()) {
+    // Super-triangle comfortably containing the bounding box.
+    double lo_x = pts[0][0], hi_x = pts[0][0];
+    double lo_y = pts[0][1], hi_y = pts[0][1];
+    for (const auto& p : pts) {
+      lo_x = std::min(lo_x, p[0]);
+      hi_x = std::max(hi_x, p[0]);
+      lo_y = std::min(lo_y, p[1]);
+      hi_y = std::max(hi_y, p[1]);
+    }
+    double cx = 0.5 * (lo_x + hi_x), cy = 0.5 * (lo_y + hi_y);
+    double r = std::max({hi_x - lo_x, hi_y - lo_y, 1.0}) * 16.0;
+    pts_.push_back(P2{{cx - 3 * r, cy - r}});
+    pts_.push_back(P2{{cx + 3 * r, cy - r}});
+    pts_.push_back(P2{{cx, cy + 3 * r}});
+    uint32_t s0 = static_cast<uint32_t>(n_), s1 = s0 + 1, s2 = s0 + 2;
+    PARHC_CHECK(Orient(pts_[s0], pts_[s1], pts_[s2]) > 0);
+    tris_.push_back(Tri{{s0, s1, s2}, {-1, -1, -1}, true});
+    hint_ = 0;
+  }
+
+  void InsertAll(uint64_t seed) {
+    std::vector<uint32_t> order(n_);
+    for (uint32_t i = 0; i < n_; ++i) order[i] = i;
+    std::mt19937_64 rng(seed);
+    std::shuffle(order.begin(), order.end(), rng);
+    for (uint32_t id : order) Insert(id);
+  }
+
+  Triangulation Extract() const {
+    Triangulation out;
+    std::vector<uint64_t> keys;
+    for (const Tri& t : tris_) {
+      if (!t.alive) continue;
+      bool all_real = t.v[0] < n_ && t.v[1] < n_ && t.v[2] < n_;
+      if (all_real) out.triangles.push_back(t.v);
+      for (int i = 0; i < 3; ++i) {
+        uint32_t u = t.v[i], v = t.v[(i + 1) % 3];
+        if (u < n_ && v < n_) keys.push_back(EdgeKey(u, v));
+      }
+    }
+    std::sort(keys.begin(), keys.end());
+    keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+    out.edges.reserve(keys.size());
+    for (uint64_t k : keys) {
+      out.edges.push_back({static_cast<uint32_t>(k >> 32),
+                           static_cast<uint32_t>(k & 0xffffffffu)});
+    }
+    return out;
+  }
+
+ private:
+  int32_t Locate(const P2& p) const {
+    int32_t t = hint_;
+    PARHC_DCHECK(tris_[t].alive);
+    size_t steps = 0, cap = 4 * tris_.size() + 64;
+    while (steps++ < cap) {
+      const Tri& tri = tris_[t];
+      int32_t next = -1;
+      for (int i = 0; i < 3; ++i) {
+        const P2& a = pts_[tri.v[(i + 1) % 3]];
+        const P2& b = pts_[tri.v[(i + 2) % 3]];
+        if (Orient(a, b, p) < 0) {
+          next = tri.nbr[i];
+          break;
+        }
+      }
+      if (next < 0) return t;  // inside (or on an edge of) t
+      t = next;
+    }
+    // Fallback for (numerically) cyclic walks: exhaustive scan.
+    for (size_t i = 0; i < tris_.size(); ++i) {
+      const Tri& tri = tris_[i];
+      if (!tri.alive) continue;
+      bool inside = true;
+      for (int e = 0; e < 3 && inside; ++e) {
+        inside = Orient(pts_[tri.v[(e + 1) % 3]], pts_[tri.v[(e + 2) % 3]],
+                        p) >= 0;
+      }
+      if (inside) return static_cast<int32_t>(i);
+    }
+    PARHC_CHECK_MSG(false, "Delaunay point location failed");
+    return -1;
+  }
+
+  void Insert(uint32_t pid) {
+    const P2& p = pts_[pid];
+    int32_t t0 = Locate(p);
+    // Conflict cavity: BFS over triangles whose circumcircle contains p.
+    // Membership is tracked with a version-stamped array so each insertion
+    // costs O(cavity), not O(total triangles).
+    std::vector<int32_t> bad{t0};
+    std::vector<int32_t> queue{t0};
+    cavity_stamp_.resize(tris_.size(), 0);
+    ++cavity_version_;
+    auto in_cavity = [&](int32_t t) {
+      return cavity_stamp_[t] == cavity_version_;
+    };
+    cavity_stamp_[t0] = cavity_version_;
+    struct Boundary {
+      uint32_t u, v;     // ccw edge of the cavity
+      int32_t outer;     // triangle across the edge (-1 at the hull)
+    };
+    std::vector<Boundary> boundary;
+    while (!queue.empty()) {
+      int32_t t = queue.back();
+      queue.pop_back();
+      const Tri tri = tris_[t];
+      for (int i = 0; i < 3; ++i) {
+        int32_t nb = tri.nbr[i];
+        uint32_t eu = tri.v[(i + 1) % 3], ev = tri.v[(i + 2) % 3];
+        if (nb >= 0 && !in_cavity(nb)) {
+          const Tri& o = tris_[nb];
+          if (InCircle(pts_[o.v[0]], pts_[o.v[1]], pts_[o.v[2]], p) > 0) {
+            cavity_stamp_[nb] = cavity_version_;
+            bad.push_back(nb);
+            queue.push_back(nb);
+            continue;
+          }
+        }
+        if (nb < 0 || !in_cavity(nb)) boundary.push_back({eu, ev, nb});
+      }
+    }
+    for (int32_t t : bad) tris_[t].alive = false;
+    // Fan re-triangulation around p; wire adjacency through an edge map.
+    std::unordered_map<uint64_t, std::pair<int32_t, int>> open_edge;
+    int32_t first_new = -1;
+    for (const Boundary& bd : boundary) {
+      int32_t id = static_cast<int32_t>(tris_.size());
+      // (u, v, p) is ccw: p lies strictly on the interior side of (u, v).
+      Tri nt{{bd.u, bd.v, pid}, {-1, -1, -1}, true};
+      nt.nbr[2] = bd.outer;  // edge (u, v) is opposite vertex p (slot 2)
+      if (bd.outer >= 0) {
+        Tri& o = tris_[bd.outer];
+        for (int i = 0; i < 3; ++i) {
+          uint32_t ou = o.v[(i + 1) % 3], ov = o.v[(i + 2) % 3];
+          if (EdgeKey(ou, ov) == EdgeKey(bd.u, bd.v)) {
+            o.nbr[i] = id;
+            break;
+          }
+        }
+      }
+      // Spoke edges (v, p) opposite slot 0 (vertex u) and (p, u) opposite
+      // slot 1 (vertex v) pair up with neighboring fan triangles.
+      for (int slot : {0, 1}) {
+        uint32_t a = (slot == 0) ? bd.v : bd.u;
+        uint64_t key = EdgeKey(a, pid);
+        auto it = open_edge.find(key);
+        if (it == open_edge.end()) {
+          open_edge.emplace(key, std::make_pair(id, slot));
+        } else {
+          nt.nbr[slot] = it->second.first;
+          tris_[it->second.first].nbr[it->second.second] = id;
+          open_edge.erase(it);
+        }
+      }
+      tris_.push_back(nt);
+      cavity_stamp_.push_back(0);
+      if (first_new < 0) first_new = id;
+    }
+    PARHC_CHECK_MSG(open_edge.empty(), "Delaunay cavity boundary not closed");
+    hint_ = first_new;
+  }
+
+  std::vector<P2> pts_;
+  size_t n_;
+  std::vector<Tri> tris_;
+  std::vector<uint32_t> cavity_stamp_;
+  uint32_t cavity_version_ = 0;
+  int32_t hint_ = 0;
+};
+
+}  // namespace
+
+Triangulation DelaunayTriangulate(const std::vector<Point<2>>& pts) {
+  PARHC_CHECK_MSG(pts.size() >= 2, "need at least two points");
+  BowyerWatson bw(pts);
+  bw.InsertAll(/*seed=*/0x5eed5eedull);
+  return bw.Extract();
+}
+
+}  // namespace parhc

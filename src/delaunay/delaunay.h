@@ -1,0 +1,35 @@
+// 2D Delaunay triangulation (substrate for EMST-Delaunay, Appendix A.1).
+//
+// Randomized incremental Bowyer–Watson: locate the triangle containing the
+// next point by a visibility walk, grow the conflict cavity by breadth-first
+// search over circumcircle tests, and re-triangulate the cavity as a fan
+// around the new point. Expected O(n log n) with randomized insertion order.
+//
+// Geometric predicates use long double arithmetic — adequate for the
+// non-degenerate (random / jittered) inputs this library targets; see
+// DESIGN.md for the substitution note versus exact predicates.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "geometry/point.h"
+
+namespace parhc {
+
+/// Result of a Delaunay triangulation.
+struct Triangulation {
+  /// Vertex index triples of the triangles (counter-clockwise).
+  std::vector<std::array<uint32_t, 3>> triangles;
+  /// Unique undirected edges (u < v).
+  std::vector<std::pair<uint32_t, uint32_t>> edges;
+};
+
+/// Triangulates `pts` (which must be pairwise distinct; at least 2 points).
+/// For collinear inputs the triangle list is empty but `edges` still
+/// contains the hull edges needed for the MST.
+Triangulation DelaunayTriangulate(const std::vector<Point<2>>& pts);
+
+}  // namespace parhc

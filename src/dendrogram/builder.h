@@ -1,0 +1,205 @@
+// Ordered dendrogram construction (paper Section 4).
+//
+// Sequential algorithm: process tree edges in increasing weight order with a
+// union-find; each edge's internal node takes the current cluster of the
+// endpoint closer (in unweighted hop distance) to the source as its left
+// child — this yields the *ordered* dendrogram whose in-order leaf
+// traversal is the Prim visit order (Theorem 4.2's ordering rule).
+//
+// Parallel algorithm (Section 4.2, with the paper's implementation
+// simplifications): recursively split the edges into the ~m/10 heaviest
+// ("heavy") and the rest; the light edges decompose into vertex-disjoint
+// subproblems (components of the light forest over the *current* contracted
+// clusters), which are built in parallel; the heavy subproblem is then
+// built on top, its leaves resolving to the light subproblem roots through
+// the shared union-find. Subproblem finding is sequential per level (the
+// paper's choice), and small subproblems switch to the sequential builder.
+#pragma once
+
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+#include "dendrogram/dendrogram.h"
+#include "graph/edge.h"
+#include "graph/union_find.h"
+#include "parallel/euler_tour.h"
+#include "parallel/scheduler.h"
+#include "parallel/sort.h"
+#include "util/check.h"
+
+namespace parhc {
+namespace internal {
+
+/// Shared state for one dendrogram construction.
+struct DendroState {
+  Dendrogram* dendro;
+  UnionFind uf;
+  std::vector<uint32_t> cur_node;   ///< UF representative -> cluster node
+  std::vector<uint32_t> hop;        ///< vertex -> hop distance from source
+  std::atomic<uint32_t> next_internal;
+  size_t seq_cutoff;
+
+  DendroState(Dendrogram* d, size_t n)
+      : dendro(d), uf(n), cur_node(n), next_internal(static_cast<uint32_t>(n)) {
+    for (size_t i = 0; i < n; ++i) cur_node[i] = static_cast<uint32_t>(i);
+  }
+};
+
+/// Bottom-up ordered build of one subproblem. Edges in a subproblem span
+/// vertices disjoint from concurrently running subproblems, so the shared
+/// union-find and cur_node accesses never race.
+inline void DendroSeqBuild(DendroState& st, std::vector<WeightedEdge> edges) {
+  std::sort(edges.begin(), edges.end());
+  for (const WeightedEdge& e : edges) {
+    uint32_t ru = st.uf.Find(e.u);
+    uint32_t rv = st.uf.Find(e.v);
+    PARHC_CHECK_MSG(ru != rv, "input edges contain a cycle");
+    uint32_t cu = st.cur_node[ru];
+    uint32_t cv = st.cur_node[rv];
+    uint32_t id = st.next_internal.fetch_add(1, std::memory_order_relaxed);
+    // Ordering rule: the endpoint nearer the source goes left. Adjacent
+    // tree vertices differ by exactly one hop, so there are no ties.
+    if (st.hop[e.u] < st.hop[e.v]) {
+      st.dendro->SetInternal(id, cu, cv, e.w);
+    } else {
+      st.dendro->SetInternal(id, cv, cu, e.w);
+    }
+    st.uf.Union(ru, rv);
+    st.cur_node[st.uf.Find(ru)] = id;
+  }
+}
+
+inline void DendroBuildRec(DendroState& st, std::vector<WeightedEdge> edges) {
+  if (edges.size() <= st.seq_cutoff) {
+    DendroSeqBuild(st, std::move(edges));
+    return;
+  }
+  size_t m = edges.size();
+  size_t heavy_count = std::max<size_t>(1, m / 10);  // paper uses m/10
+  std::nth_element(edges.begin(), edges.begin() + (m - heavy_count),
+                   edges.end());
+  std::vector<WeightedEdge> heavy(edges.begin() + (m - heavy_count),
+                                  edges.end());
+  edges.resize(m - heavy_count);  // the light edges
+
+  // Light-edge subproblems: components of the light forest over the current
+  // contracted clusters (union-find representatives). Sequential per level,
+  // as in the paper's implementation.
+  std::unordered_map<uint32_t, uint32_t> local_of_rep;
+  std::vector<uint32_t> lparent;
+  auto local_idx = [&](uint32_t rep) {
+    auto [it, inserted] = local_of_rep.try_emplace(
+        rep, static_cast<uint32_t>(lparent.size()));
+    if (inserted) lparent.push_back(it->second);
+    return it->second;
+  };
+  std::function<uint32_t(uint32_t)> lfind = [&](uint32_t x) {
+    while (lparent[x] != x) {
+      lparent[x] = lparent[lparent[x]];
+      x = lparent[x];
+    }
+    return x;
+  };
+  std::vector<std::pair<uint32_t, uint32_t>> ends(edges.size());
+  for (size_t i = 0; i < edges.size(); ++i) {
+    uint32_t a = local_idx(st.uf.Find(edges[i].u));
+    uint32_t b = local_idx(st.uf.Find(edges[i].v));
+    ends[i] = {a, b};
+    uint32_t ra = lfind(a), rb = lfind(b);
+    if (ra != rb) lparent[ra] = rb;
+  }
+  std::unordered_map<uint32_t, uint32_t> group_of_root;
+  std::vector<std::vector<WeightedEdge>> groups;
+  for (size_t i = 0; i < edges.size(); ++i) {
+    uint32_t r = lfind(ends[i].first);
+    auto [it, inserted] =
+        group_of_root.try_emplace(r, static_cast<uint32_t>(groups.size()));
+    if (inserted) groups.emplace_back();
+    groups[it->second].push_back(edges[i]);
+  }
+  edges.clear();
+  edges.shrink_to_fit();
+
+  // Light subproblems are vertex-disjoint: build them in parallel.
+  ParallelFor(
+      0, groups.size(),
+      [&](size_t g) { DendroBuildRec(st, std::move(groups[g])); }, 1);
+  // The heavy subproblem sits on top of the light roots.
+  DendroBuildRec(st, std::move(heavy));
+}
+
+}  // namespace internal
+
+/// Builds the ordered dendrogram of the weighted tree `edges` (n vertices,
+/// n-1 edges) with Prim order anchored at `source`. Sequential bottom-up
+/// algorithm (the paper's baseline).
+inline Dendrogram BuildDendrogramSequential(size_t n,
+                                            const std::vector<WeightedEdge>& edges,
+                                            uint32_t source) {
+  PARHC_CHECK(edges.size() + 1 == n);
+  Dendrogram d(n);
+  internal::DendroState st(&d, n);
+  // Hop distances by BFS (sequential builder; values equal the Euler-tour
+  // distances used by the parallel builder).
+  st.hop.assign(n, kNil);
+  std::vector<std::vector<std::pair<uint32_t, uint32_t>>> adj(n);
+  for (const auto& e : edges) {
+    adj[e.u].push_back({e.v, 0});
+    adj[e.v].push_back({e.u, 0});
+  }
+  std::vector<uint32_t> frontier{source};
+  st.hop[source] = 0;
+  while (!frontier.empty()) {
+    std::vector<uint32_t> next;
+    for (uint32_t u : frontier) {
+      for (auto [v, unused] : adj[u]) {
+        if (st.hop[v] == kNil) {
+          st.hop[v] = st.hop[u] + 1;
+          next.push_back(v);
+        }
+      }
+    }
+    frontier = std::move(next);
+  }
+  st.seq_cutoff = edges.size();  // everything in one sequential pass
+  internal::DendroSeqBuild(st, edges);
+  if (n == 1) {
+    d.set_root(0);
+  } else {
+    d.set_root(st.cur_node[st.uf.Find(0)]);
+  }
+  PARHC_DCHECK(d.Validate());
+  return d;
+}
+
+/// Builds the same ordered dendrogram with the parallel top-down
+/// divide-and-conquer algorithm of Section 4.2. `seq_cutoff` = 0 selects
+/// the automatic threshold (max(2048, n/10), mirroring the paper's
+/// switch-to-sequential heuristic).
+inline Dendrogram BuildDendrogramParallel(size_t n,
+                                          const std::vector<WeightedEdge>& edges,
+                                          uint32_t source,
+                                          size_t seq_cutoff = 0) {
+  PARHC_CHECK(edges.size() + 1 == n);
+  Dendrogram d(n);
+  internal::DendroState st(&d, n);
+  // Vertex distances via Euler tour + list ranking (Section 4.2).
+  std::vector<TreeEdge> tree_edges(edges.size());
+  ParallelFor(0, edges.size(), [&](size_t i) {
+    tree_edges[i] = {edges[i].u, edges[i].v};
+  });
+  st.hop = TreeHopDistances(n, tree_edges, source);
+  st.seq_cutoff =
+      seq_cutoff == 0 ? std::max<size_t>(2048, n / 10) : seq_cutoff;
+  internal::DendroBuildRec(st, edges);
+  if (n == 1) {
+    d.set_root(0);
+  } else {
+    d.set_root(st.cur_node[st.uf.Find(0)]);
+  }
+  PARHC_DCHECK(d.Validate());
+  return d;
+}
+
+}  // namespace parhc

@@ -1,0 +1,112 @@
+// Flat cluster extraction from dendrograms.
+//
+//  * CutClusters: single-linkage clustering at distance threshold eps
+//    (remove merges above eps; paper Section 2.1's horizontal cut).
+//  * KClusters: exactly k clusters by undoing the k-1 heaviest merges.
+//  * DbscanStarLabels: DBSCAN* clusters at (eps, minPts) from the HDBSCAN*
+//    dendrogram plus core distances — points with cd(p) > eps are noise
+//    (the self-edge rule of Section 2.1).
+#pragma once
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "dendrogram/dendrogram.h"
+
+namespace parhc {
+
+/// Noise label used by DbscanStarLabels.
+inline constexpr int32_t kNoise = -1;
+
+/// Connected components after removing all merges with height > eps.
+/// Returns one label in [0, k) per point; labels are dense but arbitrary.
+inline std::vector<int32_t> CutClusters(const Dendrogram& d, double eps) {
+  std::vector<int32_t> label(d.num_points(), kNoise);
+  int32_t next = 0;
+  // DFS from the root; a fresh cluster starts at the highest node whose
+  // height is <= eps (or at a leaf whose parent merge is above eps).
+  std::vector<std::pair<uint32_t, int32_t>> stack;
+  stack.push_back({d.root(), -1});
+  while (!stack.empty()) {
+    auto [id, cluster] = stack.back();
+    stack.pop_back();
+    if (cluster < 0 && (d.IsLeaf(id) || d.Height(id) <= eps)) {
+      cluster = next++;
+    }
+    if (d.IsLeaf(id)) {
+      label[id] = cluster;
+      continue;
+    }
+    stack.push_back({d.Left(id), cluster});
+    stack.push_back({d.Right(id), cluster});
+  }
+  return label;
+}
+
+/// Exactly `k` clusters by splitting the k-1 heaviest merges (standard
+/// single-linkage flat clustering). k must be in [1, n].
+inline std::vector<int32_t> KClusters(const Dendrogram& d, size_t k) {
+  PARHC_CHECK(k >= 1 && k <= d.num_points());
+  // Greedily split the cluster whose root merge is heaviest.
+  auto heavier = [&](uint32_t a, uint32_t b) {
+    return d.Height(a) < d.Height(b);  // max-heap on height
+  };
+  std::priority_queue<uint32_t, std::vector<uint32_t>, decltype(heavier)>
+      frontier(heavier);
+  std::vector<uint32_t> roots;
+  if (d.IsLeaf(d.root())) {
+    roots.push_back(d.root());
+  } else {
+    frontier.push(d.root());
+  }
+  while (roots.size() + frontier.size() < k) {
+    uint32_t top = frontier.top();
+    frontier.pop();
+    for (uint32_t c : {d.Left(top), d.Right(top)}) {
+      if (d.IsLeaf(c)) {
+        roots.push_back(c);
+      } else {
+        frontier.push(c);
+      }
+    }
+  }
+  while (!frontier.empty()) {
+    roots.push_back(frontier.top());
+    frontier.pop();
+  }
+  // Label each cluster's leaves.
+  std::vector<int32_t> label(d.num_points(), kNoise);
+  std::vector<uint32_t> stack;
+  for (size_t c = 0; c < roots.size(); ++c) {
+    stack.push_back(roots[c]);
+    while (!stack.empty()) {
+      uint32_t id = stack.back();
+      stack.pop_back();
+      if (d.IsLeaf(id)) {
+        label[id] = static_cast<int32_t>(c);
+        continue;
+      }
+      stack.push_back(d.Left(id));
+      stack.push_back(d.Right(id));
+    }
+  }
+  return label;
+}
+
+/// DBSCAN* clustering at a given eps from the HDBSCAN* dendrogram: cut the
+/// dendrogram at eps, then mark every point with core distance > eps as
+/// noise (its self-edge was removed). Core points isolated by the cut form
+/// singleton clusters, as DBSCAN* prescribes.
+inline std::vector<int32_t> DbscanStarLabels(const Dendrogram& d,
+                                             const std::vector<double>& core_dist,
+                                             double eps) {
+  PARHC_CHECK(core_dist.size() == d.num_points());
+  std::vector<int32_t> label = CutClusters(d, eps);
+  for (size_t i = 0; i < core_dist.size(); ++i) {
+    if (core_dist[i] > eps) label[i] = kNoise;
+  }
+  return label;
+}
+
+}  // namespace parhc

@@ -1,0 +1,121 @@
+// Dendrogram representation (paper Section 4).
+//
+// A dendrogram over n points has 2n-1 nodes: ids 0..n-1 are the point
+// leaves; ids n..2n-2 are internal merge nodes, each corresponding to one
+// input tree edge. In an *ordered* dendrogram (Section 4.1) the in-order
+// traversal of the leaves is the Prim visit order from the source vertex,
+// and the in-order internal nodes give the reachability plot.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "util/check.h"
+
+namespace parhc {
+
+class Dendrogram {
+ public:
+  static constexpr uint32_t kNone = 0xffffffffu;
+
+  explicit Dendrogram(size_t n)
+      : n_(n),
+        parent_(2 * n - 1, kNone),
+        left_(n - 1, kNone),
+        right_(n - 1, kNone),
+        height_(n - 1, 0),
+        root_(kNone) {
+    PARHC_CHECK(n >= 1);
+  }
+
+  size_t num_points() const { return n_; }
+  size_t num_nodes() const { return 2 * n_ - 1; }
+  uint32_t root() const { return root_; }
+  void set_root(uint32_t r) { root_ = r; }
+
+  bool IsLeaf(uint32_t id) const { return id < n_; }
+
+  uint32_t Parent(uint32_t id) const { return parent_[id]; }
+  uint32_t Left(uint32_t internal) const { return left_[internal - n_]; }
+  uint32_t Right(uint32_t internal) const { return right_[internal - n_]; }
+  /// Merge height of an internal node (the removed edge's weight).
+  double Height(uint32_t internal) const { return height_[internal - n_]; }
+
+  /// Wires internal node `id` with children `l`, `r` at height `h`.
+  void SetInternal(uint32_t id, uint32_t l, uint32_t r, double h) {
+    PARHC_DCHECK(id >= n_ && id < 2 * n_ - 1);
+    left_[id - n_] = l;
+    right_[id - n_] = r;
+    height_[id - n_] = h;
+    parent_[l] = id;
+    parent_[r] = id;
+  }
+
+  /// Leaves in in-order (the Prim order for an ordered dendrogram).
+  std::vector<uint32_t> InOrderLeaves() const {
+    std::vector<uint32_t> out;
+    out.reserve(n_);
+    InOrder([&](uint32_t id) {
+      if (IsLeaf(id)) out.push_back(id);
+    });
+    return out;
+  }
+
+  /// In-order traversal over all nodes (iterative; leaves and internals
+  /// alternate: leaf, internal, leaf, internal, ..., leaf).
+  template <typename Fn>
+  void InOrder(Fn fn) const {
+    std::vector<std::pair<uint32_t, bool>> stack;  // (node, expanded)
+    stack.push_back({root_, false});
+    while (!stack.empty()) {
+      auto [id, expanded] = stack.back();
+      stack.pop_back();
+      if (IsLeaf(id) || expanded) {
+        fn(id);
+        continue;
+      }
+      stack.push_back({Right(id), false});
+      stack.push_back({id, true});
+      stack.push_back({Left(id), false});
+    }
+  }
+
+  /// Checks structural invariants; used by tests and PARHC_DCHECK callers.
+  bool Validate() const {
+    if (root_ == kNone) return false;
+    std::vector<int> child_count(num_nodes(), 0);
+    for (size_t i = 0; i < n_ - 1; ++i) {
+      uint32_t id = static_cast<uint32_t>(n_ + i);
+      if (left_[i] == kNone || right_[i] == kNone) return false;
+      child_count[left_[i]]++;
+      child_count[right_[i]]++;
+      // Heights are non-decreasing from children to parent.
+      if (!IsLeaf(left_[i]) && Height(left_[i]) > height_[i] + 1e-12) {
+        return false;
+      }
+      if (!IsLeaf(right_[i]) && Height(right_[i]) > height_[i] + 1e-12) {
+        return false;
+      }
+      if (parent_[left_[i]] != id || parent_[right_[i]] != id) return false;
+    }
+    for (uint32_t id = 0; id < num_nodes(); ++id) {
+      if (id == root_) {
+        if (child_count[id] != 0 || parent_[id] != kNone) return false;
+      } else if (child_count[id] != 1) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+ private:
+  size_t n_;
+  std::vector<uint32_t> parent_;
+  std::vector<uint32_t> left_;
+  std::vector<uint32_t> right_;
+  std::vector<double> height_;
+  uint32_t root_;
+};
+
+}  // namespace parhc

@@ -1,0 +1,109 @@
+// Reachability plot extraction (paper Sections 2.1, 4.1).
+//
+// For an ordered dendrogram, the in-order traversal alternates
+// leaf, internal, leaf, internal, ..., leaf; the leaves are the Prim visit
+// order and the internal node between two consecutive leaves is their merge
+// — its height is exactly min_{j<i} d_m(p_i, p_j), the reachability value
+// (the Cartesian-tree correspondence of Section 4.1).
+#pragma once
+
+#include <limits>
+#include <vector>
+
+#include "dendrogram/dendrogram.h"
+#include "parallel/list_ranking.h"
+#include "parallel/scheduler.h"
+
+namespace parhc {
+
+/// A reachability plot: points in Prim visit order with their reachability
+/// values (infinity for the start point).
+struct ReachabilityPlot {
+  std::vector<uint32_t> order;  ///< original point ids, visit order
+  std::vector<double> value;    ///< bar heights
+};
+
+/// Extracts the reachability plot from an ordered dendrogram with the
+/// work-efficient parallel method of Theorem 4.2: the in-order event list
+/// is threaded through the tree (next[last(left(v))] = v,
+/// next[v] = first(right(v)), where first/last are the left/right spine
+/// feet found by pointer jumping), ranked with parallel list ranking, and
+/// the plot read off positionally. O(n log n) work, O(log n) depth beyond
+/// the ranking. Tolerates dendrograms of linear depth (sorted-chain trees),
+/// where the recursive traversal would overflow no stack but run serially.
+inline ReachabilityPlot ComputeReachabilityParallel(const Dendrogram& d) {
+  size_t nodes = d.num_nodes();
+  size_t n = d.num_points();
+  ReachabilityPlot plot;
+  if (n == 1) {
+    plot.order = {0};
+    plot.value = {std::numeric_limits<double>::infinity()};
+    return plot;
+  }
+  // first[v]: leftmost leaf of v's subtree; last[v]: rightmost leaf.
+  // Pointer jumping on the child pointers (a leaf is its own fixpoint).
+  std::vector<uint32_t> first(nodes), last(nodes);
+  ParallelFor(0, nodes, [&](size_t v) {
+    uint32_t id = static_cast<uint32_t>(v);
+    first[v] = d.IsLeaf(id) ? id : d.Left(id);
+    last[v] = d.IsLeaf(id) ? id : d.Right(id);
+  });
+  size_t rounds = 1;
+  while ((size_t{1} << rounds) < nodes + 1) ++rounds;
+  std::vector<uint32_t> first2(nodes), last2(nodes);
+  for (size_t r = 0; r < rounds; ++r) {
+    ParallelFor(0, nodes, [&](size_t v) {
+      first2[v] = first[first[v]];
+      last2[v] = last[last[v]];
+    });
+    first.swap(first2);
+    last.swap(last2);
+  }
+  // Thread the in-order event list.
+  std::vector<uint32_t> next(nodes, kNil);
+  ParallelFor(0, nodes, [&](size_t v) {
+    uint32_t id = static_cast<uint32_t>(v);
+    if (d.IsLeaf(id)) return;
+    next[last[d.Left(id)]] = id;
+    next[id] = first[d.Right(id)];
+  });
+  // Rank: suffix counts give positions from the in-order head.
+  std::vector<uint32_t> ones(nodes, 1);
+  std::vector<uint32_t> suffix = ListRank(next, ones);
+  std::vector<uint32_t> node_at_pos(nodes);
+  ParallelFor(0, nodes, [&](size_t v) {
+    node_at_pos[nodes - suffix[v]] = static_cast<uint32_t>(v);
+  });
+  // Leaves occupy the even positions 0, 2, 4, ...; the internal node at
+  // position 2i-1 is the merge defining leaf i's reachability value.
+  plot.order.resize(n);
+  plot.value.resize(n);
+  ParallelFor(0, n, [&](size_t i) {
+    uint32_t leaf = node_at_pos[2 * i];
+    PARHC_DCHECK(d.IsLeaf(leaf));
+    plot.order[i] = leaf;
+    plot.value[i] = i == 0 ? std::numeric_limits<double>::infinity()
+                           : d.Height(node_at_pos[2 * i - 1]);
+  });
+  return plot;
+}
+
+/// Extracts the reachability plot from an ordered dendrogram (sequential
+/// in-order traversal; reference implementation).
+inline ReachabilityPlot ComputeReachability(const Dendrogram& d) {
+  ReachabilityPlot plot;
+  plot.order.reserve(d.num_points());
+  plot.value.reserve(d.num_points());
+  double pending = std::numeric_limits<double>::infinity();
+  d.InOrder([&](uint32_t id) {
+    if (d.IsLeaf(id)) {
+      plot.order.push_back(id);
+      plot.value.push_back(pending);
+    } else {
+      pending = d.Height(id);
+    }
+  });
+  return plot;
+}
+
+}  // namespace parhc

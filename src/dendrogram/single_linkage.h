@@ -1,0 +1,46 @@
+// Single-linkage clustering (paper Sections 1, 4): the ordered dendrogram of
+// the EMST solves single-linkage hierarchical clustering.
+#pragma once
+
+#include "dendrogram/builder.h"
+#include "dendrogram/cluster_extraction.h"
+#include "dendrogram/reachability.h"
+#include "emst/emst.h"
+
+namespace parhc {
+
+/// EMST plus its ordered dendrogram.
+struct SingleLinkageResult {
+  std::vector<WeightedEdge> emst;
+  Dendrogram dendrogram;
+
+  /// Flat clustering with exactly k clusters.
+  std::vector<int32_t> Clusters(size_t k) const {
+    return KClusters(dendrogram, k);
+  }
+  /// Flat clustering at a distance threshold.
+  std::vector<int32_t> ClustersAt(double eps) const {
+    return CutClusters(dendrogram, eps);
+  }
+};
+
+/// Runs single-linkage clustering over `pts`.
+template <int D>
+SingleLinkageResult SingleLinkage(const std::vector<Point<D>>& pts,
+                                  EmstAlgorithm algo = EmstAlgorithm::kMemoGfk,
+                                  PhaseBreakdown* phases = nullptr,
+                                  uint32_t source = 0) {
+  std::vector<WeightedEdge> mst = Emst(pts, algo, phases);
+  Timer t;
+  Dendrogram dendro = pts.size() == 1
+                          ? Dendrogram(1)
+                          : BuildDendrogramParallel(pts.size(), mst, source);
+  if (pts.size() == 1) dendro.set_root(0);
+  if (phases) {
+    phases->dendrogram += t.Seconds();
+    phases->total += t.Seconds();
+  }
+  return SingleLinkageResult{std::move(mst), std::move(dendro)};
+}
+
+}  // namespace parhc

@@ -1,0 +1,66 @@
+// Handling of degenerate duplicate-point leaves.
+//
+// With unit leaf size, a multi-point leaf can only arise from a group of
+// identical points (zero-diameter range): the WSPD never looks inside a
+// leaf, so intra-leaf point pairs must be connected explicitly.
+//
+//  * EMST: a chain of zero-weight edges is exact (pairwise distance 0).
+//  * HDBSCAN*: identical points share the same core distance cd (their kNN
+//    multisets coincide), so every intra-group mutual reachability distance
+//    equals cd; a star achieves the unavoidable (k-1)*cd cost.
+//
+// These edges are minimum-weight edges across each singleton cut, so
+// force-adding them before Kruskal preserves MST optimality (standard
+// exchange argument); the integration tests validate total weight against
+// dense Prim on inputs with duplicates.
+#pragma once
+
+#include <vector>
+
+#include "graph/edge.h"
+#include "spatial/kdtree.h"
+
+namespace parhc {
+namespace internal {
+
+template <int D, typename Fn>
+void ForEachLeaf(const typename KdTree<D>::Node* node, Fn& fn) {
+  if (node->IsLeaf()) {
+    fn(node);
+    return;
+  }
+  ForEachLeaf<D>(node->left, fn);
+  ForEachLeaf<D>(node->right, fn);
+}
+
+/// Edges connecting points inside multi-point (duplicate) leaves.
+/// `use_core_dist` selects mutual-reachability weights (HDBSCAN*).
+template <int D>
+std::vector<WeightedEdge> DuplicateLeafEdges(const KdTree<D>& tree,
+                                             bool use_core_dist) {
+  std::vector<WeightedEdge> out;
+  auto emit = [&](const typename KdTree<D>::Node* leaf) {
+    if (leaf->size() < 2) return;
+    if (!use_core_dist) {
+      for (uint32_t i = leaf->begin; i + 1 < leaf->end; ++i) {
+        out.push_back({tree.id(i), tree.id(i + 1), 0.0});
+      }
+      return;
+    }
+    // Star around the minimum-core-distance member.
+    uint32_t center = leaf->begin;
+    for (uint32_t i = leaf->begin + 1; i < leaf->end; ++i) {
+      if (tree.core_dist(i) < tree.core_dist(center)) center = i;
+    }
+    for (uint32_t i = leaf->begin; i < leaf->end; ++i) {
+      if (i == center) continue;
+      double w = std::max(tree.core_dist(i), tree.core_dist(center));
+      out.push_back({tree.id(i), tree.id(center), w});
+    }
+  };
+  ForEachLeaf<D>(tree.root(), emit);
+  return out;
+}
+
+}  // namespace internal
+}  // namespace parhc

@@ -1,0 +1,38 @@
+// Public EMST entry point dispatching over the paper's four methods.
+#pragma once
+
+#include "emst/emst_boruvka.h"
+#include "emst/emst_gfk.h"
+#include "emst/emst_memogfk.h"
+#include "emst/emst_naive.h"
+#include "util/check.h"
+
+namespace parhc {
+
+enum class EmstAlgorithm {
+  kNaive,     ///< full WSPD, BCCP per pair, one MST pass (Section 5 baseline)
+  kGfk,       ///< parallel GeoFilterKruskal (Algorithm 2)
+  kMemoGfk,   ///< memory-optimized GFK (Algorithm 3) — the fastest method
+  kBoruvka,   ///< kd-tree Boruvka (March et al. style; the mlpack stand-in)
+};
+
+/// Computes the Euclidean minimum spanning tree of `pts`.
+template <int D>
+std::vector<WeightedEdge> Emst(const std::vector<Point<D>>& pts,
+                               EmstAlgorithm algo = EmstAlgorithm::kMemoGfk,
+                               PhaseBreakdown* phases = nullptr) {
+  switch (algo) {
+    case EmstAlgorithm::kNaive:
+      return EmstNaive(pts, phases);
+    case EmstAlgorithm::kGfk:
+      return EmstGfk(pts, phases);
+    case EmstAlgorithm::kMemoGfk:
+      return EmstMemoGfk(pts, phases);
+    case EmstAlgorithm::kBoruvka:
+      return EmstBoruvka(pts, phases);
+  }
+  PARHC_CHECK_MSG(false, "unknown EMST algorithm");
+  return {};
+}
+
+}  // namespace parhc

@@ -1,0 +1,111 @@
+// kd-tree Boruvka EMST — the baseline standing in for mlpack's Dual-Tree
+// Boruvka (March et al. [43]), which the paper compares against in Table 3.
+//
+// Each Boruvka round finds, for every point in parallel, its nearest point
+// in a different component (a kd-tree query pruning subtrees that lie
+// entirely inside the query's component — the component cache the tree
+// already maintains for MemoGFK), reduces candidates to one minimum
+// outgoing edge per component, and merges. O(log n) rounds.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "emst/phase_breakdown.h"
+#include "graph/edge.h"
+#include "graph/union_find.h"
+#include "spatial/bccp.h"
+#include "spatial/kdtree.h"
+#include "util/timer.h"
+
+namespace parhc {
+
+/// Sentinel for "no neighbor found yet" in Boruvka candidate searches.
+inline constexpr uint32_t kNoNeighbor = 0xffffffffu;
+
+namespace internal {
+
+template <int D>
+void NearestOtherComponentRec(const KdTree<D>& tree,
+                              const typename KdTree<D>::Node* node,
+                              const Point<D>& q, int64_t my_comp,
+                              const UnionFind& uf, ClosestPair& best) {
+  if (node->component >= 0 && node->component == my_comp) return;
+  if (node->box.MinSquaredDistance(q) >= best.dist) return;  // squared here
+  if (node->IsLeaf()) {
+    for (uint32_t i = node->begin; i < node->end; ++i) {
+      uint32_t id = tree.id(i);
+      if (static_cast<int64_t>(uf.Find(id)) == my_comp) continue;
+      double d2 = SquaredDistance(q, tree.point(i));
+      if (d2 < best.dist || (d2 == best.dist && id < best.v)) {
+        best.v = id;
+        best.dist = d2;
+      }
+    }
+    return;
+  }
+  double dl = node->left->box.MinSquaredDistance(q);
+  double dr = node->right->box.MinSquaredDistance(q);
+  const typename KdTree<D>::Node* near = node->left;
+  const typename KdTree<D>::Node* far = node->right;
+  if (dr < dl) std::swap(near, far);
+  NearestOtherComponentRec(tree, near, q, my_comp, uf, best);
+  NearestOtherComponentRec(tree, far, q, my_comp, uf, best);
+}
+
+}  // namespace internal
+
+/// Computes the Euclidean MST with kd-tree Boruvka.
+template <int D>
+std::vector<WeightedEdge> EmstBoruvka(const std::vector<Point<D>>& pts,
+                                      PhaseBreakdown* phases = nullptr) {
+  size_t n = pts.size();
+  Timer total;
+  Timer t;
+  KdTree<D> tree(pts, /*leaf_size=*/8);
+  if (phases) phases->build_tree += t.Seconds();
+
+  t.Reset();
+  UnionFind uf(n);
+  std::vector<WeightedEdge> out;
+  out.reserve(n - 1);
+  std::vector<ClosestPair> cand(n);
+  while (uf.num_components() > 1) {
+    tree.RefreshComponents([&](uint32_t id) { return uf.Find(id); });
+    ParallelFor(0, n, [&](size_t i) {
+      uint32_t ti = static_cast<uint32_t>(i);
+      uint32_t id = tree.id(ti);
+      ClosestPair best;  // dist holds *squared* distance during the search
+      best.u = id;
+      best.v = kNoNeighbor;
+      int64_t my_comp = static_cast<int64_t>(uf.Find(id));
+      internal::NearestOtherComponentRec(tree, tree.root(), tree.point(ti),
+                                         my_comp, uf, best);
+      cand[i] = best;
+    });
+    // Minimum outgoing edge per component (sequential reduce; the per-point
+    // queries above dominate).
+    std::unordered_map<uint32_t, WeightedEdge> best_per_comp;
+    for (size_t i = 0; i < n; ++i) {
+      if (cand[i].v == kNoNeighbor) continue;
+      WeightedEdge e{cand[i].u, cand[i].v, cand[i].dist};
+      uint32_t comp = uf.Find(e.u);
+      auto [it, inserted] = best_per_comp.try_emplace(comp, e);
+      if (!inserted && e < it->second) it->second = e;
+    }
+    PARHC_CHECK_MSG(!best_per_comp.empty(), "Boruvka made no progress");
+    for (auto& [comp, e] : best_per_comp) {
+      if (uf.Union(e.u, e.v)) {
+        out.push_back({e.u, e.v, std::sqrt(e.w)});  // store real distance
+      }
+    }
+  }
+  if (phases) {
+    phases->kruskal += t.Seconds();
+    phases->total += total.Seconds();
+  }
+  PARHC_CHECK_MSG(out.size() + 1 == n, "Boruvka did not span all points");
+  return out;
+}
+
+}  // namespace parhc

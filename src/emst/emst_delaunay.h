@@ -1,0 +1,69 @@
+// EMST-Delaunay (paper Appendix A.1): in 2D the EMST is a subgraph of the
+// Delaunay triangulation (Shamos & Hoey), so an MST over the O(n) Delaunay
+// edges suffices. Only applicable to 2D inputs.
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+#include "delaunay/delaunay.h"
+#include "emst/phase_breakdown.h"
+#include "graph/kruskal.h"
+#include "util/timer.h"
+
+namespace parhc {
+
+/// Computes the 2D Euclidean MST via Delaunay triangulation + Kruskal.
+inline std::vector<WeightedEdge> EmstDelaunay(const std::vector<Point<2>>& pts,
+                                              PhaseBreakdown* phases = nullptr) {
+  size_t n = pts.size();
+  if (n <= 1) return {};
+  Timer total;
+  Timer t;
+  // The triangulation requires distinct sites: dedupe, triangulate the
+  // unique sites, and chain duplicates to their representative at weight 0.
+  std::vector<uint32_t> order(n);
+  for (uint32_t i = 0; i < n; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+    if (pts[a][0] != pts[b][0]) return pts[a][0] < pts[b][0];
+    if (pts[a][1] != pts[b][1]) return pts[a][1] < pts[b][1];
+    return a < b;
+  });
+  std::vector<uint32_t> rep_of(n);   // point -> unique-site representative
+  std::vector<uint32_t> site_id;     // unique-site index -> point id
+  std::vector<Point<2>> sites;
+  std::vector<WeightedEdge> edges;
+  for (size_t k = 0; k < n; ++k) {
+    uint32_t i = order[k];
+    if (k > 0 && pts[i] == pts[order[k - 1]]) {
+      rep_of[i] = rep_of[order[k - 1]];
+      edges.push_back({i, rep_of[i], 0.0});
+    } else {
+      rep_of[i] = i;
+      site_id.push_back(i);
+      sites.push_back(pts[i]);
+    }
+  }
+
+  if (sites.size() == 1) {
+    if (phases) phases->total += total.Seconds();
+    return KruskalMst(n, std::move(edges));
+  }
+  Triangulation tri = DelaunayTriangulate(sites);
+  if (phases) phases->delaunay += t.Seconds();
+
+  t.Reset();
+  edges.reserve(edges.size() + tri.edges.size());
+  for (auto [a, b] : tri.edges) {
+    uint32_t u = site_id[a], v = site_id[b];
+    edges.push_back({u, v, Distance(pts[u], pts[v])});
+  }
+  std::vector<WeightedEdge> mst = KruskalMst(n, std::move(edges));
+  if (phases) {
+    phases->kruskal += t.Seconds();
+    phases->total += total.Seconds();
+  }
+  return mst;
+}
+
+}  // namespace parhc

@@ -1,0 +1,42 @@
+// EMST-MemoGFK (paper Algorithm 3): GeoFilterKruskal with the memory
+// optimization — the paper's fastest EMST method.
+#pragma once
+
+#include <vector>
+
+#include "emst/duplicates.h"
+#include "emst/memogfk_driver.h"
+
+namespace parhc {
+
+/// Computes the Euclidean MST with MemoGFK. O(n^2) work, O(log^2 n) depth,
+/// and only the per-round window of WSPD pairs is ever materialized.
+template <int D>
+std::vector<WeightedEdge> EmstMemoGfk(const std::vector<Point<D>>& pts,
+                                      PhaseBreakdown* phases = nullptr,
+                                      const MemoGfkOptions& opts = {}) {
+  Timer total;
+  Timer t;
+  KdTree<D> tree(pts, /*leaf_size=*/1);
+  if (phases) phases->build_tree += t.Seconds();
+
+  using Node = typename KdTree<D>::Node;
+  GeometricSeparation<D> sep{2.0};
+  auto lb = [](const Node* a, const Node* b) {
+    return std::sqrt(a->box.MinSquaredDistance(b->box));
+  };
+  auto ub = [](const Node* a, const Node* b) {
+    return std::sqrt(a->box.MaxSquaredDistance(b->box));
+  };
+  auto bccp = [&tree](const Node* a, const Node* b) {
+    return Bccp(tree, a, b);
+  };
+  std::vector<WeightedEdge> mst = internal::MemoGfkMst(
+      tree, sep, lb, ub, bccp,
+      internal::DuplicateLeafEdges(tree, /*use_core_dist=*/false), phases,
+      opts);
+  if (phases) phases->total += total.Seconds();
+  return mst;
+}
+
+}  // namespace parhc

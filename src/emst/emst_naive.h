@@ -1,0 +1,48 @@
+// EMST-Naive (paper Section 5 baseline): materialize the full WSPD, compute
+// the BCCP edge of every pair, and run one MST pass over all edges.
+#pragma once
+
+#include <vector>
+
+#include "emst/duplicates.h"
+#include "emst/phase_breakdown.h"
+#include "graph/kruskal.h"
+#include "spatial/bccp.h"
+#include "spatial/wspd.h"
+#include "util/timer.h"
+
+namespace parhc {
+
+/// Computes the Euclidean MST of `pts` with the naive WSPD + all-BCCP
+/// method. O(n^2) work in the worst case, O(log^2 n) depth.
+template <int D>
+std::vector<WeightedEdge> EmstNaive(const std::vector<Point<D>>& pts,
+                                    PhaseBreakdown* phases = nullptr) {
+  Timer total;
+  Timer t;
+  KdTree<D> tree(pts, /*leaf_size=*/1);
+  if (phases) phases->build_tree += t.Seconds();
+
+  t.Reset();
+  GeometricSeparation<D> sep{2.0};
+  std::vector<WspdPair<D>> pairs = MaterializeWspd(tree, sep);
+  if (phases) phases->wspd += t.Seconds();
+
+  t.Reset();
+  std::vector<WeightedEdge> edges(pairs.size());
+  ParallelFor(0, pairs.size(), [&](size_t i) {
+    ClosestPair cp = Bccp(tree, pairs[i].a, pairs[i].b);
+    edges[i] = {cp.u, cp.v, cp.dist};
+  });
+  std::vector<WeightedEdge> dup =
+      internal::DuplicateLeafEdges(tree, /*use_core_dist=*/false);
+  edges.insert(edges.end(), dup.begin(), dup.end());
+  std::vector<WeightedEdge> mst = KruskalMst(pts.size(), std::move(edges));
+  if (phases) {
+    phases->kruskal += t.Seconds();
+    phases->total += total.Seconds();
+  }
+  return mst;
+}
+
+}  // namespace parhc

@@ -1,0 +1,29 @@
+// Per-phase timing breakdown (Figure 8 of the paper).
+#pragma once
+
+namespace parhc {
+
+/// Seconds spent in each phase of an EMST / HDBSCAN* run. Drivers fill the
+/// phases they execute; unused phases stay 0.
+struct PhaseBreakdown {
+  double build_tree = 0;   ///< k-d tree construction
+  double core_dist = 0;    ///< kNN core distances (HDBSCAN* only)
+  double wspd = 0;         ///< WSPD construction / MemoGFK tree traversals
+  double kruskal = 0;      ///< Kruskal MST batches (incl. BCCP on pairs)
+  double delaunay = 0;     ///< Delaunay triangulation (2D method only)
+  double dendrogram = 0;   ///< ordered dendrogram construction
+  double total = 0;
+
+  PhaseBreakdown& operator+=(const PhaseBreakdown& o) {
+    build_tree += o.build_tree;
+    core_dist += o.core_dist;
+    wspd += o.wspd;
+    kruskal += o.kruskal;
+    delaunay += o.delaunay;
+    dendrogram += o.dendrogram;
+    total += o.total;
+    return *this;
+  }
+};
+
+}  // namespace parhc

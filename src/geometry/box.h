@@ -1,0 +1,126 @@
+// Axis-aligned bounding boxes and derived bounding spheres.
+//
+// k-d tree nodes carry a Box; the WSPD well-separation test (Section 2.3)
+// uses the bounding sphere derived from the box (center + half-diagonal
+// radius), and the BCCP window pruning of MemoGFK (Figure 3) uses the
+// tighter AABB min/max distances.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "geometry/point.h"
+
+namespace parhc {
+
+/// Axis-aligned box in D dimensions.
+template <int D>
+struct Box {
+  Point<D> lo;
+  Point<D> hi;
+
+  /// An empty box (inverted bounds); extending it with any point fixes it.
+  static Box Empty() {
+    Box b;
+    for (int i = 0; i < D; ++i) {
+      b.lo[i] = std::numeric_limits<double>::infinity();
+      b.hi[i] = -std::numeric_limits<double>::infinity();
+    }
+    return b;
+  }
+
+  void Extend(const Point<D>& p) {
+    for (int i = 0; i < D; ++i) {
+      lo[i] = std::min(lo[i], p[i]);
+      hi[i] = std::max(hi[i], p[i]);
+    }
+  }
+
+  void Extend(const Box& o) {
+    for (int i = 0; i < D; ++i) {
+      lo[i] = std::min(lo[i], o.lo[i]);
+      hi[i] = std::max(hi[i], o.hi[i]);
+    }
+  }
+
+  Point<D> Center() const {
+    Point<D> c;
+    for (int i = 0; i < D; ++i) c[i] = 0.5 * (lo[i] + hi[i]);
+    return c;
+  }
+
+  /// Radius of the bounding sphere (half the box diagonal).
+  double SphereRadius() const {
+    double s = 0;
+    for (int i = 0; i < D; ++i) {
+      double d = hi[i] - lo[i];
+      s += d * d;
+    }
+    return 0.5 * std::sqrt(s);
+  }
+
+  /// Index of the widest dimension (spatial-median split axis).
+  int WidestDim() const {
+    int best = 0;
+    double w = hi[0] - lo[0];
+    for (int i = 1; i < D; ++i) {
+      if (hi[i] - lo[i] > w) {
+        w = hi[i] - lo[i];
+        best = i;
+      }
+    }
+    return best;
+  }
+
+  /// Minimum squared distance between this box and `o` (0 if overlapping).
+  double MinSquaredDistance(const Box& o) const {
+    double s = 0;
+    for (int i = 0; i < D; ++i) {
+      double d = std::max({0.0, lo[i] - o.hi[i], o.lo[i] - hi[i]});
+      s += d * d;
+    }
+    return s;
+  }
+
+  /// Maximum squared distance between any point of this box and any of `o`.
+  double MaxSquaredDistance(const Box& o) const {
+    double s = 0;
+    for (int i = 0; i < D; ++i) {
+      double d = std::max(hi[i] - o.lo[i], o.hi[i] - lo[i]);
+      s += d * d;
+    }
+    return s;
+  }
+
+  /// Minimum squared distance from the box to a point.
+  double MinSquaredDistance(const Point<D>& p) const {
+    double s = 0;
+    for (int i = 0; i < D; ++i) {
+      double d = std::max({0.0, lo[i] - p[i], p[i] - hi[i]});
+      s += d * d;
+    }
+    return s;
+  }
+};
+
+/// Minimum distance between the bounding *spheres* of boxes `a` and `b` —
+/// the quantity d(A, B) of Table 1 (clamped at 0).
+template <int D>
+double SphereDistance(const Box<D>& a, const Box<D>& b) {
+  double d = Distance(a.Center(), b.Center()) - a.SphereRadius() -
+             b.SphereRadius();
+  return d > 0 ? d : 0;
+}
+
+/// Standard well-separation test with separation constant `s` (Section 2.3):
+/// both sets fit in spheres of radius r = max(rA, rB), and the spheres are
+/// at least s*r apart.
+template <int D>
+bool WellSeparated(const Box<D>& a, const Box<D>& b, double s) {
+  double r = std::max(a.SphereRadius(), b.SphereRadius());
+  double center_dist = Distance(a.Center(), b.Center());
+  return center_dist - 2 * r >= s * r;
+}
+
+}  // namespace parhc

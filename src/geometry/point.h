@@ -1,0 +1,48 @@
+// Fixed-dimension Euclidean points.
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstddef>
+#include <ostream>
+
+namespace parhc {
+
+/// A point in D-dimensional Euclidean space (double coordinates).
+template <int D>
+struct Point {
+  static constexpr int kDim = D;
+  std::array<double, D> x{};
+
+  double& operator[](int i) { return x[i]; }
+  double operator[](int i) const { return x[i]; }
+
+  bool operator==(const Point& o) const { return x == o.x; }
+  bool operator!=(const Point& o) const { return !(*this == o); }
+};
+
+/// Squared Euclidean distance between `a` and `b`.
+template <int D>
+double SquaredDistance(const Point<D>& a, const Point<D>& b) {
+  double s = 0;
+  for (int i = 0; i < D; ++i) {
+    double d = a[i] - b[i];
+    s += d * d;
+  }
+  return s;
+}
+
+/// Euclidean distance between `a` and `b`.
+template <int D>
+double Distance(const Point<D>& a, const Point<D>& b) {
+  return std::sqrt(SquaredDistance(a, b));
+}
+
+template <int D>
+std::ostream& operator<<(std::ostream& os, const Point<D>& p) {
+  os << "(";
+  for (int i = 0; i < D; ++i) os << (i ? ", " : "") << p[i];
+  return os << ")";
+}
+
+}  // namespace parhc

@@ -1,0 +1,32 @@
+// Weighted undirected edges.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <tuple>
+
+namespace parhc {
+
+/// An undirected weighted edge between original point ids u and v.
+struct WeightedEdge {
+  uint32_t u = 0;
+  uint32_t v = 0;
+  double w = 0;
+
+  /// Deterministic total order: by weight, then canonical endpoint ids.
+  /// Using this everywhere makes MSTs and dendrograms unique even with
+  /// tied weights, so algorithms can be cross-validated edge-for-edge.
+  friend bool operator<(const WeightedEdge& a, const WeightedEdge& b) {
+    auto ka = std::minmax(a.u, a.v);
+    auto kb = std::minmax(b.u, b.v);
+    return std::tie(a.w, ka.first, ka.second) <
+           std::tie(b.w, kb.first, kb.second);
+  }
+  friend bool operator==(const WeightedEdge& a, const WeightedEdge& b) {
+    auto ka = std::minmax(a.u, a.v);
+    auto kb = std::minmax(b.u, b.v);
+    return a.w == b.w && ka == kb;
+  }
+};
+
+}  // namespace parhc

@@ -1,0 +1,40 @@
+// Batched parallel Kruskal (paper Section 3.1.2, "ParallelKruskal").
+//
+// The GFK/MemoGFK drivers deliver batches of edges whose weights are no
+// smaller than any previously delivered batch; each batch is sorted in
+// parallel and folded into the shared union-find sequentially (the union
+// pass is O(batch * alpha), far below the sort).
+#pragma once
+
+#include <vector>
+
+#include "graph/edge.h"
+#include "graph/union_find.h"
+#include "parallel/sort.h"
+
+namespace parhc {
+
+/// Adds the MST-relevant edges of `batch` to `out`, merging components in
+/// `uf`. The batch is consumed (sorted in place).
+inline void KruskalBatch(std::vector<WeightedEdge>& batch, UnionFind& uf,
+                         std::vector<WeightedEdge>& out) {
+  ParallelSort(batch, [](const WeightedEdge& a, const WeightedEdge& b) {
+    return a < b;
+  });
+  for (const WeightedEdge& e : batch) {
+    if (uf.Union(e.u, e.v)) out.push_back(e);
+  }
+}
+
+/// One-shot MST of an explicit edge list over `n` vertices. Returns the
+/// forest edges (n-1 edges if connected).
+inline std::vector<WeightedEdge> KruskalMst(size_t n,
+                                            std::vector<WeightedEdge> edges) {
+  UnionFind uf(n);
+  std::vector<WeightedEdge> out;
+  out.reserve(n > 0 ? n - 1 : 0);
+  KruskalBatch(edges, uf, out);
+  return out;
+}
+
+}  // namespace parhc

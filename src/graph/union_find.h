@@ -1,0 +1,62 @@
+// Union-find with path halving.
+//
+// Find is safe to call concurrently with other Finds (benign CAS-free
+// atomic halving); Union must run in a sequential phase (the Kruskal batch
+// loop), matching the phase-concurrency discipline the paper's algorithms
+// obey: tree traversals (which Find) alternate with MST batches (which
+// Union).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "parallel/scheduler.h"
+#include "util/check.h"
+
+namespace parhc {
+
+class UnionFind {
+ public:
+  explicit UnionFind(size_t n) : parent_(n), rank_(n, 0), components_(n) {
+    ParallelFor(0, n, [&](size_t i) {
+      parent_[i].store(static_cast<uint32_t>(i), std::memory_order_relaxed);
+    });
+  }
+
+  /// Representative of x's component. Thread-safe with other Finds.
+  uint32_t Find(uint32_t x) const {
+    uint32_t p = parent_[x].load(std::memory_order_relaxed);
+    while (p != x) {
+      uint32_t gp = parent_[p].load(std::memory_order_relaxed);
+      parent_[x].store(gp, std::memory_order_relaxed);  // path halving
+      x = gp;
+      p = parent_[x].load(std::memory_order_relaxed);
+    }
+    return x;
+  }
+
+  /// Joins the components of a and b; returns false if already joined.
+  /// Not thread-safe; call from a sequential phase only.
+  bool Union(uint32_t a, uint32_t b) {
+    uint32_t ra = Find(a), rb = Find(b);
+    if (ra == rb) return false;
+    if (rank_[ra] < rank_[rb]) std::swap(ra, rb);
+    parent_[rb].store(ra, std::memory_order_relaxed);
+    if (rank_[ra] == rank_[rb]) ++rank_[ra];
+    --components_;
+    return true;
+  }
+
+  bool Connected(uint32_t a, uint32_t b) const { return Find(a) == Find(b); }
+
+  size_t num_components() const { return components_; }
+  size_t size() const { return parent_.size(); }
+
+ private:
+  mutable std::vector<std::atomic<uint32_t>> parent_;
+  std::vector<uint8_t> rank_;
+  size_t components_;
+};
+
+}  // namespace parhc

@@ -1,0 +1,27 @@
+// Core distances (paper Section 2.1): cd(p) is the distance from p to its
+// minPts-nearest neighbor, including p itself.
+#pragma once
+
+#include <vector>
+
+#include "spatial/kdtree.h"
+#include "spatial/knn.h"
+
+namespace parhc {
+
+/// Core distances for all points (indexed by original point id), via
+/// parallel all-points kNN with k = minPts. O(minPts * n log n) work.
+template <int D>
+std::vector<double> CoreDistances(const KdTree<D>& tree, int min_pts) {
+  return KthNeighborDistances(tree, static_cast<size_t>(min_pts));
+}
+
+/// Mutual reachability distance d_m(p, q) given point coordinates and core
+/// distances (Section 2.1).
+template <int D>
+double MutualReachability(const Point<D>& p, const Point<D>& q, double cd_p,
+                          double cd_q) {
+  return std::max({Distance(p, q), cd_p, cd_q});
+}
+
+}  // namespace parhc

@@ -1,0 +1,49 @@
+// Full HDBSCAN* pipeline (paper Sections 3.2 + 4): mutual-reachability MST,
+// ordered dendrogram, and reachability plot. This is what the paper's
+// HDBSCAN* running times measure ("constructing an MST of the mutual
+// reachability graph and computing the ordered dendrogram").
+#pragma once
+
+#include "dendrogram/builder.h"
+#include "dendrogram/cluster_extraction.h"
+#include "dendrogram/reachability.h"
+#include "hdbscan/hdbscan_mst.h"
+
+namespace parhc {
+
+/// Complete HDBSCAN* result.
+struct HdbscanResult {
+  std::vector<WeightedEdge> mst;   ///< MST of the mutual reachability graph
+  std::vector<double> core_dist;   ///< per-point core distances
+  Dendrogram dendrogram;           ///< ordered dendrogram (source = 0)
+  /// DBSCAN* clustering at a given eps (kNoise = -1 for noise points).
+  std::vector<int32_t> ClustersAt(double eps) const {
+    return DbscanStarLabels(dendrogram, core_dist, eps);
+  }
+  /// Reachability plot (OPTICS sequence) starting at the dendrogram source.
+  ReachabilityPlot Reachability() const {
+    return ComputeReachability(dendrogram);
+  }
+};
+
+/// Runs HDBSCAN* on `pts` with the given `min_pts`.
+template <int D>
+HdbscanResult Hdbscan(const std::vector<Point<D>>& pts, int min_pts,
+                      HdbscanVariant variant = HdbscanVariant::kMemoGfk,
+                      PhaseBreakdown* phases = nullptr, uint32_t source = 0) {
+  HdbscanMstResult mst = HdbscanMst(pts, min_pts, variant, phases);
+  Timer t;
+  Dendrogram dendro =
+      pts.size() == 1
+          ? Dendrogram(1)
+          : BuildDendrogramParallel(pts.size(), mst.mst, source);
+  if (pts.size() == 1) dendro.set_root(0);
+  if (phases) {
+    phases->dendrogram += t.Seconds();
+    phases->total += t.Seconds();
+  }
+  return HdbscanResult{std::move(mst.mst), std::move(mst.core_dist),
+                       std::move(dendro)};
+}
+
+}  // namespace parhc

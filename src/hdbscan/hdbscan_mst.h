@@ -1,0 +1,83 @@
+// MST of the mutual reachability graph — the core of HDBSCAN* (Section 3.2).
+//
+// Two exact variants, both running the MemoGFK round loop with BCCP*
+// (mutual-reachability closest pair) values:
+//  * kGanTao  — the parallelized exact Gan–Tao baseline (Section 3.2.1):
+//    standard geometric well-separation (s = 2), one BCCP* edge per pair.
+//  * kMemoGfk — the paper's improved algorithm (Section 3.2.2): the new
+//    well-separation (geometric separation OR mutual unreachability), which
+//    terminates the WSPD recursion earlier and materializes fewer pairs
+//    (Theorem 3.2 proves the MST is still exact; Theorem 3.3 gives
+//    O(n*minPts) space).
+#pragma once
+
+#include <vector>
+
+#include "emst/duplicates.h"
+#include "emst/memogfk_driver.h"
+#include "hdbscan/core_distance.h"
+
+namespace parhc {
+
+enum class HdbscanVariant {
+  kGanTao,   ///< exact parallel Gan-Tao baseline (Section 3.2.1)
+  kMemoGfk,  ///< new well-separation (Section 3.2.2) — the fast method
+};
+
+/// Result of the HDBSCAN* MST stage.
+struct HdbscanMstResult {
+  /// MST of the mutual reachability graph (n-1 edges).
+  std::vector<WeightedEdge> mst;
+  /// Core distance of every point, indexed by original id (the self-edge
+  /// weights of Section 2.1).
+  std::vector<double> core_dist;
+};
+
+/// Computes the exact MST of the mutual reachability graph of `pts` for
+/// the given `min_pts`. O(n^2) work, O(log^2 n) depth.
+template <int D>
+HdbscanMstResult HdbscanMst(const std::vector<Point<D>>& pts, int min_pts,
+                            HdbscanVariant variant = HdbscanVariant::kMemoGfk,
+                            PhaseBreakdown* phases = nullptr) {
+  PARHC_CHECK_MSG(min_pts >= 1, "minPts must be positive");
+  PARHC_CHECK_MSG(static_cast<size_t>(min_pts) <= pts.size(),
+                  "minPts exceeds number of points");
+  Timer total;
+  Timer t;
+  KdTree<D> tree(pts, /*leaf_size=*/1);
+  if (phases) phases->build_tree += t.Seconds();
+
+  t.Reset();
+  HdbscanMstResult result;
+  result.core_dist = CoreDistances(tree, min_pts);
+  tree.AnnotateCoreDistances(result.core_dist);
+  if (phases) phases->core_dist += t.Seconds();
+
+  using Node = typename KdTree<D>::Node;
+  auto lb = [](const Node* a, const Node* b) {
+    return std::max({std::sqrt(a->box.MinSquaredDistance(b->box)), a->cd_min,
+                     b->cd_min});
+  };
+  auto ub = [](const Node* a, const Node* b) {
+    return std::max({std::sqrt(a->box.MaxSquaredDistance(b->box)), a->cd_max,
+                     b->cd_max});
+  };
+  auto bccp = [&tree](const Node* a, const Node* b) {
+    return BccpStar(tree, a, b);
+  };
+  std::vector<WeightedEdge> dup =
+      internal::DuplicateLeafEdges(tree, /*use_core_dist=*/true);
+  if (variant == HdbscanVariant::kGanTao) {
+    GeometricSeparation<D> sep{2.0};
+    result.mst = internal::MemoGfkMst(tree, sep, lb, ub, bccp,
+                                      std::move(dup), phases);
+  } else {
+    HdbscanSeparation<D> sep;
+    result.mst = internal::MemoGfkMst(tree, sep, lb, ub, bccp,
+                                      std::move(dup), phases);
+  }
+  if (phases) phases->total += total.Seconds();
+  return result;
+}
+
+}  // namespace parhc

@@ -1,0 +1,180 @@
+// Stability-based flat cluster extraction from the HDBSCAN* dendrogram —
+// the "excess of mass" selection of Campello et al. [16] (the paper's
+// reference [16]). This is the standard way HDBSCAN* users obtain a flat
+// clustering without choosing an eps.
+//
+// Condensed-tree semantics: walking down from the root in density
+// lambda = 1/height, a merge node splits a cluster only when both sides
+// hold at least `min_cluster_size` points; otherwise the small side's
+// points *depart* the cluster at that lambda (they remain members of the
+// cluster, with no cluster structure of their own) and the cluster
+// continues into the large side. A cluster born at lambda_birth with
+// departures at lambdas l_p has stability
+//     sigma(C) = sum_p (l_p - lambda_birth).
+// Excess-of-mass selection keeps C iff sigma(C) >= sum of the selected
+// stabilities inside C, giving non-overlapping clusters. A point's label is
+// the selected cluster containing its departure cluster; points departing
+// above every selected cluster (e.g. from the root) are noise.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "dendrogram/cluster_extraction.h"
+#include "dendrogram/dendrogram.h"
+#include "util/check.h"
+
+namespace parhc {
+
+/// Result of stability-based extraction.
+struct StabilityClusters {
+  /// Per-point labels; kNoise (-1) for noise. Labels are dense in [0, k).
+  std::vector<int32_t> label;
+  /// Stability score of each selected cluster.
+  std::vector<double> stability;
+};
+
+namespace internal {
+
+inline double Lambda(double height) {
+  return height <= 0 ? std::numeric_limits<double>::infinity() : 1.0 / height;
+}
+
+}  // namespace internal
+
+/// Excess-of-mass cluster extraction. `min_cluster_size` >= 2.
+inline StabilityClusters ExtractStableClusters(const Dendrogram& d,
+                                               size_t min_cluster_size = 5) {
+  PARHC_CHECK(min_cluster_size >= 2);
+  size_t n = d.num_points();
+  size_t nodes = d.num_nodes();
+  StabilityClusters out;
+  out.label.assign(n, kNoise);
+  if (n == 1) return out;
+
+  // Post-order over internal nodes (children first) + subtree sizes.
+  std::vector<uint32_t> size(nodes, 1);
+  std::vector<uint32_t> order;
+  order.reserve(n - 1);
+  {
+    std::vector<std::pair<uint32_t, bool>> stack{{d.root(), false}};
+    while (!stack.empty()) {
+      auto [id, expanded] = stack.back();
+      stack.pop_back();
+      if (d.IsLeaf(id)) continue;
+      if (expanded) {
+        order.push_back(id);
+        size[id] = size[d.Left(id)] + size[d.Right(id)];
+        continue;
+      }
+      stack.push_back({id, true});
+      stack.push_back({d.Left(id), false});
+      stack.push_back({d.Right(id), false});
+    }
+  }
+
+  constexpr uint32_t kNone = Dendrogram::kNone;
+  // anchor[x]: topmost dendrogram node of the condensed cluster whose
+  // subtree contains x (departed points keep the cluster they left).
+  // active[x]: x's points have not yet departed their cluster.
+  std::vector<uint32_t> anchor(nodes, kNone);
+  std::vector<uint8_t> active(nodes, 0);
+  std::vector<double> stability(nodes, 0.0);
+  std::vector<double> birth_lambda(nodes, 0.0);
+
+  anchor[d.root()] = d.root();
+  active[d.root()] = 1;
+  birth_lambda[d.root()] = 0.0;
+
+  // Top-down (reverse post-order: parents first).
+  for (size_t i = order.size(); i-- > 0;) {
+    uint32_t id = order[i];
+    uint32_t cl = anchor[id];
+    uint32_t l = d.Left(id), r = d.Right(id);
+    if (!active[id]) {
+      // Already-departed region: propagate the owning cluster for labels.
+      anchor[l] = cl;
+      anchor[r] = cl;
+      continue;
+    }
+    double split_lambda = internal::Lambda(d.Height(id));
+    bool l_big = size[l] >= min_cluster_size;
+    bool r_big = size[r] >= min_cluster_size;
+    if (l_big && r_big) {
+      // True split: all points leave cl here; both sides are born as new
+      // candidate clusters.
+      stability[cl] += static_cast<double>(size[l] + size[r]) *
+                       (split_lambda - birth_lambda[cl]);
+      for (uint32_t c : {l, r}) {
+        anchor[c] = c;
+        active[c] = 1;
+        birth_lambda[c] = split_lambda;
+      }
+    } else {
+      // Small sides depart cl at this lambda; the cluster continues into a
+      // large side if there is one.
+      if (!l_big) {
+        stability[cl] += static_cast<double>(size[l]) *
+                         (split_lambda - birth_lambda[cl]);
+      }
+      if (!r_big) {
+        stability[cl] += static_cast<double>(size[r]) *
+                         (split_lambda - birth_lambda[cl]);
+      }
+      anchor[l] = cl;
+      anchor[r] = cl;
+      active[l] = l_big ? 1 : 0;
+      active[r] = r_big ? 1 : 0;
+    }
+  }
+  // Active leaves depart as singletons at their final merge's lambda.
+  for (uint32_t leaf = 0; leaf < n; ++leaf) {
+    if (active[leaf]) {
+      uint32_t cl = anchor[leaf];
+      stability[cl] += internal::Lambda(d.Height(d.Parent(leaf))) -
+                       birth_lambda[cl];
+    }
+  }
+
+  // Bottom-up excess-of-mass selection. The root cluster (= everything) is
+  // conventionally not selectable.
+  std::vector<double> best_below(nodes, 0.0);
+  std::vector<uint8_t> selected(nodes, 0);
+  for (uint32_t id : order) {  // children before parents
+    double child_sum = best_below[d.Left(id)] + best_below[d.Right(id)];
+    bool is_anchor = anchor[id] == id && id != d.root();
+    if (is_anchor && stability[id] >= child_sum) {
+      selected[id] = 1;
+      best_below[id] = stability[id];
+    } else {
+      best_below[id] = child_sum;
+    }
+  }
+
+  // Labels: a point belongs to the (unique) selected cluster on its
+  // root-path at or above its departure cluster. Deeper selected anchors
+  // were deselected by construction, so the first selected node on the way
+  // down wins.
+  int32_t next = 0;
+  std::vector<std::pair<uint32_t, int32_t>> stack;
+  stack.push_back({d.root(), kNoise});
+  while (!stack.empty()) {
+    auto [id, cur] = stack.back();
+    stack.pop_back();
+    if (cur == kNoise && selected[id]) {
+      cur = next++;
+      out.stability.push_back(stability[id]);
+    }
+    if (d.IsLeaf(id)) {
+      out.label[id] = cur;
+      continue;
+    }
+    stack.push_back({d.Left(id), cur});
+    stack.push_back({d.Right(id), cur});
+  }
+  return out;
+}
+
+}  // namespace parhc

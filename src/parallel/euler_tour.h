@@ -1,0 +1,143 @@
+// Euler tour of a tree and tour-based vertex depths (paper Sections 2.2, 4).
+//
+// The tour is represented as 2m directed edges (m = n-1 tree edges); edge
+// 2j is (u_j -> v_j) and edge 2j+1 its twin, so twin(i) = i ^ 1. The tour's
+// next pointers follow the standard rule: next(u->v) is the directed edge
+// after (v->u) in v's cyclic adjacency order. Rooting the tour at a source
+// vertex s plus list ranking yields each vertex's unweighted hop distance
+// from s — exactly the "vertex distances" the dendrogram algorithm of
+// Section 4.2 uses to order children.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "parallel/list_ranking.h"
+#include "parallel/primitives.h"
+#include "parallel/sort.h"
+#include "util/check.h"
+
+namespace parhc {
+
+/// An undirected tree edge between vertices u and v.
+struct TreeEdge {
+  uint32_t u;
+  uint32_t v;
+};
+
+/// Euler tour of a tree rooted at `source`.
+struct EulerTour {
+  /// next[i]: successor directed edge of edge i in the tour (kNil at end).
+  std::vector<uint32_t> next;
+  /// pos[i]: 0-based position of directed edge i in the rooted tour.
+  std::vector<uint32_t> pos;
+  /// The first directed edge of the rooted tour.
+  uint32_t head = kNil;
+
+  static uint32_t Twin(uint32_t e) { return e ^ 1u; }
+};
+
+/// Builds the Euler tour of the tree given by `edges` (n vertices, n-1
+/// edges), rooted at `source`. The tree must be connected.
+inline EulerTour BuildEulerTour(size_t n, const std::vector<TreeEdge>& edges,
+                                uint32_t source) {
+  PARHC_CHECK(edges.size() + 1 == n);
+  size_t m2 = 2 * edges.size();
+  EulerTour tour;
+  tour.next.assign(m2, kNil);
+  tour.pos.assign(m2, 0);
+  if (m2 == 0) return tour;
+
+  auto src = [&](uint32_t e) -> uint32_t {
+    return (e & 1u) ? edges[e >> 1].v : edges[e >> 1].u;
+  };
+  auto dst = [&](uint32_t e) -> uint32_t {
+    return (e & 1u) ? edges[e >> 1].u : edges[e >> 1].v;
+  };
+
+  // Group directed edges by source vertex: sort edge ids by (src, dst).
+  std::vector<uint32_t> order = Tabulate(m2, [](size_t i) {
+    return static_cast<uint32_t>(i);
+  });
+  ParallelSort(order, [&](uint32_t a, uint32_t b) {
+    uint32_t sa = src(a), sb = src(b);
+    if (sa != sb) return sa < sb;
+    return dst(a) < dst(b);
+  });
+  std::vector<uint32_t> pos_in_order(m2);
+  ParallelFor(0, m2, [&](size_t k) { pos_in_order[order[k]] = k; });
+  // vstart[v] = first index in `order` whose src is v; vcount[v] = degree.
+  std::vector<uint32_t> vstart(n, kNil), vcount(n, 0);
+  ParallelFor(0, m2, [&](size_t k) {
+    if (k == 0 || src(order[k]) != src(order[k - 1])) {
+      vstart[src(order[k])] = static_cast<uint32_t>(k);
+    }
+  });
+  ParallelFor(0, n, [&](size_t v) {
+    if (vstart[v] == kNil) return;  // isolated vertex (cannot happen in tree)
+    uint32_t s = vstart[v];
+    uint32_t e = s;
+    while (e < m2 && src(order[e]) == static_cast<uint32_t>(v)) ++e;
+    vcount[v] = e - s;
+  });
+
+  // next(u->v) = edge after (v->u) in v's cyclic adjacency order.
+  ParallelFor(0, m2, [&](size_t e) {
+    uint32_t twin = EulerTour::Twin(static_cast<uint32_t>(e));
+    uint32_t v = src(twin);
+    uint32_t r = pos_in_order[twin] - vstart[v];
+    uint32_t rn = (r + 1 == vcount[v]) ? 0 : r + 1;
+    tour.next[e] = order[vstart[v] + rn];
+  });
+
+  // Root at `source`: head is source's first outgoing edge; the unique edge
+  // whose next is head becomes the tail.
+  PARHC_CHECK(vstart[source] != kNil);
+  tour.head = order[vstart[source]];
+  uint32_t last_out = order[vstart[source] + vcount[source] - 1];
+  uint32_t tail = EulerTour::Twin(last_out);
+  PARHC_DCHECK(tour.next[tail] == tour.head);
+  tour.next[tail] = kNil;
+
+  // Positions via list ranking: suffix counts of 1s give distance-to-end.
+  std::vector<uint32_t> ones(m2, 1);
+  std::vector<uint32_t> suffix = ListRank(tour.next, ones);
+  ParallelFor(0, m2, [&](size_t e) {
+    tour.pos[e] = static_cast<uint32_t>(m2) - suffix[e];
+  });
+  return tour;
+}
+
+/// Unweighted hop distance of every vertex from `source` along the tree,
+/// computed with the Euler tour + list ranking (+1 on down edges, -1 on up
+/// edges, prefix sums over tour order).
+inline std::vector<uint32_t> TreeHopDistances(size_t n,
+                                              const std::vector<TreeEdge>& edges,
+                                              uint32_t source) {
+  std::vector<uint32_t> depth(n, 0);
+  if (n <= 1) return depth;
+  EulerTour tour = BuildEulerTour(n, edges, source);
+  size_t m2 = 2 * edges.size();
+  auto dst = [&](uint32_t e) -> uint32_t {
+    return (e & 1u) ? edges[e >> 1].u : edges[e >> 1].v;
+  };
+  // A directed edge is a "down" edge iff it appears before its twin.
+  std::vector<int64_t> labels(m2);
+  ParallelFor(0, m2, [&](size_t e) {
+    bool down = tour.pos[e] < tour.pos[EulerTour::Twin(e)];
+    labels[tour.pos[e]] = down ? 1 : -1;
+  });
+  ScanExclusive(labels.data(), m2, int64_t{0},
+                [](int64_t a, int64_t b) { return a + b; });
+  ParallelFor(0, m2, [&](size_t e) {
+    uint32_t ue = static_cast<uint32_t>(e);
+    if (tour.pos[ue] < tour.pos[EulerTour::Twin(ue)]) {
+      depth[dst(ue)] = static_cast<uint32_t>(labels[tour.pos[ue]] + 1);
+    }
+  });
+  depth[source] = 0;
+  return depth;
+}
+
+}  // namespace parhc

@@ -1,0 +1,83 @@
+// Phase-concurrent open-addressing hash table (paper Section 2.2, [29]).
+//
+// Supports n inserts / finds in O(n) work and O(log n) depth w.h.p.
+// "Phase-concurrent" (as in PBBS): concurrent inserts are linearizable with
+// each other, and concurrent finds with each other, but an insert phase must
+// be separated from a find phase by a barrier (all call sites in this
+// library obey that discipline).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "parallel/scheduler.h"
+#include "parallel/semisort.h"
+#include "util/check.h"
+
+namespace parhc {
+
+/// Fixed-capacity concurrent map from uint64 keys to trivially-copyable
+/// values. The key ~0ull is reserved.
+template <typename V>
+class ConcurrentMap {
+ public:
+  static constexpr uint64_t kEmpty = ~0ull;
+
+  /// Creates a table able to hold `max_elems` entries (load factor <= 0.5).
+  explicit ConcurrentMap(size_t max_elems) {
+    size_t cap = 16;
+    while (cap < 2 * max_elems + 1) cap <<= 1;
+    mask_ = cap - 1;
+    keys_ = std::vector<std::atomic<uint64_t>>(cap);
+    vals_.resize(cap);
+    ParallelFor(0, cap, [&](size_t i) {
+      keys_[i].store(kEmpty, std::memory_order_relaxed);
+    });
+  }
+
+  /// Inserts (key, value). If the key is already present the first writer
+  /// wins and `false` is returned. `key` must not be kEmpty.
+  bool Insert(uint64_t key, const V& value) {
+    PARHC_DCHECK(key != kEmpty);
+    size_t i = HashU64(key) & mask_;
+    while (true) {
+      uint64_t cur = keys_[i].load(std::memory_order_acquire);
+      if ((cur & ~kBusyBit) == key) return false;  // present or being written
+      if (cur == kEmpty) {
+        uint64_t expected = kEmpty;
+        if (keys_[i].compare_exchange_strong(expected, key | kBusyBit,
+                                             std::memory_order_acq_rel)) {
+          vals_[i] = value;
+          keys_[i].store(key, std::memory_order_release);
+          return true;
+        }
+        continue;  // lost the race for this slot; re-inspect it
+      }
+      i = (i + 1) & mask_;
+    }
+  }
+
+  /// Finds `key`; returns nullptr if absent. Must not run concurrently with
+  /// Insert (phase-concurrency).
+  const V* Find(uint64_t key) const {
+    size_t i = HashU64(key) & mask_;
+    while (true) {
+      uint64_t cur = keys_[i].load(std::memory_order_acquire);
+      if (cur == key) return &vals_[i];
+      if (cur == kEmpty) return nullptr;
+      i = (i + 1) & mask_;
+    }
+  }
+
+ private:
+  // Transient marker for a claimed-but-unwritten slot. Keys must fit in 63
+  // bits; asserted by callers' key construction.
+  static constexpr uint64_t kBusyBit = 1ull << 63;
+
+  size_t mask_;
+  std::vector<std::atomic<uint64_t>> keys_;
+  std::vector<V> vals_;
+};
+
+}  // namespace parhc

@@ -1,0 +1,192 @@
+// Work-efficient parallel sequence primitives (paper Section 2.2).
+//
+// All primitives take O(n) work and O(log n) depth (given the scheduler),
+// matching the bounds the paper assumes: prefix sum (Scan), Filter, Split,
+// Reduce, and the WRITE_MIN priority concurrent write.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "parallel/scheduler.h"
+#include "util/check.h"
+
+namespace parhc {
+
+/// Builds a vector of `n` elements where element i is `f(i)`.
+template <typename F>
+auto Tabulate(size_t n, F&& f) {
+  using T = decltype(f(size_t{0}));
+  std::vector<T> out(n);
+  ParallelFor(0, n, [&](size_t i) { out[i] = f(i); });
+  return out;
+}
+
+namespace internal {
+// Number of blocks used by blocked two-pass primitives (scan/filter).
+inline size_t NumBlocks(size_t n) {
+  size_t nb = static_cast<size_t>(NumWorkers()) * 8;
+  if (nb > n) nb = n;
+  if (nb < 1) nb = 1;
+  return nb;
+}
+}  // namespace internal
+
+/// Parallel reduction of a[0..n) with associative `op` and identity `id`.
+template <typename T, typename Op>
+T Reduce(const T* a, size_t n, T id, Op op) {
+  if (n == 0) return id;
+  size_t nb = internal::NumBlocks(n);
+  size_t block = (n + nb - 1) / nb;
+  std::vector<T> sums(nb, id);
+  ParallelFor(
+      0, nb,
+      [&](size_t b) {
+        size_t lo = b * block, hi = std::min(n, lo + block);
+        T acc = id;
+        for (size_t i = lo; i < hi; ++i) acc = op(acc, a[i]);
+        sums[b] = acc;
+      },
+      1);
+  T total = id;
+  for (size_t b = 0; b < nb; ++b) total = op(total, sums[b]);
+  return total;
+}
+
+template <typename T, typename Op>
+T Reduce(const std::vector<T>& a, T id, Op op) {
+  return Reduce(a.data(), a.size(), id, op);
+}
+
+/// Exclusive prefix sum of a[0..n) in place; returns the overall sum.
+template <typename T, typename Op>
+T ScanExclusive(T* a, size_t n, T id, Op op) {
+  if (n == 0) return id;
+  size_t nb = internal::NumBlocks(n);
+  size_t block = (n + nb - 1) / nb;
+  std::vector<T> sums(nb, id);
+  ParallelFor(
+      0, nb,
+      [&](size_t b) {
+        size_t lo = b * block, hi = std::min(n, lo + block);
+        T acc = id;
+        for (size_t i = lo; i < hi; ++i) acc = op(acc, a[i]);
+        sums[b] = acc;
+      },
+      1);
+  T total = id;
+  for (size_t b = 0; b < nb; ++b) {
+    T next = op(total, sums[b]);
+    sums[b] = total;  // sums[b] becomes the offset of block b
+    total = next;
+  }
+  ParallelFor(
+      0, nb,
+      [&](size_t b) {
+        size_t lo = b * block, hi = std::min(n, lo + block);
+        T acc = sums[b];
+        for (size_t i = lo; i < hi; ++i) {
+          T next = op(acc, a[i]);
+          a[i] = acc;
+          acc = next;
+        }
+      },
+      1);
+  return total;
+}
+
+template <typename T>
+T ScanExclusiveAdd(std::vector<T>& a) {
+  return ScanExclusive(a.data(), a.size(), T{0},
+                       [](T x, T y) { return x + y; });
+}
+
+/// Returns elements of a[0..n) satisfying `pred`, preserving order.
+template <typename T, typename Pred>
+std::vector<T> Filter(const T* a, size_t n, Pred pred) {
+  if (n == 0) return {};
+  size_t nb = internal::NumBlocks(n);
+  size_t block = (n + nb - 1) / nb;
+  std::vector<size_t> counts(nb, 0);
+  ParallelFor(
+      0, nb,
+      [&](size_t b) {
+        size_t lo = b * block, hi = std::min(n, lo + block);
+        size_t c = 0;
+        for (size_t i = lo; i < hi; ++i) c += pred(a[i]) ? 1 : 0;
+        counts[b] = c;
+      },
+      1);
+  size_t total = ScanExclusive(counts.data(), nb, size_t{0},
+                               [](size_t x, size_t y) { return x + y; });
+  std::vector<T> out(total);
+  ParallelFor(
+      0, nb,
+      [&](size_t b) {
+        size_t lo = b * block, hi = std::min(n, lo + block);
+        size_t o = counts[b];
+        for (size_t i = lo; i < hi; ++i) {
+          if (pred(a[i])) out[o++] = a[i];
+        }
+      },
+      1);
+  return out;
+}
+
+template <typename T, typename Pred>
+std::vector<T> Filter(const std::vector<T>& a, Pred pred) {
+  return Filter(a.data(), a.size(), pred);
+}
+
+/// Split: partitions `a` into (elements where pred is true, rest), each in
+/// the original relative order (paper Section 2.2; used on Line 4/6 of
+/// Algorithm 2).
+template <typename T, typename Pred>
+std::pair<std::vector<T>, std::vector<T>> Split(const std::vector<T>& a,
+                                                Pred pred) {
+  std::vector<T> yes = Filter(a, pred);
+  std::vector<T> no = Filter(a, [&](const T& x) { return !pred(x); });
+  return {std::move(yes), std::move(no)};
+}
+
+/// WRITE_MIN priority concurrent write (paper Section 2.2): atomically sets
+/// `*loc = min(*loc, val)` under `<`.
+template <typename T>
+void WriteMin(std::atomic<T>* loc, T val) {
+  T cur = loc->load(std::memory_order_relaxed);
+  while (val < cur &&
+         !loc->compare_exchange_weak(cur, val, std::memory_order_acq_rel)) {
+  }
+}
+
+/// WRITE_MAX: atomically sets `*loc = max(*loc, val)` under `<`.
+template <typename T>
+void WriteMax(std::atomic<T>* loc, T val) {
+  T cur = loc->load(std::memory_order_relaxed);
+  while (cur < val &&
+         !loc->compare_exchange_weak(cur, val, std::memory_order_acq_rel)) {
+  }
+}
+
+/// Flattens a vector of vectors into one vector (parallel over sources).
+template <typename T>
+std::vector<T> Flatten(const std::vector<std::vector<T>>& parts) {
+  size_t np = parts.size();
+  std::vector<size_t> offsets(np, 0);
+  for (size_t i = 0; i < np; ++i) offsets[i] = parts[i].size();
+  size_t total = ScanExclusive(offsets.data(), np, size_t{0},
+                               [](size_t x, size_t y) { return x + y; });
+  std::vector<T> out(total);
+  ParallelFor(
+      0, np,
+      [&](size_t i) {
+        std::copy(parts[i].begin(), parts[i].end(), out.begin() + offsets[i]);
+      },
+      1);
+  return out;
+}
+
+}  // namespace parhc

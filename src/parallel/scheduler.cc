@@ -1,0 +1,122 @@
+#include "parallel/scheduler.h"
+
+#include <chrono>
+#include <random>
+
+namespace parhc {
+
+thread_local int Scheduler::tl_worker_id = -1;
+
+namespace {
+std::unique_ptr<Scheduler>& GlobalSchedulerSlot() {
+  static std::unique_ptr<Scheduler> slot;
+  return slot;
+}
+}  // namespace
+
+Scheduler& Scheduler::Get() {
+  auto& slot = GlobalSchedulerSlot();
+  if (!slot) {
+    unsigned hw = std::thread::hardware_concurrency();
+    slot.reset(new Scheduler(hw == 0 ? 1 : static_cast<int>(hw)));
+  }
+  return *slot;
+}
+
+void Scheduler::Reset(int num_workers) {
+  PARHC_CHECK(num_workers >= 1);
+  auto& slot = GlobalSchedulerSlot();
+  slot.reset();  // join old workers before spawning new ones
+  slot.reset(new Scheduler(num_workers));
+}
+
+Scheduler::Scheduler(int num_workers)
+    : num_workers_(num_workers), deques_(num_workers) {
+  tl_worker_id = 0;  // the constructing (external) thread owns slot 0
+  threads_.reserve(num_workers_ - 1);
+  for (int id = 1; id < num_workers_; ++id) {
+    threads_.emplace_back([this, id] { WorkerLoop(id); });
+  }
+}
+
+Scheduler::~Scheduler() {
+  shutdown_.store(true, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lk(sleep_mutex_);
+    sleep_cv_.notify_all();
+  }
+  for (auto& t : threads_) t.join();
+}
+
+void Scheduler::WakeOne() {
+  if (sleepers_.load(std::memory_order_relaxed) > 0) {
+    std::lock_guard<std::mutex> lk(sleep_mutex_);
+    sleep_cv_.notify_one();
+  }
+}
+
+bool Scheduler::TryRunOne(int my_id) {
+  // Scan all deques starting from a pseudo-random victim; include our own
+  // (oldest job first), which implements local helping during joins.
+  static thread_local uint64_t rng = 0x9e3779b97f4a7c15ull ^
+                                     (static_cast<uint64_t>(my_id) << 32);
+  rng ^= rng << 13;
+  rng ^= rng >> 7;
+  rng ^= rng << 17;
+  int start = static_cast<int>(rng % static_cast<uint64_t>(num_workers_));
+  for (int k = 0; k < num_workers_; ++k) {
+    int victim = start + k;
+    if (victim >= num_workers_) victim -= num_workers_;
+    internal::JobBase* job = deques_[victim].Steal();
+    if (job != nullptr) {
+      pending_.fetch_sub(1, std::memory_order_relaxed);
+      job->Run();
+      return true;
+    }
+  }
+  return false;
+}
+
+void Scheduler::WaitFor(internal::JobBase& job) {
+  int my_id = MyId();
+  while (!job.done.load(std::memory_order_acquire)) {
+    if (!TryRunOne(my_id)) {
+#if defined(__x86_64__)
+      __builtin_ia32_pause();
+#else
+      std::this_thread::yield();
+#endif
+    }
+  }
+}
+
+void Scheduler::WorkerLoop(int id) {
+  tl_worker_id = id;
+  int idle_spins = 0;
+  while (!shutdown_.load(std::memory_order_acquire)) {
+    if (TryRunOne(id)) {
+      idle_spins = 0;
+      continue;
+    }
+    if (++idle_spins < 128) {
+      std::this_thread::yield();
+      continue;
+    }
+    // Park until new work is pushed or shutdown; timed wait guards against
+    // missed wakeups (pending_ is a hint, not a precise count).
+    std::unique_lock<std::mutex> lk(sleep_mutex_);
+    if (pending_.load(std::memory_order_relaxed) == 0 &&
+        !shutdown_.load(std::memory_order_acquire)) {
+      sleepers_.fetch_add(1, std::memory_order_relaxed);
+      sleep_cv_.wait_for(lk, std::chrono::milliseconds(1));
+      sleepers_.fetch_sub(1, std::memory_order_relaxed);
+    }
+    idle_spins = 0;
+  }
+}
+
+int NumWorkers() { return Scheduler::Get().num_workers(); }
+
+void SetNumWorkers(int p) { Scheduler::Reset(p); }
+
+}  // namespace parhc

@@ -1,0 +1,222 @@
+// Fork-join work-stealing scheduler.
+//
+// This is the substrate standing in for the Cilk runtime used by the paper
+// (Section 2.2): binary fork (`ParDo`), helping joins, and randomized work
+// stealing from per-worker deques. The worker count is adjustable at runtime
+// (`SetNumWorkers`) so the benchmark harness can sweep thread counts as in
+// Figures 6/7/9 of the paper.
+//
+// Threading model:
+//  * `Scheduler::Get()` lazily creates a singleton with one deque per worker.
+//  * Worker 0 is the *external* caller (main thread / test thread); workers
+//    1..P-1 are spawned threads. Only one external thread may issue parallel
+//    work at a time (the standard Cilk model).
+//  * `ParDo(l, r)` pushes `r` onto the caller's deque and runs `l` inline.
+//    On join, if `r` was stolen the caller helps by running other tasks.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "util/check.h"
+
+namespace parhc {
+
+namespace internal {
+
+/// A unit of stealable work. Jobs live on the forking function's stack; the
+/// fork does not return until the job completes, so this is safe.
+struct JobBase {
+  std::atomic<bool> done{false};
+  virtual void Run() = 0;
+  virtual ~JobBase() = default;
+};
+
+template <typename F>
+struct Job final : JobBase {
+  F* fn;
+  explicit Job(F* f) : fn(f) {}
+  void Run() override {
+    (*fn)();
+    done.store(true, std::memory_order_release);
+  }
+};
+
+/// Test-and-set spinlock; protects one worker deque. Deque operations are a
+/// few pointer moves, so a spinlock beats std::mutex at fork-join task rates.
+class Spinlock {
+ public:
+  void lock() {
+    while (flag_.test_and_set(std::memory_order_acquire)) {
+#if defined(__x86_64__)
+      __builtin_ia32_pause();
+#else
+      std::this_thread::yield();
+#endif
+    }
+  }
+  void unlock() { flag_.clear(std::memory_order_release); }
+
+ private:
+  std::atomic_flag flag_ = ATOMIC_FLAG_INIT;
+};
+
+/// Per-worker job deque. The owner pushes/pops at the bottom (LIFO); thieves
+/// steal from the top (FIFO), which takes the oldest (largest) tasks first.
+class WorkDeque {
+ public:
+  void Push(JobBase* job) {
+    lock_.lock();
+    jobs_.push_back(job);
+    lock_.unlock();
+  }
+
+  /// Pops the bottom job iff it is `expected` (i.e. it was not stolen).
+  bool PopBottomIf(JobBase* expected) {
+    lock_.lock();
+    bool ok = !jobs_.empty() && jobs_.back() == expected;
+    if (ok) jobs_.pop_back();
+    lock_.unlock();
+    return ok;
+  }
+
+  JobBase* Steal() {
+    lock_.lock();
+    JobBase* job = nullptr;
+    if (!jobs_.empty()) {
+      job = jobs_.front();
+      jobs_.pop_front();
+    }
+    lock_.unlock();
+    return job;
+  }
+
+ private:
+  Spinlock lock_;
+  std::deque<JobBase*> jobs_;
+};
+
+}  // namespace internal
+
+/// Work-stealing fork-join scheduler (singleton).
+class Scheduler {
+ public:
+  /// Returns the global scheduler, creating it with all hardware threads on
+  /// first use.
+  static Scheduler& Get();
+
+  /// Destroys and recreates the global scheduler with `num_workers` workers.
+  /// Must not be called while parallel work is in flight.
+  static void Reset(int num_workers);
+
+  /// Number of workers (including the external caller slot).
+  int num_workers() const { return num_workers_; }
+
+  /// Worker id of the calling thread; external callers map to 0.
+  int MyId() const {
+    int id = tl_worker_id;
+    return (id < 0 || id >= num_workers_) ? 0 : id;
+  }
+
+  /// Runs `l` and `r`, potentially in parallel, returning when both finish.
+  template <typename L, typename R>
+  void ParDo(L&& l, R&& r) {
+    if (num_workers_ == 1) {  // fast path: no stealing possible
+      l();
+      r();
+      return;
+    }
+    using Rf = std::remove_reference_t<R>;
+    internal::Job<Rf> rjob(&r);
+    int id = MyId();
+    deques_[id].Push(&rjob);
+    pending_.fetch_add(1, std::memory_order_relaxed);
+    WakeOne();
+    l();
+    if (deques_[id].PopBottomIf(&rjob)) {
+      pending_.fetch_sub(1, std::memory_order_relaxed);
+      rjob.Run();
+    } else {
+      WaitFor(rjob);
+    }
+  }
+
+  ~Scheduler();
+
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+ private:
+  explicit Scheduler(int num_workers);
+
+  void WorkerLoop(int id);
+  bool TryRunOne(int my_id);
+  void WaitFor(internal::JobBase& job);
+  void WakeOne();
+
+  static thread_local int tl_worker_id;
+
+  int num_workers_;
+  std::vector<internal::WorkDeque> deques_;
+  std::vector<std::thread> threads_;
+  std::atomic<bool> shutdown_{false};
+  std::atomic<int64_t> pending_{0};
+  std::atomic<int> sleepers_{0};
+  std::mutex sleep_mutex_;
+  std::condition_variable sleep_cv_;
+};
+
+/// Returns the current number of scheduler workers.
+int NumWorkers();
+
+/// Recreates the scheduler with `p` workers (benchmark thread sweeps).
+void SetNumWorkers(int p);
+
+/// Runs two closures, potentially in parallel.
+template <typename L, typename R>
+inline void ParDo(L&& l, R&& r) {
+  Scheduler::Get().ParDo(std::forward<L>(l), std::forward<R>(r));
+}
+
+namespace internal {
+template <typename F>
+void ParallelForRec(size_t lo, size_t hi, F& f, size_t grain) {
+  if (hi - lo <= grain) {
+    for (size_t i = lo; i < hi; ++i) f(i);
+    return;
+  }
+  size_t mid = lo + (hi - lo) / 2;
+  Scheduler::Get().ParDo([&] { ParallelForRec(lo, mid, f, grain); },
+                         [&] { ParallelForRec(mid, hi, f, grain); });
+}
+}  // namespace internal
+
+/// Parallel loop over [lo, hi). `grain` is the largest chunk executed
+/// sequentially; 0 selects an automatic grain of roughly (hi-lo)/(8p),
+/// capped at 2048 for load balance on irregular bodies.
+template <typename F>
+inline void ParallelFor(size_t lo, size_t hi, F&& f, size_t grain = 0) {
+  if (hi <= lo) return;
+  size_t n = hi - lo;
+  Scheduler& s = Scheduler::Get();
+  if (s.num_workers() == 1 || n == 1) {
+    for (size_t i = lo; i < hi; ++i) f(i);
+    return;
+  }
+  if (grain == 0) {
+    grain = n / (static_cast<size_t>(s.num_workers()) * 8);
+    if (grain > 2048) grain = 2048;
+    if (grain < 1) grain = 1;
+  }
+  internal::ParallelForRec(lo, hi, f, grain);
+}
+
+}  // namespace parhc

@@ -1,0 +1,56 @@
+// Semisort (paper Section 2.2): groups items with equal keys together with
+// no ordering guarantee between groups.
+//
+// Implemented by sorting on (hash(key), key) — O(n log n) work rather than
+// the O(n) expected of Gu et al. [32], but with identical semantics; the
+// difference is immaterial at the scales this library targets and is noted
+// in DESIGN.md.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "parallel/sort.h"
+
+namespace parhc {
+
+/// 64-bit finalizer (splitmix64); used to scatter group keys.
+inline uint64_t HashU64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// Groups `items` by `key(item)` (a uint64-convertible key). Returns the
+/// reordered items plus the start offset of each group; group g occupies
+/// [offsets[g], offsets[g+1]) of the returned items.
+template <typename T, typename KeyFn>
+std::pair<std::vector<T>, std::vector<size_t>> SemiSort(std::vector<T> items,
+                                                        KeyFn key) {
+  ParallelSort(items, [&](const T& x, const T& y) {
+    uint64_t kx = static_cast<uint64_t>(key(x));
+    uint64_t ky = static_cast<uint64_t>(key(y));
+    uint64_t hx = HashU64(kx), hy = HashU64(ky);
+    return hx != hy ? hx < hy : kx < ky;
+  });
+  std::vector<size_t> starts;
+  size_t n = items.size();
+  // Group boundaries: positions where the key changes.
+  std::vector<uint8_t> is_start(n, 0);
+  ParallelFor(0, n, [&](size_t i) {
+    is_start[i] =
+        (i == 0 ||
+         static_cast<uint64_t>(key(items[i])) !=
+             static_cast<uint64_t>(key(items[i - 1])))
+            ? 1
+            : 0;
+  });
+  for (size_t i = 0; i < n; ++i) {
+    if (is_start[i]) starts.push_back(i);
+  }
+  starts.push_back(n);
+  return {std::move(items), std::move(starts)};
+}
+
+}  // namespace parhc

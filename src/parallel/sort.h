@@ -1,0 +1,92 @@
+// Parallel comparison sort: merge sort with a parallel merge.
+//
+// O(n log n) work and O(log^3 n) depth — a practical stand-in for the
+// O(log n)-depth sample sorts in PBBS; identical semantics (stable variant
+// not provided; all call sites use total orders with unique tie-breakers).
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "parallel/scheduler.h"
+
+namespace parhc {
+
+namespace internal {
+
+constexpr size_t kSortSeqCutoff = 1 << 13;
+
+template <typename T, typename Cmp>
+void ParallelMergeSwapped(const T* a, size_t na, const T* b, size_t nb, T* out,
+                          Cmp cmp);
+
+template <typename T, typename Cmp>
+void ParallelMerge(const T* a, size_t na, const T* b, size_t nb, T* out,
+                   Cmp cmp) {
+  if (na + nb <= kSortSeqCutoff) {
+    std::merge(a, a + na, b, b + nb, out, cmp);
+    return;
+  }
+  if (na < nb) {
+    ParallelMergeSwapped(a, na, b, nb, out, cmp);
+    return;
+  }
+  // Split the larger array at its median; binary-search the split point in
+  // the smaller array; merge halves in parallel.
+  size_t ma = na / 2;
+  size_t mb = std::lower_bound(b, b + nb, a[ma], cmp) - b;
+  ParDo([&] { ParallelMerge(a, ma, b, mb, out, cmp); },
+        [&] { ParallelMerge(a + ma, na - ma, b + mb, nb - mb, out + ma + mb,
+                            cmp); });
+}
+
+template <typename T, typename Cmp>
+void ParallelMergeSwapped(const T* a, size_t na, const T* b, size_t nb, T* out,
+                          Cmp cmp) {
+  size_t mb = nb / 2;
+  // upper_bound keeps the merge stable with respect to (a-before-b) order.
+  size_t ma = std::upper_bound(a, a + na, b[mb], cmp) - a;
+  ParDo([&] { ParallelMerge(a, ma, b, mb, out, cmp); },
+        [&] { ParallelMerge(a + ma, na - ma, b + mb, nb - mb, out + ma + mb,
+                            cmp); });
+}
+
+template <typename T, typename Cmp>
+void MergeSortRec(T* a, T* buf, size_t n, Cmp cmp, bool to_buf) {
+  if (n <= kSortSeqCutoff) {
+    std::sort(a, a + n, cmp);
+    if (to_buf) std::copy(a, a + n, buf);
+    return;
+  }
+  size_t mid = n / 2;
+  ParDo([&] { MergeSortRec(a, buf, mid, cmp, !to_buf); },
+        [&] { MergeSortRec(a + mid, buf + mid, n - mid, cmp, !to_buf); });
+  if (to_buf) {
+    ParallelMerge(a, mid, a + mid, n - mid, buf, cmp);
+  } else {
+    ParallelMerge(buf, mid, buf + mid, n - mid, a, cmp);
+  }
+}
+
+}  // namespace internal
+
+/// Sorts `a` in parallel using comparator `cmp`.
+template <typename T, typename Cmp>
+void ParallelSort(std::vector<T>& a, Cmp cmp) {
+  if (a.size() <= internal::kSortSeqCutoff || NumWorkers() == 1) {
+    std::sort(a.begin(), a.end(), cmp);
+    return;
+  }
+  std::vector<T> buf(a.size());
+  internal::MergeSortRec(a.data(), buf.data(), a.size(), cmp,
+                         /*to_buf=*/false);
+}
+
+template <typename T>
+void ParallelSort(std::vector<T>& a) {
+  ParallelSort(a, std::less<T>{});
+}
+
+}  // namespace parhc

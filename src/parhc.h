@@ -1,0 +1,26 @@
+// parhc — parallel Euclidean MST and hierarchical spatial clustering.
+//
+// Umbrella header for the public API:
+//   Emst()            — Euclidean minimum spanning tree (4 algorithms)
+//   EmstDelaunay()    — 2D-only Delaunay-based EMST
+//   Hdbscan()         — HDBSCAN* hierarchy (MST + ordered dendrogram)
+//   SingleLinkage()   — single-linkage clustering via the EMST
+//   OpticsApproxMst() — approximate OPTICS base-graph MST
+//   BuildDendrogram{Sequential,Parallel}(), ComputeReachability(),
+//   CutClusters(), KClusters(), DbscanStarLabels()
+//   UniformFill(), SeedSpreaderVarden(), ... — dataset generators
+//
+// Reproduction of Wang, Yu, Gu, Shun, "Fast Parallel Algorithms for
+// Euclidean Minimum Spanning Tree and Hierarchical Spatial Clustering",
+// SIGMOD 2021. See DESIGN.md for the system inventory.
+#pragma once
+
+#include "data/generators.h"
+#include "data/io.h"
+#include "dendrogram/single_linkage.h"
+#include "emst/emst.h"
+#include "emst/emst_delaunay.h"
+#include "hdbscan/hdbscan.h"
+#include "hdbscan/optics_approx.h"
+#include "hdbscan/stability.h"
+#include "parallel/scheduler.h"

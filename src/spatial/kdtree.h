@@ -1,0 +1,292 @@
+// Parallel spatial-median k-d tree (paper Sections 2.3, 3.1.1).
+//
+// The tree is built by recursively splitting the widest dimension of each
+// node's bounding box at its midpoint ("spatial median"), processing the two
+// children in parallel. Nodes cache the bounding box, bounding-sphere
+// diameter, and — for HDBSCAN* — the min/max core distance of contained
+// points (cdmin/cdmax of Table 1) and a component id used by MemoGFK's
+// connectivity pruning (Section 3.1.3).
+//
+// Leaves hold at most `leaf_size` points; ranges of fully-identical points
+// become leaves regardless of size (they cannot be split), which callers
+// must handle (see emst/hdbscan duplicate handling).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "geometry/box.h"
+#include "geometry/point.h"
+#include "parallel/primitives.h"
+#include "parallel/scheduler.h"
+#include "util/check.h"
+
+namespace parhc {
+
+template <int D>
+class KdTree {
+ public:
+  struct Node {
+    Box<D> box;
+    uint32_t begin = 0;            ///< first point index (tree order)
+    uint32_t end = 0;              ///< one past last point index
+    Node* left = nullptr;
+    Node* right = nullptr;
+    double diameter = 0;           ///< bounding-sphere diameter (Table 1)
+    double cd_min = 0;             ///< min core distance in subtree
+    double cd_max = 0;             ///< max core distance in subtree
+    int64_t component = -1;        ///< union-find component if uniform, else -1
+
+    bool IsLeaf() const { return left == nullptr; }
+    uint32_t size() const { return end - begin; }
+  };
+
+  /// Builds the tree over `points` (copied and reordered internally).
+  explicit KdTree(const std::vector<Point<D>>& points, uint32_t leaf_size = 1)
+      : leaf_size_(leaf_size), pts_(points), ids_(points.size()) {
+    PARHC_CHECK(leaf_size >= 1);
+    size_t n = points.size();
+    PARHC_CHECK(n >= 1);
+    ParallelFor(0, n, [&](size_t i) { ids_[i] = static_cast<uint32_t>(i); });
+    nodes_.resize(2 * n);  // a binary tree over n points has < 2n nodes
+    scratch_pts_.resize(n);
+    scratch_ids_.resize(n);
+    root_ = Build(0, static_cast<uint32_t>(n));
+    scratch_pts_.clear();
+    scratch_pts_.shrink_to_fit();
+    scratch_ids_.clear();
+    scratch_ids_.shrink_to_fit();
+  }
+
+  Node* root() { return root_; }
+  const Node* root() const { return root_; }
+  size_t size() const { return pts_.size(); }
+
+  /// Points in tree order.
+  const std::vector<Point<D>>& points() const { return pts_; }
+  /// ids()[i] is the original index of points()[i].
+  const std::vector<uint32_t>& ids() const { return ids_; }
+  const Point<D>& point(uint32_t tree_idx) const { return pts_[tree_idx]; }
+  uint32_t id(uint32_t tree_idx) const { return ids_[tree_idx]; }
+
+  /// Core distance of the point at tree index i (after AnnotateCoreDistances).
+  double core_dist(uint32_t tree_idx) const { return cd_[tree_idx]; }
+  bool has_core_dists() const { return !cd_.empty(); }
+
+  /// Stores core distances (indexed by *original* point id) and fills each
+  /// node's cd_min / cd_max bottom-up.
+  void AnnotateCoreDistances(const std::vector<double>& core_by_id) {
+    PARHC_CHECK(core_by_id.size() == pts_.size());
+    cd_.resize(pts_.size());
+    ParallelFor(0, pts_.size(),
+                [&](size_t i) { cd_[i] = core_by_id[ids_[i]]; });
+    AnnotateCdRec(root_);
+  }
+
+  /// Refreshes every node's `component` from a union-find `find` functor
+  /// over *original* point ids: a node gets the component id if all its
+  /// points share it, else -1. Phase-separated from traversals.
+  template <typename FindFn>
+  void RefreshComponents(FindFn find) {
+    RefreshComponentsRec(root_, find);
+  }
+
+  KdTree(const KdTree&) = delete;
+  KdTree& operator=(const KdTree&) = delete;
+
+ private:
+  static constexpr uint32_t kSeqBuildCutoff = 2048;
+
+  Node* AllocNode() {
+    uint32_t idx = node_count_.fetch_add(1, std::memory_order_relaxed);
+    PARHC_DCHECK(idx < nodes_.size());
+    return &nodes_[idx];
+  }
+
+  Box<D> RangeBox(uint32_t begin, uint32_t end) const {
+    Box<D> box = Box<D>::Empty();
+    if (end - begin < kSeqBuildCutoff) {
+      for (uint32_t i = begin; i < end; ++i) box.Extend(pts_[i]);
+      return box;
+    }
+    size_t nb = internal::NumBlocks(end - begin);
+    size_t block = (end - begin + nb - 1) / nb;
+    std::vector<Box<D>> boxes(nb, Box<D>::Empty());
+    ParallelFor(
+        0, nb,
+        [&](size_t b) {
+          uint32_t lo = begin + static_cast<uint32_t>(b * block);
+          uint32_t hi = std::min<uint32_t>(end, lo + block);
+          for (uint32_t i = lo; i < hi; ++i) boxes[b].Extend(pts_[i]);
+        },
+        1);
+    for (size_t b = 0; b < nb; ++b) box.Extend(boxes[b]);
+    return box;
+  }
+
+  Node* Build(uint32_t begin, uint32_t end) {
+    Node* node = AllocNode();
+    node->begin = begin;
+    node->end = end;
+    node->box = RangeBox(begin, end);
+    node->diameter = 2.0 * node->box.SphereRadius();
+    uint32_t n = end - begin;
+    if (n <= leaf_size_ || node->diameter == 0.0) {
+      return node;  // leaf (identical-point ranges always stop here)
+    }
+    int axis = node->box.WidestDim();
+    double split = 0.5 * (node->box.lo[axis] + node->box.hi[axis]);
+    uint32_t mid = Partition(begin, end, axis, split);
+    if (mid == begin || mid == end) {
+      // Degenerate spatial split (heavy duplication near the midpoint):
+      // fall back to an object-median split, which always makes progress
+      // because the range has positive extent along `axis`.
+      mid = begin + n / 2;
+      MedianSplit(begin, end, mid, axis);
+    }
+    if (n >= kSeqBuildCutoff) {
+      ParDo([&] { node->left = Build(begin, mid); },
+            [&] { node->right = Build(mid, end); });
+    } else {
+      node->left = Build(begin, mid);
+      node->right = Build(mid, end);
+    }
+    return node;
+  }
+
+  /// Partitions [begin, end) so points with coord < split come first;
+  /// returns the boundary. Parallel out-of-place pass for large ranges.
+  uint32_t Partition(uint32_t begin, uint32_t end, int axis, double split) {
+    uint32_t n = end - begin;
+    if (n < kSeqBuildCutoff) {
+      uint32_t i = begin;
+      for (uint32_t j = begin; j < end; ++j) {
+        if (pts_[j][axis] < split) {
+          std::swap(pts_[i], pts_[j]);
+          std::swap(ids_[i], ids_[j]);
+          ++i;
+        }
+      }
+      return i;
+    }
+    size_t nb = internal::NumBlocks(n);
+    size_t block = (n + nb - 1) / nb;
+    std::vector<uint32_t> left_counts(nb, 0);
+    ParallelFor(
+        0, nb,
+        [&](size_t b) {
+          uint32_t lo = begin + static_cast<uint32_t>(b * block);
+          uint32_t hi = std::min<uint32_t>(end, lo + block);
+          uint32_t c = 0;
+          for (uint32_t i = lo; i < hi; ++i) c += pts_[i][axis] < split;
+          left_counts[b] = c;
+        },
+        1);
+    std::vector<uint32_t> left_off(left_counts);
+    uint32_t total_left = ScanExclusive(
+        left_off.data(), nb, uint32_t{0},
+        [](uint32_t x, uint32_t y) { return x + y; });
+    ParallelFor(
+        0, nb,
+        [&](size_t b) {
+          uint32_t lo = begin + static_cast<uint32_t>(b * block);
+          uint32_t hi = std::min<uint32_t>(end, lo + block);
+          uint32_t l = begin + left_off[b];
+          uint32_t r = begin + total_left +
+                       (static_cast<uint32_t>(b * block) - left_off[b]);
+          for (uint32_t i = lo; i < hi; ++i) {
+            uint32_t dst = (pts_[i][axis] < split) ? l++ : r++;
+            scratch_pts_[dst] = pts_[i];
+            scratch_ids_[dst] = ids_[i];
+          }
+        },
+        1);
+    ParallelFor(begin, end, [&](size_t i) {
+      pts_[i] = scratch_pts_[i];
+      ids_[i] = scratch_ids_[i];
+    });
+    return begin + total_left;
+  }
+
+  void MedianSplit(uint32_t begin, uint32_t end, uint32_t mid, int axis) {
+    // Sequential nth_element keyed by (coord, id) so equal coordinates
+    // split deterministically. Rare path; cost is acceptable.
+    std::vector<uint32_t> perm(end - begin);
+    for (uint32_t i = 0; i < end - begin; ++i) perm[i] = begin + i;
+    std::nth_element(perm.begin(), perm.begin() + (mid - begin), perm.end(),
+                     [&](uint32_t a, uint32_t b) {
+                       if (pts_[a][axis] != pts_[b][axis]) {
+                         return pts_[a][axis] < pts_[b][axis];
+                       }
+                       return ids_[a] < ids_[b];
+                     });
+    std::vector<Point<D>> tmp_pts(end - begin);
+    std::vector<uint32_t> tmp_ids(end - begin);
+    for (uint32_t i = 0; i < end - begin; ++i) {
+      tmp_pts[i] = pts_[perm[i]];
+      tmp_ids[i] = ids_[perm[i]];
+    }
+    std::copy(tmp_pts.begin(), tmp_pts.end(), pts_.begin() + begin);
+    std::copy(tmp_ids.begin(), tmp_ids.end(), ids_.begin() + begin);
+  }
+
+  void AnnotateCdRec(Node* node) {
+    if (node->IsLeaf()) {
+      double mn = cd_[node->begin], mx = cd_[node->begin];
+      for (uint32_t i = node->begin + 1; i < node->end; ++i) {
+        mn = std::min(mn, cd_[i]);
+        mx = std::max(mx, cd_[i]);
+      }
+      node->cd_min = mn;
+      node->cd_max = mx;
+      return;
+    }
+    if (node->size() >= kSeqBuildCutoff) {
+      ParDo([&] { AnnotateCdRec(node->left); },
+            [&] { AnnotateCdRec(node->right); });
+    } else {
+      AnnotateCdRec(node->left);
+      AnnotateCdRec(node->right);
+    }
+    node->cd_min = std::min(node->left->cd_min, node->right->cd_min);
+    node->cd_max = std::max(node->left->cd_max, node->right->cd_max);
+  }
+
+  template <typename FindFn>
+  void RefreshComponentsRec(Node* node, FindFn& find) {
+    if (node->IsLeaf()) {
+      int64_t c = static_cast<int64_t>(find(ids_[node->begin]));
+      for (uint32_t i = node->begin + 1; i < node->end; ++i) {
+        if (static_cast<int64_t>(find(ids_[i])) != c) {
+          c = -1;
+          break;
+        }
+      }
+      node->component = c;
+      return;
+    }
+    if (node->size() >= kSeqBuildCutoff) {
+      ParDo([&] { RefreshComponentsRec(node->left, find); },
+            [&] { RefreshComponentsRec(node->right, find); });
+    } else {
+      RefreshComponentsRec(node->left, find);
+      RefreshComponentsRec(node->right, find);
+    }
+    node->component = (node->left->component == node->right->component)
+                          ? node->left->component
+                          : -1;
+  }
+
+  uint32_t leaf_size_;
+  std::vector<Point<D>> pts_;
+  std::vector<uint32_t> ids_;
+  std::vector<double> cd_;
+  std::vector<Point<D>> scratch_pts_;
+  std::vector<uint32_t> scratch_ids_;
+  std::vector<Node> nodes_;
+  std::atomic<uint32_t> node_count_{0};
+  Node* root_ = nullptr;
+};
+
+}  // namespace parhc

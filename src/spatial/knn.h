@@ -1,0 +1,113 @@
+// k-nearest-neighbor queries over a k-d tree (paper Section 2.3).
+//
+// All-points kNN runs the per-point queries in parallel; each query keeps a
+// bounded max-heap of the k best squared distances and prunes subtrees whose
+// box cannot beat the current k-th best. Following the paper, a point is one
+// of its own k nearest neighbors.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "spatial/kdtree.h"
+
+namespace parhc {
+
+namespace internal {
+
+/// Fixed-capacity max-heap of (squared distance, id) used by kNN queries.
+class KnnHeap {
+ public:
+  KnnHeap(size_t k, std::pair<double, uint32_t>* storage)
+      : k_(k), heap_(storage) {}
+
+  double Worst() const {
+    return size_ < k_ ? std::numeric_limits<double>::infinity()
+                      : heap_[0].first;
+  }
+
+  void Offer(double sqdist, uint32_t id) {
+    if (size_ < k_) {
+      heap_[size_++] = {sqdist, id};
+      std::push_heap(heap_, heap_ + size_);
+    } else if (sqdist < heap_[0].first) {
+      std::pop_heap(heap_, heap_ + size_);
+      heap_[size_ - 1] = {sqdist, id};
+      std::push_heap(heap_, heap_ + size_);
+    }
+  }
+
+  size_t size() const { return size_; }
+  const std::pair<double, uint32_t>* data() const { return heap_; }
+
+ private:
+  size_t k_;
+  size_t size_ = 0;
+  std::pair<double, uint32_t>* heap_;
+};
+
+template <int D>
+void KnnQueryRec(const KdTree<D>& tree, const typename KdTree<D>::Node* node,
+                 const Point<D>& q, KnnHeap& heap) {
+  if (node->IsLeaf()) {
+    for (uint32_t i = node->begin; i < node->end; ++i) {
+      heap.Offer(SquaredDistance(q, tree.point(i)), tree.id(i));
+    }
+    return;
+  }
+  double dl = node->left->box.MinSquaredDistance(q);
+  double dr = node->right->box.MinSquaredDistance(q);
+  const typename KdTree<D>::Node* near = node->left;
+  const typename KdTree<D>::Node* far = node->right;
+  if (dr < dl) {
+    std::swap(near, far);
+    std::swap(dl, dr);
+  }
+  if (dl < heap.Worst()) KnnQueryRec(tree, near, q, heap);
+  if (dr < heap.Worst()) KnnQueryRec(tree, far, q, heap);
+}
+
+}  // namespace internal
+
+/// k nearest neighbors of `q` (by original point id), sorted by distance.
+/// Includes the query point itself if `q` is in the tree.
+template <int D>
+std::vector<std::pair<double, uint32_t>> KnnQuery(const KdTree<D>& tree,
+                                                  const Point<D>& q,
+                                                  size_t k) {
+  std::vector<std::pair<double, uint32_t>> buf(k);
+  internal::KnnHeap heap(k, buf.data());
+  internal::KnnQueryRec(tree, tree.root(), q, heap);
+  buf.resize(heap.size());
+  std::sort(buf.begin(), buf.end());
+  for (auto& e : buf) e.first = std::sqrt(e.first);
+  return buf;
+}
+
+/// Distance from every point to its k-th nearest neighbor (including
+/// itself), indexed by original point id — the core distance cd(p) for
+/// k = minPts (Section 2.1). O(k n log n) work, O(log n) depth.
+template <int D>
+std::vector<double> KthNeighborDistances(const KdTree<D>& tree, size_t k) {
+  size_t n = tree.size();
+  PARHC_CHECK_MSG(k >= 1 && k <= n, "k out of range");
+  std::vector<double> out(n);
+  ParallelFor(0, n, [&](size_t i) {
+    uint32_t ti = static_cast<uint32_t>(i);
+    std::pair<double, uint32_t> buf_small[64];
+    std::vector<std::pair<double, uint32_t>> buf_big;
+    std::pair<double, uint32_t>* storage = buf_small;
+    if (k > 64) {
+      buf_big.resize(k);
+      storage = buf_big.data();
+    }
+    internal::KnnHeap heap(k, storage);
+    internal::KnnQueryRec(tree, tree.root(), tree.point(ti), heap);
+    PARHC_DCHECK(heap.size() == k);
+    out[tree.id(ti)] = std::sqrt(heap.Worst());
+  });
+  return out;
+}
+
+}  // namespace parhc

@@ -1,0 +1,32 @@
+// Internal invariant checking, in the style of database-engine assert macros.
+//
+// PARHC_CHECK is active in all build types (cheap invariants on cold paths);
+// PARHC_DCHECK compiles out in NDEBUG builds (hot-path invariants).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+#define PARHC_CHECK(cond)                                                     \
+  do {                                                                        \
+    if (!(cond)) {                                                            \
+      std::fprintf(stderr, "PARHC_CHECK failed: %s at %s:%d\n", #cond,        \
+                   __FILE__, __LINE__);                                       \
+      std::abort();                                                           \
+    }                                                                         \
+  } while (0)
+
+#define PARHC_CHECK_MSG(cond, msg)                                            \
+  do {                                                                        \
+    if (!(cond)) {                                                            \
+      std::fprintf(stderr, "PARHC_CHECK failed: %s (%s) at %s:%d\n", #cond,   \
+                   msg, __FILE__, __LINE__);                                  \
+      std::abort();                                                           \
+    }                                                                         \
+  } while (0)
+
+#ifdef NDEBUG
+#define PARHC_DCHECK(cond) ((void)0)
+#else
+#define PARHC_DCHECK(cond) PARHC_CHECK(cond)
+#endif

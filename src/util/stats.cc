@@ -1,0 +1,10 @@
+#include "util/stats.h"
+
+namespace parhc {
+
+Stats& Stats::Get() {
+  static Stats stats;
+  return stats;
+}
+
+}  // namespace parhc

@@ -1,0 +1,31 @@
+// Wall-clock timers used by the benchmark harness and the phase-decomposition
+// instrumentation (Figure 8 of the paper).
+#pragma once
+
+#include <chrono>
+#include <string>
+
+namespace parhc {
+
+/// A simple wall-clock stopwatch.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Reset().
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed since construction or the last Reset().
+  double Millis() const { return Seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace parhc

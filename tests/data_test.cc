@@ -1,0 +1,114 @@
+// Dataset generators and CSV IO.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "data/generators.h"
+#include "data/io.h"
+#include "test_util.h"
+
+namespace parhc {
+namespace {
+
+TEST(UniformFillGen, DeterministicAndInBounds) {
+  auto a = UniformFill<3>(5000, 7);
+  auto b = UniformFill<3>(5000, 7);
+  ASSERT_EQ(a.size(), 5000u);
+  EXPECT_EQ(a, b);  // same seed, same data
+  double side = std::sqrt(5000.0);
+  for (const auto& p : a) {
+    for (int d = 0; d < 3; ++d) {
+      ASSERT_GE(p[d], 0.0);
+      ASSERT_LT(p[d], side);
+    }
+  }
+  auto c = UniformFill<3>(5000, 8);
+  EXPECT_NE(a, c);  // different seed, different data
+}
+
+TEST(UniformFillGen, RoughlyUniformOccupancy) {
+  constexpr size_t kN = 40000;
+  auto pts = UniformFill<2>(kN, 3);
+  double side = std::sqrt(static_cast<double>(kN));
+  // 4x4 grid of cells: each should hold ~1/16 of the points.
+  std::array<size_t, 16> cells{};
+  for (const auto& p : pts) {
+    int cx = std::min(3, static_cast<int>(4 * p[0] / side));
+    int cy = std::min(3, static_cast<int>(4 * p[1] / side));
+    cells[4 * cy + cx]++;
+  }
+  for (size_t c : cells) {
+    EXPECT_NEAR(static_cast<double>(c), kN / 16.0, kN / 16.0 * 0.15);
+  }
+}
+
+TEST(VardenGen, ProducesVaryingLocalDensity) {
+  auto pts = SeedSpreaderVarden<2>(20000, 5, 8);
+  ASSERT_EQ(pts.size(), 20000u);
+  // Variable-density clusters: the 10-NN distance should vary by far more
+  // than an order of magnitude across points (uniform data would not).
+  KdTree<2> tree(pts, 8);
+  auto cd = KthNeighborDistances(tree, 10);
+  std::sort(cd.begin(), cd.end());
+  double p10 = cd[cd.size() / 10], p90 = cd[cd.size() * 9 / 10];
+  EXPECT_GT(p90 / std::max(p10, 1e-12), 3.0);
+}
+
+TEST(VardenGen, Deterministic) {
+  EXPECT_EQ(SeedSpreaderVarden<3>(1000, 2, 4),
+            SeedSpreaderVarden<3>(1000, 2, 4));
+}
+
+TEST(LevyGen, ExtremeSkew) {
+  auto pts = SkewedLevy<3>(20000, 1);
+  KdTree<3> tree(pts, 8);
+  auto cd = KthNeighborDistances(tree, 10);
+  std::sort(cd.begin(), cd.end());
+  // Heavy-tailed walks produce dwell clusters and long jumps: the spread is
+  // far beyond what uniform data shows (~1.5x between these quantiles).
+  double p10 = cd[cd.size() / 10], p99 = cd[cd.size() * 99 / 100];
+  EXPECT_GT(p99 / std::max(p10, 1e-12), 5.0);
+}
+
+TEST(GaussGen, BlobsAreDenserThanBackground) {
+  auto pts = ClusteredGaussians<7>(20000, 9, 8);
+  KdTree<7> tree(pts, 8);
+  auto cd = KthNeighborDistances(tree, 10);
+  std::sort(cd.begin(), cd.end());
+  EXPECT_GT(cd[cd.size() * 99 / 100] / std::max(cd[cd.size() / 2], 1e-12),
+            2.0);
+}
+
+TEST(CsvIo, RoundTrip) {
+  auto pts = test::RandomPoints<5>(500, 33);
+  std::string path =
+      (std::filesystem::temp_directory_path() / "parhc_io_test.csv").string();
+  WritePointsCsv(path, pts);
+  auto back = ReadPointsCsvAs<5>(path);
+  ASSERT_EQ(back.size(), pts.size());
+  for (size_t i = 0; i < pts.size(); ++i) {
+    for (int d = 0; d < 5; ++d) {
+      ASSERT_DOUBLE_EQ(back[i][d], pts[i][d]);
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(CsvIo, SkipsCommentsAndBlankLines) {
+  std::string path =
+      (std::filesystem::temp_directory_path() / "parhc_io_test2.csv").string();
+  {
+    FILE* f = std::fopen(path.c_str(), "w");
+    std::fputs("# header comment\n1.5,2.5\n\n3.5,4.5\n", f);
+    std::fclose(f);
+  }
+  auto rows = ReadPointsCsv(path);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_DOUBLE_EQ(rows[0][0], 1.5);
+  EXPECT_DOUBLE_EQ(rows[1][1], 4.5);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace parhc

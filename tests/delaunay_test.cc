@@ -1,0 +1,138 @@
+// Delaunay triangulation validity and EMST-Delaunay vs the WSPD methods.
+#include <gtest/gtest.h>
+
+#include <random>
+#include <set>
+
+#include "delaunay/delaunay.h"
+#include "emst/emst_delaunay.h"
+#include "emst/emst_memogfk.h"
+#include "test_util.h"
+
+namespace parhc {
+namespace {
+
+using test::RandomPoints;
+using test::TotalWeight;
+
+long double InCircleRef(const Point<2>& a, const Point<2>& b,
+                        const Point<2>& c, const Point<2>& d) {
+  long double adx = (long double)a[0] - d[0], ady = (long double)a[1] - d[1];
+  long double bdx = (long double)b[0] - d[0], bdy = (long double)b[1] - d[1];
+  long double cdx = (long double)c[0] - d[0], cdy = (long double)c[1] - d[1];
+  long double ad2 = adx * adx + ady * ady;
+  long double bd2 = bdx * bdx + bdy * bdy;
+  long double cd2 = cdx * cdx + cdy * cdy;
+  return adx * (bdy * cd2 - cdy * bd2) - ady * (bdx * cd2 - cdx * bd2) +
+         ad2 * (bdx * cdy - cdx * bdy);
+}
+
+TEST(Delaunay, Triangle) {
+  std::vector<Point<2>> pts{{{0, 0}}, {{1, 0}}, {{0, 1}}};
+  auto tri = DelaunayTriangulate(pts);
+  ASSERT_EQ(tri.triangles.size(), 1u);
+  EXPECT_EQ(tri.edges.size(), 3u);
+}
+
+TEST(Delaunay, Square) {
+  std::vector<Point<2>> pts{{{0, 0}}, {{1, 0}}, {{1, 1}}, {{0, 1}}};
+  auto tri = DelaunayTriangulate(pts);
+  EXPECT_EQ(tri.triangles.size(), 2u);
+  EXPECT_EQ(tri.edges.size(), 5u);  // 4 sides + 1 diagonal
+}
+
+class DelaunayRandomTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(DelaunayRandomTest, EmptyCircumcircleProperty) {
+  size_t n = GetParam();
+  auto pts = RandomPoints<2>(n, n * 3 + 1);
+  auto tri = DelaunayTriangulate(pts);
+  // Euler bound: at most 2n - 2 - h triangles, 3n - 3 - h edges.
+  EXPECT_LE(tri.edges.size(), 3 * n);
+  // Empty circumcircle: no point strictly inside any triangle's circle
+  // (allow a tiny relative slack for the long double arithmetic).
+  for (const auto& t : tri.triangles) {
+    for (uint32_t p = 0; p < n; ++p) {
+      if (p == t[0] || p == t[1] || p == t[2]) continue;
+      long double det =
+          InCircleRef(pts[t[0]], pts[t[1]], pts[t[2]], pts[p]);
+      ASSERT_LE(det, 1e-3L) << "point " << p << " inside circumcircle";
+    }
+  }
+}
+
+TEST_P(DelaunayRandomTest, EdgesFormConnectedPlanarGraph) {
+  size_t n = GetParam();
+  auto pts = RandomPoints<2>(n, n * 7 + 5);
+  auto tri = DelaunayTriangulate(pts);
+  UnionFind uf(n);
+  for (auto [u, v] : tri.edges) uf.Union(u, v);
+  EXPECT_EQ(uf.num_components(), 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, DelaunayRandomTest,
+                         ::testing::Values(4, 10, 50, 200, 1000));
+
+TEST(Delaunay, CollinearPoints) {
+  std::vector<Point<2>> pts;
+  for (int i = 0; i < 20; ++i) pts.push_back({{double(i), 2.0 * i}});
+  auto tri = DelaunayTriangulate(pts);
+  // No real triangles, but consecutive points must be connected.
+  UnionFind uf(pts.size());
+  for (auto [u, v] : tri.edges) uf.Union(u, v);
+  EXPECT_EQ(uf.num_components(), 1u);
+}
+
+TEST(Delaunay, GridWithCocircularities) {
+  // Regular grid: many exactly-cocircular quadruples; triangulation must
+  // still produce a valid connected planar graph.
+  std::vector<Point<2>> pts;
+  for (int x = 0; x < 12; ++x) {
+    for (int y = 0; y < 12; ++y) pts.push_back({{double(x), double(y)}});
+  }
+  auto tri = DelaunayTriangulate(pts);
+  UnionFind uf(pts.size());
+  for (auto [u, v] : tri.edges) uf.Union(u, v);
+  EXPECT_EQ(uf.num_components(), 1u);
+  EXPECT_LE(tri.edges.size(), 3 * pts.size());
+}
+
+class EmstDelaunayTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(EmstDelaunayTest, MatchesMemoGfk) {
+  size_t n = GetParam();
+  auto pts = RandomPoints<2>(n, n + 11);
+  auto mst_d = EmstDelaunay(pts);
+  auto mst_m = EmstMemoGfk(pts);
+  ASSERT_EQ(mst_d.size(), n - 1);
+  double wd = TotalWeight(mst_d), wm = TotalWeight(mst_m);
+  EXPECT_NEAR(wd, wm, 1e-9 * (1 + wm));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, EmstDelaunayTest,
+                         ::testing::Values(2, 3, 10, 100, 2000));
+
+TEST(EmstDelaunay, MatchesPrimOracle) {
+  auto pts = RandomPoints<2>(300, 6);
+  EXPECT_NEAR(TotalWeight(EmstDelaunay(pts)), test::PrimEmstWeight(pts),
+              1e-9);
+}
+
+TEST(EmstDelaunay, HandlesDuplicates) {
+  auto pts = test::DuplicatedPoints<2>(300, 17);
+  double expect = test::PrimEmstWeight(pts);
+  auto mst = EmstDelaunay(pts);
+  ASSERT_EQ(mst.size(), pts.size() - 1);
+  EXPECT_NEAR(TotalWeight(mst), expect, 1e-9 * (1 + expect));
+}
+
+TEST(EmstDelaunay, ClusteredData) {
+  auto pts = SeedSpreaderVarden<2>(2000, 23, 5);
+  auto mst_d = EmstDelaunay(pts);
+  auto mst_m = EmstMemoGfk(pts);
+  EXPECT_NEAR(TotalWeight(mst_d), TotalWeight(mst_m),
+              1e-9 * TotalWeight(mst_m));
+}
+
+}  // namespace
+}  // namespace parhc

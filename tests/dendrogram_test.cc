@@ -1,0 +1,379 @@
+// Dendrogram construction (sequential + parallel), reachability plots, and
+// flat cluster extraction, validated against Prim-based references.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <random>
+
+#include "dendrogram/builder.h"
+#include "dendrogram/cluster_extraction.h"
+#include "dendrogram/reachability.h"
+#include "emst/emst_memogfk.h"
+#include "graph/prim.h"
+#include "hdbscan/hdbscan.h"
+#include "test_util.h"
+
+namespace parhc {
+namespace {
+
+using test::RandomPoints;
+
+/// Random spanning tree on n vertices with distinct random weights.
+std::vector<WeightedEdge> RandomTree(size_t n, uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> u(0.0, 1.0);
+  std::vector<WeightedEdge> edges;
+  for (uint32_t v = 1; v < n; ++v) {
+    edges.push_back({static_cast<uint32_t>(rng() % v), v, u(rng)});
+  }
+  std::shuffle(edges.begin(), edges.end(), rng);
+  return edges;
+}
+
+TEST(DendrogramSeq, SingleEdge) {
+  std::vector<WeightedEdge> edges{{0, 1, 2.5}};
+  Dendrogram d = BuildDendrogramSequential(2, edges, 0);
+  EXPECT_TRUE(d.Validate());
+  EXPECT_EQ(d.root(), 2u);
+  EXPECT_EQ(d.Left(2), 0u);   // source goes left
+  EXPECT_EQ(d.Right(2), 1u);
+  EXPECT_DOUBLE_EQ(d.Height(2), 2.5);
+  // Rooted at 1, the order flips.
+  Dendrogram d1 = BuildDendrogramSequential(2, edges, 1);
+  EXPECT_EQ(d1.Left(2), 1u);
+  EXPECT_EQ(d1.Right(2), 0u);
+}
+
+TEST(DendrogramSeq, PaperFigure1Example) {
+  // The HDBSCAN* MST of Figure 1a: edges with mutual-reachability weights.
+  // Vertices: a=0 b=1 c=2 d=3 e=4 f=5 g=6 h=7 i=8.
+  std::vector<WeightedEdge> edges{
+      {0, 3, 4.0},                 // a-d
+      {3, 1, std::sqrt(10.0)},     // d-b
+      {1, 2, 6.0},                 // b-c
+      {3, 4, std::sqrt(17.0)},     // d-e
+      {4, 6, 4.0 - 1e-9},          // e-g (weight 4, perturbed to break tie)
+      {6, 5, std::sqrt(5.0)},      // g-f
+      {5, 7, 2.0 * std::sqrt(2.0)},// f-h
+      {7, 8, std::sqrt(346.0)},    // h-i
+  };
+  Dendrogram d = BuildDendrogramSequential(9, edges, 0);
+  ASSERT_TRUE(d.Validate());
+  // Root must be the heaviest edge h-i (sqrt(346) ~ 18.6).
+  EXPECT_NEAR(d.Height(d.root()), std::sqrt(346.0), 1e-12);
+  // Prim from a: a, d (4), b (sqrt10), e (sqrt17), g (~4), f (sqrt5),
+  // h (2 sqrt2), c (6), i (sqrt346).
+  ReachabilityPlot plot = ComputeReachability(d);
+  std::vector<uint32_t> want_order{0, 3, 1, 4, 6, 5, 7, 2, 8};
+  ASSERT_EQ(plot.order, want_order);
+  EXPECT_TRUE(std::isinf(plot.value[0]));
+  EXPECT_NEAR(plot.value[1], 4.0, 1e-12);              // a-d
+  EXPECT_NEAR(plot.value[2], std::sqrt(10.0), 1e-12);  // d-b
+  EXPECT_NEAR(plot.value[3], std::sqrt(17.0), 1e-12);  // d-e
+  EXPECT_NEAR(plot.value[7], 6.0, 1e-12);              // b-c
+  EXPECT_NEAR(plot.value[8], std::sqrt(346.0), 1e-12); // h-i
+}
+
+// The critical property (Theorem 4.2): the ordered dendrogram's in-order
+// leaves and merge heights reproduce the Prim traversal reachability plot.
+class OrderedDendrogramTest
+    : public ::testing::TestWithParam<std::tuple<size_t, int>> {};
+
+TEST_P(OrderedDendrogramTest, ReachabilityMatchesPrimReference) {
+  auto [n, seed] = GetParam();
+  auto edges = RandomTree(n, seed);
+  for (uint32_t source : {0u, static_cast<uint32_t>(n / 2),
+                          static_cast<uint32_t>(n - 1)}) {
+    Dendrogram d = BuildDendrogramSequential(n, edges, source);
+    ReachabilityPlot plot = ComputeReachability(d);
+    auto [ref_order, ref_value] =
+        PrimReachabilityReference(n, edges, source);
+    ASSERT_EQ(plot.order, ref_order) << "source " << source;
+    for (size_t i = 1; i < n; ++i) {
+      ASSERT_DOUBLE_EQ(plot.value[i], ref_value[i]) << "pos " << i;
+    }
+  }
+}
+
+TEST_P(OrderedDendrogramTest, ParallelEqualsSequential) {
+  auto [n, seed] = GetParam();
+  auto edges = RandomTree(n, seed + 100);
+  uint32_t source = static_cast<uint32_t>(seed) % n;
+  Dendrogram ds = BuildDendrogramSequential(n, edges, source);
+  // Tiny cutoff forces deep parallel recursion even on small inputs.
+  Dendrogram dp = BuildDendrogramParallel(n, edges, source, /*seq_cutoff=*/4);
+  ASSERT_TRUE(ds.Validate());
+  ASSERT_TRUE(dp.Validate());
+  // Ordered dendrograms are unique: identical in-order traversals.
+  ReachabilityPlot ps = ComputeReachability(ds);
+  ReachabilityPlot pp = ComputeReachability(dp);
+  ASSERT_EQ(ps.order, pp.order);
+  for (size_t i = 1; i < n; ++i) {
+    ASSERT_DOUBLE_EQ(ps.value[i], pp.value[i]) << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, OrderedDendrogramTest,
+    ::testing::Combine(::testing::Values(2, 3, 5, 17, 100, 1000, 5000),
+                       ::testing::Values(1, 2, 3)));
+
+TEST(DendrogramParallel, PathologicalSortedPath) {
+  // Increasing weights along a path — the warm-up algorithm's worst case
+  // (Section 4.2); the heavy/light algorithm must still be correct.
+  constexpr size_t kN = 3000;
+  std::vector<WeightedEdge> edges;
+  for (uint32_t i = 0; i + 1 < kN; ++i) {
+    edges.push_back({i, i + 1, static_cast<double>(i + 1)});
+  }
+  Dendrogram dp = BuildDendrogramParallel(kN, edges, 0, 16);
+  ReachabilityPlot plot = ComputeReachability(dp);
+  // Prim from 0 walks the path in order with reach value = edge weight.
+  for (uint32_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(plot.order[i], i);
+    if (i > 0) {
+      ASSERT_DOUBLE_EQ(plot.value[i], static_cast<double>(i));
+    }
+  }
+}
+
+TEST(DendrogramParallel, StarTree) {
+  constexpr size_t kN = 2000;
+  std::mt19937_64 rng(3);
+  std::uniform_real_distribution<double> u(0.0, 1.0);
+  std::vector<WeightedEdge> edges;
+  for (uint32_t i = 1; i < kN; ++i) {
+    edges.push_back({0, i, u(rng)});
+  }
+  Dendrogram ds = BuildDendrogramSequential(kN, edges, 0);
+  Dendrogram dp = BuildDendrogramParallel(kN, edges, 0, 8);
+  ReachabilityPlot ps = ComputeReachability(ds);
+  ReachabilityPlot pp = ComputeReachability(dp);
+  EXPECT_EQ(ps.order, pp.order);
+}
+
+// The Theorem 4.2 parallel extraction (Euler threading + list ranking)
+// must agree with the sequential in-order traversal on every shape.
+class ParallelReachabilityTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(ParallelReachabilityTest, MatchesSequentialExtraction) {
+  size_t n = GetParam();
+  auto edges = RandomTree(n, n * 5 + 1);
+  Dendrogram d = BuildDendrogramSequential(n, edges, 0);
+  ReachabilityPlot seq = ComputeReachability(d);
+  ReachabilityPlot par = ComputeReachabilityParallel(d);
+  ASSERT_EQ(par.order, seq.order);
+  ASSERT_EQ(par.value.size(), seq.value.size());
+  EXPECT_TRUE(std::isinf(par.value[0]));
+  for (size_t i = 1; i < n; ++i) {
+    ASSERT_DOUBLE_EQ(par.value[i], seq.value[i]) << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ParallelReachabilityTest,
+                         ::testing::Values(1, 2, 3, 9, 257, 4096));
+
+TEST(ParallelReachability, LinearDepthChainDendrogram) {
+  // Sorted-path tree: the dendrogram is a maximally unbalanced chain, the
+  // worst case for spine pointer jumping.
+  constexpr size_t kN = 5000;
+  std::vector<WeightedEdge> edges;
+  for (uint32_t i = 0; i + 1 < kN; ++i) {
+    edges.push_back({i, i + 1, static_cast<double>(i + 1)});
+  }
+  Dendrogram d = BuildDendrogramParallel(kN, edges, 0);
+  ReachabilityPlot par = ComputeReachabilityParallel(d);
+  ReachabilityPlot seq = ComputeReachability(d);
+  EXPECT_EQ(par.order, seq.order);
+}
+
+TEST(DendrogramParallel, HeightsMonotoneOnRootPaths) {
+  auto edges = RandomTree(4000, 9);
+  Dendrogram d = BuildDendrogramParallel(4000, edges, 0, 64);
+  // Walk each leaf's root path: heights never decrease.
+  for (uint32_t leaf = 0; leaf < 4000; leaf += 37) {
+    double h = -1;
+    uint32_t cur = d.Parent(leaf);
+    while (cur != Dendrogram::kNone) {
+      ASSERT_GE(d.Height(cur), h);
+      h = d.Height(cur);
+      cur = d.Parent(cur);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Single-linkage clustering via dendrogram cuts.
+
+TEST(SingleLinkage, CutEqualsThresholdComponents) {
+  auto pts = RandomPoints<2>(400, 12);
+  auto mst = EmstMemoGfk(pts);
+  Dendrogram d = BuildDendrogramParallel(pts.size(), mst, 0);
+  for (double eps : {0.5, 2.0, 5.0, 20.0}) {
+    auto labels = CutClusters(d, eps);
+    // Reference: components of the eps-threshold graph (equivalently, of
+    // the EMST edges with weight <= eps).
+    UnionFind uf(pts.size());
+    for (auto& e : mst) {
+      if (e.w <= eps) uf.Union(e.u, e.v);
+    }
+    std::map<std::pair<int32_t, uint32_t>, int> seen;
+    for (uint32_t i = 0; i < pts.size(); ++i) {
+      for (uint32_t j = i + 1; j < pts.size(); ++j) {
+        ASSERT_EQ(labels[i] == labels[j], uf.Connected(i, j))
+            << i << "," << j << " eps=" << eps;
+      }
+    }
+  }
+}
+
+TEST(SingleLinkage, KClustersProducesExactlyK) {
+  auto pts = RandomPoints<2>(300, 8);
+  auto mst = EmstMemoGfk(pts);
+  Dendrogram d = BuildDendrogramSequential(pts.size(), mst, 0);
+  for (size_t k : {1ul, 2ul, 5ul, 37ul, 300ul}) {
+    auto labels = KClusters(d, k);
+    std::set<int32_t> distinct(labels.begin(), labels.end());
+    EXPECT_EQ(distinct.size(), k);
+    EXPECT_FALSE(distinct.count(kNoise));
+  }
+}
+
+TEST(SingleLinkage, KClustersNested) {
+  // k and k+1 clusterings are nested: the k+1 partition refines k.
+  auto pts = RandomPoints<3>(200, 15);
+  auto mst = EmstMemoGfk(pts);
+  Dendrogram d = BuildDendrogramSequential(pts.size(), mst, 0);
+  auto l5 = KClusters(d, 5);
+  auto l6 = KClusters(d, 6);
+  std::map<int32_t, std::set<int32_t>> image;
+  for (size_t i = 0; i < pts.size(); ++i) {
+    image[l6[i]].insert(l5[i]);
+  }
+  for (auto& [fine, coarse_set] : image) {
+    EXPECT_EQ(coarse_set.size(), 1u) << "cluster " << fine << " split";
+  }
+}
+
+// ---------------------------------------------------------------------------
+// DBSCAN* extraction from the HDBSCAN* dendrogram vs brute force.
+
+std::vector<int32_t> BruteDbscanStar(const std::vector<Point<2>>& pts,
+                                     int min_pts, double eps) {
+  size_t n = pts.size();
+  auto cd = test::BruteCoreDistances(pts, min_pts);
+  UnionFind uf(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    if (cd[i] > eps) continue;
+    for (uint32_t j = i + 1; j < n; ++j) {
+      if (cd[j] > eps) continue;
+      if (Distance(pts[i], pts[j]) <= eps) uf.Union(i, j);
+    }
+  }
+  std::vector<int32_t> label(n, kNoise);
+  std::map<uint32_t, int32_t> ids;
+  for (uint32_t i = 0; i < n; ++i) {
+    if (cd[i] > eps) continue;
+    uint32_t r = uf.Find(i);
+    auto [it, inserted] = ids.try_emplace(r, static_cast<int32_t>(ids.size()));
+    label[i] = it->second;
+  }
+  return label;
+}
+
+void ExpectSamePartition(const std::vector<int32_t>& a,
+                         const std::vector<int32_t>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  std::map<int32_t, int32_t> fwd, bwd;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i] == kNoise || b[i] == kNoise) {
+      ASSERT_EQ(a[i], b[i]) << "noise mismatch at " << i;
+      continue;
+    }
+    auto [f, fi] = fwd.try_emplace(a[i], b[i]);
+    ASSERT_EQ(f->second, b[i]) << "label mapping not injective at " << i;
+    auto [g, gi] = bwd.try_emplace(b[i], a[i]);
+    ASSERT_EQ(g->second, a[i]) << "label mapping not functional at " << i;
+  }
+}
+
+class DbscanStarTest : public ::testing::TestWithParam<std::tuple<int, double>> {
+};
+
+TEST_P(DbscanStarTest, MatchesBruteForce) {
+  auto [min_pts, eps_scale] = GetParam();
+  auto pts = SeedSpreaderVarden<2>(400, 19, 3);
+  auto result = Hdbscan(pts, min_pts);
+  // Pick eps as a quantile of MST weights scaled by the parameter.
+  std::vector<double> ws;
+  for (auto& e : result.mst) ws.push_back(e.w);
+  std::sort(ws.begin(), ws.end());
+  double eps = ws[static_cast<size_t>(ws.size() * 0.7)] * eps_scale;
+  auto fast = result.ClustersAt(eps);
+  auto slow = BruteDbscanStar(pts, min_pts, eps);
+  ExpectSamePartition(fast, slow);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, DbscanStarTest,
+    ::testing::Combine(::testing::Values(2, 5, 10),
+                       ::testing::Values(0.5, 1.0, 2.0)));
+
+// Mutual reachability weights tie frequently (many edges weigh exactly a
+// core distance), so the Prim order is not unique. This checker validates
+// that (order, value) is *some* correct Prim traversal of the tree: at every
+// step the visited vertex attains the minimum frontier weight and the
+// reported value equals that weight.
+void ExpectValidPrimTraversal(size_t n, const std::vector<WeightedEdge>& mst,
+                              const ReachabilityPlot& plot) {
+  ASSERT_EQ(plot.order.size(), n);
+  std::vector<std::vector<std::pair<uint32_t, double>>> adj(n);
+  for (const auto& e : mst) {
+    adj[e.u].push_back({e.v, e.w});
+    adj[e.v].push_back({e.u, e.w});
+  }
+  std::vector<double> best(n, std::numeric_limits<double>::infinity());
+  std::vector<bool> visited(n, false);
+  ASSERT_TRUE(std::isinf(plot.value[0]));
+  for (size_t i = 0; i < n; ++i) {
+    uint32_t v = plot.order[i];
+    ASSERT_FALSE(visited[v]);
+    if (i > 0) {
+      double frontier_min = std::numeric_limits<double>::infinity();
+      for (size_t u = 0; u < n; ++u) {
+        if (!visited[u]) frontier_min = std::min(frontier_min, best[u]);
+      }
+      ASSERT_DOUBLE_EQ(plot.value[i], best[v]) << "step " << i;
+      ASSERT_DOUBLE_EQ(best[v], frontier_min) << "step " << i;
+    }
+    visited[v] = true;
+    for (auto [nb, w] : adj[v]) {
+      if (!visited[nb]) best[nb] = std::min(best[nb], w);
+    }
+  }
+}
+
+TEST(Hdbscan, FullPipelineReachabilityIsValidPrimTraversal) {
+  auto pts = RandomPoints<2>(300, 23);
+  constexpr int kMinPts = 5;
+  auto result = Hdbscan(pts, kMinPts);
+  ReachabilityPlot plot = result.Reachability();
+  ExpectValidPrimTraversal(pts.size(), result.mst, plot);
+}
+
+TEST(Hdbscan, ClusteredDataReachabilityIsValidPrimTraversal) {
+  auto pts = SeedSpreaderVarden<3>(500, 77, 4);
+  auto result = Hdbscan(pts, 10);
+  ExpectValidPrimTraversal(pts.size(), result.mst, result.Reachability());
+}
+
+TEST(Hdbscan, SinglePointPipeline) {
+  std::vector<Point<2>> pts{{{0.0, 0.0}}};
+  auto result = Hdbscan(pts, 1);
+  EXPECT_TRUE(result.mst.empty());
+  auto labels = result.ClustersAt(1.0);
+  EXPECT_EQ(labels.size(), 1u);
+}
+
+}  // namespace
+}  // namespace parhc

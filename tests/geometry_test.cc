@@ -1,0 +1,170 @@
+// Geometric primitives: the distance-bound invariants that WSPD separation
+// tests and MemoGFK window pruning depend on for correctness.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "geometry/box.h"
+#include "geometry/point.h"
+#include "test_util.h"
+
+namespace parhc {
+namespace {
+
+template <int D>
+Box<D> RandomBox(std::mt19937_64& rng) {
+  std::uniform_real_distribution<double> u(-50.0, 50.0);
+  Box<D> b = Box<D>::Empty();
+  for (int k = 0; k < 4; ++k) {
+    Point<D> p;
+    for (int d = 0; d < D; ++d) p[d] = u(rng);
+    b.Extend(p);
+  }
+  return b;
+}
+
+template <int D>
+Point<D> RandomPointIn(const Box<D>& b, std::mt19937_64& rng) {
+  std::uniform_real_distribution<double> u(0.0, 1.0);
+  Point<D> p;
+  for (int d = 0; d < D; ++d) {
+    p[d] = b.lo[d] + u(rng) * (b.hi[d] - b.lo[d]);
+  }
+  return p;
+}
+
+TEST(Box, EmptyExtendsToPoint) {
+  Box<3> b = Box<3>::Empty();
+  Point<3> p{{1, 2, 3}};
+  b.Extend(p);
+  EXPECT_EQ(b.lo, p);
+  EXPECT_EQ(b.hi, p);
+  EXPECT_EQ(b.SphereRadius(), 0.0);
+}
+
+// The invariant MemoGFK's interval pruning rests on (Figure 3): for any
+// points p in A and q in B,
+//   MinSquaredDistance(A,B) <= d(p,q)^2 <= MaxSquaredDistance(A,B).
+TEST(Box, MinMaxDistanceBracketAllPointPairs) {
+  std::mt19937_64 rng(7);
+  for (int trial = 0; trial < 200; ++trial) {
+    Box<3> a = RandomBox<3>(rng);
+    Box<3> b = RandomBox<3>(rng);
+    double lo = a.MinSquaredDistance(b);
+    double hi = a.MaxSquaredDistance(b);
+    EXPECT_LE(lo, hi);
+    for (int s = 0; s < 20; ++s) {
+      Point<3> p = RandomPointIn(a, rng);
+      Point<3> q = RandomPointIn(b, rng);
+      double d2 = SquaredDistance(p, q);
+      ASSERT_GE(d2, lo - 1e-9);
+      ASSERT_LE(d2, hi + 1e-9);
+    }
+  }
+}
+
+// GetRho / GetPairs prune with box distances while separation tests use
+// sphere distances: soundness needs SphereDistance <= point distances too
+// (the sphere contains the box).
+TEST(Box, SphereDistanceIsAlsoALowerBound) {
+  std::mt19937_64 rng(11);
+  for (int trial = 0; trial < 200; ++trial) {
+    Box<2> a = RandomBox<2>(rng);
+    Box<2> b = RandomBox<2>(rng);
+    double sd = SphereDistance(a, b);
+    EXPECT_LE(sd * sd, a.MinSquaredDistance(b) + 1e-9)
+        << "sphere distance must not exceed box distance";
+    for (int s = 0; s < 10; ++s) {
+      double d = Distance(RandomPointIn(a, rng), RandomPointIn(b, rng));
+      ASSERT_LE(sd, d + 1e-9);
+    }
+  }
+}
+
+TEST(Box, MinDistanceMonotoneUnderShrinking) {
+  // Child boxes (subsets) can only be farther apart — the property that
+  // makes lb-based subtree pruning sound.
+  std::mt19937_64 rng(13);
+  for (int trial = 0; trial < 100; ++trial) {
+    Box<3> a = RandomBox<3>(rng);
+    Box<3> b = RandomBox<3>(rng);
+    Box<3> child = Box<3>::Empty();
+    for (int k = 0; k < 3; ++k) child.Extend(RandomPointIn(a, rng));
+    ASSERT_GE(child.MinSquaredDistance(b), a.MinSquaredDistance(b) - 1e-9);
+    ASSERT_LE(child.MaxSquaredDistance(b), a.MaxSquaredDistance(b) + 1e-9);
+  }
+}
+
+TEST(Box, OverlappingBoxesHaveZeroMinDistance) {
+  Box<2> a{{{0, 0}}, {{2, 2}}};
+  Box<2> b{{{1, 1}}, {{3, 3}}};
+  EXPECT_EQ(a.MinSquaredDistance(b), 0.0);
+  EXPECT_GT(a.MaxSquaredDistance(b), 0.0);
+}
+
+TEST(Box, WidestDimIsCorrect) {
+  Box<3> b{{{0, 0, 0}}, {{1, 5, 2}}};
+  EXPECT_EQ(b.WidestDim(), 1);
+}
+
+TEST(WellSeparated, SeparationConstantMonotone) {
+  // If a pair is well-separated at s, it is well-separated at any s' < s.
+  std::mt19937_64 rng(17);
+  for (int trial = 0; trial < 300; ++trial) {
+    Box<2> a = RandomBox<2>(rng);
+    Box<2> b = RandomBox<2>(rng);
+    for (double s : {8.0, 4.0, 2.0, 1.0}) {
+      if (WellSeparated(a, b, s)) {
+        for (double s2 : {0.5, 1.0, 2.0, 4.0}) {
+          if (s2 <= s) {
+            ASSERT_TRUE(WellSeparated(a, b, s2));
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(WellSeparated, TranslatedCopiesSeparateAtLargeDistance) {
+  std::mt19937_64 rng(19);
+  Box<2> a = RandomBox<2>(rng);
+  Box<2> b = a;
+  double r = a.SphereRadius();
+  // Shift b far along x: separation must eventually hold for s = 2.
+  for (int d = 0; d < 2; ++d) {
+    b.lo[d] += 0;  // keep shape
+  }
+  b.lo[0] += 100 * (r + 1);
+  b.hi[0] += 100 * (r + 1);
+  EXPECT_TRUE(WellSeparated(a, b, 2.0));
+  // Overlapping copies are never well-separated (unless degenerate).
+  if (r > 0) {
+    EXPECT_FALSE(WellSeparated(a, a, 2.0));
+  }
+}
+
+TEST(Point, DistanceBasics) {
+  Point<2> a{{0, 0}}, b{{3, 4}};
+  EXPECT_DOUBLE_EQ(Distance(a, b), 5.0);
+  EXPECT_DOUBLE_EQ(SquaredDistance(a, b), 25.0);
+  EXPECT_DOUBLE_EQ(Distance(a, a), 0.0);
+  EXPECT_TRUE(a != b);
+  EXPECT_TRUE(a == a);
+}
+
+TEST(Point, TriangleInequalitySampled) {
+  std::mt19937_64 rng(23);
+  std::uniform_real_distribution<double> u(-10, 10);
+  for (int t = 0; t < 500; ++t) {
+    Point<5> a, b, c;
+    for (int d = 0; d < 5; ++d) {
+      a[d] = u(rng);
+      b[d] = u(rng);
+      c[d] = u(rng);
+    }
+    ASSERT_LE(Distance(a, c), Distance(a, b) + Distance(b, c) + 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace parhc

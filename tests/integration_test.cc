@@ -1,0 +1,169 @@
+// End-to-end integration and stress tests: whole pipelines on larger,
+// adversarial, and mixed workloads; cross-algorithm agreement at scale;
+// worker-count robustness.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "parhc.h"
+#include "test_util.h"
+
+namespace parhc {
+namespace {
+
+using test::TotalWeight;
+
+// All EMST algorithms agree on every dataset family at a size where the
+// WSPD and round structure are deep, across worker counts.
+class EmstAgreementTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(EmstAgreementTest, AllMethodsAllDatasets) {
+  SetNumWorkers(GetParam());
+  constexpr size_t kN = 3000;
+  auto check = [&](const auto& pts, const std::string& what) {
+    double w_memo = TotalWeight(EmstMemoGfk(pts));
+    EXPECT_NEAR(TotalWeight(EmstNaive(pts)), w_memo, 1e-9 * (1 + w_memo))
+        << what;
+    EXPECT_NEAR(TotalWeight(EmstGfk(pts)), w_memo, 1e-9 * (1 + w_memo))
+        << what;
+    EXPECT_NEAR(TotalWeight(EmstBoruvka(pts)), w_memo, 1e-9 * (1 + w_memo))
+        << what;
+  };
+  check(UniformFill<2>(kN, 1), "2D uniform");
+  check(UniformFill<5>(kN, 2), "5D uniform");
+  check(SeedSpreaderVarden<3>(kN, 3), "3D varden");
+  check(SkewedLevy<3>(kN, 4), "3D levy");
+  check(ClusteredGaussians<7>(kN, 5), "7D gauss");
+  SetNumWorkers(4);
+}
+
+INSTANTIATE_TEST_SUITE_P(Workers, EmstAgreementTest,
+                         ::testing::Values(1, 2, 4, 8));
+
+TEST(Integration, HdbscanVariantsAgreeEverywhere) {
+  constexpr size_t kN = 2500;
+  for (int min_pts : {2, 10, 25}) {
+    auto check = [&](const auto& pts, const std::string& what) {
+      auto gan = HdbscanMst(pts, min_pts, HdbscanVariant::kGanTao);
+      auto memo = HdbscanMst(pts, min_pts, HdbscanVariant::kMemoGfk);
+      double wg = TotalWeight(gan.mst);
+      EXPECT_NEAR(TotalWeight(memo.mst), wg, 1e-9 * (1 + wg))
+          << what << " minPts=" << min_pts;
+    };
+    check(UniformFill<2>(kN, 10), "2D uniform");
+    check(SeedSpreaderVarden<3>(kN, 11), "3D varden");
+    check(ClusteredGaussians<10>(kN, 12), "10D gauss");
+  }
+}
+
+TEST(Integration, EmstScalesTo100kAndStaysConsistent) {
+  // A larger run exercising deep WSPD recursion, many MemoGFK rounds, and
+  // the parallel dendrogram; cross-checks two independent algorithms.
+  constexpr size_t kN = 100000;
+  auto pts = SeedSpreaderVarden<2>(kN, 99, 10);
+  auto memo = EmstMemoGfk(pts);
+  auto delaunay = EmstDelaunay(pts);
+  ASSERT_EQ(memo.size(), kN - 1);
+  double wm = TotalWeight(memo);
+  EXPECT_NEAR(TotalWeight(delaunay), wm, 1e-9 * wm);
+  // Dendrogram over the 100k-edge tree, parallel vs sequential.
+  Dendrogram dp = BuildDendrogramParallel(kN, memo, 0);
+  Dendrogram ds = BuildDendrogramSequential(kN, memo, 0);
+  auto pp = ComputeReachability(dp);
+  auto ps = ComputeReachability(ds);
+  ASSERT_EQ(pp.order, ps.order);
+}
+
+TEST(Integration, MixedDuplicateAndCollinearStress) {
+  // A hostile input: axis-aligned collinear runs, exact duplicates, and a
+  // dense cluster, shuffled together.
+  std::vector<Point<2>> pts;
+  for (int i = 0; i < 200; ++i) pts.push_back({{double(i), 0.0}});
+  for (int i = 0; i < 200; ++i) pts.push_back({{0.0, double(i)}});
+  for (int i = 0; i < 100; ++i) pts.push_back({{50.0, 50.0}});  // duplicates
+  for (int i = 0; i < 200; ++i) {
+    pts.push_back({{10.0 + 0.001 * i, 10.0 + 0.001 * ((i * 7) % 200)}});
+  }
+  std::mt19937_64 rng(1);
+  std::shuffle(pts.begin(), pts.end(), rng);
+  double expect = test::PrimEmstWeight(pts);
+  for (auto algo : {EmstAlgorithm::kNaive, EmstAlgorithm::kGfk,
+                    EmstAlgorithm::kMemoGfk, EmstAlgorithm::kBoruvka}) {
+    auto mst = Emst(pts, algo);
+    ASSERT_EQ(mst.size(), pts.size() - 1);
+    EXPECT_NEAR(TotalWeight(mst), expect, 1e-7 * (1 + expect));
+  }
+  // HDBSCAN* on the same data.
+  double mr_expect = test::PrimMutualReachabilityWeight(pts, 5);
+  auto h = HdbscanMst(pts, 5, HdbscanVariant::kMemoGfk);
+  EXPECT_NEAR(TotalWeight(h.mst), mr_expect, 1e-7 * (1 + mr_expect));
+}
+
+TEST(Integration, HighMinPtsNearN) {
+  // minPts close to n makes every core distance huge: all mutual
+  // reachability distances collapse toward the global scale.
+  auto pts = test::RandomPoints<2>(60, 3);
+  for (int min_pts : {55, 59, 60}) {
+    double expect = test::PrimMutualReachabilityWeight(pts, min_pts);
+    auto h = HdbscanMst(pts, min_pts, HdbscanVariant::kMemoGfk);
+    EXPECT_NEAR(TotalWeight(h.mst), expect, 1e-9 * (1 + expect))
+        << "minPts=" << min_pts;
+  }
+}
+
+TEST(Integration, SingleLinkagePipelineAcrossWorkerCounts) {
+  auto pts = SeedSpreaderVarden<3>(5000, 21, 5);
+  std::vector<double> weights;
+  std::vector<std::vector<uint32_t>> orders;
+  for (int workers : {1, 3, 8}) {
+    SetNumWorkers(workers);
+    SingleLinkageResult sl = SingleLinkage(pts);
+    weights.push_back(TotalWeight(sl.emst));
+    orders.push_back(ComputeReachability(sl.dendrogram).order);
+  }
+  SetNumWorkers(4);
+  for (size_t i = 1; i < weights.size(); ++i) {
+    EXPECT_NEAR(weights[i], weights[0], 1e-9 * weights[0]);
+    EXPECT_EQ(orders[i], orders[0]) << "nondeterminism across worker counts";
+  }
+}
+
+TEST(Integration, PhaseBreakdownAccountsForMostOfTotal) {
+  auto pts = UniformFill<3>(20000, 4);
+  PhaseBreakdown ph;
+  auto r = Hdbscan(pts, 10, HdbscanVariant::kMemoGfk, &ph);
+  ASSERT_EQ(r.mst.size(), pts.size() - 1);
+  double phases_sum = ph.build_tree + ph.core_dist + ph.wspd + ph.kruskal +
+                      ph.dendrogram;
+  EXPECT_GT(ph.total, 0);
+  EXPECT_LE(phases_sum, ph.total * 1.001);
+  EXPECT_GT(phases_sum, ph.total * 0.5);  // phases dominate the run
+}
+
+TEST(Integration, MemoGfkBetaGrowthVariantsAgree) {
+  auto pts = UniformFill<2>(2000, 8);
+  double base = TotalWeight(EmstMemoGfk(pts));
+  for (MemoGfkOptions opts : {MemoGfkOptions{4.0, 0}, MemoGfkOptions{1.0, 1},
+                              MemoGfkOptions{1.0, 8}}) {
+    EXPECT_NEAR(TotalWeight(EmstMemoGfk(pts, nullptr, opts)), base,
+                1e-9 * base);
+  }
+}
+
+TEST(Integration, StatsCountersMoveSensibly) {
+  auto pts = UniformFill<2>(4000, 13);
+  auto& s = Stats::Get();
+  s.Reset();
+  EmstNaive(pts);
+  uint64_t naive_pairs = s.wspd_pairs_materialized.load();
+  uint64_t naive_bccp = s.bccp_computed.load();
+  EXPECT_GT(naive_pairs, pts.size() / 2);  // WSPD produces O(n) pairs
+  EXPECT_GE(naive_bccp, naive_pairs);      // one BCCP per pair
+  s.Reset();
+  EmstMemoGfk(pts);
+  EXPECT_LT(s.wspd_pairs_peak.load(), naive_pairs)
+      << "MemoGFK must materialize fewer pairs at once";
+}
+
+}  // namespace
+}  // namespace parhc

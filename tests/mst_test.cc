@@ -1,0 +1,304 @@
+// MST correctness: union-find, Kruskal, and the three EMST algorithms plus
+// the two HDBSCAN* variants, validated against dense Prim oracles.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "emst/emst_gfk.h"
+#include "emst/emst_memogfk.h"
+#include "emst/emst_naive.h"
+#include "graph/kruskal.h"
+#include "graph/prim.h"
+#include "graph/union_find.h"
+#include "hdbscan/hdbscan_mst.h"
+#include "test_util.h"
+
+namespace parhc {
+namespace {
+
+using test::DuplicatedPoints;
+using test::RandomPoints;
+using test::TotalWeight;
+
+TEST(UnionFind, BasicMerging) {
+  UnionFind uf(10);
+  EXPECT_EQ(uf.num_components(), 10u);
+  EXPECT_TRUE(uf.Union(0, 1));
+  EXPECT_TRUE(uf.Union(2, 3));
+  EXPECT_FALSE(uf.Union(1, 0));
+  EXPECT_TRUE(uf.Union(1, 3));
+  EXPECT_EQ(uf.num_components(), 7u);
+  EXPECT_TRUE(uf.Connected(0, 2));
+  EXPECT_FALSE(uf.Connected(0, 4));
+}
+
+TEST(UnionFind, ConcurrentFindsDuringTraversalPhase) {
+  constexpr size_t kN = 10000;
+  UnionFind uf(kN);
+  for (size_t i = 0; i + 1 < kN; i += 2) uf.Union(i, i + 1);
+  std::atomic<size_t> connected{0};
+  ParallelFor(0, kN / 2, [&](size_t i) {
+    if (uf.Connected(2 * i, 2 * i + 1)) connected.fetch_add(1);
+  });
+  EXPECT_EQ(connected.load(), kN / 2);
+}
+
+TEST(Kruskal, MatchesPrimOnRandomGraph) {
+  constexpr size_t kN = 120;
+  std::mt19937_64 rng(2);
+  std::uniform_real_distribution<double> u(0.0, 1.0);
+  std::vector<std::vector<double>> w(kN, std::vector<double>(kN, 0));
+  std::vector<WeightedEdge> edges;
+  for (uint32_t i = 0; i < kN; ++i) {
+    for (uint32_t j = i + 1; j < kN; ++j) {
+      w[i][j] = w[j][i] = u(rng);
+      edges.push_back({i, j, w[i][j]});
+    }
+  }
+  auto kruskal = KruskalMst(kN, edges);
+  auto prim = PrimMst(kN, [&](uint32_t i, uint32_t j) { return w[i][j]; });
+  ASSERT_EQ(kruskal.size(), kN - 1);
+  EXPECT_NEAR(TotalWeight(kruskal), TotalWeight(prim), 1e-9);
+}
+
+TEST(Kruskal, BatchedEqualsOneShot) {
+  constexpr size_t kN = 60;
+  std::mt19937_64 rng(4);
+  std::uniform_real_distribution<double> u(0.0, 1.0);
+  std::vector<WeightedEdge> edges;
+  for (uint32_t i = 0; i < kN; ++i) {
+    for (uint32_t j = i + 1; j < kN; ++j) {
+      edges.push_back({i, j, u(rng)});
+    }
+  }
+  auto all = KruskalMst(kN, edges);
+  // Feed the same edges in increasing-weight batches.
+  std::sort(edges.begin(), edges.end());
+  UnionFind uf(kN);
+  std::vector<WeightedEdge> out;
+  size_t batch_size = 97;
+  for (size_t lo = 0; lo < edges.size(); lo += batch_size) {
+    std::vector<WeightedEdge> batch(
+        edges.begin() + lo,
+        edges.begin() + std::min(edges.size(), lo + batch_size));
+    KruskalBatch(batch, uf, out);
+  }
+  EXPECT_NEAR(TotalWeight(out), TotalWeight(all), 1e-12);
+}
+
+// ---------------------------------------------------------------------------
+// EMST: all algorithms vs the dense Prim oracle, across n / d / seeds.
+
+template <int D>
+void CheckEmstAllMethods(const std::vector<Point<D>>& pts) {
+  double expect = test::PrimEmstWeight(pts);
+  auto naive = EmstNaive(pts);
+  auto gfk = EmstGfk(pts);
+  auto memo = EmstMemoGfk(pts);
+  ASSERT_EQ(naive.size(), pts.size() - 1);
+  ASSERT_EQ(gfk.size(), pts.size() - 1);
+  ASSERT_EQ(memo.size(), pts.size() - 1);
+  EXPECT_NEAR(TotalWeight(naive), expect, 1e-7 * (1 + expect));
+  EXPECT_NEAR(TotalWeight(gfk), expect, 1e-7 * (1 + expect));
+  EXPECT_NEAR(TotalWeight(memo), expect, 1e-7 * (1 + expect));
+}
+
+class EmstOracleTest : public ::testing::TestWithParam<std::tuple<size_t, int>> {
+};
+
+TEST_P(EmstOracleTest, MatchesPrim2D) {
+  auto [n, seed] = GetParam();
+  CheckEmstAllMethods(RandomPoints<2>(n, seed));
+}
+
+TEST_P(EmstOracleTest, MatchesPrim3D) {
+  auto [n, seed] = GetParam();
+  CheckEmstAllMethods(RandomPoints<3>(n, seed + 1000));
+}
+
+TEST_P(EmstOracleTest, MatchesPrim5D) {
+  auto [n, seed] = GetParam();
+  CheckEmstAllMethods(RandomPoints<5>(n, seed + 2000));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, EmstOracleTest,
+    ::testing::Combine(::testing::Values(2, 3, 5, 16, 100, 400),
+                       ::testing::Values(1, 2, 3)));
+
+TEST(Emst, ClusteredDataMatchesPrim) {
+  auto pts = SeedSpreaderVarden<2>(500, 3, 4);
+  CheckEmstAllMethods(pts);
+}
+
+TEST(Emst, SkewedDataMatchesPrim) {
+  auto pts = SkewedLevy<3>(400, 5);
+  CheckEmstAllMethods(pts);
+}
+
+TEST(Emst, DuplicatePointsMatchPrim) {
+  for (uint64_t seed : {1, 2, 3}) {
+    CheckEmstAllMethods(DuplicatedPoints<2>(200, seed));
+  }
+}
+
+TEST(Emst, AllIdenticalPoints) {
+  std::vector<Point<2>> pts(50, Point<2>{{3.0, 4.0}});
+  auto mst = EmstMemoGfk(pts);
+  ASSERT_EQ(mst.size(), 49u);
+  EXPECT_EQ(TotalWeight(mst), 0.0);
+}
+
+TEST(Emst, TwoPoints) {
+  std::vector<Point<2>> pts{{{0.0, 0.0}}, {{3.0, 4.0}}};
+  for (auto& mst : {EmstNaive(pts), EmstGfk(pts), EmstMemoGfk(pts)}) {
+    ASSERT_EQ(mst.size(), 1u);
+    EXPECT_DOUBLE_EQ(mst[0].w, 5.0);
+  }
+}
+
+TEST(Emst, SinglePoint) {
+  std::vector<Point<2>> pts{{{1.0, 1.0}}};
+  EXPECT_TRUE(EmstMemoGfk(pts).empty());
+  EXPECT_TRUE(EmstNaive(pts).empty());
+}
+
+TEST(Emst, MethodsAgreeOnLargerInput) {
+  // Too big for the O(n^2) oracle comfort zone in every config; methods
+  // must agree with each other to full precision on the total weight.
+  auto pts = UniformFill<3>(5000, 11);
+  double w_naive = TotalWeight(EmstNaive(pts));
+  double w_gfk = TotalWeight(EmstGfk(pts));
+  double w_memo = TotalWeight(EmstMemoGfk(pts));
+  EXPECT_NEAR(w_gfk, w_naive, 1e-9 * w_naive);
+  EXPECT_NEAR(w_memo, w_naive, 1e-9 * w_naive);
+}
+
+TEST(Emst, IdenticalEdgeSetsUnderUniqueWeights) {
+  // With generic (random double) coordinates, distances are distinct, the
+  // MST is unique, and all algorithms must return the same edge set.
+  auto pts = RandomPoints<2>(800, 123);
+  auto canon = [](std::vector<WeightedEdge> es) {
+    for (auto& e : es) {
+      if (e.u > e.v) std::swap(e.u, e.v);
+    }
+    std::sort(es.begin(), es.end(), [](auto& a, auto& b) {
+      return std::tie(a.u, a.v) < std::tie(b.u, b.v);
+    });
+    return es;
+  };
+  auto a = canon(EmstNaive(pts));
+  auto b = canon(EmstGfk(pts));
+  auto c = canon(EmstMemoGfk(pts));
+  ASSERT_EQ(a.size(), b.size());
+  ASSERT_EQ(a.size(), c.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].u, b[i].u);
+    EXPECT_EQ(a[i].v, b[i].v);
+    EXPECT_EQ(a[i].u, c[i].u);
+    EXPECT_EQ(a[i].v, c[i].v);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// HDBSCAN*: both variants vs dense Prim on the mutual reachability graph.
+
+class HdbscanOracleTest
+    : public ::testing::TestWithParam<std::tuple<size_t, int>> {};
+
+TEST_P(HdbscanOracleTest, BothVariantsMatchPrim2D) {
+  auto [n, min_pts] = GetParam();
+  if (static_cast<size_t>(min_pts) > n) GTEST_SKIP();
+  auto pts = RandomPoints<2>(n, n * 7 + min_pts);
+  double expect = test::PrimMutualReachabilityWeight(pts, min_pts);
+  auto gan = HdbscanMst(pts, min_pts, HdbscanVariant::kGanTao);
+  auto memo = HdbscanMst(pts, min_pts, HdbscanVariant::kMemoGfk);
+  ASSERT_EQ(gan.mst.size(), n - 1);
+  ASSERT_EQ(memo.mst.size(), n - 1);
+  EXPECT_NEAR(TotalWeight(gan.mst), expect, 1e-7 * (1 + expect));
+  EXPECT_NEAR(TotalWeight(memo.mst), expect, 1e-7 * (1 + expect));
+}
+
+TEST_P(HdbscanOracleTest, BothVariantsMatchPrim5D) {
+  auto [n, min_pts] = GetParam();
+  if (static_cast<size_t>(min_pts) > n) GTEST_SKIP();
+  auto pts = RandomPoints<5>(n, n * 13 + min_pts);
+  double expect = test::PrimMutualReachabilityWeight(pts, min_pts);
+  auto memo = HdbscanMst(pts, min_pts, HdbscanVariant::kMemoGfk);
+  EXPECT_NEAR(TotalWeight(memo.mst), expect, 1e-7 * (1 + expect));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, HdbscanOracleTest,
+    ::testing::Combine(::testing::Values(2, 10, 64, 300),
+                       ::testing::Values(1, 2, 3, 5, 10)));
+
+TEST(Hdbscan, MinPtsOneEqualsEmst) {
+  // Appendix D: with minPts = 1 mutual reachability equals Euclidean
+  // distance, so the HDBSCAN* MST is the EMST.
+  auto pts = RandomPoints<3>(500, 31);
+  auto emst = EmstMemoGfk(pts);
+  auto hd = HdbscanMst(pts, 1, HdbscanVariant::kMemoGfk);
+  EXPECT_NEAR(TotalWeight(hd.mst), TotalWeight(emst),
+              1e-9 * TotalWeight(emst));
+}
+
+TEST(Hdbscan, MinPtsThreeEmstIsValidMrMst) {
+  // Theorem D.1: for minPts <= 3, the EMST re-weighted by mutual
+  // reachability has the same total weight as the MR-graph MST.
+  constexpr int kMinPts = 3;
+  auto pts = RandomPoints<2>(250, 41);
+  auto cd = test::BruteCoreDistances(pts, kMinPts);
+  auto emst = EmstMemoGfk(pts);
+  double emst_as_mr = 0;
+  for (auto& e : emst) {
+    emst_as_mr += std::max({e.w, cd[e.u], cd[e.v]});
+  }
+  double expect = test::PrimMutualReachabilityWeight(pts, kMinPts);
+  EXPECT_NEAR(emst_as_mr, expect, 1e-9 * (1 + expect));
+}
+
+TEST(Hdbscan, CoreDistancesMatchBruteForce) {
+  auto pts = RandomPoints<3>(400, 17);
+  KdTree<3> tree(pts, 1);
+  auto fast = CoreDistances(tree, 10);
+  auto slow = test::BruteCoreDistances(pts, 10);
+  for (size_t i = 0; i < pts.size(); ++i) {
+    ASSERT_NEAR(fast[i], slow[i], 1e-12);
+  }
+}
+
+TEST(Hdbscan, VariantsAgreeOnLargerInput) {
+  auto pts = SeedSpreaderVarden<3>(4000, 9, 6);
+  auto gan = HdbscanMst(pts, 10, HdbscanVariant::kGanTao);
+  auto memo = HdbscanMst(pts, 10, HdbscanVariant::kMemoGfk);
+  double wg = TotalWeight(gan.mst), wm = TotalWeight(memo.mst);
+  EXPECT_NEAR(wm, wg, 1e-9 * wg);
+}
+
+TEST(Hdbscan, DuplicatePointsMatchPrim) {
+  auto pts = DuplicatedPoints<2>(150, 4);
+  for (int min_pts : {1, 3, 7}) {
+    double expect = test::PrimMutualReachabilityWeight(pts, min_pts);
+    auto memo = HdbscanMst(pts, min_pts, HdbscanVariant::kMemoGfk);
+    EXPECT_NEAR(TotalWeight(memo.mst), expect, 1e-9 * (1 + expect))
+        << "minPts=" << min_pts;
+  }
+}
+
+TEST(Hdbscan, FewerPairsMaterializedThanGanTao) {
+  // The headline claim of Section 3.2.2: the new well-separation
+  // materializes fewer pairs.
+  auto pts = SeedSpreaderVarden<3>(3000, 77, 5);
+  auto& stats = Stats::Get();
+  stats.Reset();
+  HdbscanMst(pts, 10, HdbscanVariant::kGanTao);
+  uint64_t gan_pairs = stats.wspd_pairs_materialized.load();
+  stats.Reset();
+  HdbscanMst(pts, 10, HdbscanVariant::kMemoGfk);
+  uint64_t memo_pairs = stats.wspd_pairs_materialized.load();
+  EXPECT_LT(memo_pairs, gan_pairs);
+}
+
+}  // namespace
+}  // namespace parhc

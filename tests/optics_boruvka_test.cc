@@ -1,0 +1,121 @@
+// Approximate OPTICS (Appendix C) and the kd-tree Boruvka EMST baseline.
+#include <gtest/gtest.h>
+
+#include "emst/emst_boruvka.h"
+#include "emst/emst_memogfk.h"
+#include "hdbscan/hdbscan_mst.h"
+#include "hdbscan/optics_approx.h"
+#include "test_util.h"
+
+namespace parhc {
+namespace {
+
+using test::DuplicatedPoints;
+using test::RandomPoints;
+using test::TotalWeight;
+
+class BoruvkaTest : public ::testing::TestWithParam<std::tuple<size_t, int>> {};
+
+TEST_P(BoruvkaTest, MatchesPrim2D) {
+  auto [n, seed] = GetParam();
+  auto pts = RandomPoints<2>(n, n * 3 + seed);
+  double expect = test::PrimEmstWeight(pts);
+  auto mst = EmstBoruvka(pts);
+  ASSERT_EQ(mst.size(), n - 1);
+  EXPECT_NEAR(TotalWeight(mst), expect, 1e-7 * (1 + expect));
+}
+
+TEST_P(BoruvkaTest, MatchesPrim5D) {
+  auto [n, seed] = GetParam();
+  auto pts = RandomPoints<5>(n, n * 5 + seed);
+  double expect = test::PrimEmstWeight(pts);
+  EXPECT_NEAR(TotalWeight(EmstBoruvka(pts)), expect, 1e-7 * (1 + expect));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, BoruvkaTest,
+    ::testing::Combine(::testing::Values(2, 5, 40, 300),
+                       ::testing::Values(1, 2)));
+
+TEST(Boruvka, AgreesWithMemoGfkOnLargerInput) {
+  auto pts = UniformFill<3>(4000, 3);
+  double wm = TotalWeight(EmstMemoGfk(pts));
+  double wb = TotalWeight(EmstBoruvka(pts));
+  EXPECT_NEAR(wb, wm, 1e-9 * wm);
+}
+
+TEST(Boruvka, DuplicatePoints) {
+  auto pts = DuplicatedPoints<2>(200, 9);
+  double expect = test::PrimEmstWeight(pts);
+  EXPECT_NEAR(TotalWeight(EmstBoruvka(pts)), expect, 1e-9 * (1 + expect));
+}
+
+TEST(Boruvka, SkewedData) {
+  auto pts = SkewedLevy<3>(500, 2);
+  double expect = test::PrimEmstWeight(pts);
+  EXPECT_NEAR(TotalWeight(EmstBoruvka(pts)), expect, 1e-7 * (1 + expect));
+}
+
+// ---------------------------------------------------------------------------
+// Approximate OPTICS.
+
+class OpticsApproxTest
+    : public ::testing::TestWithParam<std::tuple<size_t, double>> {};
+
+TEST_P(OpticsApproxTest, ApproximationBound) {
+  auto [n, rho] = GetParam();
+  constexpr int kMinPts = 5;
+  auto pts = RandomPoints<2>(n, n + 3);
+  auto approx = OpticsApproxMst(pts, kMinPts, rho);
+  ASSERT_EQ(approx.mst.size(), n - 1);
+  double exact = test::PrimMutualReachabilityWeight(pts, kMinPts);
+  // Every approximate edge weight is within a (1+rho) factor below the true
+  // mutual reachability (d is divided by 1+rho), so the approximate MST
+  // weight lies in [exact / (1+rho), exact] ... scaled back up it bounds
+  // the exact weight. Check the total against both sides.
+  double approx_w = TotalWeight(approx.mst);
+  EXPECT_LE(approx_w, exact * (1 + 1e-9));
+  EXPECT_GE(approx_w * (1 + rho), exact * (1 - 1e-9));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, OpticsApproxTest,
+    ::testing::Combine(::testing::Values(50, 200, 600),
+                       ::testing::Values(0.125, 0.5, 2.0)));
+
+TEST(OpticsApprox, SmallRhoApproachesExact) {
+  auto pts = RandomPoints<2>(300, 9);
+  constexpr int kMinPts = 10;
+  double exact = test::PrimMutualReachabilityWeight(pts, kMinPts);
+  auto approx = OpticsApproxMst(pts, kMinPts, /*rho=*/0.01);
+  EXPECT_NEAR(TotalWeight(approx.mst), exact, 0.02 * exact);
+}
+
+TEST(OpticsApprox, HigherSeparationMeansMoreEdgesThanExactPairs) {
+  // Appendix C's experimental finding: a useful rho needs a large
+  // separation constant, producing far more base-graph edges than the
+  // exact method materializes pairs.
+  auto pts = SeedSpreaderVarden<2>(2000, 5, 4);
+  auto& stats = Stats::Get();
+  stats.Reset();
+  HdbscanMst(pts, 10, HdbscanVariant::kMemoGfk);
+  uint64_t exact_pairs = stats.wspd_pairs_materialized.load();
+  auto approx = OpticsApproxMst(pts, 10, 0.125);
+  EXPECT_GT(approx.base_graph_edges, exact_pairs);
+}
+
+TEST(OpticsApprox, MinPtsOneRhoTinyMatchesEmst) {
+  auto pts = RandomPoints<2>(200, 13);
+  auto approx = OpticsApproxMst(pts, 1, 1e-6);
+  double emst = TotalWeight(EmstMemoGfk(pts));
+  EXPECT_NEAR(TotalWeight(approx.mst), emst, 1e-4 * emst);
+}
+
+TEST(OpticsApprox, DuplicatePoints) {
+  auto pts = DuplicatedPoints<2>(150, 3);
+  auto approx = OpticsApproxMst(pts, 3, 0.125);
+  ASSERT_EQ(approx.mst.size(), pts.size() - 1);
+}
+
+}  // namespace
+}  // namespace parhc

@@ -1,0 +1,302 @@
+// Tests for the parallel substrate: scheduler, primitives, sort, semisort,
+// hash table, list ranking, and Euler tour.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <random>
+#include <set>
+
+#include "parallel/euler_tour.h"
+#include "parallel/hash_table.h"
+#include "parallel/list_ranking.h"
+#include "parallel/primitives.h"
+#include "parallel/scheduler.h"
+#include "parallel/semisort.h"
+#include "parallel/sort.h"
+
+namespace parhc {
+namespace {
+
+TEST(Scheduler, ParDoRunsBoth) {
+  int a = 0, b = 0;
+  ParDo([&] { a = 1; }, [&] { b = 2; });
+  EXPECT_EQ(a, 1);
+  EXPECT_EQ(b, 2);
+}
+
+TEST(Scheduler, NestedForkJoin) {
+  std::atomic<int64_t> sum{0};
+  std::function<void(int)> rec = [&](int depth) {
+    if (depth == 0) {
+      sum.fetch_add(1);
+      return;
+    }
+    ParDo([&] { rec(depth - 1); }, [&] { rec(depth - 1); });
+  };
+  rec(10);
+  EXPECT_EQ(sum.load(), 1024);
+}
+
+TEST(Scheduler, ParallelForCoversRangeExactlyOnce) {
+  constexpr size_t kN = 100000;
+  std::vector<std::atomic<int>> hits(kN);
+  for (auto& h : hits) h.store(0);
+  ParallelFor(0, kN, [&](size_t i) { hits[i].fetch_add(1); });
+  for (size_t i = 0; i < kN; ++i) ASSERT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(Scheduler, WorkerCountChanges) {
+  SetNumWorkers(3);
+  EXPECT_EQ(NumWorkers(), 3);
+  std::atomic<int64_t> sum{0};
+  ParallelFor(0, 10000, [&](size_t i) { sum.fetch_add(i); });
+  EXPECT_EQ(sum.load(), 10000LL * 9999 / 2);
+  SetNumWorkers(2);
+  EXPECT_EQ(NumWorkers(), 2);
+}
+
+TEST(Scheduler, EmptyRange) {
+  bool ran = false;
+  ParallelFor(5, 5, [&](size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(Primitives, TabulateIdentity) {
+  auto v = Tabulate(1000, [](size_t i) { return i * i; });
+  for (size_t i = 0; i < 1000; ++i) ASSERT_EQ(v[i], i * i);
+}
+
+TEST(Primitives, ReduceMatchesAccumulate) {
+  std::mt19937_64 rng(7);
+  std::vector<int64_t> a(12345);
+  for (auto& x : a) x = static_cast<int64_t>(rng() % 1000) - 500;
+  int64_t expect = std::accumulate(a.begin(), a.end(), int64_t{0});
+  int64_t got = Reduce(a, int64_t{0}, [](int64_t x, int64_t y) { return x + y; });
+  EXPECT_EQ(got, expect);
+}
+
+TEST(Primitives, ScanExclusiveMatchesReference) {
+  for (size_t n : {0ul, 1ul, 2ul, 100ul, 65536ul, 100001ul}) {
+    std::vector<int64_t> a(n), ref(n);
+    std::mt19937_64 rng(n);
+    for (auto& x : a) x = static_cast<int64_t>(rng() % 100);
+    int64_t acc = 0;
+    for (size_t i = 0; i < n; ++i) {
+      ref[i] = acc;
+      acc += a[i];
+    }
+    int64_t total = ScanExclusive(a.data(), n, int64_t{0},
+                                  [](int64_t x, int64_t y) { return x + y; });
+    EXPECT_EQ(total, acc);
+    EXPECT_EQ(a, ref);
+  }
+}
+
+TEST(Primitives, FilterPreservesOrder) {
+  std::vector<int> a(100000);
+  std::iota(a.begin(), a.end(), 0);
+  auto evens = Filter(a, [](int x) { return x % 2 == 0; });
+  ASSERT_EQ(evens.size(), 50000u);
+  for (size_t i = 0; i < evens.size(); ++i) ASSERT_EQ(evens[i], 2 * (int)i);
+}
+
+TEST(Primitives, SplitPartitions) {
+  std::vector<int> a(9999);
+  std::iota(a.begin(), a.end(), 0);
+  auto [yes, no] = Split(a, [](int x) { return x % 3 == 0; });
+  EXPECT_EQ(yes.size() + no.size(), a.size());
+  for (int x : yes) ASSERT_EQ(x % 3, 0);
+  for (int x : no) ASSERT_NE(x % 3, 0);
+  EXPECT_TRUE(std::is_sorted(yes.begin(), yes.end()));
+  EXPECT_TRUE(std::is_sorted(no.begin(), no.end()));
+}
+
+TEST(Primitives, WriteMinConcurrent) {
+  std::atomic<double> m{1e18};
+  ParallelFor(0, 100000, [&](size_t i) {
+    WriteMin(&m, static_cast<double>((i * 7919) % 100000));
+  });
+  EXPECT_EQ(m.load(), 0.0);
+}
+
+TEST(Primitives, WriteMaxConcurrent) {
+  std::atomic<uint64_t> m{0};
+  ParallelFor(0, 50000, [&](size_t i) { WriteMax(&m, (uint64_t)i); });
+  EXPECT_EQ(m.load(), 49999u);
+}
+
+TEST(Primitives, FlattenConcatenates) {
+  std::vector<std::vector<int>> parts{{1, 2}, {}, {3}, {4, 5, 6}};
+  auto flat = Flatten(parts);
+  EXPECT_EQ(flat, (std::vector<int>{1, 2, 3, 4, 5, 6}));
+}
+
+class SortTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(SortTest, MatchesStdSort) {
+  size_t n = GetParam();
+  std::mt19937_64 rng(n + 1);
+  std::vector<uint64_t> a(n);
+  for (auto& x : a) x = rng() % (n + 1);
+  std::vector<uint64_t> ref = a;
+  std::sort(ref.begin(), ref.end());
+  ParallelSort(a);
+  EXPECT_EQ(a, ref);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SortTest,
+                         ::testing::Values(0, 1, 2, 100, 8192, 8193, 100000,
+                                           1 << 18));
+
+TEST(Sort, CustomComparatorDescending) {
+  std::vector<int> a(30000);
+  std::mt19937_64 rng(3);
+  for (auto& x : a) x = static_cast<int>(rng() % 1000);
+  ParallelSort(a, [](int x, int y) { return x > y; });
+  EXPECT_TRUE(std::is_sorted(a.begin(), a.end(), std::greater<int>()));
+}
+
+TEST(SemiSort, GroupsAllEqualKeys) {
+  constexpr size_t kN = 60000;
+  std::mt19937_64 rng(11);
+  std::vector<std::pair<uint32_t, uint32_t>> items(kN);
+  for (size_t i = 0; i < kN; ++i) {
+    items[i] = {static_cast<uint32_t>(rng() % 500), static_cast<uint32_t>(i)};
+  }
+  std::vector<size_t> count_by_key(500, 0);
+  for (auto& it : items) count_by_key[it.first]++;
+  auto [sorted, starts] = SemiSort(
+      items, [](const std::pair<uint32_t, uint32_t>& p) { return p.first; });
+  ASSERT_EQ(sorted.size(), kN);
+  // Each group is contiguous, keys within a group are equal, and group
+  // sizes match the original multiset.
+  std::set<uint32_t> seen;
+  for (size_t g = 0; g + 1 < starts.size(); ++g) {
+    uint32_t key = sorted[starts[g]].first;
+    EXPECT_TRUE(seen.insert(key).second) << "key appears in two groups";
+    for (size_t i = starts[g]; i < starts[g + 1]; ++i) {
+      ASSERT_EQ(sorted[i].first, key);
+    }
+    EXPECT_EQ(starts[g + 1] - starts[g], count_by_key[key]);
+  }
+}
+
+TEST(HashTable, InsertFindRoundTrip) {
+  constexpr size_t kN = 50000;
+  ConcurrentMap<uint64_t> map(kN);
+  ParallelFor(0, kN, [&](size_t i) { map.Insert(i * 2 + 1, i * 10); });
+  for (size_t i = 0; i < kN; ++i) {
+    const uint64_t* v = map.Find(i * 2 + 1);
+    ASSERT_NE(v, nullptr);
+    ASSERT_EQ(*v, i * 10);
+    ASSERT_EQ(map.Find(i * 2 + 2), nullptr);
+  }
+}
+
+TEST(HashTable, DuplicateInsertFirstWins) {
+  ConcurrentMap<uint64_t> map(1000);
+  std::atomic<int> successes{0};
+  ParallelFor(0, 1000, [&](size_t i) {
+    if (map.Insert(42, i)) successes.fetch_add(1);
+  });
+  EXPECT_EQ(successes.load(), 1);
+  ASSERT_NE(map.Find(42), nullptr);
+}
+
+TEST(ListRanking, SuffixSumsSingleList) {
+  constexpr size_t kN = 1000;
+  // List i -> i+1; values all 1: rank[i] should be n - i.
+  std::vector<uint32_t> next(kN);
+  for (size_t i = 0; i < kN; ++i) next[i] = (i + 1 < kN) ? i + 1 : kNil;
+  std::vector<uint32_t> vals(kN, 1);
+  auto rank = ListRank(next, vals);
+  for (size_t i = 0; i < kN; ++i) ASSERT_EQ(rank[i], kN - i);
+}
+
+TEST(ListRanking, RandomPermutationList) {
+  constexpr size_t kN = 4096;
+  std::mt19937_64 rng(5);
+  std::vector<uint32_t> order(kN);
+  std::iota(order.begin(), order.end(), 0);
+  std::shuffle(order.begin(), order.end(), rng);
+  std::vector<uint32_t> next(kN, kNil);
+  for (size_t i = 0; i + 1 < kN; ++i) next[order[i]] = order[i + 1];
+  std::vector<int64_t> vals(kN);
+  for (size_t i = 0; i < kN; ++i) vals[order[i]] = static_cast<int64_t>(i);
+  auto rank = ListRank(next, vals);
+  // rank[order[i]] = sum of positions i..n-1.
+  int64_t suffix = 0;
+  for (size_t i = kN; i-- > 0;) {
+    suffix += static_cast<int64_t>(i);
+    ASSERT_EQ(rank[order[i]], suffix);
+  }
+}
+
+TEST(EulerTour, PathGraphDepths) {
+  // Path 0-1-2-...-9 rooted at 3.
+  constexpr size_t kN = 10;
+  std::vector<TreeEdge> edges;
+  for (uint32_t i = 0; i + 1 < kN; ++i) edges.push_back({i, i + 1});
+  auto depth = TreeHopDistances(kN, edges, 3);
+  for (uint32_t v = 0; v < kN; ++v) {
+    EXPECT_EQ(depth[v], static_cast<uint32_t>(std::abs((int)v - 3))) << v;
+  }
+}
+
+TEST(EulerTour, StarGraphDepths) {
+  constexpr size_t kN = 50;
+  std::vector<TreeEdge> edges;
+  for (uint32_t i = 1; i < kN; ++i) edges.push_back({0, i});
+  auto depth = TreeHopDistances(kN, edges, 0);
+  EXPECT_EQ(depth[0], 0u);
+  for (uint32_t v = 1; v < kN; ++v) EXPECT_EQ(depth[v], 1u);
+  // Rooted at a spoke, the hub is at 1 and other spokes at 2.
+  auto depth7 = TreeHopDistances(kN, edges, 7);
+  EXPECT_EQ(depth7[7], 0u);
+  EXPECT_EQ(depth7[0], 1u);
+  EXPECT_EQ(depth7[23], 2u);
+}
+
+TEST(EulerTour, RandomTreeMatchesBfs) {
+  constexpr size_t kN = 2000;
+  std::mt19937_64 rng(17);
+  std::vector<TreeEdge> edges;
+  for (uint32_t v = 1; v < kN; ++v) {
+    edges.push_back({static_cast<uint32_t>(rng() % v), v});
+  }
+  auto depth = TreeHopDistances(kN, edges, 0);
+  // BFS reference.
+  std::vector<std::vector<uint32_t>> adj(kN);
+  for (auto& e : edges) {
+    adj[e.u].push_back(e.v);
+    adj[e.v].push_back(e.u);
+  }
+  std::vector<uint32_t> ref(kN, kNil);
+  std::vector<uint32_t> frontier{0};
+  ref[0] = 0;
+  while (!frontier.empty()) {
+    std::vector<uint32_t> next_frontier;
+    for (uint32_t u : frontier) {
+      for (uint32_t v : adj[u]) {
+        if (ref[v] == kNil) {
+          ref[v] = ref[u] + 1;
+          next_frontier.push_back(v);
+        }
+      }
+    }
+    frontier = std::move(next_frontier);
+  }
+  for (size_t v = 0; v < kN; ++v) ASSERT_EQ(depth[v], ref[v]) << v;
+}
+
+TEST(EulerTour, SingleVertexAndSingleEdge) {
+  EXPECT_EQ(TreeHopDistances(1, {}, 0), std::vector<uint32_t>{0});
+  std::vector<TreeEdge> one{{0, 1}};
+  auto d = TreeHopDistances(2, one, 1);
+  EXPECT_EQ(d[0], 1u);
+  EXPECT_EQ(d[1], 0u);
+}
+
+}  // namespace
+}  // namespace parhc

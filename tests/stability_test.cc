@@ -1,0 +1,138 @@
+// Stability-based (excess-of-mass) flat cluster extraction.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <random>
+#include <set>
+
+#include "hdbscan/hdbscan.h"
+#include "hdbscan/stability.h"
+#include "test_util.h"
+
+namespace parhc {
+namespace {
+
+/// k well-separated Gaussian blobs plus uniform noise; returns (points,
+/// ground-truth labels with -1 noise).
+std::pair<std::vector<Point<2>>, std::vector<int32_t>> PlantedBlobs(
+    size_t per_blob, int blobs, size_t noise, uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::normal_distribution<double> g(0.0, 1.0);
+  std::uniform_real_distribution<double> u(0.0, 1000.0);
+  std::vector<Point<2>> pts;
+  std::vector<int32_t> truth;
+  for (int b = 0; b < blobs; ++b) {
+    double cx = 100.0 + 800.0 * (b % 3) / 2.0;
+    double cy = 100.0 + 800.0 * (b / 3);
+    for (size_t i = 0; i < per_blob; ++i) {
+      pts.push_back({{cx + 5.0 * g(rng), cy + 5.0 * g(rng)}});
+      truth.push_back(b);
+    }
+  }
+  for (size_t i = 0; i < noise; ++i) {
+    pts.push_back({{u(rng), u(rng)}});
+    truth.push_back(-1);
+  }
+  return {std::move(pts), std::move(truth)};
+}
+
+TEST(Stability, RecoversPlantedBlobs) {
+  auto [pts, truth] = PlantedBlobs(300, 3, 60, 1);
+  auto h = Hdbscan(pts, 10);
+  StabilityClusters sc = ExtractStableClusters(h.dendrogram, 25);
+  // The three planted blobs must come back as three dominant clusters.
+  std::map<int32_t, std::map<int32_t, size_t>> truth_to_found;
+  for (size_t i = 0; i < pts.size(); ++i) {
+    if (truth[i] >= 0) truth_to_found[truth[i]][sc.label[i]]++;
+  }
+  std::set<int32_t> majors;
+  for (auto& [t, found] : truth_to_found) {
+    // Majority of each blob lands in a single non-noise cluster.
+    auto best = std::max_element(
+        found.begin(), found.end(),
+        [](auto& a, auto& b) { return a.second < b.second; });
+    EXPECT_NE(best->first, kNoise) << "blob " << t << " dissolved";
+    EXPECT_GT(best->second, 300u * 9 / 10) << "blob " << t << " fragmented";
+    majors.insert(best->first);
+  }
+  EXPECT_EQ(majors.size(), 3u) << "blobs merged";
+  // Far-flung uniform noise is mostly labeled noise.
+  size_t noise_as_noise = 0, noise_total = 0;
+  for (size_t i = 0; i < pts.size(); ++i) {
+    if (truth[i] == -1) {
+      ++noise_total;
+      noise_as_noise += sc.label[i] == kNoise;
+    }
+  }
+  EXPECT_GT(noise_as_noise, noise_total / 2);
+}
+
+TEST(Stability, LabelsAreDenseAndStabilitiesPositive) {
+  auto [pts, truth] = PlantedBlobs(150, 6, 100, 3);
+  (void)truth;
+  auto h = Hdbscan(pts, 10);
+  StabilityClusters sc = ExtractStableClusters(h.dendrogram, 15);
+  int32_t max_label = -1;
+  for (int32_t l : sc.label) {
+    ASSERT_GE(l, kNoise);
+    max_label = std::max(max_label, l);
+  }
+  ASSERT_EQ(static_cast<size_t>(max_label + 1), sc.stability.size());
+  for (int32_t c = 0; c <= max_label; ++c) {
+    EXPECT_GT(sc.stability[c], 0.0);
+    size_t members = 0;
+    for (int32_t l : sc.label) members += (l == c);
+    EXPECT_GT(members, 0u) << "empty cluster " << c;
+  }
+}
+
+TEST(Stability, VariableDensityClustersSurvive) {
+  // The headline HDBSCAN* use case: clusters whose densities differ by an
+  // order of magnitude, which no single DBSCAN eps can capture.
+  auto pts = SeedSpreaderVarden<2>(4000, 17, 5);
+  auto h = Hdbscan(pts, 10);
+  StabilityClusters sc = ExtractStableClusters(h.dendrogram, 50);
+  std::set<int32_t> clusters;
+  for (int32_t l : sc.label) {
+    if (l != kNoise) clusters.insert(l);
+  }
+  EXPECT_GE(clusters.size(), 2u);
+  EXPECT_LE(clusters.size(), 40u);
+}
+
+TEST(Stability, UniformDataYieldsFewClusters) {
+  // Pure uniform noise has no density structure; EOM should not hallucinate
+  // many confident clusters.
+  auto pts = UniformFill<2>(2000, 5);
+  auto h = Hdbscan(pts, 10);
+  StabilityClusters sc = ExtractStableClusters(h.dendrogram, 50);
+  std::set<int32_t> clusters;
+  for (int32_t l : sc.label) {
+    if (l != kNoise) clusters.insert(l);
+  }
+  EXPECT_LE(clusters.size(), 25u);
+}
+
+TEST(Stability, Deterministic) {
+  auto [pts, truth] = PlantedBlobs(100, 4, 40, 9);
+  (void)truth;
+  auto h1 = Hdbscan(pts, 5);
+  auto h2 = Hdbscan(pts, 5);
+  auto a = ExtractStableClusters(h1.dendrogram, 10);
+  auto b = ExtractStableClusters(h2.dendrogram, 10);
+  EXPECT_EQ(a.label, b.label);
+}
+
+TEST(Stability, TinyInputs) {
+  std::vector<Point<2>> two{{{0.0, 0.0}}, {{1.0, 1.0}}};
+  auto h = Hdbscan(two, 1);
+  auto sc = ExtractStableClusters(h.dendrogram, 2);
+  EXPECT_EQ(sc.label.size(), 2u);  // no crash; labels well-formed
+  std::vector<Point<2>> pts = test::RandomPoints<2>(8, 2);
+  auto h8 = Hdbscan(pts, 2);
+  auto sc8 = ExtractStableClusters(h8.dendrogram, 3);
+  EXPECT_EQ(sc8.label.size(), 8u);
+}
+
+}  // namespace
+}  // namespace parhc
