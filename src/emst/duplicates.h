@@ -18,47 +18,38 @@
 #include <vector>
 
 #include "graph/edge.h"
-#include "spatial/kdtree.h"
+#include "spatial/traverse.h"
 
 namespace parhc {
 namespace internal {
 
-template <int D, typename Fn>
-void ForEachLeaf(const typename KdTree<D>::Node* node, Fn& fn) {
-  if (node->IsLeaf()) {
-    fn(node);
-    return;
-  }
-  ForEachLeaf<D>(node->left, fn);
-  ForEachLeaf<D>(node->right, fn);
-}
-
-/// Edges connecting points inside multi-point (duplicate) leaves.
+/// Edges connecting points inside multi-point (duplicate) leaves, gathered
+/// by a flat scan over the arena's leaves.
 /// `use_core_dist` selects mutual-reachability weights (HDBSCAN*).
 template <int D>
 std::vector<WeightedEdge> DuplicateLeafEdges(const KdTree<D>& tree,
                                              bool use_core_dist) {
   std::vector<WeightedEdge> out;
-  auto emit = [&](const typename KdTree<D>::Node* leaf) {
-    if (leaf->size() < 2) return;
+  ForEachLeaf(tree, [&](uint32_t leaf) {
+    uint32_t begin = tree.NodeBegin(leaf), end = tree.NodeEnd(leaf);
+    if (end - begin < 2) return;
     if (!use_core_dist) {
-      for (uint32_t i = leaf->begin; i + 1 < leaf->end; ++i) {
+      for (uint32_t i = begin; i + 1 < end; ++i) {
         out.push_back({tree.id(i), tree.id(i + 1), 0.0});
       }
       return;
     }
     // Star around the minimum-core-distance member.
-    uint32_t center = leaf->begin;
-    for (uint32_t i = leaf->begin + 1; i < leaf->end; ++i) {
+    uint32_t center = begin;
+    for (uint32_t i = begin + 1; i < end; ++i) {
       if (tree.core_dist(i) < tree.core_dist(center)) center = i;
     }
-    for (uint32_t i = leaf->begin; i < leaf->end; ++i) {
+    for (uint32_t i = begin; i < end; ++i) {
       if (i == center) continue;
       double w = std::max(tree.core_dist(i), tree.core_dist(center));
       out.push_back({tree.id(i), tree.id(center), w});
     }
-  };
-  ForEachLeaf<D>(tree.root(), emit);
+  });
   return out;
 }
 

@@ -15,7 +15,7 @@
 #include "graph/edge.h"
 #include "graph/union_find.h"
 #include "spatial/bccp.h"
-#include "spatial/kdtree.h"
+#include "spatial/traverse.h"
 #include "util/timer.h"
 
 namespace parhc {
@@ -25,32 +25,35 @@ inline constexpr uint32_t kNoNeighbor = 0xffffffffu;
 
 namespace internal {
 
+/// Nearest point to `q` in a different union-find component, through the
+/// shared single-tree engine: subtrees lying entirely inside the query's
+/// component (the component cache RefreshComponents maintains) or farther
+/// than the current best are pruned. `best.dist` holds a *squared* distance
+/// during the search.
 template <int D>
-void NearestOtherComponentRec(const KdTree<D>& tree,
-                              const typename KdTree<D>::Node* node,
-                              const Point<D>& q, int64_t my_comp,
-                              const UnionFind& uf, ClosestPair& best) {
-  if (node->component >= 0 && node->component == my_comp) return;
-  if (node->box.MinSquaredDistance(q) >= best.dist) return;  // squared here
-  if (node->IsLeaf()) {
-    for (uint32_t i = node->begin; i < node->end; ++i) {
-      uint32_t id = tree.id(i);
-      if (static_cast<int64_t>(uf.Find(id)) == my_comp) continue;
-      double d2 = SquaredDistance(q, tree.point(i));
-      if (d2 < best.dist || (d2 == best.dist && id < best.v)) {
-        best.v = id;
-        best.dist = d2;
-      }
-    }
-    return;
-  }
-  double dl = node->left->box.MinSquaredDistance(q);
-  double dr = node->right->box.MinSquaredDistance(q);
-  const typename KdTree<D>::Node* near = node->left;
-  const typename KdTree<D>::Node* far = node->right;
-  if (dr < dl) std::swap(near, far);
-  NearestOtherComponentRec(tree, near, q, my_comp, uf, best);
-  NearestOtherComponentRec(tree, far, q, my_comp, uf, best);
+void NearestOtherComponent(const KdTree<D>& tree, const Point<D>& q,
+                           int64_t my_comp, const UnionFind& uf,
+                           ClosestPair& best) {
+  SingleTraverse(
+      tree,
+      [&](uint32_t v) { return tree.NodeBox(v).MinSquaredDistance(q); },
+      [&](uint32_t v, double pri) {
+        if (tree.Component(v) >= 0 && tree.Component(v) == my_comp) {
+          return true;
+        }
+        return pri >= best.dist;
+      },
+      [&](uint32_t v) {
+        for (uint32_t i = tree.NodeBegin(v); i < tree.NodeEnd(v); ++i) {
+          uint32_t id = tree.id(i);
+          if (static_cast<int64_t>(uf.Find(id)) == my_comp) continue;
+          double d2 = SquaredDistance(q, tree.point(i));
+          if (d2 < best.dist || (d2 == best.dist && id < best.v)) {
+            best.v = id;
+            best.dist = d2;
+          }
+        }
+      });
 }
 
 }  // namespace internal
@@ -79,8 +82,8 @@ std::vector<WeightedEdge> EmstBoruvka(const std::vector<Point<D>>& pts,
       best.u = id;
       best.v = kNoNeighbor;
       int64_t my_comp = static_cast<int64_t>(uf.Find(id));
-      internal::NearestOtherComponentRec(tree, tree.root(), tree.point(ti),
-                                         my_comp, uf, best);
+      internal::NearestOtherComponent(tree, tree.point(ti), my_comp, uf,
+                                      best);
       cand[i] = best;
     });
     // Minimum outgoing edge per component (sequential reduce; the per-point

@@ -22,10 +22,9 @@ namespace parhc {
 
 namespace internal {
 
-template <int D>
 struct GfkPair {
-  typename KdTree<D>::Node* a;
-  typename KdTree<D>::Node* b;
+  uint32_t a;         ///< arena node indices
+  uint32_t b;
   double node_dist;   ///< lower bound on the pair's BCCP (box distance)
   double bccp = -1;   ///< cached BCCP distance (-1 = not yet computed)
   uint32_t u = 0;     ///< cached BCCP endpoints (original ids)
@@ -42,7 +41,7 @@ struct GfkPair {
 template <int D>
 std::vector<WeightedEdge> EmstGfk(const std::vector<Point<D>>& pts,
                                   PhaseBreakdown* phases = nullptr) {
-  using Pair = internal::GfkPair<D>;
+  using Pair = internal::GfkPair;
   size_t n = pts.size();
   Timer total;
   Timer t;
@@ -52,12 +51,12 @@ std::vector<WeightedEdge> EmstGfk(const std::vector<Point<D>>& pts,
   t.Reset();
   GeometricSeparation<D> sep{2.0};
   std::vector<std::vector<Pair>> local(NumWorkers());
-  WspdTraverse(tree, sep,
-               [&](typename KdTree<D>::Node* a, typename KdTree<D>::Node* b) {
-                 double nd = std::sqrt(a->box.MinSquaredDistance(b->box));
-                 local[Scheduler::Get().MyId()].push_back(
-                     Pair{a, b, nd, -1, 0, 0, a->size() + b->size()});
-               });
+  WspdTraverse(tree, sep, [&](uint32_t a, uint32_t b) {
+    double nd =
+        std::sqrt(tree.NodeBox(a).MinSquaredDistance(tree.NodeBox(b)));
+    local[Scheduler::Get().MyId()].push_back(
+        Pair{a, b, nd, -1, 0, 0, tree.NodeSize(a) + tree.NodeSize(b)});
+  });
   std::vector<Pair> s = Flatten(local);
   {
     auto& stats = Stats::Get();
@@ -110,7 +109,8 @@ std::vector<WeightedEdge> EmstGfk(const std::vector<Point<D>>& pts,
     tree.RefreshComponents([&](uint32_t id) { return uf.Find(id); });
     sl2.insert(sl2.end(), su.begin(), su.end());
     s = Filter(sl2, [&](const Pair& p) {
-      return p.a->component < 0 || p.a->component != p.b->component;
+      return tree.Component(p.a) < 0 ||
+             tree.Component(p.a) != tree.Component(p.b);
     });
     beta *= 2;
   }

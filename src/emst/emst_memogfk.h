@@ -20,17 +20,14 @@ std::vector<WeightedEdge> EmstMemoGfk(const std::vector<Point<D>>& pts,
   KdTree<D> tree(pts, /*leaf_size=*/1);
   if (phases) phases->build_tree += t.Seconds();
 
-  using Node = typename KdTree<D>::Node;
   GeometricSeparation<D> sep{2.0};
-  auto lb = [](const Node* a, const Node* b) {
-    return std::sqrt(a->box.MinSquaredDistance(b->box));
+  auto lb = [&tree](uint32_t a, uint32_t b) {
+    return std::sqrt(tree.NodeBox(a).MinSquaredDistance(tree.NodeBox(b)));
   };
-  auto ub = [](const Node* a, const Node* b) {
-    return std::sqrt(a->box.MaxSquaredDistance(b->box));
+  auto ub = [&tree](uint32_t a, uint32_t b) {
+    return std::sqrt(tree.NodeBox(a).MaxSquaredDistance(tree.NodeBox(b)));
   };
-  auto bccp = [&tree](const Node* a, const Node* b) {
-    return Bccp(tree, a, b);
-  };
+  auto bccp = [&tree](uint32_t a, uint32_t b) { return Bccp(tree, a, b); };
   std::vector<WeightedEdge> mst = internal::MemoGfkMst(
       tree, sep, lb, ub, bccp,
       internal::DuplicateLeafEdges(tree, /*use_core_dist=*/false), phases,

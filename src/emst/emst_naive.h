@@ -25,7 +25,7 @@ std::vector<WeightedEdge> EmstNaive(const std::vector<Point<D>>& pts,
 
   t.Reset();
   GeometricSeparation<D> sep{2.0};
-  std::vector<WspdPair<D>> pairs = MaterializeWspd(tree, sep);
+  std::vector<WspdPair> pairs = MaterializeWspd(tree, sep);
   if (phases) phases->wspd += t.Seconds();
 
   t.Reset();

@@ -1,7 +1,9 @@
 // MemoGFK: memory-optimized GeoFilterKruskal (paper Algorithm 3).
 //
-// Instead of materializing the WSPD, every round performs two pruned k-d
-// tree traversals:
+// Instead of materializing the WSPD, every round performs two pruned dual
+// traversals — both instantiations of the shared dual-tree engine
+// (spatial/traverse.h DualTraverse), differing only in their prune and
+// base-case callbacks:
 //   GetRho   — computes rho_hi, a lower bound on the BCCP of every
 //              remaining pair with cardinality > beta (WRITE_MIN over the
 //              separated pairs encountered; pruned by cardinality,
@@ -16,7 +18,8 @@
 // The driver is generic over the separation criterion and the value bounds
 // so the same code implements EMST (Euclidean BCCP), HDBSCAN*-GanTao
 // (standard separation, BCCP*), and HDBSCAN*-MemoGFK (the paper's new
-// separation, BCCP*) — see Section 3.2.3.
+// separation, BCCP*) — see Section 3.2.3. The bound callbacks `lb`, `ub`
+// and the closest-pair callback `bccp` take arena node indices.
 #pragma once
 
 #include <atomic>
@@ -44,102 +47,51 @@ namespace internal {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
 
+/// GetRho (Algorithm 3 line 4): WRITE_MIN of lb over separated pairs still
+/// spanning more than beta points and more than one component.
 template <int D, typename Sep, typename LbFn>
-void GetRhoRec(typename KdTree<D>::Node* a, typename KdTree<D>::Node* b,
-               const Sep& sep, const LbFn& lb, uint32_t beta,
-               std::atomic<double>& rho) {
-  if (a->size() + b->size() <= beta) return;  // descendants all small
-  if (a->component >= 0 && a->component == b->component) return;
-  double l = lb(a, b);
-  if (l >= rho.load(std::memory_order_relaxed)) return;  // cannot lower rho
-  if (sep(*a, *b)) {
-    WriteMin(&rho, l);
-    return;
-  }
-  typename KdTree<D>::Node* x = a;
-  typename KdTree<D>::Node* y = b;
-  if (x->diameter < y->diameter) std::swap(x, y);
-  if (x->IsLeaf()) std::swap(x, y);
-  if (x->IsLeaf()) return;  // both unsplittable (degenerate duplicates)
-  if (x->size() + y->size() >= kWspdSeqCutoff) {
-    ParDo([&] { GetRhoRec<D>(x->left, y, sep, lb, beta, rho); },
-          [&] { GetRhoRec<D>(x->right, y, sep, lb, beta, rho); });
-  } else {
-    GetRhoRec<D>(x->left, y, sep, lb, beta, rho);
-    GetRhoRec<D>(x->right, y, sep, lb, beta, rho);
-  }
+void GetRho(const KdTree<D>& t, const Sep& sep, const LbFn& lb, uint32_t beta,
+            std::atomic<double>& rho) {
+  DualTraverse(
+      t,
+      [&](uint32_t a, uint32_t b) {
+        if (t.NodeSize(a) + t.NodeSize(b) <= beta) return true;
+        int64_t ca = t.Component(a);
+        if (ca >= 0 && ca == t.Component(b)) return true;
+        // Cannot lower rho below the already-found bound.
+        return lb(a, b) >= rho.load(std::memory_order_relaxed);
+      },
+      [&](uint32_t a, uint32_t b) { return sep(t, a, b); },
+      [&](uint32_t a, uint32_t b, bool separated) {
+        // Unsplittable duplicate-leaf pairs carry no bound information.
+        if (separated) WriteMin(&rho, lb(a, b));
+      },
+      /*count_visits=*/false);  // bound-only sweep: not a pair enumeration
 }
 
-template <int D, typename Sep, typename LbFn>
-void GetRhoTop(typename KdTree<D>::Node* node, const Sep& sep, const LbFn& lb,
-               uint32_t beta, std::atomic<double>& rho) {
-  if (node->IsLeaf()) return;
-  if (node->size() >= kWspdSeqCutoff) {
-    ParDo([&] { GetRhoTop<D>(node->left, sep, lb, beta, rho); },
-          [&] { GetRhoTop<D>(node->right, sep, lb, beta, rho); });
-  } else {
-    GetRhoTop<D>(node->left, sep, lb, beta, rho);
-    GetRhoTop<D>(node->right, sep, lb, beta, rho);
-  }
-  GetRhoRec<D>(node->left, node->right, sep, lb, beta, rho);
-}
-
+/// GetPairs (Algorithm 3 line 5): emit the BCCP of every separated pair
+/// whose value can lie in [rho_lo, rho_hi), pruning whole subtrees outside
+/// the window (Figure 3).
 template <int D, typename Sep, typename LbFn, typename UbFn, typename BccpFn,
           typename Emit>
-void GetPairsRec(typename KdTree<D>::Node* a, typename KdTree<D>::Node* b,
-                 const Sep& sep, const LbFn& lb, const UbFn& ub,
-                 const BccpFn& bccp, double rho_lo, double rho_hi,
-                 Emit& emit) {
-  Stats::Get().wspd_pairs_visited.fetch_add(1, std::memory_order_relaxed);
-  if (a->component >= 0 && a->component == b->component) return;
-  if (lb(a, b) >= rho_hi) return;   // whole subtree above the window
-  if (ub(a, b) < rho_lo) return;    // whole subtree below the window
-  auto handle_pair = [&] {
-    ClosestPair cp = bccp(a, b);
-    if (cp.dist >= rho_lo && cp.dist < rho_hi) emit(cp);
-  };
-  if (sep(*a, *b)) {
-    handle_pair();
-    return;
-  }
-  typename KdTree<D>::Node* x = a;
-  typename KdTree<D>::Node* y = b;
-  if (x->diameter < y->diameter) std::swap(x, y);
-  if (x->IsLeaf()) std::swap(x, y);
-  if (x->IsLeaf()) {
-    handle_pair();  // both unsplittable (degenerate duplicates)
-    return;
-  }
-  if (x->size() + y->size() >= kWspdSeqCutoff) {
-    ParDo([&] {
-      GetPairsRec<D>(x->left, y, sep, lb, ub, bccp, rho_lo, rho_hi, emit);
-    }, [&] {
-      GetPairsRec<D>(x->right, y, sep, lb, ub, bccp, rho_lo, rho_hi, emit);
-    });
-  } else {
-    GetPairsRec<D>(x->left, y, sep, lb, ub, bccp, rho_lo, rho_hi, emit);
-    GetPairsRec<D>(x->right, y, sep, lb, ub, bccp, rho_lo, rho_hi, emit);
-  }
-}
-
-template <int D, typename Sep, typename LbFn, typename UbFn, typename BccpFn,
-          typename Emit>
-void GetPairsTop(typename KdTree<D>::Node* node, const Sep& sep,
-                 const LbFn& lb, const UbFn& ub, const BccpFn& bccp,
-                 double rho_lo, double rho_hi, Emit& emit) {
-  if (node->IsLeaf()) return;
-  if (node->size() >= kWspdSeqCutoff) {
-    ParDo([&] {
-      GetPairsTop<D>(node->left, sep, lb, ub, bccp, rho_lo, rho_hi, emit);
-    }, [&] {
-      GetPairsTop<D>(node->right, sep, lb, ub, bccp, rho_lo, rho_hi, emit);
-    });
-  } else {
-    GetPairsTop<D>(node->left, sep, lb, ub, bccp, rho_lo, rho_hi, emit);
-    GetPairsTop<D>(node->right, sep, lb, ub, bccp, rho_lo, rho_hi, emit);
-  }
-  GetPairsRec<D>(node->left, node->right, sep, lb, ub, bccp, rho_lo, rho_hi,
-                 emit);
+void GetPairs(const KdTree<D>& t, const Sep& sep, const LbFn& lb,
+              const UbFn& ub, const BccpFn& bccp, double rho_lo,
+              double rho_hi, const Emit& emit) {
+  DualTraverse(
+      t,
+      [&](uint32_t a, uint32_t b) {
+        int64_t ca = t.Component(a);
+        if (ca >= 0 && ca == t.Component(b)) return true;
+        if (lb(a, b) >= rho_hi) return true;  // subtree above the window
+        return ub(a, b) < rho_lo;             // subtree below the window
+      },
+      [&](uint32_t a, uint32_t b) { return sep(t, a, b); },
+      [&](uint32_t a, uint32_t b, bool /*separated*/) {
+        // Both separated pairs and unsplittable duplicate-leaf pairs are
+        // realized through their closest pair.
+        ClosestPair cp = bccp(a, b);
+        if (cp.dist >= rho_lo && cp.dist < rho_hi) emit(cp);
+      });
 }
 
 /// Runs the MemoGFK round loop over `tree` and returns the MST edges.
@@ -166,7 +118,7 @@ std::vector<WeightedEdge> MemoGfkMst(KdTree<D>& tree, const Sep& sep,
     // GetRho: rho_hi = min lower bound over separated pairs with |A|+|B|
     // > beta that are not yet connected (Algorithm 3 line 4).
     std::atomic<double> rho{kInf};
-    GetRhoTop<D>(tree.root(), sep, lb, beta, rho);
+    GetRho(tree, sep, lb, beta, rho);
     // Remaining edges are all >= rho_lo by the round invariant, so the
     // window stays well-formed even if the bound dips below rho_lo.
     double rho_hi = std::max(rho.load(), rho_lo);
@@ -177,7 +129,7 @@ std::vector<WeightedEdge> MemoGfkMst(KdTree<D>& tree, const Sep& sep,
     auto emit = [&](const ClosestPair& cp) {
       local[Scheduler::Get().MyId()].push_back({cp.u, cp.v, cp.dist});
     };
-    GetPairsTop<D>(tree.root(), sep, lb, ub, bccp, rho_lo, rho_hi, emit);
+    GetPairs(tree, sep, lb, ub, bccp, rho_lo, rho_hi, emit);
     std::vector<WeightedEdge> batch = Flatten(local);
     {
       auto& stats = Stats::Get();

@@ -9,10 +9,15 @@
 namespace parhc {
 
 /// A point in D-dimensional Euclidean space (double coordinates).
+///
+/// Trivially default-constructible on purpose: the k-d tree arena allocates
+/// large uninitialized Point/Box arrays, and a member initializer here would
+/// reintroduce an O(n) zero-fill on that critical path. Value-initialization
+/// (`Point<D> p{};`, `std::vector<Point<D>>(n)`) still zeroes as before.
 template <int D>
 struct Point {
   static constexpr int kDim = D;
-  std::array<double, D> x{};
+  std::array<double, D> x;
 
   double& operator[](int i) { return x[i]; }
   double operator[](int i) const { return x[i]; }

@@ -53,16 +53,17 @@ HdbscanMstResult HdbscanMst(const std::vector<Point<D>>& pts, int min_pts,
   tree.AnnotateCoreDistances(result.core_dist);
   if (phases) phases->core_dist += t.Seconds();
 
-  using Node = typename KdTree<D>::Node;
-  auto lb = [](const Node* a, const Node* b) {
-    return std::max({std::sqrt(a->box.MinSquaredDistance(b->box)), a->cd_min,
-                     b->cd_min});
+  auto lb = [&tree](uint32_t a, uint32_t b) {
+    return std::max(
+        {std::sqrt(tree.NodeBox(a).MinSquaredDistance(tree.NodeBox(b))),
+         tree.CdMin(a), tree.CdMin(b)});
   };
-  auto ub = [](const Node* a, const Node* b) {
-    return std::max({std::sqrt(a->box.MaxSquaredDistance(b->box)), a->cd_max,
-                     b->cd_max});
+  auto ub = [&tree](uint32_t a, uint32_t b) {
+    return std::max(
+        {std::sqrt(tree.NodeBox(a).MaxSquaredDistance(tree.NodeBox(b))),
+         tree.CdMax(a), tree.CdMax(b)});
   };
-  auto bccp = [&tree](const Node* a, const Node* b) {
+  auto bccp = [&tree](uint32_t a, uint32_t b) {
     return BccpStar(tree, a, b);
   };
   std::vector<WeightedEdge> dup =

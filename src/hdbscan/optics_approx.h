@@ -57,34 +57,34 @@ OpticsApproxResult OpticsApproxMst(const std::vector<Point<D>>& pts,
   auto weight = [&](uint32_t u, uint32_t v) {
     return std::max({cd[u], cd[v], Distance(pts[u], pts[v]) / (1.0 + rho)});
   };
-  WspdTraverse(tree, sep,
-               [&](typename KdTree<D>::Node* a, typename KdTree<D>::Node* b) {
+  WspdTraverse(tree, sep, [&](uint32_t a, uint32_t b) {
     auto& buf = local[Scheduler::Get().MyId()];
     // Fixed pseudo-random representative per node (paper's simplification
     // of the approximate BCCP).
-    auto rep = [&](const typename KdTree<D>::Node* nd) {
-      uint32_t span = nd->size();
+    auto rep = [&](uint32_t nd) {
+      uint32_t span = tree.NodeSize(nd);
       uint32_t off = static_cast<uint32_t>(
-          HashU64(nd->begin * 0x9e3779b9ull + nd->end) % span);
-      return tree.id(nd->begin + off);
+          HashU64(tree.NodeBegin(nd) * 0x9e3779b9ull + tree.NodeEnd(nd)) %
+          span);
+      return tree.id(tree.NodeBegin(nd) + off);
     };
-    bool small_a = a->size() < mp, small_b = b->size() < mp;
+    bool small_a = tree.NodeSize(a) < mp, small_b = tree.NodeSize(b) < mp;
     if (small_a && small_b) {  // case (a): all cross pairs
-      for (uint32_t i = a->begin; i < a->end; ++i) {
-        for (uint32_t j = b->begin; j < b->end; ++j) {
+      for (uint32_t i = tree.NodeBegin(a); i < tree.NodeEnd(a); ++i) {
+        for (uint32_t j = tree.NodeBegin(b); j < tree.NodeEnd(b); ++j) {
           uint32_t u = tree.id(i), v = tree.id(j);
           buf.push_back({u, v, weight(u, v)});
         }
       }
     } else if (!small_a && small_b) {  // case (b)
       uint32_t u = rep(a);
-      for (uint32_t j = b->begin; j < b->end; ++j) {
+      for (uint32_t j = tree.NodeBegin(b); j < tree.NodeEnd(b); ++j) {
         uint32_t v = tree.id(j);
         buf.push_back({u, v, weight(u, v)});
       }
     } else if (small_a && !small_b) {  // case (c)
       uint32_t v = rep(b);
-      for (uint32_t i = a->begin; i < a->end; ++i) {
+      for (uint32_t i = tree.NodeBegin(a); i < tree.NodeEnd(a); ++i) {
         uint32_t u = tree.id(i);
         buf.push_back({u, v, weight(u, v)});
       }

@@ -15,6 +15,7 @@
 //    On join, if `r` was stolen the caller helps by running other tasks.
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
@@ -212,9 +213,11 @@ inline void ParallelFor(size_t lo, size_t hi, F&& f, size_t grain = 0) {
     return;
   }
   if (grain == 0) {
-    grain = n / (static_cast<size_t>(s.num_workers()) * 8);
-    if (grain > 2048) grain = 2048;
-    if (grain < 1) grain = 1;
+    // grain = clamp(n / (8p), 1, 2048): about 8 chunks per worker for load
+    // balance on irregular bodies, capped so chunks stay cache-sized, with
+    // a floor of 1 so tiny ranges on many workers still make progress.
+    size_t target = n / (static_cast<size_t>(s.num_workers()) * 8);
+    grain = std::clamp<size_t>(target, 1, 2048);
   }
   internal::ParallelForRec(lo, hi, f, grain);
 }

@@ -1,18 +1,19 @@
 // Bichromatic closest pair (BCCP) and its mutual-reachability variant BCCP*
-// (paper Section 2.3).
+// (paper Section 2.3), as instantiations of the shared dual-min engine.
 //
 // BCCP(A, B) returns the closest pair of points across two k-d tree nodes.
 // BCCP*(A, B) minimizes the mutual reachability distance
 //   d_m(p, q) = max(d(p, q), cd(p), cd(q))
 // and requires the tree to be annotated with core distances. Both use a
-// pruned dual recursion: a node pair is skipped when a lower bound on its
-// best achievable value is no better than the best found so far.
+// pruned dual descent (spatial/traverse.h DualMinTraverse): a node pair is
+// skipped when a lower bound on its best achievable value is no better than
+// the best found so far, and children are visited closest-first.
 #pragma once
 
 #include <cstdint>
 #include <limits>
 
-#include "spatial/kdtree.h"
+#include "spatial/traverse.h"
 #include "util/stats.h"
 
 namespace parhc {
@@ -27,78 +28,46 @@ struct ClosestPair {
 
 namespace internal {
 
-template <int D>
-void BccpRec(const KdTree<D>& tree, const typename KdTree<D>::Node* a,
-             const typename KdTree<D>::Node* b, ClosestPair& best) {
-  if (a->box.MinSquaredDistance(b->box) >= best.dist * best.dist) return;
-  if (a->IsLeaf() && b->IsLeaf()) {
-    for (uint32_t i = a->begin; i < a->end; ++i) {
-      for (uint32_t j = b->begin; j < b->end; ++j) {
-        double d = Distance(tree.point(i), tree.point(j));
-        uint32_t u = tree.id(i), v = tree.id(j);
-        // Deterministic tie-breaking on (dist, min id, max id).
-        if (d < best.dist ||
-            (d == best.dist &&
-             std::minmax(u, v) < std::minmax(best.u, best.v))) {
-          best = {u, v, d};
-        }
+// Deterministic tie-breaking on (dist, min id, max id).
+template <int D, typename PairDist>
+void BccpLeafScan(const KdTree<D>& tree, uint32_t a, uint32_t b,
+                  const PairDist& pair_dist, ClosestPair& best) {
+  for (uint32_t i = tree.NodeBegin(a); i < tree.NodeEnd(a); ++i) {
+    for (uint32_t j = tree.NodeBegin(b); j < tree.NodeEnd(b); ++j) {
+      double d = pair_dist(i, j);
+      uint32_t u = tree.id(i), v = tree.id(j);
+      if (d < best.dist ||
+          (d == best.dist &&
+           std::minmax(u, v) < std::minmax(best.u, best.v))) {
+        best = {u, v, d};
       }
     }
-    return;
   }
-  // Split the node with the larger diameter (leaves cannot split).
-  bool split_a = !a->IsLeaf() &&
-                 (b->IsLeaf() || a->diameter >= b->diameter);
-  const typename KdTree<D>::Node* l = split_a ? a->left : b->left;
-  const typename KdTree<D>::Node* r = split_a ? a->right : b->right;
-  const typename KdTree<D>::Node* other = split_a ? b : a;
-  double dl = l->box.MinSquaredDistance(other->box);
-  double dr = r->box.MinSquaredDistance(other->box);
-  if (dr < dl) {
-    std::swap(l, r);
-  }
-  BccpRec(tree, l, other, best);
-  BccpRec(tree, r, other, best);
-}
-
-template <int D>
-void BccpStarRec(const KdTree<D>& tree, const typename KdTree<D>::Node* a,
-                 const typename KdTree<D>::Node* b, ClosestPair& best) {
-  double lb = std::max({std::sqrt(a->box.MinSquaredDistance(b->box)),
-                        a->cd_min, b->cd_min});
-  if (lb >= best.dist) return;
-  if (a->IsLeaf() && b->IsLeaf()) {
-    for (uint32_t i = a->begin; i < a->end; ++i) {
-      for (uint32_t j = b->begin; j < b->end; ++j) {
-        double d = std::max({Distance(tree.point(i), tree.point(j)),
-                             tree.core_dist(i), tree.core_dist(j)});
-        uint32_t u = tree.id(i), v = tree.id(j);
-        if (d < best.dist ||
-            (d == best.dist &&
-             std::minmax(u, v) < std::minmax(best.u, best.v))) {
-          best = {u, v, d};
-        }
-      }
-    }
-    return;
-  }
-  bool split_a = !a->IsLeaf() &&
-                 (b->IsLeaf() || a->diameter >= b->diameter);
-  const typename KdTree<D>::Node* l = split_a ? a->left : b->left;
-  const typename KdTree<D>::Node* r = split_a ? a->right : b->right;
-  const typename KdTree<D>::Node* other = split_a ? b : a;
-  BccpStarRec(tree, l, other, best);
-  BccpStarRec(tree, r, other, best);
 }
 
 }  // namespace internal
 
 /// Exact closest pair between the point sets of nodes `a` and `b`.
 template <int D>
-ClosestPair Bccp(const KdTree<D>& tree, const typename KdTree<D>::Node* a,
-                 const typename KdTree<D>::Node* b) {
+ClosestPair Bccp(const KdTree<D>& tree, uint32_t a, uint32_t b) {
   ClosestPair best;
-  internal::BccpRec(tree, a, b, best);
+  auto boxdist = [&](uint32_t x, uint32_t y) {
+    return tree.NodeBox(x).MinSquaredDistance(tree.NodeBox(y));
+  };
+  DualMinTraverse(
+      tree, a, b,
+      [&](uint32_t x, uint32_t y) {
+        return boxdist(x, y) >= best.dist * best.dist;
+      },
+      boxdist,
+      [&](uint32_t x, uint32_t y) {
+        internal::BccpLeafScan(
+            tree, x, y,
+            [&](uint32_t i, uint32_t j) {
+              return Distance(tree.point(i), tree.point(j));
+            },
+            best);
+      });
   Stats::Get().bccp_computed.fetch_add(1, std::memory_order_relaxed);
   return best;
 }
@@ -106,11 +75,29 @@ ClosestPair Bccp(const KdTree<D>& tree, const typename KdTree<D>::Node* a,
 /// Exact closest pair under mutual reachability distance (BCCP*). The tree
 /// must have core distances annotated.
 template <int D>
-ClosestPair BccpStar(const KdTree<D>& tree, const typename KdTree<D>::Node* a,
-                     const typename KdTree<D>::Node* b) {
+ClosestPair BccpStar(const KdTree<D>& tree, uint32_t a, uint32_t b) {
   PARHC_DCHECK(tree.has_core_dists());
   ClosestPair best;
-  internal::BccpStarRec(tree, a, b, best);
+  DualMinTraverse(
+      tree, a, b,
+      [&](uint32_t x, uint32_t y) {
+        double lb = std::max(
+            {std::sqrt(tree.NodeBox(x).MinSquaredDistance(tree.NodeBox(y))),
+             tree.CdMin(x), tree.CdMin(y)});
+        return lb >= best.dist;
+      },
+      [&](uint32_t x, uint32_t y) {
+        return tree.NodeBox(x).MinSquaredDistance(tree.NodeBox(y));
+      },
+      [&](uint32_t x, uint32_t y) {
+        internal::BccpLeafScan(
+            tree, x, y,
+            [&](uint32_t i, uint32_t j) {
+              return std::max({Distance(tree.point(i), tree.point(j)),
+                               tree.core_dist(i), tree.core_dist(j)});
+            },
+            best);
+      });
   Stats::Get().bccp_computed.fetch_add(1, std::memory_order_relaxed);
   return best;
 }

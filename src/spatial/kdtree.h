@@ -1,4 +1,5 @@
-// Parallel spatial-median k-d tree (paper Sections 2.3, 3.1.1).
+// Parallel spatial-median k-d tree over a flat, index-based node arena
+// (paper Sections 2.3, 3.1.1).
 //
 // The tree is built by recursively splitting the widest dimension of each
 // node's bounding box at its midpoint ("spatial median"), processing the two
@@ -7,13 +8,23 @@
 // points (cdmin/cdmax of Table 1) and a component id used by MemoGFK's
 // connectivity pruning (Section 3.1.3).
 //
+// Layout: nodes are addressed by `uint32_t` index into structure-of-arrays
+// storage, so traversals branch over contiguous memory instead of chasing
+// pointers. Sibling nodes are allocated adjacently (right = left + 1), and a
+// child's index is always greater than its parent's, which makes bottom-up
+// annotation passes simple reverse sweeps over the arena (see
+// spatial/traverse.h for the generic traversal engine built on top).
+//
 // Leaves hold at most `leaf_size` points; ranges of fully-identical points
 // become leaves regardless of size (they cannot be split), which callers
 // must handle (see emst/hdbscan duplicate handling).
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
+#include <memory>
+#include <type_traits>
 #include <vector>
 
 #include "geometry/box.h"
@@ -24,23 +35,57 @@
 
 namespace parhc {
 
+namespace internal {
+
+/// Fixed-capacity array of trivially-copyable elements that, unlike
+/// std::vector, performs no value-initialization: allocating the k-d tree
+/// arena must not zero-fill O(n) nodes on the build's critical path.
+template <typename T>
+class NodeArray {
+  static_assert(std::is_trivially_copyable<T>::value,
+                "NodeArray requires trivially copyable elements");
+
+ public:
+  void Allocate(size_t n) {
+    data_.reset(new T[n]);  // default-init: no zero-fill for trivial T
+    size_ = n;
+  }
+
+  /// Reallocates down to exactly `n` elements, preserving the prefix.
+  void ShrinkTo(size_t n) {
+    PARHC_DCHECK(n <= size_);
+    if (n == size_) return;
+    std::unique_ptr<T[]> next(new T[n]);
+    std::copy(data_.get(), data_.get() + n, next.get());
+    data_ = std::move(next);
+    size_ = n;
+  }
+
+  void Clear() {
+    data_.reset();
+    size_ = 0;
+  }
+
+  bool empty() const { return size_ == 0; }
+  size_t size() const { return size_; }
+  T& operator[](size_t i) { return data_[i]; }
+  const T& operator[](size_t i) const { return data_[i]; }
+
+ private:
+  std::unique_ptr<T[]> data_;
+  size_t size_ = 0;
+};
+
+}  // namespace internal
+
 template <int D>
 class KdTree {
  public:
-  struct Node {
-    Box<D> box;
-    uint32_t begin = 0;            ///< first point index (tree order)
-    uint32_t end = 0;              ///< one past last point index
-    Node* left = nullptr;
-    Node* right = nullptr;
-    double diameter = 0;           ///< bounding-sphere diameter (Table 1)
-    double cd_min = 0;             ///< min core distance in subtree
-    double cd_max = 0;             ///< max core distance in subtree
-    int64_t component = -1;        ///< union-find component if uniform, else -1
-
-    bool IsLeaf() const { return left == nullptr; }
-    uint32_t size() const { return end - begin; }
-  };
+  /// Index of a node in the arena. The root is node 0.
+  using NodeId = uint32_t;
+  static constexpr NodeId kRootNode = 0;
+  /// Stored as a node's left-child index to mark it as a leaf.
+  static constexpr NodeId kNullNode = 0xffffffffu;
 
   /// Builds the tree over `points` (copied and reordered internally).
   explicit KdTree(const std::vector<Point<D>>& points, uint32_t leaf_size = 1)
@@ -49,19 +94,64 @@ class KdTree {
     size_t n = points.size();
     PARHC_CHECK(n >= 1);
     ParallelFor(0, n, [&](size_t i) { ids_[i] = static_cast<uint32_t>(i); });
-    nodes_.resize(2 * n);  // a binary tree over n points has < 2n nodes
+    // A binary tree over n points has at most 2n-1 nodes (every split is
+    // non-trivial). Allocation is uninitialized; fields are written exactly
+    // once by Build, and the arena shrinks to the actual node count after.
+    size_t cap = 2 * n;
+    left_.Allocate(cap);
+    range_.Allocate(cap);
+    box_.Allocate(cap);
+    diameter_.Allocate(cap);
     scratch_pts_.resize(n);
     scratch_ids_.resize(n);
-    root_ = Build(0, static_cast<uint32_t>(n));
+    node_count_.store(1, std::memory_order_relaxed);  // root = node 0
+    Build(kRootNode, 0, static_cast<uint32_t>(n));
+    // Reallocate the arena down to the actual node count when the savings
+    // are worthwhile (multi-point leaves). With unit leaves the tree is
+    // within one node of the bound and the copy would be pure overhead.
+    uint32_t count = node_count_.load(std::memory_order_relaxed);
+    if (count < cap - cap / 8) {
+      left_.ShrinkTo(count);
+      range_.ShrinkTo(count);
+      box_.ShrinkTo(count);
+      diameter_.ShrinkTo(count);
+    }
     scratch_pts_.clear();
     scratch_pts_.shrink_to_fit();
     scratch_ids_.clear();
     scratch_ids_.shrink_to_fit();
   }
 
-  Node* root() { return root_; }
-  const Node* root() const { return root_; }
+  NodeId root() const { return kRootNode; }
   size_t size() const { return pts_.size(); }
+  /// Number of nodes in the arena; valid node ids are [0, node_count()).
+  uint32_t node_count() const {
+    return node_count_.load(std::memory_order_relaxed);
+  }
+
+  // --- Per-node accessors (hot traversal fields, SoA) ---
+  bool IsLeaf(NodeId v) const { return left_[v] == kNullNode; }
+  NodeId Left(NodeId v) const { return left_[v]; }
+  NodeId Right(NodeId v) const { return left_[v] + 1; }  // siblings adjacent
+  /// First point index of the node's range (tree order).
+  uint32_t NodeBegin(NodeId v) const { return range_[v].begin; }
+  /// One past the last point index of the node's range.
+  uint32_t NodeEnd(NodeId v) const { return range_[v].end; }
+  uint32_t NodeSize(NodeId v) const {
+    return range_[v].end - range_[v].begin;
+  }
+  const Box<D>& NodeBox(NodeId v) const { return box_[v]; }
+  /// Bounding-sphere diameter (Table 1).
+  double Diameter(NodeId v) const { return diameter_[v]; }
+  /// Min core distance in the subtree (after AnnotateCoreDistances).
+  double CdMin(NodeId v) const { return cd_min_[v]; }
+  /// Max core distance in the subtree (after AnnotateCoreDistances).
+  double CdMax(NodeId v) const { return cd_max_[v]; }
+  /// Union-find component if all points share one, else -1. Before the
+  /// first RefreshComponents call no node has a component.
+  int64_t Component(NodeId v) const {
+    return component_.empty() ? -1 : component_[v];
+  }
 
   /// Points in tree order.
   const std::vector<Point<D>>& points() const { return pts_; }
@@ -75,21 +165,73 @@ class KdTree {
   bool has_core_dists() const { return !cd_.empty(); }
 
   /// Stores core distances (indexed by *original* point id) and fills each
-  /// node's cd_min / cd_max bottom-up.
+  /// node's cd_min / cd_max with a flat bottom-up sweep over the arena.
   void AnnotateCoreDistances(const std::vector<double>& core_by_id) {
     PARHC_CHECK(core_by_id.size() == pts_.size());
     cd_.resize(pts_.size());
     ParallelFor(0, pts_.size(),
                 [&](size_t i) { cd_[i] = core_by_id[ids_[i]]; });
-    AnnotateCdRec(root_);
+    uint32_t count = node_count();
+    if (cd_min_.size() != count) {
+      cd_min_.Allocate(count);
+      cd_max_.Allocate(count);
+    }
+    BottomUp(
+        [&](NodeId v) {
+          double mn = cd_[range_[v].begin], mx = mn;
+          for (uint32_t i = range_[v].begin + 1; i < range_[v].end; ++i) {
+            mn = std::min(mn, cd_[i]);
+            mx = std::max(mx, cd_[i]);
+          }
+          cd_min_[v] = mn;
+          cd_max_[v] = mx;
+        },
+        [&](NodeId v, NodeId l, NodeId r) {
+          cd_min_[v] = std::min(cd_min_[l], cd_min_[r]);
+          cd_max_[v] = std::max(cd_max_[l], cd_max_[r]);
+        });
   }
 
-  /// Refreshes every node's `component` from a union-find `find` functor
-  /// over *original* point ids: a node gets the component id if all its
-  /// points share it, else -1. Phase-separated from traversals.
+  /// Refreshes every node's component from a union-find `find` functor over
+  /// *original* point ids: a node gets the component id if all its points
+  /// share it, else -1. Flat bottom-up sweep; phase-separated from
+  /// traversals.
   template <typename FindFn>
   void RefreshComponents(FindFn find) {
-    RefreshComponentsRec(root_, find);
+    if (component_.size() != node_count()) {
+      component_.Allocate(node_count());
+    }
+    BottomUp(
+        [&](NodeId v) {
+          int64_t c = static_cast<int64_t>(find(ids_[range_[v].begin]));
+          for (uint32_t i = range_[v].begin + 1; i < range_[v].end; ++i) {
+            if (static_cast<int64_t>(find(ids_[i])) != c) {
+              c = -1;
+              break;
+            }
+          }
+          component_[v] = c;
+        },
+        [&](NodeId v, NodeId l, NodeId r) {
+          component_[v] =
+              (component_[l] == component_[r]) ? component_[l] : -1;
+        });
+  }
+
+  /// Bottom-up arena sweep: `leaf(v)` runs for every leaf in parallel (the
+  /// per-point work dominates), then `combine(v, left, right)` runs for
+  /// every internal node in reverse allocation order — children always have
+  /// larger indices than their parent, so a reverse scan sees both children
+  /// before the parent. The combine pass is a cache-friendly linear scan.
+  template <typename LeafFn, typename CombineFn>
+  void BottomUp(LeafFn leaf, CombineFn combine) const {
+    uint32_t count = node_count();
+    ParallelFor(0, count, [&](size_t v) {
+      if (IsLeaf(static_cast<NodeId>(v))) leaf(static_cast<NodeId>(v));
+    });
+    for (uint32_t v = count; v-- > 0;) {
+      if (!IsLeaf(v)) combine(v, Left(v), Right(v));
+    }
   }
 
   KdTree(const KdTree&) = delete;
@@ -97,12 +239,6 @@ class KdTree {
 
  private:
   static constexpr uint32_t kSeqBuildCutoff = 2048;
-
-  Node* AllocNode() {
-    uint32_t idx = node_count_.fetch_add(1, std::memory_order_relaxed);
-    PARHC_DCHECK(idx < nodes_.size());
-    return &nodes_[idx];
-  }
 
   Box<D> RangeBox(uint32_t begin, uint32_t end) const {
     Box<D> box = Box<D>::Empty();
@@ -125,18 +261,19 @@ class KdTree {
     return box;
   }
 
-  Node* Build(uint32_t begin, uint32_t end) {
-    Node* node = AllocNode();
-    node->begin = begin;
-    node->end = end;
-    node->box = RangeBox(begin, end);
-    node->diameter = 2.0 * node->box.SphereRadius();
+  void Build(NodeId node, uint32_t begin, uint32_t end) {
+    range_[node] = {begin, end};
+    Box<D> box = RangeBox(begin, end);
+    box_[node] = box;
+    double diameter = 2.0 * box.SphereRadius();
+    diameter_[node] = diameter;
     uint32_t n = end - begin;
-    if (n <= leaf_size_ || node->diameter == 0.0) {
-      return node;  // leaf (identical-point ranges always stop here)
+    if (n <= leaf_size_ || diameter == 0.0) {
+      left_[node] = kNullNode;  // leaf (identical-point ranges stop here)
+      return;
     }
-    int axis = node->box.WidestDim();
-    double split = 0.5 * (node->box.lo[axis] + node->box.hi[axis]);
+    int axis = box.WidestDim();
+    double split = 0.5 * (box.lo[axis] + box.hi[axis]);
     uint32_t mid = Partition(begin, end, axis, split);
     if (mid == begin || mid == end) {
       // Degenerate spatial split (heavy duplication near the midpoint):
@@ -145,14 +282,16 @@ class KdTree {
       mid = begin + n / 2;
       MedianSplit(begin, end, mid, axis);
     }
+    NodeId kids = node_count_.fetch_add(2, std::memory_order_relaxed);
+    PARHC_DCHECK(kids + 1 < left_.size());
+    left_[node] = kids;
     if (n >= kSeqBuildCutoff) {
-      ParDo([&] { node->left = Build(begin, mid); },
-            [&] { node->right = Build(mid, end); });
+      ParDo([&] { Build(kids, begin, mid); },
+            [&] { Build(kids + 1, mid, end); });
     } else {
-      node->left = Build(begin, mid);
-      node->right = Build(mid, end);
+      Build(kids, begin, mid);
+      Build(kids + 1, mid, end);
     }
-    return node;
   }
 
   /// Partitions [begin, end) so points with coord < split come first;
@@ -231,62 +370,29 @@ class KdTree {
     std::copy(tmp_ids.begin(), tmp_ids.end(), ids_.begin() + begin);
   }
 
-  void AnnotateCdRec(Node* node) {
-    if (node->IsLeaf()) {
-      double mn = cd_[node->begin], mx = cd_[node->begin];
-      for (uint32_t i = node->begin + 1; i < node->end; ++i) {
-        mn = std::min(mn, cd_[i]);
-        mx = std::max(mx, cd_[i]);
-      }
-      node->cd_min = mn;
-      node->cd_max = mx;
-      return;
-    }
-    if (node->size() >= kSeqBuildCutoff) {
-      ParDo([&] { AnnotateCdRec(node->left); },
-            [&] { AnnotateCdRec(node->right); });
-    } else {
-      AnnotateCdRec(node->left);
-      AnnotateCdRec(node->right);
-    }
-    node->cd_min = std::min(node->left->cd_min, node->right->cd_min);
-    node->cd_max = std::max(node->left->cd_max, node->right->cd_max);
-  }
-
-  template <typename FindFn>
-  void RefreshComponentsRec(Node* node, FindFn& find) {
-    if (node->IsLeaf()) {
-      int64_t c = static_cast<int64_t>(find(ids_[node->begin]));
-      for (uint32_t i = node->begin + 1; i < node->end; ++i) {
-        if (static_cast<int64_t>(find(ids_[i])) != c) {
-          c = -1;
-          break;
-        }
-      }
-      node->component = c;
-      return;
-    }
-    if (node->size() >= kSeqBuildCutoff) {
-      ParDo([&] { RefreshComponentsRec(node->left, find); },
-            [&] { RefreshComponentsRec(node->right, find); });
-    } else {
-      RefreshComponentsRec(node->left, find);
-      RefreshComponentsRec(node->right, find);
-    }
-    node->component = (node->left->component == node->right->component)
-                          ? node->left->component
-                          : -1;
-  }
-
   uint32_t leaf_size_;
   std::vector<Point<D>> pts_;
   std::vector<uint32_t> ids_;
   std::vector<double> cd_;
   std::vector<Point<D>> scratch_pts_;
   std::vector<uint32_t> scratch_ids_;
-  std::vector<Node> nodes_;
+
+  struct PointRange {
+    uint32_t begin;
+    uint32_t end;
+  };
+
+  // Node arena (SoA). left_[v] == kNullNode marks a leaf; otherwise the
+  // children are left_[v] and left_[v] + 1. The component and core-distance
+  // annotations are allocated lazily by their refresh/annotate passes.
+  internal::NodeArray<uint32_t> left_;
+  internal::NodeArray<PointRange> range_;
+  internal::NodeArray<Box<D>> box_;
+  internal::NodeArray<double> diameter_;
+  internal::NodeArray<int64_t> component_;  // RefreshComponents
+  internal::NodeArray<double> cd_min_;      // AnnotateCoreDistances
+  internal::NodeArray<double> cd_max_;
   std::atomic<uint32_t> node_count_{0};
-  Node* root_ = nullptr;
 };
 
 }  // namespace parhc

@@ -1,16 +1,17 @@
-// k-nearest-neighbor queries over a k-d tree (paper Section 2.3).
+// k-nearest-neighbor queries over the k-d tree arena (paper Section 2.3).
 //
 // All-points kNN runs the per-point queries in parallel; each query keeps a
-// bounded max-heap of the k best squared distances and prunes subtrees whose
-// box cannot beat the current k-th best. Following the paper, a point is one
-// of its own k nearest neighbors.
+// bounded max-heap of the k best squared distances and descends through the
+// shared single-tree engine, which prunes subtrees whose box cannot beat the
+// current k-th best. Following the paper, a point is one of its own k
+// nearest neighbors.
 #pragma once
 
 #include <algorithm>
 #include <cstdint>
 #include <vector>
 
-#include "spatial/kdtree.h"
+#include "spatial/traverse.h"
 
 namespace parhc {
 
@@ -48,24 +49,16 @@ class KnnHeap {
 };
 
 template <int D>
-void KnnQueryRec(const KdTree<D>& tree, const typename KdTree<D>::Node* node,
-                 const Point<D>& q, KnnHeap& heap) {
-  if (node->IsLeaf()) {
-    for (uint32_t i = node->begin; i < node->end; ++i) {
-      heap.Offer(SquaredDistance(q, tree.point(i)), tree.id(i));
-    }
-    return;
-  }
-  double dl = node->left->box.MinSquaredDistance(q);
-  double dr = node->right->box.MinSquaredDistance(q);
-  const typename KdTree<D>::Node* near = node->left;
-  const typename KdTree<D>::Node* far = node->right;
-  if (dr < dl) {
-    std::swap(near, far);
-    std::swap(dl, dr);
-  }
-  if (dl < heap.Worst()) KnnQueryRec(tree, near, q, heap);
-  if (dr < heap.Worst()) KnnQueryRec(tree, far, q, heap);
+void KnnQueryInto(const KdTree<D>& tree, const Point<D>& q, KnnHeap& heap) {
+  SingleTraverse(
+      tree,
+      [&](uint32_t v) { return tree.NodeBox(v).MinSquaredDistance(q); },
+      [&](uint32_t, double pri) { return pri >= heap.Worst(); },
+      [&](uint32_t v) {
+        for (uint32_t i = tree.NodeBegin(v); i < tree.NodeEnd(v); ++i) {
+          heap.Offer(SquaredDistance(q, tree.point(i)), tree.id(i));
+        }
+      });
 }
 
 }  // namespace internal
@@ -78,7 +71,7 @@ std::vector<std::pair<double, uint32_t>> KnnQuery(const KdTree<D>& tree,
                                                   size_t k) {
   std::vector<std::pair<double, uint32_t>> buf(k);
   internal::KnnHeap heap(k, buf.data());
-  internal::KnnQueryRec(tree, tree.root(), q, heap);
+  internal::KnnQueryInto(tree, q, heap);
   buf.resize(heap.size());
   std::sort(buf.begin(), buf.end());
   for (auto& e : buf) e.first = std::sqrt(e.first);
@@ -103,7 +96,7 @@ std::vector<double> KthNeighborDistances(const KdTree<D>& tree, size_t k) {
       storage = buf_big.data();
     }
     internal::KnnHeap heap(k, storage);
-    internal::KnnQueryRec(tree, tree.root(), tree.point(ti), heap);
+    internal::KnnQueryInto(tree, tree.point(ti), heap);
     PARHC_DCHECK(heap.size() == k);
     out[tree.id(ti)] = std::sqrt(heap.Worst());
   });

@@ -1,9 +1,10 @@
 // Well-separated pair decomposition (paper Section 2.3, Algorithm 1).
 //
-// The traversal follows Algorithm 1 exactly: WSPD(A) recurses on both
-// children in parallel and calls FindPair on them; FindPair splits the node
-// with the larger bounding-sphere diameter until the pair satisfies the
-// separation criterion.
+// The traversal is an instantiation of the shared dual-tree engine
+// (spatial/traverse.h), which follows Algorithm 1 exactly: both children of
+// every internal node are processed in parallel, and the pruned dual descent
+// splits the node with the larger bounding-sphere diameter until the pair
+// satisfies the separation criterion.
 //
 // Two separation criteria are provided:
 //  * GeometricSeparation — the standard criterion with separation constant
@@ -18,7 +19,7 @@
 #include <vector>
 
 #include "parallel/primitives.h"
-#include "spatial/kdtree.h"
+#include "spatial/traverse.h"
 #include "util/stats.h"
 
 namespace parhc {
@@ -27,9 +28,8 @@ namespace parhc {
 template <int D>
 struct GeometricSeparation {
   double s = 2.0;
-  bool operator()(const typename KdTree<D>::Node& a,
-                  const typename KdTree<D>::Node& b) const {
-    return WellSeparated(a.box, b.box, s);
+  bool operator()(const KdTree<D>& t, uint32_t a, uint32_t b) const {
+    return WellSeparated(t.NodeBox(a), t.NodeBox(b), s);
   }
 };
 
@@ -39,90 +39,43 @@ struct GeometricSeparation {
 ///   max(d(A,B), cdmin(A), cdmin(B)) >= max(Adiam, Bdiam, cdmax(A), cdmax(B)).
 template <int D>
 struct HdbscanSeparation {
-  bool operator()(const typename KdTree<D>::Node& a,
-                  const typename KdTree<D>::Node& b) const {
-    double d = SphereDistance(a.box, b.box);
-    double max_diam = std::max(a.diameter, b.diameter);
+  bool operator()(const KdTree<D>& t, uint32_t a, uint32_t b) const {
+    double d = SphereDistance(t.NodeBox(a), t.NodeBox(b));
+    double max_diam = std::max(t.Diameter(a), t.Diameter(b));
     if (d >= max_diam) return true;  // geometrically separated
-    double lhs = std::max({d, a.cd_min, b.cd_min});
-    double rhs = std::max({max_diam, a.cd_max, b.cd_max});
+    double lhs = std::max({d, t.CdMin(a), t.CdMin(b)});
+    double rhs = std::max({max_diam, t.CdMax(a), t.CdMax(b)});
     return lhs >= rhs;  // mutually unreachable
   }
 };
 
-/// A pair of k-d tree nodes produced by the decomposition.
-template <int D>
+/// A pair of k-d tree nodes (arena indices) produced by the decomposition.
 struct WspdPair {
-  typename KdTree<D>::Node* a;
-  typename KdTree<D>::Node* b;
+  uint32_t a;
+  uint32_t b;
 };
 
-namespace internal {
-
-constexpr uint32_t kWspdSeqCutoff = 1024;
-
+/// Runs the WSPD traversal, invoking `visit(a, b)` on every well-separated
+/// node pair. `visit` may run concurrently from several workers and must be
+/// thread-safe. Degenerate pairs of unsplittable duplicate leaves are also
+/// reported (they satisfy every criterion — zero diameters) to keep the
+/// realization complete.
 template <int D, typename Sep, typename Visit>
-void FindPair(typename KdTree<D>::Node* p, typename KdTree<D>::Node* pp,
-              const Sep& sep, Visit& visit) {
-  Stats::Get().wspd_pairs_visited.fetch_add(1, std::memory_order_relaxed);
-  if (sep(*p, *pp)) {
-    visit(p, pp);
-    return;
-  }
-  // Split the node with the larger diameter (Algorithm 1 lines 8-9); a leaf
-  // cannot split, so fall through to the other node.
-  typename KdTree<D>::Node* a = p;
-  typename KdTree<D>::Node* b = pp;
-  if (a->diameter < b->diameter) std::swap(a, b);
-  if (a->IsLeaf()) std::swap(a, b);
-  if (a->IsLeaf()) {
-    // Both leaves and unsplittable. With unit leaves this only occurs for
-    // degenerate duplicate groups, which satisfy every separation criterion
-    // (zero diameters); record the pair to keep the realization complete.
-    visit(p, pp);
-    return;
-  }
-  if (a->size() + b->size() >= kWspdSeqCutoff) {
-    ParDo([&] { FindPair<D>(a->left, b, sep, visit); },
-          [&] { FindPair<D>(a->right, b, sep, visit); });
-  } else {
-    FindPair<D>(a->left, b, sep, visit);
-    FindPair<D>(a->right, b, sep, visit);
-  }
-}
-
-template <int D, typename Sep, typename Visit>
-void WspdRec(typename KdTree<D>::Node* node, const Sep& sep, Visit& visit) {
-  if (node->IsLeaf()) return;
-  if (node->size() >= kWspdSeqCutoff) {
-    ParDo([&] { WspdRec<D>(node->left, sep, visit); },
-          [&] { WspdRec<D>(node->right, sep, visit); });
-  } else {
-    WspdRec<D>(node->left, sep, visit);
-    WspdRec<D>(node->right, sep, visit);
-  }
-  FindPair<D>(node->left, node->right, sep, visit);
-}
-
-}  // namespace internal
-
-/// Runs the WSPD traversal, invoking `visit(Node* a, Node* b)` on every
-/// well-separated pair. `visit` may run concurrently from several workers
-/// and must be thread-safe.
-template <int D, typename Sep, typename Visit>
-void WspdTraverse(KdTree<D>& tree, const Sep& sep, Visit visit) {
-  internal::WspdRec<D>(tree.root(), sep, visit);
+void WspdTraverse(const KdTree<D>& tree, const Sep& sep, Visit visit) {
+  DualTraverse(
+      tree, [](uint32_t, uint32_t) { return false; },
+      [&](uint32_t a, uint32_t b) { return sep(tree, a, b); },
+      [&](uint32_t a, uint32_t b, bool /*separated*/) { visit(a, b); });
 }
 
 /// Materializes the full decomposition as a vector of node pairs.
 template <int D, typename Sep>
-std::vector<WspdPair<D>> MaterializeWspd(KdTree<D>& tree, const Sep& sep) {
-  std::vector<std::vector<WspdPair<D>>> local(NumWorkers());
-  WspdTraverse(tree, sep,
-               [&](typename KdTree<D>::Node* a, typename KdTree<D>::Node* b) {
-                 local[Scheduler::Get().MyId()].push_back({a, b});
-               });
-  std::vector<WspdPair<D>> pairs = Flatten(local);
+std::vector<WspdPair> MaterializeWspd(const KdTree<D>& tree, const Sep& sep) {
+  std::vector<std::vector<WspdPair>> local(NumWorkers());
+  WspdTraverse(tree, sep, [&](uint32_t a, uint32_t b) {
+    local[Scheduler::Get().MyId()].push_back({a, b});
+  });
+  std::vector<WspdPair> pairs = Flatten(local);
   auto& stats = Stats::Get();
   stats.wspd_pairs_materialized.fetch_add(pairs.size(),
                                           std::memory_order_relaxed);

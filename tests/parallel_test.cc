@@ -56,6 +56,30 @@ TEST(Scheduler, WorkerCountChanges) {
   EXPECT_EQ(NumWorkers(), 2);
 }
 
+TEST(Scheduler, AutoGrainCoversRangeAtWorkerBoundaries) {
+  // Regression test for the automatic grain selection
+  // (grain = clamp(n / (8p), 1, 2048)): sweep n around the 8p chunking
+  // boundaries for several worker counts — in particular tiny n with large
+  // worker counts, where n / (8p) truncates to 0 and the floor of 1 must
+  // apply — and check every index runs exactly once.
+  for (int p : {1, 2, 3, 4, 8, 16}) {
+    SetNumWorkers(p);
+    size_t boundary = static_cast<size_t>(p) * 8;
+    std::vector<size_t> sizes = {1, 2, 3, boundary - 1, boundary,
+                                 boundary + 1, 4 * boundary + 3};
+    for (size_t n : sizes) {
+      if (n == 0) continue;
+      std::vector<std::atomic<int>> hits(n);
+      for (auto& h : hits) h.store(0);
+      ParallelFor(0, n, [&](size_t i) { hits[i].fetch_add(1); });
+      for (size_t i = 0; i < n; ++i) {
+        ASSERT_EQ(hits[i].load(), 1) << "p=" << p << " n=" << n << " i=" << i;
+      }
+    }
+  }
+  SetNumWorkers(4);  // restore the test-binary default
+}
+
 TEST(Scheduler, EmptyRange) {
   bool ran = false;
   ParallelFor(5, 5, [&](size_t) { ran = true; });

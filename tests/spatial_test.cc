@@ -10,6 +10,7 @@
 #include "spatial/bccp.h"
 #include "spatial/kdtree.h"
 #include "spatial/knn.h"
+#include "spatial/traverse.h"
 #include "spatial/wspd.h"
 #include "test_util.h"
 
@@ -20,25 +21,25 @@ using test::DuplicatedPoints;
 using test::RandomPoints;
 
 template <int D>
-void CheckTreeInvariants(const KdTree<D>& tree,
-                         const typename KdTree<D>::Node* node) {
+void CheckTreeInvariants(const KdTree<D>& tree, uint32_t node) {
   // Every point of the node lies in its bounding box, and the box is tight.
   Box<D> recomputed = Box<D>::Empty();
-  for (uint32_t i = node->begin; i < node->end; ++i) {
+  for (uint32_t i = tree.NodeBegin(node); i < tree.NodeEnd(node); ++i) {
     recomputed.Extend(tree.point(i));
   }
   for (int d = 0; d < D; ++d) {
-    ASSERT_DOUBLE_EQ(recomputed.lo[d], node->box.lo[d]);
-    ASSERT_DOUBLE_EQ(recomputed.hi[d], node->box.hi[d]);
+    ASSERT_DOUBLE_EQ(recomputed.lo[d], tree.NodeBox(node).lo[d]);
+    ASSERT_DOUBLE_EQ(recomputed.hi[d], tree.NodeBox(node).hi[d]);
   }
-  if (!node->IsLeaf()) {
-    ASSERT_EQ(node->left->begin, node->begin);
-    ASSERT_EQ(node->left->end, node->right->begin);
-    ASSERT_EQ(node->right->end, node->end);
-    ASSERT_GT(node->left->size(), 0u);
-    ASSERT_GT(node->right->size(), 0u);
-    CheckTreeInvariants(tree, node->left);
-    CheckTreeInvariants(tree, node->right);
+  if (!tree.IsLeaf(node)) {
+    uint32_t l = tree.Left(node), r = tree.Right(node);
+    ASSERT_EQ(tree.NodeBegin(l), tree.NodeBegin(node));
+    ASSERT_EQ(tree.NodeEnd(l), tree.NodeBegin(r));
+    ASSERT_EQ(tree.NodeEnd(r), tree.NodeEnd(node));
+    ASSERT_GT(tree.NodeSize(l), 0u);
+    ASSERT_GT(tree.NodeSize(r), 0u);
+    CheckTreeInvariants(tree, l);
+    CheckTreeInvariants(tree, r);
   }
 }
 
@@ -67,30 +68,45 @@ TEST(KdTree, IdsAreAPermutation) {
   }
 }
 
+TEST(KdTree, ArenaIsSizedToActualNodeCount) {
+  // Leaves hold up to 8 points, so the arena must be far below the 2n
+  // upper bound, and every parent's index is smaller than its children's
+  // (the invariant the flat bottom-up sweeps rely on).
+  auto pts = RandomPoints<3>(5000, 3);
+  KdTree<3> tree(pts, 8);
+  uint32_t count = tree.node_count();
+  EXPECT_LT(count, pts.size());  // leaf_size 8 => far fewer than n nodes
+  uint32_t leaves = 0;
+  for (uint32_t v = 0; v < count; ++v) {
+    if (tree.IsLeaf(v)) {
+      ++leaves;
+    } else {
+      ASSERT_GT(tree.Left(v), v);
+      ASSERT_EQ(tree.Right(v), tree.Left(v) + 1);
+      ASSERT_LT(tree.Right(v), count);
+    }
+  }
+  EXPECT_EQ(count, 2 * leaves - 1);  // full binary tree
+}
+
 TEST(KdTree, DuplicatesBecomeZeroDiameterLeaves) {
   auto pts = DuplicatedPoints<2>(500, 7);
   KdTree<2> tree(pts, 1);
   // Every leaf with >1 point must have zero diameter (identical points).
-  std::function<void(const KdTree<2>::Node*)> check =
-      [&](const KdTree<2>::Node* n) {
-        if (n->IsLeaf()) {
-          if (n->size() > 1) {
-            EXPECT_EQ(n->diameter, 0.0);
-          }
-          return;
-        }
-        check(n->left);
-        check(n->right);
-      };
-  check(tree.root());
+  ForEachLeaf(tree, [&](uint32_t v) {
+    if (tree.NodeSize(v) > 1) {
+      EXPECT_EQ(tree.Diameter(v), 0.0);
+    }
+  });
 }
 
 TEST(KdTree, SinglePoint) {
   std::vector<Point<2>> pts{{{1.0, 2.0}}};
   KdTree<2> tree(pts, 1);
-  EXPECT_TRUE(tree.root()->IsLeaf());
-  EXPECT_EQ(tree.root()->size(), 1u);
-  EXPECT_EQ(tree.root()->diameter, 0.0);
+  EXPECT_TRUE(tree.IsLeaf(tree.root()));
+  EXPECT_EQ(tree.NodeSize(tree.root()), 1u);
+  EXPECT_EQ(tree.Diameter(tree.root()), 0.0);
+  EXPECT_EQ(tree.node_count(), 1u);
 }
 
 class KnnTest : public ::testing::TestWithParam<std::tuple<size_t, int>> {};
@@ -151,16 +167,22 @@ ClosestPair BruteBccp(const std::vector<Point<D>>& pts,
   return best;
 }
 
+template <int D>
+std::vector<uint32_t> NodeIds(const KdTree<D>& tree, uint32_t node) {
+  std::vector<uint32_t> out;
+  for (uint32_t i = tree.NodeBegin(node); i < tree.NodeEnd(node); ++i) {
+    out.push_back(tree.id(i));
+  }
+  return out;
+}
+
 TEST(Bccp, MatchesBruteForceOnTreeNodes) {
   auto pts = RandomPoints<3>(2000, 77);
   KdTree<3> tree(pts, 1);
   // Use the root's children as the two sets.
-  auto* a = tree.root()->left;
-  auto* b = tree.root()->right;
-  std::vector<uint32_t> as, bs;
-  for (uint32_t i = a->begin; i < a->end; ++i) as.push_back(tree.id(i));
-  for (uint32_t i = b->begin; i < b->end; ++i) bs.push_back(tree.id(i));
-  ClosestPair expect = BruteBccp(pts, as, bs);
+  uint32_t a = tree.Left(tree.root());
+  uint32_t b = tree.Right(tree.root());
+  ClosestPair expect = BruteBccp(pts, NodeIds(tree, a), NodeIds(tree, b));
   ClosestPair got = Bccp(tree, a, b);
   EXPECT_DOUBLE_EQ(got.dist, expect.dist);
 }
@@ -168,14 +190,13 @@ TEST(Bccp, MatchesBruteForceOnTreeNodes) {
 TEST(Bccp, DeepNodePairsMatchBruteForce) {
   auto pts = RandomPoints<2>(800, 3);
   KdTree<2> tree(pts, 1);
-  auto* a = tree.root()->left->left;
-  auto* b = tree.root()->right->right;
-  ASSERT_NE(a, nullptr);
-  ASSERT_NE(b, nullptr);
-  std::vector<uint32_t> as, bs;
-  for (uint32_t i = a->begin; i < a->end; ++i) as.push_back(tree.id(i));
-  for (uint32_t i = b->begin; i < b->end; ++i) bs.push_back(tree.id(i));
-  EXPECT_DOUBLE_EQ(Bccp(tree, a, b).dist, BruteBccp(pts, as, bs).dist);
+  ASSERT_FALSE(tree.IsLeaf(tree.root()));
+  ASSERT_FALSE(tree.IsLeaf(tree.Left(tree.root())));
+  ASSERT_FALSE(tree.IsLeaf(tree.Right(tree.root())));
+  uint32_t a = tree.Left(tree.Left(tree.root()));
+  uint32_t b = tree.Right(tree.Right(tree.root()));
+  EXPECT_DOUBLE_EQ(Bccp(tree, a, b).dist,
+                   BruteBccp(pts, NodeIds(tree, a), NodeIds(tree, b)).dist);
 }
 
 TEST(BccpStar, MatchesBruteForceMutualReachability) {
@@ -184,11 +205,11 @@ TEST(BccpStar, MatchesBruteForceMutualReachability) {
   KdTree<2> tree(pts, 1);
   auto cd = test::BruteCoreDistances(pts, kMinPts);
   tree.AnnotateCoreDistances(cd);
-  auto* a = tree.root()->left;
-  auto* b = tree.root()->right;
+  uint32_t a = tree.Left(tree.root());
+  uint32_t b = tree.Right(tree.root());
   double expect = std::numeric_limits<double>::infinity();
-  for (uint32_t i = a->begin; i < a->end; ++i) {
-    for (uint32_t j = b->begin; j < b->end; ++j) {
+  for (uint32_t i = tree.NodeBegin(a); i < tree.NodeEnd(a); ++i) {
+    for (uint32_t j = tree.NodeBegin(b); j < tree.NodeEnd(b); ++j) {
       uint32_t u = tree.id(i), v = tree.id(j);
       expect = std::min(
           expect, std::max({Distance(pts[u], pts[v]), cd[u], cd[v]}));
@@ -209,8 +230,8 @@ TEST_P(WspdTest, RealizationCoversEveryPairExactlyOnce) {
   auto pairs = MaterializeWspd(tree, GeometricSeparation<2>{2.0});
   std::map<std::pair<uint32_t, uint32_t>, int> cover;
   for (auto& pr : pairs) {
-    for (uint32_t i = pr.a->begin; i < pr.a->end; ++i) {
-      for (uint32_t j = pr.b->begin; j < pr.b->end; ++j) {
+    for (uint32_t i = tree.NodeBegin(pr.a); i < tree.NodeEnd(pr.a); ++i) {
+      for (uint32_t j = tree.NodeBegin(pr.b); j < tree.NodeEnd(pr.b); ++j) {
         uint32_t u = tree.id(i), v = tree.id(j);
         cover[{std::min(u, v), std::max(u, v)}]++;
       }
@@ -230,7 +251,7 @@ TEST_P(WspdTest, PairsAreWellSeparated) {
   GeometricSeparation<3> sep{2.0};
   auto pairs = MaterializeWspd(tree, sep);
   for (auto& pr : pairs) {
-    EXPECT_TRUE(sep(*pr.a, *pr.b));
+    EXPECT_TRUE(sep(tree, pr.a, pr.b));
   }
 }
 
@@ -269,8 +290,8 @@ TEST(Wspd, CoverageWithDuplicatesViaLeafEdges) {
   auto pairs = MaterializeWspd(tree, GeometricSeparation<2>{2.0});
   std::set<std::pair<uint32_t, uint32_t>> covered;
   for (auto& pr : pairs) {
-    for (uint32_t i = pr.a->begin; i < pr.a->end; ++i) {
-      for (uint32_t j = pr.b->begin; j < pr.b->end; ++j) {
+    for (uint32_t i = tree.NodeBegin(pr.a); i < tree.NodeEnd(pr.a); ++i) {
+      for (uint32_t j = tree.NodeBegin(pr.b); j < tree.NodeEnd(pr.b); ++j) {
         uint32_t u = tree.id(i), v = tree.id(j);
         auto key = std::minmax(u, v);
         ASSERT_TRUE(covered.insert({key.first, key.second}).second)

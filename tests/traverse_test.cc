@@ -1,0 +1,321 @@
+// Tests for the flat-arena k-d tree and the shared traversal engine:
+//
+//  * structural equivalence against a sequential pointer-based reference
+//    builder that replicates the build rule (same splits, boxes, diameters,
+//    and point order);
+//  * WSPD pair sets from the engine vs. a direct Algorithm-1 recursion over
+//    the reference pointer tree;
+//  * brute-force cross-checks (kNN, core distances) on random and
+//    duplicate-heavy inputs;
+//  * the flat bottom-up sweeps (AnnotateCoreDistances, RefreshComponents)
+//    against per-node range scans.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <memory>
+#include <set>
+
+#include "spatial/bccp.h"
+#include "spatial/kdtree.h"
+#include "spatial/knn.h"
+#include "spatial/traverse.h"
+#include "spatial/wspd.h"
+#include "test_util.h"
+
+namespace parhc {
+namespace {
+
+using test::DuplicatedPoints;
+using test::RandomPoints;
+
+// ---------------------------------------------------------------------------
+// Reference pointer-based k-d tree: the layout this repo used before the
+// arena refactor, rebuilt here sequentially with the exact same split rule
+// (spatial median on the widest dimension, object-median fallback on
+// degenerate splits, leaves at `leaf_size` points or zero diameter).
+// ---------------------------------------------------------------------------
+
+template <int D>
+struct RefNode {
+  Box<D> box;
+  uint32_t begin = 0;
+  uint32_t end = 0;
+  std::unique_ptr<RefNode> left;
+  std::unique_ptr<RefNode> right;
+  double diameter = 0;
+
+  bool IsLeaf() const { return left == nullptr; }
+};
+
+template <int D>
+class RefKdTree {
+ public:
+  // Matches KdTree<D>::kSeqBuildCutoff: below it the arena build uses an
+  // unstable swap partition, at or above it a stable blocked partition.
+  static constexpr uint32_t kSeqBuildCutoff = 2048;
+
+  RefKdTree(const std::vector<Point<D>>& points, uint32_t leaf_size)
+      : leaf_size_(leaf_size), pts_(points), ids_(points.size()) {
+    for (size_t i = 0; i < points.size(); ++i) {
+      ids_[i] = static_cast<uint32_t>(i);
+    }
+    root_ = Build(0, static_cast<uint32_t>(points.size()));
+  }
+
+  const RefNode<D>* root() const { return root_.get(); }
+  const std::vector<Point<D>>& points() const { return pts_; }
+  const std::vector<uint32_t>& ids() const { return ids_; }
+
+ private:
+  std::unique_ptr<RefNode<D>> Build(uint32_t begin, uint32_t end) {
+    auto node = std::make_unique<RefNode<D>>();
+    node->begin = begin;
+    node->end = end;
+    node->box = Box<D>::Empty();
+    for (uint32_t i = begin; i < end; ++i) node->box.Extend(pts_[i]);
+    node->diameter = 2.0 * node->box.SphereRadius();
+    uint32_t n = end - begin;
+    if (n <= leaf_size_ || node->diameter == 0.0) return node;
+    int axis = node->box.WidestDim();
+    double split = 0.5 * (node->box.lo[axis] + node->box.hi[axis]);
+    uint32_t mid = Partition(begin, end, axis, split);
+    if (mid == begin || mid == end) {
+      mid = begin + n / 2;
+      MedianSplit(begin, end, mid, axis);
+    }
+    node->left = Build(begin, mid);
+    node->right = Build(mid, end);
+    return node;
+  }
+
+  uint32_t Partition(uint32_t begin, uint32_t end, int axis, double split) {
+    if (end - begin < kSeqBuildCutoff) {
+      // Swap partition, element-for-element as in the arena build.
+      uint32_t i = begin;
+      for (uint32_t j = begin; j < end; ++j) {
+        if (pts_[j][axis] < split) {
+          std::swap(pts_[i], pts_[j]);
+          std::swap(ids_[i], ids_[j]);
+          ++i;
+        }
+      }
+      return i;
+    }
+    // The arena's blocked out-of-place partition is stable regardless of
+    // block structure, so a stable_partition over (point, id) pairs matches.
+    std::vector<std::pair<Point<D>, uint32_t>> tmp(end - begin);
+    for (uint32_t i = begin; i < end; ++i) tmp[i - begin] = {pts_[i], ids_[i]};
+    auto mid_it = std::stable_partition(
+        tmp.begin(), tmp.end(),
+        [&](const auto& e) { return e.first[axis] < split; });
+    for (uint32_t i = begin; i < end; ++i) {
+      pts_[i] = tmp[i - begin].first;
+      ids_[i] = tmp[i - begin].second;
+    }
+    return begin + static_cast<uint32_t>(mid_it - tmp.begin());
+  }
+
+  void MedianSplit(uint32_t begin, uint32_t end, uint32_t mid, int axis) {
+    std::vector<uint32_t> perm(end - begin);
+    for (uint32_t i = 0; i < end - begin; ++i) perm[i] = begin + i;
+    std::nth_element(perm.begin(), perm.begin() + (mid - begin), perm.end(),
+                     [&](uint32_t a, uint32_t b) {
+                       if (pts_[a][axis] != pts_[b][axis]) {
+                         return pts_[a][axis] < pts_[b][axis];
+                       }
+                       return ids_[a] < ids_[b];
+                     });
+    std::vector<Point<D>> tmp_pts(end - begin);
+    std::vector<uint32_t> tmp_ids(end - begin);
+    for (uint32_t i = 0; i < end - begin; ++i) {
+      tmp_pts[i] = pts_[perm[i]];
+      tmp_ids[i] = ids_[perm[i]];
+    }
+    std::copy(tmp_pts.begin(), tmp_pts.end(), pts_.begin() + begin);
+    std::copy(tmp_ids.begin(), tmp_ids.end(), ids_.begin() + begin);
+  }
+
+  uint32_t leaf_size_;
+  std::vector<Point<D>> pts_;
+  std::vector<uint32_t> ids_;
+  std::unique_ptr<RefNode<D>> root_;
+};
+
+template <int D>
+void CompareNodes(const KdTree<D>& tree, uint32_t v, const RefNode<D>* ref,
+                  uint32_t* visited) {
+  ++*visited;
+  ASSERT_EQ(tree.NodeBegin(v), ref->begin);
+  ASSERT_EQ(tree.NodeEnd(v), ref->end);
+  ASSERT_EQ(tree.IsLeaf(v), ref->IsLeaf());
+  ASSERT_EQ(tree.Diameter(v), ref->diameter);
+  for (int d = 0; d < D; ++d) {
+    ASSERT_EQ(tree.NodeBox(v).lo[d], ref->box.lo[d]);
+    ASSERT_EQ(tree.NodeBox(v).hi[d], ref->box.hi[d]);
+  }
+  if (!ref->IsLeaf()) {
+    CompareNodes(tree, tree.Left(v), ref->left.get(), visited);
+    CompareNodes(tree, tree.Right(v), ref->right.get(), visited);
+  }
+}
+
+template <int D>
+void CheckStructuralEquivalence(const std::vector<Point<D>>& pts,
+                                uint32_t leaf_size) {
+  KdTree<D> tree(pts, leaf_size);
+  RefKdTree<D> ref(pts, leaf_size);
+  // Identical point reordering.
+  ASSERT_EQ(tree.ids(), ref.ids());
+  for (size_t i = 0; i < pts.size(); ++i) {
+    ASSERT_EQ(tree.point(static_cast<uint32_t>(i)), ref.points()[i]);
+  }
+  // Identical splits, boxes, diameters — and the arena holds nothing else.
+  uint32_t visited = 0;
+  CompareNodes(tree, tree.root(), ref.root(), &visited);
+  ASSERT_EQ(visited, tree.node_count());
+}
+
+TEST(FlatTree, MatchesPointerTreeRandom2D) {
+  CheckStructuralEquivalence(RandomPoints<2>(3000, 11), 1);
+}
+
+TEST(FlatTree, MatchesPointerTreeRandom5DLeaf8) {
+  CheckStructuralEquivalence(RandomPoints<5>(2500, 23), 8);
+}
+
+TEST(FlatTree, MatchesPointerTreeAcrossParallelBuildCutoff) {
+  // > 2*kSeqBuildCutoff points so the parallel blocked partition runs.
+  CheckStructuralEquivalence(RandomPoints<3>(6000, 31), 1);
+}
+
+TEST(FlatTree, MatchesPointerTreeDuplicateHeavy) {
+  CheckStructuralEquivalence(DuplicatedPoints<2>(1500, 7), 1);
+}
+
+// ---------------------------------------------------------------------------
+// WSPD through the engine vs. a direct Algorithm-1 recursion over the
+// reference pointer tree.
+// ---------------------------------------------------------------------------
+
+using RangePair = std::array<uint32_t, 4>;  // (a.begin, a.end, b.begin, b.end)
+
+template <int D>
+void RefFindPair(const RefNode<D>* p, const RefNode<D>* pp, double s,
+                 std::multiset<RangePair>& out) {
+  if (WellSeparated(p->box, pp->box, s)) {
+    out.insert({p->begin, p->end, pp->begin, pp->end});
+    return;
+  }
+  const RefNode<D>* a = p;
+  const RefNode<D>* b = pp;
+  if (a->diameter < b->diameter) std::swap(a, b);
+  if (a->IsLeaf()) std::swap(a, b);
+  if (a->IsLeaf()) {
+    out.insert({p->begin, p->end, pp->begin, pp->end});
+    return;
+  }
+  RefFindPair(a->left.get(), b, s, out);
+  RefFindPair(a->right.get(), b, s, out);
+}
+
+template <int D>
+void RefWspd(const RefNode<D>* node, double s, std::multiset<RangePair>& out) {
+  if (node->IsLeaf()) return;
+  RefWspd(node->left.get(), s, out);
+  RefWspd(node->right.get(), s, out);
+  RefFindPair(node->left.get(), node->right.get(), s, out);
+}
+
+template <int D>
+void CheckWspdMatchesReference(const std::vector<Point<D>>& pts, double s) {
+  KdTree<D> tree(pts, 1);
+  RefKdTree<D> ref(pts, 1);
+  auto pairs = MaterializeWspd(tree, GeometricSeparation<D>{s});
+  std::multiset<RangePair> got;
+  for (const auto& pr : pairs) {
+    got.insert({tree.NodeBegin(pr.a), tree.NodeEnd(pr.a),
+                tree.NodeBegin(pr.b), tree.NodeEnd(pr.b)});
+  }
+  std::multiset<RangePair> expect;
+  RefWspd(ref.root(), s, expect);
+  EXPECT_EQ(got, expect);
+}
+
+TEST(EngineWspd, MatchesReferenceRecursionRandom) {
+  CheckWspdMatchesReference(RandomPoints<2>(2000, 5), 2.0);
+}
+
+TEST(EngineWspd, MatchesReferenceRecursionDuplicateHeavy) {
+  CheckWspdMatchesReference(DuplicatedPoints<2>(800, 19), 2.0);
+}
+
+TEST(EngineWspd, MatchesReferenceRecursionWideSeparation3D) {
+  CheckWspdMatchesReference(RandomPoints<3>(1200, 3), 4.0);
+}
+
+// ---------------------------------------------------------------------------
+// Brute-force cross-checks on duplicate-heavy inputs (random inputs are
+// covered in spatial_test.cc).
+// ---------------------------------------------------------------------------
+
+TEST(EngineKnn, MatchesBruteForceDuplicateHeavy) {
+  auto pts = DuplicatedPoints<3>(600, 41);
+  KdTree<3> tree(pts, 1);
+  constexpr int kK = 7;
+  auto kth = KthNeighborDistances(tree, kK);
+  auto brute = test::BruteCoreDistances(pts, kK);
+  for (size_t i = 0; i < pts.size(); ++i) {
+    ASSERT_NEAR(kth[i], brute[i], 1e-12) << "point " << i;
+  }
+}
+
+TEST(EngineCoreDistances, MatchBruteForceDuplicateHeavy) {
+  auto pts = DuplicatedPoints<2>(500, 13);
+  KdTree<2> tree(pts, 1);
+  auto fast = KthNeighborDistances(tree, 10);
+  auto slow = test::BruteCoreDistances(pts, 10);
+  for (size_t i = 0; i < pts.size(); ++i) {
+    ASSERT_NEAR(fast[i], slow[i], 1e-12);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Flat bottom-up sweeps vs. per-node range scans.
+// ---------------------------------------------------------------------------
+
+TEST(BottomUpSweep, CoreDistanceAnnotationMatchesRangeScan) {
+  auto pts = DuplicatedPoints<2>(700, 29);
+  KdTree<2> tree(pts, 1);
+  auto cd = test::BruteCoreDistances(pts, 5);
+  tree.AnnotateCoreDistances(cd);
+  for (uint32_t v = 0; v < tree.node_count(); ++v) {
+    double mn = std::numeric_limits<double>::infinity(), mx = 0;
+    for (uint32_t i = tree.NodeBegin(v); i < tree.NodeEnd(v); ++i) {
+      mn = std::min(mn, cd[tree.id(i)]);
+      mx = std::max(mx, cd[tree.id(i)]);
+    }
+    ASSERT_EQ(tree.CdMin(v), mn) << "node " << v;
+    ASSERT_EQ(tree.CdMax(v), mx) << "node " << v;
+  }
+}
+
+TEST(BottomUpSweep, RefreshComponentsMatchesRangeScan) {
+  auto pts = RandomPoints<3>(2000, 37);
+  KdTree<3> tree(pts, 4);
+  // Arbitrary deterministic pseudo-components.
+  auto find = [](uint32_t id) { return id % 5; };
+  tree.RefreshComponents(find);
+  for (uint32_t v = 0; v < tree.node_count(); ++v) {
+    int64_t expect = static_cast<int64_t>(find(tree.id(tree.NodeBegin(v))));
+    for (uint32_t i = tree.NodeBegin(v) + 1; i < tree.NodeEnd(v); ++i) {
+      if (static_cast<int64_t>(find(tree.id(i))) != expect) {
+        expect = -1;
+        break;
+      }
+    }
+    ASSERT_EQ(tree.Component(v), expect) << "node " << v;
+  }
+}
+
+}  // namespace
+}  // namespace parhc
