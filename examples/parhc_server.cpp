@@ -1,0 +1,225 @@
+// parhc_server: a line-protocol front-end over the ClusteringEngine.
+//
+// Reads one command per line from stdin and answers on stdout, so it works
+// both as an interactive REPL and in batch mode (pipe a script in; used by
+// the CI examples smoke step). Blank lines and '#' comments are ignored.
+//
+// Commands:
+//   gen <name> <dim> <uniform|varden|levy|gauss> <n> [seed]
+//   load <name> <csv|bin> <path>
+//   save <name> ... is intentionally absent: datasets are immutable inputs
+//   list
+//   drop <name>
+//   emst <name>
+//   slink <name> <k>
+//   hdbscan <name> <minPts>
+//   dbscan <name> <minPts> <eps>
+//   reach <name> <minPts>
+//   clusters <name> <minPts> <minClusterSize>
+//   help
+//   quit
+//
+// Every query line answers with a single "ok ..." or "err ..." line
+// containing the result summary plus the built/reused artifact trace, e.g.
+//   ok hdbscan d mst_edges=9999 mst_weight=123.456 built=[mst@10,dendro@10]
+//      reused=[tree,knn@50,cd@10] secs=0.42
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "parhc.h"
+
+namespace {
+
+using namespace parhc;
+
+std::string JoinKeys(const std::vector<std::string>& keys) {
+  std::string out = "[";
+  for (size_t i = 0; i < keys.size(); ++i) {
+    if (i) out += ',';
+    out += keys[i];
+  }
+  return out + "]";
+}
+
+template <int D>
+std::vector<Point<D>> GenTyped(const std::string& kind, size_t n,
+                               uint64_t seed) {
+  if (kind == "uniform") return UniformFill<D>(n, seed);
+  if (kind == "varden") return SeedSpreaderVarden<D>(n, seed);
+  if (kind == "levy") return SkewedLevy<D>(n, seed);
+  if (kind == "gauss") return ClusteredGaussians<D>(n, seed);
+  return {};
+}
+
+bool Generate(DatasetRegistry& reg, const std::string& name, int dim,
+              const std::string& kind, size_t n, uint64_t seed) {
+  if (kind != "uniform" && kind != "varden" && kind != "levy" &&
+      kind != "gauss") {
+    return false;
+  }
+  switch (dim) {
+    case 2: reg.Add(name, GenTyped<2>(kind, n, seed)); return true;
+    case 3: reg.Add(name, GenTyped<3>(kind, n, seed)); return true;
+    case 4: reg.Add(name, GenTyped<4>(kind, n, seed)); return true;
+    case 5: reg.Add(name, GenTyped<5>(kind, n, seed)); return true;
+    case 7: reg.Add(name, GenTyped<7>(kind, n, seed)); return true;
+    case 10: reg.Add(name, GenTyped<10>(kind, n, seed)); return true;
+    case 16: reg.Add(name, GenTyped<16>(kind, n, seed)); return true;
+    default: return false;
+  }
+}
+
+void PrintResponse(const std::string& what, const std::string& name,
+                   const EngineResponse& r) {
+  if (!r.ok) {
+    std::printf("err %s %s: %s\n", what.c_str(), name.c_str(),
+                r.error.c_str());
+    return;
+  }
+  std::ostringstream body;
+  if (r.mst) {
+    body << " mst_edges=" << r.mst->size() << " mst_weight=" << r.mst_weight;
+  }
+  if (!r.labels.empty()) {
+    body << " clusters=" << r.num_clusters << " noise=" << r.num_noise;
+  }
+  if (r.plot) body << " plot_points=" << r.plot->order.size();
+  if (r.dendrogram && !r.plot && r.labels.empty()) {
+    body << " dendro_root_height="
+         << (r.dendrogram->num_points() > 1
+                 ? r.dendrogram->Height(r.dendrogram->root())
+                 : 0.0);
+  }
+  std::printf("ok %s %s%s built=%s reused=%s secs=%.4f\n", what.c_str(),
+              name.c_str(), body.str().c_str(), JoinKeys(r.built).c_str(),
+              JoinKeys(r.reused).c_str(), r.seconds);
+}
+
+void Help() {
+  std::printf(
+      "commands:\n"
+      "  gen <name> <dim> <uniform|varden|levy|gauss> <n> [seed]\n"
+      "  load <name> <csv|bin> <path>\n"
+      "  list | drop <name>\n"
+      "  emst <name>\n"
+      "  slink <name> <k>\n"
+      "  hdbscan <name> <minPts>\n"
+      "  dbscan <name> <minPts> <eps>\n"
+      "  reach <name> <minPts>\n"
+      "  clusters <name> <minPts> <minClusterSize>\n"
+      "  help | quit\n");
+}
+
+}  // namespace
+
+int main() {
+  using namespace parhc;
+  ClusteringEngine engine;
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ss(line);
+    std::string cmd;
+    ss >> cmd;
+    try {
+      if (cmd == "quit" || cmd == "exit") {
+        break;
+      } else if (cmd == "help") {
+        Help();
+      } else if (cmd == "gen") {
+        std::string name, kind;
+        int dim = 0;
+        size_t n = 0;
+        uint64_t seed = 1;
+        ss >> name >> dim >> kind >> n;
+        if (!(ss >> seed)) seed = 1;
+        if (name.empty() || n == 0 ||
+            !Generate(engine.registry(), name, dim, kind, n, seed)) {
+          std::printf("err gen: usage/unsupported dim or kind\n");
+        } else {
+          std::printf("ok gen %s dim=%d n=%zu kind=%s\n", name.c_str(), dim,
+                      n, kind.c_str());
+        }
+      } else if (cmd == "load") {
+        std::string name, fmt, path;
+        ss >> name >> fmt >> path;
+        if (fmt != "csv" && fmt != "bin") {
+          std::printf("err load: format must be csv or bin\n");
+          continue;
+        }
+        if (std::ifstream probe(path); !probe.good()) {
+          std::printf("err load %s: cannot open %s\n", name.c_str(),
+                      path.c_str());
+          continue;
+        }
+        // Both loaders surface bad data as errors (CSV parse failures and
+        // malformed binary files throw; caught below), never aborts.
+        std::string err =
+            fmt == "csv"
+                ? engine.registry().TryAddRows(name, ReadPointsCsv(path))
+                : engine.registry().TryAddBin(name, path);
+        if (!err.empty()) {
+          std::printf("err load %s: %s\n", name.c_str(), err.c_str());
+          continue;
+        }
+        auto entry = engine.registry().Find(name);
+        std::printf("ok load %s dim=%d n=%zu\n", name.c_str(), entry->dim(),
+                    entry->num_points());
+      } else if (cmd == "list") {
+        for (const DatasetInfo& info : engine.registry().List()) {
+          std::printf("dataset %s dim=%d n=%zu knn_k=%zu cached=%zu\n",
+                      info.name.c_str(), info.dim, info.num_points,
+                      info.knn_k, info.cached_clusterings);
+        }
+        std::printf("ok list\n");
+      } else if (cmd == "drop") {
+        std::string name;
+        ss >> name;
+        std::printf(engine.registry().Remove(name) ? "ok drop %s\n"
+                                                   : "err drop %s: unknown\n",
+                    name.c_str());
+      } else if (cmd == "emst" || cmd == "slink" || cmd == "hdbscan" ||
+                 cmd == "dbscan" || cmd == "reach" || cmd == "clusters") {
+        EngineRequest req;
+        ss >> req.dataset;
+        if (cmd == "emst") {
+          req.type = QueryType::kEmst;
+        } else if (cmd == "slink") {
+          req.type = QueryType::kSingleLinkage;
+          ss >> req.k;
+        } else if (cmd == "hdbscan") {
+          req.type = QueryType::kHdbscan;
+          ss >> req.min_pts;
+        } else if (cmd == "dbscan") {
+          req.type = QueryType::kDbscanStarAt;
+          ss >> req.min_pts >> req.eps;
+        } else if (cmd == "reach") {
+          req.type = QueryType::kReachability;
+          ss >> req.min_pts;
+        } else {
+          req.type = QueryType::kStableClusters;
+          ss >> req.min_pts >> req.min_cluster_size;
+        }
+        // A missing or malformed argument must not silently fall back to a
+        // default parameterization and print "ok".
+        if (ss.fail() || req.dataset.empty()) {
+          std::printf("err %s: missing or malformed arguments (try help)\n",
+                      cmd.c_str());
+          continue;
+        }
+        PrintResponse(cmd, req.dataset, engine.Run(req));
+      } else {
+        std::printf("err unknown command: %s (try help)\n", cmd.c_str());
+      }
+    } catch (const std::exception& e) {
+      std::printf("err %s: %s\n", cmd.c_str(), e.what());
+    }
+    std::fflush(stdout);
+  }
+  return 0;
+}

@@ -9,6 +9,27 @@
 
 namespace parhc {
 
+/// MemoGFK over a prebuilt tree (leaf_size must be 1). Mutates the tree's
+/// component annotations; concurrent callers must serialize on the tree.
+/// Used by the clustering engine to reuse one cached tree across queries.
+template <int D>
+std::vector<WeightedEdge> EmstMemoGfkOnTree(KdTree<D>& tree,
+                                            PhaseBreakdown* phases = nullptr,
+                                            const MemoGfkOptions& opts = {}) {
+  GeometricSeparation<D> sep{2.0};
+  auto lb = [&tree](uint32_t a, uint32_t b) {
+    return std::sqrt(tree.NodeBox(a).MinSquaredDistance(tree.NodeBox(b)));
+  };
+  auto ub = [&tree](uint32_t a, uint32_t b) {
+    return std::sqrt(tree.NodeBox(a).MaxSquaredDistance(tree.NodeBox(b)));
+  };
+  auto bccp = [&tree](uint32_t a, uint32_t b) { return Bccp(tree, a, b); };
+  return internal::MemoGfkMst(
+      tree, sep, lb, ub, bccp,
+      internal::DuplicateLeafEdges(tree, /*use_core_dist=*/false), phases,
+      opts);
+}
+
 /// Computes the Euclidean MST with MemoGFK. O(n^2) work, O(log^2 n) depth,
 /// and only the per-round window of WSPD pairs is ever materialized.
 template <int D>
@@ -19,19 +40,7 @@ std::vector<WeightedEdge> EmstMemoGfk(const std::vector<Point<D>>& pts,
   Timer t;
   KdTree<D> tree(pts, /*leaf_size=*/1);
   if (phases) phases->build_tree += t.Seconds();
-
-  GeometricSeparation<D> sep{2.0};
-  auto lb = [&tree](uint32_t a, uint32_t b) {
-    return std::sqrt(tree.NodeBox(a).MinSquaredDistance(tree.NodeBox(b)));
-  };
-  auto ub = [&tree](uint32_t a, uint32_t b) {
-    return std::sqrt(tree.NodeBox(a).MaxSquaredDistance(tree.NodeBox(b)));
-  };
-  auto bccp = [&tree](uint32_t a, uint32_t b) { return Bccp(tree, a, b); };
-  std::vector<WeightedEdge> mst = internal::MemoGfkMst(
-      tree, sep, lb, ub, bccp,
-      internal::DuplicateLeafEdges(tree, /*use_core_dist=*/false), phases,
-      opts);
+  std::vector<WeightedEdge> mst = EmstMemoGfkOnTree(tree, phases, opts);
   if (phases) phases->total += total.Seconds();
   return mst;
 }

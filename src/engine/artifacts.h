@@ -1,0 +1,368 @@
+// Per-dataset artifact cache: the memoized pipeline DAG of the clustering
+// engine.
+//
+//              points
+//                |
+//              kd-tree ------------------+
+//                |                       |
+//          kNN prefixes @K             EMST  -->  single-linkage dendrogram
+//                |                       |              |
+//         core distances @m           weight        k-clusters labels
+//                |
+//     mutual-reachability MST @m
+//                |
+//          dendrogram @m
+//           /    |     \
+//   DBSCAN*@eps  reach  stable clusters
+//
+// Every node is built at most once per parameterization and reused by later
+// queries. The key reuse rule (the engine's algorithmic win): the kNN
+// prefix matrix is kept at K = the largest minPts seen, and the core
+// distances for any m <= K are the m-th column of that matrix —
+// bit-identical to a direct CoreDistances(tree, m) pass, because both are
+// the square root of the exact m-th smallest squared neighbor distance. A
+// minPts sweep therefore costs one kNN pass plus per-m MST + dendrogram
+// rebuilds, and eps / min-cluster-size / reachability queries at an
+// already-seen minPts touch only the cached dendrogram.
+//
+// Invalidation: datasets are immutable, so artifacts never go stale.
+//  * Growing K rebuilds only the prefix matrix; derived artifacts keep
+//    their values (prefixes of a longer sorted neighbor list are unchanged).
+//  * Per-minPts clusterings are LRU-capped (kMaxCachedClusterings) to bound
+//    memory; eviction is safe because responses hold shared_ptr snapshots.
+//  * Removing or replacing a dataset drops the whole cache.
+//
+// Thread safety: none here. The engine front-end (engine.h) serializes
+// builders and lets read-only answers run concurrently; Answer(allow_build
+// = false) is the read-only path and touches no mutable state except the
+// atomic LRU clock.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "dendrogram/builder.h"
+#include "dendrogram/cluster_extraction.h"
+#include "dendrogram/reachability.h"
+#include "emst/emst_memogfk.h"
+#include "engine/request.h"
+#include "hdbscan/hdbscan_mst.h"
+#include "hdbscan/stability.h"
+#include "spatial/knn.h"
+
+namespace parhc {
+
+/// Upper bound on simultaneously cached per-minPts clusterings (MST +
+/// dendrogram + plot) per dataset; least-recently-used entries are evicted.
+inline constexpr size_t kMaxCachedClusterings = 8;
+
+/// Worker count at or above which artifact dendrograms use the parallel
+/// builder; below it the sequential builder wins (no Euler-tour overhead).
+inline constexpr int kParallelDendrogramWorkers = 8;
+
+template <int D>
+class DatasetArtifacts {
+ public:
+  explicit DatasetArtifacts(std::vector<Point<D>> pts)
+      : pts_(std::move(pts)) {}
+
+  size_t num_points() const { return pts_.size(); }
+  /// K of the cached kNN prefix matrix (0 when no kNN pass has run).
+  size_t knn_k() const { return knn_k_; }
+  size_t num_cached_clusterings() const { return hdbscan_.size(); }
+
+  /// Answers `req` into `out`, building missing artifacts when
+  /// `allow_build`. Returns false iff an artifact was missing and building
+  /// was not allowed (the caller should retry holding the build lock);
+  /// invalid requests return true with out->ok == false.
+  bool Answer(const EngineRequest& req, bool allow_build,
+              EngineResponse* out) {
+    switch (req.type) {
+      case QueryType::kEmst:
+      case QueryType::kSingleLinkage:
+        return AnswerEmstFamily(req, allow_build, out);
+      case QueryType::kHdbscan:
+      case QueryType::kDbscanStarAt:
+      case QueryType::kReachability:
+      case QueryType::kStableClusters:
+        return AnswerHdbscanFamily(req, allow_build, out);
+    }
+    out->error = "unknown query type";
+    return true;
+  }
+
+ private:
+  struct HdbscanEntry {
+    std::shared_ptr<const std::vector<double>> core_dist;
+    std::shared_ptr<const std::vector<WeightedEdge>> mst;
+    double mst_weight = 0;
+    std::shared_ptr<const Dendrogram> dendrogram;
+    std::shared_ptr<const ReachabilityPlot> plot;
+    std::atomic<uint64_t> last_used{0};
+  };
+
+  struct EmstEntry {
+    std::shared_ptr<const std::vector<WeightedEdge>> mst;
+    double mst_weight = 0;
+    std::shared_ptr<const Dendrogram> dendrogram;  ///< single-linkage
+  };
+
+  void Touch(HdbscanEntry& e) {
+    e.last_used.store(clock_.fetch_add(1, std::memory_order_relaxed) + 1,
+                      std::memory_order_relaxed);
+  }
+
+  static void Trace(EngineResponse* out, bool built, const std::string& key) {
+    auto contains = [&](const std::vector<std::string>& v) {
+      return std::find(v.begin(), v.end(), key) != v.end();
+    };
+    if (contains(out->built) || contains(out->reused)) return;
+    (built ? out->built : out->reused).push_back(key);
+  }
+
+  static double TotalWeight(const std::vector<WeightedEdge>& edges) {
+    double w = 0;
+    for (const auto& e : edges) w += e.w;
+    return w;
+  }
+
+  /// Ordered dendrogram of `edges` anchored at source 0, via whichever
+  /// builder fits the current worker count (both produce the same ordered
+  /// dendrogram).
+  std::shared_ptr<const Dendrogram> BuildDendro(
+      const std::vector<WeightedEdge>& edges) const {
+    if (pts_.size() == 1) {
+      auto d = std::make_shared<Dendrogram>(1);
+      d->set_root(0);
+      return d;
+    }
+    if (NumWorkers() >= kParallelDendrogramWorkers) {
+      return std::make_shared<const Dendrogram>(
+          BuildDendrogramParallel(pts_.size(), edges, /*source=*/0));
+    }
+    return std::make_shared<const Dendrogram>(
+        BuildDendrogramSequential(pts_.size(), edges, /*source=*/0));
+  }
+
+  KdTree<D>* Tree(bool allow_build, EngineResponse* out) {
+    if (!tree_) {
+      if (!allow_build) return nullptr;
+      tree_ = std::make_unique<KdTree<D>>(pts_, /*leaf_size=*/1);
+      Trace(out, /*built=*/true, "tree");
+    } else {
+      Trace(out, /*built=*/false, "tree");
+    }
+    return tree_.get();
+  }
+
+  /// kNN prefix matrix covering at least k columns (grows to the max seen).
+  const std::vector<double>* Prefixes(size_t k, bool allow_build,
+                                      EngineResponse* out) {
+    if (knn_k_ < k) {
+      if (!allow_build) return nullptr;
+      KdTree<D>* tree = Tree(allow_build, out);
+      knn_prefix_ = AllKnnDistances(*tree, k);
+      knn_k_ = k;
+      Trace(out, /*built=*/true, "knn@" + std::to_string(k));
+    } else {
+      Trace(out, /*built=*/false, "knn@" + std::to_string(knn_k_));
+    }
+    return &knn_prefix_;
+  }
+
+  /// Core distances for min_pts, derived from the prefix matrix column.
+  std::shared_ptr<const std::vector<double>> CoreDist(int min_pts,
+                                                      bool allow_build,
+                                                      EngineResponse* out) {
+    const std::string key = "cd@" + std::to_string(min_pts);
+    auto it = core_.find(min_pts);
+    if (it != core_.end()) {
+      Trace(out, /*built=*/false, key);
+      return it->second;
+    }
+    if (!allow_build) return nullptr;
+    const std::vector<double>* prefix =
+        Prefixes(static_cast<size_t>(min_pts), allow_build, out);
+    size_t n = pts_.size();
+    size_t stride = knn_k_;
+    auto cd = std::make_shared<std::vector<double>>(n);
+    ParallelFor(0, n, [&](size_t i) {
+      (*cd)[i] = (*prefix)[i * stride + (min_pts - 1)];
+    });
+    core_.emplace(min_pts, cd);
+    Trace(out, /*built=*/true, key);
+    return cd;
+  }
+
+  /// The per-minPts clustering entry, with the MST (always) and the
+  /// dendrogram / reachability plot (on demand) filled in.
+  HdbscanEntry* Hdbscan(int min_pts, bool need_dendro, bool need_plot,
+                        bool allow_build, EngineResponse* out) {
+    const std::string suffix = "@" + std::to_string(min_pts);
+    auto it = hdbscan_.find(min_pts);
+    if (it == hdbscan_.end()) {
+      if (!allow_build) return nullptr;
+      auto cd = CoreDist(min_pts, allow_build, out);
+      KdTree<D>* tree = Tree(allow_build, out);
+      auto entry = std::make_unique<HdbscanEntry>();
+      entry->core_dist = cd;
+      entry->mst = std::make_shared<const std::vector<WeightedEdge>>(
+          HdbscanMstOnTree(*tree, *cd));
+      entry->mst_weight = TotalWeight(*entry->mst);
+      Trace(out, /*built=*/true, "mst" + suffix);
+      it = hdbscan_.emplace(min_pts, std::move(entry)).first;
+      EvictLru(min_pts);
+    } else {
+      Trace(out, /*built=*/false, "mst" + suffix);
+    }
+    HdbscanEntry& e = *it->second;
+    if (need_dendro || need_plot) {
+      if (!e.dendrogram) {
+        if (!allow_build) return nullptr;
+        e.dendrogram = BuildDendro(*e.mst);
+        Trace(out, /*built=*/true, "dendro" + suffix);
+      } else {
+        Trace(out, /*built=*/false, "dendro" + suffix);
+      }
+    }
+    if (need_plot) {
+      if (!e.plot) {
+        if (!allow_build) return nullptr;
+        e.plot = std::make_shared<const ReachabilityPlot>(
+            ComputeReachability(*e.dendrogram));
+        Trace(out, /*built=*/true, "reach" + suffix);
+      } else {
+        Trace(out, /*built=*/false, "reach" + suffix);
+      }
+    }
+    Touch(e);
+    return &e;
+  }
+
+  /// Drops least-recently-used clustering entries beyond the cache cap,
+  /// never the one just touched. Snapshots held by responses stay valid.
+  /// The matching derived core distances go too — they re-derive from the
+  /// prefix matrix in O(n) — so per-minPts memory really is bounded.
+  void EvictLru(int keep_min_pts) {
+    while (hdbscan_.size() > kMaxCachedClusterings) {
+      auto victim = hdbscan_.end();
+      uint64_t oldest = UINT64_MAX;
+      for (auto it = hdbscan_.begin(); it != hdbscan_.end(); ++it) {
+        if (it->first == keep_min_pts) continue;
+        uint64_t used = it->second->last_used.load(std::memory_order_relaxed);
+        if (used < oldest) {
+          oldest = used;
+          victim = it;
+        }
+      }
+      if (victim == hdbscan_.end()) return;
+      core_.erase(victim->first);
+      hdbscan_.erase(victim);
+    }
+  }
+
+  EmstEntry* Emst(bool need_dendro, bool allow_build, EngineResponse* out) {
+    if (!emst_.mst) {
+      if (!allow_build) return nullptr;
+      KdTree<D>* tree = Tree(allow_build, out);
+      emst_.mst = std::make_shared<const std::vector<WeightedEdge>>(
+          EmstMemoGfkOnTree(*tree));
+      emst_.mst_weight = TotalWeight(*emst_.mst);
+      Trace(out, /*built=*/true, "emst");
+    } else {
+      Trace(out, /*built=*/false, "emst");
+    }
+    if (need_dendro) {
+      if (!emst_.dendrogram) {
+        if (!allow_build) return nullptr;
+        emst_.dendrogram = BuildDendro(*emst_.mst);
+        Trace(out, /*built=*/true, "sl-dendro");
+      } else {
+        Trace(out, /*built=*/false, "sl-dendro");
+      }
+    }
+    return &emst_;
+  }
+
+  bool AnswerEmstFamily(const EngineRequest& req, bool allow_build,
+                        EngineResponse* out) {
+    bool need_dendro = req.type == QueryType::kSingleLinkage;
+    if (need_dendro && (req.k < 1 || req.k > pts_.size())) {
+      out->error = "k must be in [1, n]";
+      return true;
+    }
+    EmstEntry* e = Emst(need_dendro, allow_build, out);
+    if (!e) return false;
+    out->mst = e->mst;
+    out->mst_weight = e->mst_weight;
+    if (need_dendro) {
+      out->dendrogram = e->dendrogram;
+      out->labels = KClusters(*e->dendrogram, req.k);
+      SummarizeLabels(out->labels, out);
+    }
+    out->ok = true;
+    return true;
+  }
+
+  bool AnswerHdbscanFamily(const EngineRequest& req, bool allow_build,
+                           EngineResponse* out) {
+    if (req.min_pts < 1 ||
+        static_cast<size_t>(req.min_pts) > pts_.size()) {
+      out->error = "min_pts must be in [1, n]";
+      return true;
+    }
+    if (req.type == QueryType::kStableClusters && req.min_cluster_size < 2) {
+      out->error = "min_cluster_size must be >= 2";
+      return true;
+    }
+    bool need_plot = req.type == QueryType::kReachability;
+    bool need_dendro = true;
+    HdbscanEntry* e =
+        Hdbscan(req.min_pts, need_dendro, need_plot, allow_build, out);
+    if (!e) return false;
+    out->core_dist = e->core_dist;
+    switch (req.type) {
+      case QueryType::kHdbscan:
+        out->mst = e->mst;
+        out->mst_weight = e->mst_weight;
+        out->dendrogram = e->dendrogram;
+        break;
+      case QueryType::kDbscanStarAt:
+        out->labels = DbscanStarLabels(*e->dendrogram, *e->core_dist, req.eps);
+        SummarizeLabels(out->labels, out);
+        break;
+      case QueryType::kReachability:
+        out->plot = e->plot;
+        break;
+      case QueryType::kStableClusters: {
+        StabilityClusters sc =
+            ExtractStableClusters(*e->dendrogram, req.min_cluster_size);
+        out->labels = std::move(sc.label);
+        out->stability = std::move(sc.stability);
+        SummarizeLabels(out->labels, out);
+        break;
+      }
+      default:
+        break;
+    }
+    out->ok = true;
+    return true;
+  }
+
+  std::vector<Point<D>> pts_;
+  std::unique_ptr<KdTree<D>> tree_;
+  size_t knn_k_ = 0;
+  std::vector<double> knn_prefix_;  ///< n x knn_k_, row-major by point id
+  std::map<int, std::shared_ptr<const std::vector<double>>> core_;
+  std::map<int, std::unique_ptr<HdbscanEntry>> hdbscan_;
+  EmstEntry emst_;
+  std::atomic<uint64_t> clock_{0};
+};
+
+}  // namespace parhc

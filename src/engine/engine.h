@@ -1,0 +1,78 @@
+// ClusteringEngine: the multi-query serving front-end.
+//
+// One engine hosts many named datasets (DatasetRegistry) and answers
+// EMST / single-linkage / HDBSCAN* / DBSCAN*-at-eps / reachability /
+// stable-cluster requests against them, memoizing every pipeline artifact
+// (see artifacts.h for the DAG and reuse guarantees).
+//
+// Concurrency discipline (two-level):
+//  * Per dataset, a readers-writer lock: queries fully answerable from
+//    cache take it shared and run concurrently; queries that must build an
+//    artifact take it exclusive. The read-only path issues no parallel
+//    work, so any number of client threads may be inside it at once.
+//  * One engine-wide build mutex serializes all artifact builds. This both
+//    matches the fork-join scheduler's threading model (a single external
+//    thread issues parallel work at a time — the build then uses all
+//    workers) and serializes mutation of the shared kd-tree annotations
+//    (core-distance and component arrays) that MST builds rewrite.
+//
+// Run() is therefore safe to call from any number of threads; a cache hit
+// never waits on a concurrent build of a *different* dataset's artifacts
+// (the build holds only its own dataset's lock exclusively).
+#pragma once
+
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+
+#include "engine/registry.h"
+#include "engine/request.h"
+#include "util/timer.h"
+
+namespace parhc {
+
+class ClusteringEngine {
+ public:
+  /// The dataset table. Register/load/remove datasets through this; safe
+  /// to use concurrently with Run().
+  DatasetRegistry& registry() { return registry_; }
+  const DatasetRegistry& registry() const { return registry_; }
+
+  /// Answers one request, building and caching whatever artifacts it
+  /// needs. Thread-safe. Errors (unknown dataset, invalid parameters) come
+  /// back as ok == false with `error` set; they never throw.
+  EngineResponse Run(const EngineRequest& req) {
+    Timer timer;
+    EngineResponse out;
+    std::shared_ptr<DatasetEntryBase> entry = registry_.Find(req.dataset);
+    if (!entry) {
+      out.error = "unknown dataset: " + req.dataset;
+      out.seconds = timer.Seconds();
+      return out;
+    }
+    {
+      // Fast path: answer purely from cached artifacts under a shared
+      // lock, concurrently with other readers.
+      std::shared_lock<std::shared_mutex> read(entry->mu);
+      if (entry->Answer(req, /*allow_build=*/false, &out)) {
+        out.seconds = timer.Seconds();
+        return out;
+      }
+    }
+    // Build path: one build at a time engine-wide, exclusive on this
+    // dataset. Re-answer from scratch — another thread may have built the
+    // missing artifacts while we waited for the locks.
+    std::lock_guard<std::mutex> build(build_mu_);
+    std::unique_lock<std::shared_mutex> write(entry->mu);
+    out = EngineResponse();
+    entry->Answer(req, /*allow_build=*/true, &out);
+    out.seconds = timer.Seconds();
+    return out;
+  }
+
+ private:
+  DatasetRegistry registry_;
+  std::mutex build_mu_;
+};
+
+}  // namespace parhc

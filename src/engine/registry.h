@@ -1,0 +1,225 @@
+// Dataset registry: named, type-erased datasets behind one handle.
+//
+// Point dimensionality is a compile-time template parameter everywhere in
+// the library; the serving layer needs to hold datasets of several
+// dimensions in one table and route requests by name at runtime. Each
+// registered dataset owns a DatasetArtifacts<D> behind a virtual interface
+// (DatasetEntryBase) carrying the per-dataset readers-writer lock that the
+// engine's query path uses. Supported dimensions are the paper's evaluation
+// set {2, 3, 4, 5, 7, 10, 16}; loading another dimension fails with a
+// clear error rather than instantiating unboundedly.
+//
+// Datasets are immutable once added. Re-adding a name atomically replaces
+// the entry: in-flight queries keep answering from the old shared_ptr and
+// new queries see the new data (documented in README "Serving layer").
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "data/io.h"
+#include "engine/artifacts.h"
+#include "engine/request.h"
+
+namespace parhc {
+
+/// Type-erased registered dataset. `mu` is the readers-writer lock the
+/// engine front-end takes around Answer (shared for read-only cache hits,
+/// exclusive for artifact builds).
+class DatasetEntryBase {
+ public:
+  virtual ~DatasetEntryBase() = default;
+  virtual int dim() const = 0;
+  virtual size_t num_points() const = 0;
+  virtual size_t knn_k() const = 0;
+  virtual size_t num_cached_clusterings() const = 0;
+  /// See DatasetArtifacts::Answer.
+  virtual bool Answer(const EngineRequest& req, bool allow_build,
+                      EngineResponse* out) = 0;
+
+  std::shared_mutex mu;
+};
+
+template <int D>
+class DatasetEntry final : public DatasetEntryBase {
+ public:
+  explicit DatasetEntry(std::vector<Point<D>> pts)
+      : artifacts_(std::move(pts)) {}
+
+  int dim() const override { return D; }
+  size_t num_points() const override { return artifacts_.num_points(); }
+  size_t knn_k() const override { return artifacts_.knn_k(); }
+  size_t num_cached_clusterings() const override {
+    return artifacts_.num_cached_clusterings();
+  }
+  bool Answer(const EngineRequest& req, bool allow_build,
+              EngineResponse* out) override {
+    return artifacts_.Answer(req, allow_build, out);
+  }
+
+ private:
+  DatasetArtifacts<D> artifacts_;
+};
+
+/// Cache-state summary of one registered dataset.
+struct DatasetInfo {
+  std::string name;
+  int dim = 0;
+  size_t num_points = 0;
+  size_t knn_k = 0;                 ///< cached kNN prefix width (0 = none)
+  size_t cached_clusterings = 0;    ///< per-minPts entries currently held
+};
+
+class DatasetRegistry {
+ public:
+  /// Dimensions the registry can host (one template instantiation each).
+  static bool SupportedDim(int dim) {
+    switch (dim) {
+      case 2: case 3: case 4: case 5: case 7: case 10: case 16:
+        return true;
+      default:
+        return false;
+    }
+  }
+
+  /// Registers (or atomically replaces) `name` with typed points.
+  template <int D>
+  void Add(const std::string& name, std::vector<Point<D>> pts) {
+    PARHC_CHECK_MSG(!pts.empty(), "dataset must be non-empty");
+    Insert(name, std::make_shared<DatasetEntry<D>>(std::move(pts)));
+  }
+
+  /// Registers `name` from runtime-dimension rows (all rows one
+  /// dimension). Returns an empty string on success, else an error message
+  /// — runtime data problems are query-path errors, not invariants, so
+  /// this never aborts.
+  std::string TryAddRows(const std::string& name,
+                         const std::vector<std::vector<double>>& rows) {
+    if (rows.empty()) return "dataset must be non-empty";
+    int dim = static_cast<int>(rows[0].size());
+    if (!SupportedDim(dim)) {
+      return "unsupported dataset dimension " + std::to_string(dim);
+    }
+    for (const auto& row : rows) {
+      if (row.size() != static_cast<size_t>(dim)) {
+        return "rows must share one dimension";
+      }
+    }
+    switch (dim) {
+      case 2: Add(name, RowsToPoints<2>(rows)); break;
+      case 3: Add(name, RowsToPoints<3>(rows)); break;
+      case 4: Add(name, RowsToPoints<4>(rows)); break;
+      case 5: Add(name, RowsToPoints<5>(rows)); break;
+      case 7: Add(name, RowsToPoints<7>(rows)); break;
+      case 10: Add(name, RowsToPoints<10>(rows)); break;
+      case 16: Add(name, RowsToPoints<16>(rows)); break;
+      default: break;  // unreachable: SupportedDim checked above
+    }
+    return "";
+  }
+
+  /// TryAddRows that treats failure as a programmer error.
+  void AddRows(const std::string& name,
+               const std::vector<std::vector<double>>& rows) {
+    std::string err = TryAddRows(name, rows);
+    PARHC_CHECK_MSG(err.empty(), err.c_str());
+  }
+
+  /// Loads a CSV (dimension inferred from the first row).
+  void AddCsv(const std::string& name, const std::string& path) {
+    AddRows(name, ReadPointsCsv(path));
+  }
+
+  /// Loads the binary point format, dispatching on the header's dimension
+  /// and bulk-reading straight into typed points (no parsing, no per-row
+  /// allocation). Returns an empty string on success or an error message
+  /// for unsupported dimensions / empty files; propagates the readers'
+  /// std::runtime_error for unreadable or malformed files.
+  std::string TryAddBin(const std::string& name, const std::string& path) {
+    PointsBinHeader h = ReadPointsBinHeader(path);
+    if (!SupportedDim(static_cast<int>(h.dim))) {
+      return "unsupported dataset dimension " + std::to_string(h.dim);
+    }
+    if (h.count == 0) return "dataset must be non-empty";
+    switch (h.dim) {
+      case 2: Add(name, ReadPointsBinAs<2>(path)); break;
+      case 3: Add(name, ReadPointsBinAs<3>(path)); break;
+      case 4: Add(name, ReadPointsBinAs<4>(path)); break;
+      case 5: Add(name, ReadPointsBinAs<5>(path)); break;
+      case 7: Add(name, ReadPointsBinAs<7>(path)); break;
+      case 10: Add(name, ReadPointsBinAs<10>(path)); break;
+      case 16: Add(name, ReadPointsBinAs<16>(path)); break;
+      default: break;  // unreachable: SupportedDim checked above
+    }
+    return "";
+  }
+
+  /// TryAddBin that treats recoverable failure as a programmer error.
+  void AddBin(const std::string& name, const std::string& path) {
+    std::string err = TryAddBin(name, path);
+    PARHC_CHECK_MSG(err.empty(), err.c_str());
+  }
+
+  /// Drops `name` and its whole artifact cache. In-flight queries holding
+  /// the entry finish normally. Returns false when absent.
+  bool Remove(const std::string& name) {
+    std::lock_guard<std::mutex> lock(mu_);
+    return entries_.erase(name) > 0;
+  }
+
+  /// The entry for `name`, or nullptr.
+  std::shared_ptr<DatasetEntryBase> Find(const std::string& name) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find(name);
+    return it == entries_.end() ? nullptr : it->second;
+  }
+
+  /// Snapshot of all registered datasets, sorted by name. Cache-state
+  /// fields are read under each entry's reader lock, so listing is safe
+  /// concurrently with builds.
+  std::vector<DatasetInfo> List() const {
+    std::vector<std::pair<std::string, std::shared_ptr<DatasetEntryBase>>>
+        snapshot;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      snapshot.assign(entries_.begin(), entries_.end());
+    }
+    std::vector<DatasetInfo> out;
+    out.reserve(snapshot.size());
+    for (const auto& [name, entry] : snapshot) {
+      std::shared_lock<std::shared_mutex> read(entry->mu);
+      out.push_back({name, entry->dim(), entry->num_points(), entry->knn_k(),
+                     entry->num_cached_clusterings()});
+    }
+    return out;
+  }
+
+ private:
+  template <int D>
+  static std::vector<Point<D>> RowsToPoints(
+      const std::vector<std::vector<double>>& rows) {
+    std::vector<Point<D>> pts(rows.size());
+    for (size_t i = 0; i < rows.size(); ++i) {
+      PARHC_CHECK_MSG(rows[i].size() == static_cast<size_t>(D),
+                      "rows must share one dimension");
+      for (int d = 0; d < D; ++d) pts[i][d] = rows[i][d];
+    }
+    return pts;
+  }
+
+  void Insert(const std::string& name,
+              std::shared_ptr<DatasetEntryBase> entry) {
+    std::lock_guard<std::mutex> lock(mu_);
+    entries_[name] = std::move(entry);
+  }
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::shared_ptr<DatasetEntryBase>> entries_;
+};
+
+}  // namespace parhc

@@ -1,0 +1,82 @@
+// Query and response types of the multi-query clustering engine.
+//
+// A request names a registered dataset and one parameterized query over it;
+// the response carries shared, immutable views of the cached artifacts that
+// answered it (no O(n) copies per request) plus a trace of which artifacts
+// were built versus reused — the observable face of the engine's
+// memoization (see engine.h for the artifact DAG).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dendrogram/dendrogram.h"
+#include "dendrogram/reachability.h"
+#include "graph/edge.h"
+
+namespace parhc {
+
+enum class QueryType {
+  kEmst,            ///< Euclidean MST edges + total weight
+  kSingleLinkage,   ///< exactly k flat clusters from the EMST dendrogram
+  kHdbscan,         ///< full HDBSCAN* hierarchy at min_pts
+  kDbscanStarAt,    ///< DBSCAN* labels at (min_pts, eps)
+  kReachability,    ///< OPTICS reachability plot at min_pts
+  kStableClusters,  ///< excess-of-mass extraction at (min_pts,
+                    ///< min_cluster_size)
+};
+
+/// One query against a registered dataset. Fields beyond `type` and
+/// `dataset` are read only by the query types annotated above.
+struct EngineRequest {
+  QueryType type = QueryType::kHdbscan;
+  std::string dataset;
+  int min_pts = 16;            ///< HDBSCAN*-family density parameter
+  double eps = 0;              ///< kDbscanStarAt cut height
+  size_t k = 1;                ///< kSingleLinkage cluster count
+  size_t min_cluster_size = 5; ///< kStableClusters
+};
+
+/// Result of one engine query. Artifact fields are shared immutable
+/// snapshots: they stay valid (and unchanged) however the cache evolves
+/// after the call. Only the fields relevant to the query type are set.
+struct EngineResponse {
+  bool ok = false;
+  std::string error;
+
+  std::shared_ptr<const std::vector<WeightedEdge>> mst;  ///< kEmst, kHdbscan
+  std::shared_ptr<const std::vector<double>> core_dist;  ///< kHdbscan
+  std::shared_ptr<const Dendrogram> dendrogram;  ///< kHdbscan, kSingleLinkage
+  std::shared_ptr<const ReachabilityPlot> plot;  ///< kReachability
+  std::vector<int32_t> labels;      ///< flat clusterings (kNoise = -1)
+  std::vector<double> stability;    ///< kStableClusters scores
+  double mst_weight = 0;            ///< kEmst, kHdbscan
+  int32_t num_clusters = 0;         ///< label summary
+  size_t num_noise = 0;             ///< label summary
+
+  /// Artifact keys (e.g. "tree", "knn@50", "cd@10", "mst@10") this query
+  /// built versus served from cache, in build/use order.
+  std::vector<std::string> built;
+  std::vector<std::string> reused;
+  double seconds = 0;  ///< wall-clock time answering the query
+};
+
+/// Summarizes `labels` into the response's cluster/noise counters.
+inline void SummarizeLabels(const std::vector<int32_t>& labels,
+                            EngineResponse* out) {
+  int32_t k = 0;
+  size_t noise = 0;
+  for (int32_t l : labels) {
+    if (l < 0) {
+      ++noise;
+    } else if (l + 1 > k) {
+      k = l + 1;
+    }
+  }
+  out->num_clusters = k;
+  out->num_noise = noise;
+}
+
+}  // namespace parhc

@@ -33,24 +33,20 @@ struct HdbscanMstResult {
   std::vector<double> core_dist;
 };
 
-/// Computes the exact MST of the mutual reachability graph of `pts` for
-/// the given `min_pts`. O(n^2) work, O(log^2 n) depth.
+/// Computes the exact MST of the mutual reachability graph over a prebuilt
+/// tree (leaf_size must be 1) and precomputed core distances (indexed by
+/// original point id). Mutates the tree's core-distance and component
+/// annotations, so concurrent callers must serialize on the tree. This is
+/// the reuse entry point of the clustering engine: the tree and the core
+/// distances (derived from a cached kNN prefix matrix) survive across
+/// minPts values, and only this MST stage reruns.
 template <int D>
-HdbscanMstResult HdbscanMst(const std::vector<Point<D>>& pts, int min_pts,
-                            HdbscanVariant variant = HdbscanVariant::kMemoGfk,
-                            PhaseBreakdown* phases = nullptr) {
-  PARHC_CHECK_MSG(min_pts >= 1, "minPts must be positive");
-  PARHC_CHECK_MSG(static_cast<size_t>(min_pts) <= pts.size(),
-                  "minPts exceeds number of points");
-  Timer total;
+std::vector<WeightedEdge> HdbscanMstOnTree(
+    KdTree<D>& tree, const std::vector<double>& core_dist,
+    HdbscanVariant variant = HdbscanVariant::kMemoGfk,
+    PhaseBreakdown* phases = nullptr) {
   Timer t;
-  KdTree<D> tree(pts, /*leaf_size=*/1);
-  if (phases) phases->build_tree += t.Seconds();
-
-  t.Reset();
-  HdbscanMstResult result;
-  result.core_dist = CoreDistances(tree, min_pts);
-  tree.AnnotateCoreDistances(result.core_dist);
+  tree.AnnotateCoreDistances(core_dist);
   if (phases) phases->core_dist += t.Seconds();
 
   auto lb = [&tree](uint32_t a, uint32_t b) {
@@ -70,13 +66,33 @@ HdbscanMstResult HdbscanMst(const std::vector<Point<D>>& pts, int min_pts,
       internal::DuplicateLeafEdges(tree, /*use_core_dist=*/true);
   if (variant == HdbscanVariant::kGanTao) {
     GeometricSeparation<D> sep{2.0};
-    result.mst = internal::MemoGfkMst(tree, sep, lb, ub, bccp,
-                                      std::move(dup), phases);
-  } else {
-    HdbscanSeparation<D> sep;
-    result.mst = internal::MemoGfkMst(tree, sep, lb, ub, bccp,
-                                      std::move(dup), phases);
+    return internal::MemoGfkMst(tree, sep, lb, ub, bccp, std::move(dup),
+                                phases);
   }
+  HdbscanSeparation<D> sep;
+  return internal::MemoGfkMst(tree, sep, lb, ub, bccp, std::move(dup),
+                              phases);
+}
+
+/// Computes the exact MST of the mutual reachability graph of `pts` for
+/// the given `min_pts`. O(n^2) work, O(log^2 n) depth.
+template <int D>
+HdbscanMstResult HdbscanMst(const std::vector<Point<D>>& pts, int min_pts,
+                            HdbscanVariant variant = HdbscanVariant::kMemoGfk,
+                            PhaseBreakdown* phases = nullptr) {
+  PARHC_CHECK_MSG(min_pts >= 1, "minPts must be positive");
+  PARHC_CHECK_MSG(static_cast<size_t>(min_pts) <= pts.size(),
+                  "minPts exceeds number of points");
+  Timer total;
+  Timer t;
+  KdTree<D> tree(pts, /*leaf_size=*/1);
+  if (phases) phases->build_tree += t.Seconds();
+
+  t.Reset();
+  HdbscanMstResult result;
+  result.core_dist = CoreDistances(tree, min_pts);
+  if (phases) phases->core_dist += t.Seconds();
+  result.mst = HdbscanMstOnTree(tree, result.core_dist, variant, phases);
   if (phases) phases->total += total.Seconds();
   return result;
 }

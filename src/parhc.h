@@ -9,6 +9,8 @@
 //   BuildDendrogram{Sequential,Parallel}(), ComputeReachability(),
 //   CutClusters(), KClusters(), DbscanStarLabels()
 //   UniformFill(), SeedSpreaderVarden(), ... — dataset generators
+//   ClusteringEngine — multi-query serving layer with a memoized
+//   artifact cache and dataset registry (src/engine/)
 //
 // Reproduction of Wang, Yu, Gu, Shun, "Fast Parallel Algorithms for
 // Euclidean Minimum Spanning Tree and Hierarchical Spatial Clustering",
@@ -20,6 +22,7 @@
 #include "dendrogram/single_linkage.h"
 #include "emst/emst.h"
 #include "emst/emst_delaunay.h"
+#include "engine/engine.h"
 #include "hdbscan/hdbscan.h"
 #include "hdbscan/optics_approx.h"
 #include "hdbscan/stability.h"

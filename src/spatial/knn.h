@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "parallel/scheduler.h"
 #include "spatial/traverse.h"
 
 namespace parhc {
@@ -41,6 +42,7 @@ class KnnHeap {
 
   size_t size() const { return size_; }
   const std::pair<double, uint32_t>* data() const { return heap_; }
+  std::pair<double, uint32_t>* data() { return heap_; }
 
  private:
   size_t k_;
@@ -78,27 +80,56 @@ std::vector<std::pair<double, uint32_t>> KnnQuery(const KdTree<D>& tree,
   return buf;
 }
 
+namespace internal {
+
+/// Runs the all-points kNN queries in parallel, handing each query a
+/// per-worker scratch heap (allocated once per worker, not per point) and
+/// the filled heap to `consume(tree_idx, heap)`. The query body issues no
+/// nested parallel work, so one scratch buffer per worker is race-free.
+template <int D, typename ConsumeFn>
+void AllKnnQueries(const KdTree<D>& tree, size_t k, ConsumeFn consume) {
+  size_t n = tree.size();
+  PARHC_CHECK_MSG(k >= 1 && k <= n, "k out of range");
+  std::vector<std::vector<std::pair<double, uint32_t>>> scratch(NumWorkers());
+  ParallelFor(0, n, [&](size_t i) {
+    auto& buf = scratch[Scheduler::Get().MyId()];
+    if (buf.size() < k) buf.resize(k);
+    KnnHeap heap(k, buf.data());
+    KnnQueryInto(tree, tree.point(static_cast<uint32_t>(i)), heap);
+    PARHC_DCHECK(heap.size() == k);
+    consume(static_cast<uint32_t>(i), heap);
+  });
+}
+
+}  // namespace internal
+
 /// Distance from every point to its k-th nearest neighbor (including
 /// itself), indexed by original point id — the core distance cd(p) for
 /// k = minPts (Section 2.1). O(k n log n) work, O(log n) depth.
 template <int D>
 std::vector<double> KthNeighborDistances(const KdTree<D>& tree, size_t k) {
-  size_t n = tree.size();
-  PARHC_CHECK_MSG(k >= 1 && k <= n, "k out of range");
-  std::vector<double> out(n);
-  ParallelFor(0, n, [&](size_t i) {
-    uint32_t ti = static_cast<uint32_t>(i);
-    std::pair<double, uint32_t> buf_small[64];
-    std::vector<std::pair<double, uint32_t>> buf_big;
-    std::pair<double, uint32_t>* storage = buf_small;
-    if (k > 64) {
-      buf_big.resize(k);
-      storage = buf_big.data();
-    }
-    internal::KnnHeap heap(k, storage);
-    internal::KnnQueryInto(tree, tree.point(ti), heap);
-    PARHC_DCHECK(heap.size() == k);
+  std::vector<double> out(tree.size());
+  internal::AllKnnQueries(tree, k, [&](uint32_t ti, internal::KnnHeap& heap) {
     out[tree.id(ti)] = std::sqrt(heap.Worst());
+  });
+  return out;
+}
+
+/// Sorted distances from every point to each of its k nearest neighbors
+/// (including itself): row p — `out[p*k .. p*k+k)`, indexed by original
+/// point id — holds the 1st..k-th neighbor distances in ascending order.
+/// Row prefix j of this matrix is exactly KthNeighborDistances(tree, j) for
+/// every j <= k (bit-identical: both take the square root of the exact
+/// j-th smallest squared distance), which is what lets the clustering
+/// engine derive core distances for any minPts <= k from one kNN pass.
+template <int D>
+std::vector<double> AllKnnDistances(const KdTree<D>& tree, size_t k) {
+  std::vector<double> out(tree.size() * k);
+  internal::AllKnnQueries(tree, k, [&](uint32_t ti, internal::KnnHeap& heap) {
+    std::pair<double, uint32_t>* row = heap.data();
+    std::sort(row, row + k);
+    double* dst = out.data() + static_cast<size_t>(tree.id(ti)) * k;
+    for (size_t j = 0; j < k; ++j) dst[j] = std::sqrt(row[j].first);
   });
   return out;
 }

@@ -95,6 +95,86 @@ TEST(CsvIo, RoundTrip) {
   std::remove(path.c_str());
 }
 
+TEST(BinIo, RoundTripIsBitExact) {
+  auto pts = test::RandomPoints<5>(500, 33);
+  std::string path =
+      (std::filesystem::temp_directory_path() / "parhc_io_test.bin").string();
+  WritePointsBin(path, pts);
+  PointsBinHeader h = ReadPointsBinHeader(path);
+  EXPECT_EQ(h.dim, 5u);
+  EXPECT_EQ(h.count, 500u);
+  auto back = ReadPointsBinAs<5>(path);
+  ASSERT_EQ(back.size(), pts.size());
+  for (size_t i = 0; i < pts.size(); ++i) {
+    for (int d = 0; d < 5; ++d) {
+      // Binary IO stores raw doubles: exact equality, not CSV's
+      // parse-precision equality.
+      ASSERT_EQ(back[i][d], pts[i][d]);
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(BinIo, CsvAndBinLoadIdenticalRows) {
+  auto pts = test::RandomPoints<3>(200, 7);
+  auto dir = std::filesystem::temp_directory_path();
+  std::string csv = (dir / "parhc_io_rt.csv").string();
+  std::string bin = (dir / "parhc_io_rt.bin").string();
+  WritePointsCsv(csv, pts);
+  WritePointsBin(bin, pts);
+  auto from_csv = ReadPointsCsv(csv);
+  auto from_bin = ReadPointsBin(bin);
+  ASSERT_EQ(from_csv.size(), from_bin.size());
+  for (size_t i = 0; i < from_csv.size(); ++i) {
+    ASSERT_EQ(from_csv[i].size(), from_bin[i].size());
+    for (size_t d = 0; d < from_csv[i].size(); ++d) {
+      // CSV writes 17 significant digits, so the parsed double round-trips
+      // to the same bits the binary path stores directly.
+      ASSERT_EQ(from_csv[i][d], from_bin[i][d]);
+    }
+  }
+  std::remove(csv.c_str());
+  std::remove(bin.c_str());
+}
+
+TEST(BinIo, RowsOverloadAndHeaderValidation) {
+  std::string path =
+      (std::filesystem::temp_directory_path() / "parhc_io_rows.bin").string();
+  std::vector<std::vector<double>> rows = {{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}};
+  WritePointsBin(path, rows);
+  EXPECT_EQ(ReadPointsBin(path), rows);
+  std::remove(path.c_str());
+}
+
+TEST(BinIo, MalformedFilesThrowInsteadOfAborting) {
+  auto dir = std::filesystem::temp_directory_path();
+  std::string missing = (dir / "parhc_io_absent.bin").string();
+  EXPECT_THROW(ReadPointsBin(missing), std::runtime_error);
+  EXPECT_THROW(ReadPointsBinHeader(missing), std::runtime_error);
+
+  std::string garbage = (dir / "parhc_io_garbage.bin").string();
+  {
+    FILE* f = std::fopen(garbage.c_str(), "wb");
+    std::fputs("1.5,2.5\n3.5,4.5\n", f);  // a CSV is not a PHCB file
+    std::fclose(f);
+  }
+  EXPECT_THROW(ReadPointsBin(garbage), std::runtime_error);
+
+  std::string truncated = (dir / "parhc_io_trunc.bin").string();
+  WritePointsBin(truncated, test::RandomPoints<3>(100, 4));
+  std::filesystem::resize_file(truncated, 16 + 50 * 3 * sizeof(double));
+  EXPECT_THROW(ReadPointsBin(truncated), std::runtime_error);
+  EXPECT_THROW(ReadPointsBinAs<3>(truncated), std::runtime_error);
+
+  // Wrong compile-time dimension on a well-formed file.
+  std::string good = (dir / "parhc_io_dim.bin").string();
+  WritePointsBin(good, test::RandomPoints<3>(10, 4));
+  EXPECT_THROW(ReadPointsBinAs<5>(good), std::runtime_error);
+  std::remove(garbage.c_str());
+  std::remove(truncated.c_str());
+  std::remove(good.c_str());
+}
+
 TEST(CsvIo, SkipsCommentsAndBlankLines) {
   std::string path =
       (std::filesystem::temp_directory_path() / "parhc_io_test2.csv").string();

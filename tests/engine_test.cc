@@ -1,0 +1,295 @@
+// Multi-query clustering engine: memoized artifact DAG, dataset registry,
+// and serving front-end (src/engine/).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <numeric>
+#include <thread>
+
+#include "data/generators.h"
+#include "emst/emst.h"
+#include "engine/engine.h"
+#include "hdbscan/hdbscan.h"
+#include "test_util.h"
+
+namespace parhc {
+namespace {
+
+std::vector<double> SortedWeights(const std::vector<WeightedEdge>& edges) {
+  std::vector<double> w(edges.size());
+  for (size_t i = 0; i < edges.size(); ++i) w[i] = edges[i].w;
+  std::sort(w.begin(), w.end());
+  return w;
+}
+
+// --- Core-distance prefix reuse -----------------------------------------
+
+// One kNN@16 pass must yield, for every minPts <= 16, core distances that
+// are bit-identical to a direct CoreDistances(tree, minPts) pass.
+TEST(EnginePrefixReuse, DerivedCoreDistancesMatchDirectExactly) {
+  auto pts = SeedSpreaderVarden<2>(3000, 11, 3);
+  KdTree<2> tree(pts, 1);
+
+  ClusteringEngine engine;
+  engine.registry().Add("d", pts);
+  EngineRequest req;
+  req.dataset = "d";
+  req.type = QueryType::kHdbscan;
+
+  // Warm the prefix matrix at the largest minPts first.
+  req.min_pts = 16;
+  EngineResponse warm = engine.Run(req);
+  ASSERT_TRUE(warm.ok) << warm.error;
+  ASSERT_NE(std::find(warm.built.begin(), warm.built.end(), "knn@16"),
+            warm.built.end());
+
+  for (int min_pts : {2, 5, 10, 16}) {
+    req.min_pts = min_pts;
+    EngineResponse r = engine.Run(req);
+    ASSERT_TRUE(r.ok) << r.error;
+    // No further kNN pass: the @16 prefixes serve every smaller minPts.
+    EXPECT_EQ(std::count_if(
+                  r.built.begin(), r.built.end(),
+                  [](const std::string& k) { return k.rfind("knn@", 0) == 0; }),
+              0)
+        << "minPts=" << min_pts << " rebuilt kNN";
+    std::vector<double> direct = CoreDistances(tree, min_pts);
+    ASSERT_EQ(r.core_dist->size(), direct.size());
+    for (size_t i = 0; i < direct.size(); ++i) {
+      ASSERT_EQ((*r.core_dist)[i], direct[i])
+          << "minPts=" << min_pts << " point " << i;
+    }
+  }
+}
+
+// The same guarantee at the kNN API level: every column of the prefix
+// matrix equals the corresponding KthNeighborDistances pass, and rows are
+// sorted ascending.
+TEST(EnginePrefixReuse, AllKnnDistancesColumnsMatchKthNeighbor) {
+  auto pts = test::RandomPoints<3>(800, 5);
+  KdTree<3> tree(pts, 1);
+  constexpr size_t kK = 12;
+  std::vector<double> prefix = AllKnnDistances(tree, kK);
+  ASSERT_EQ(prefix.size(), pts.size() * kK);
+  for (size_t i = 0; i < pts.size(); ++i) {
+    EXPECT_EQ(prefix[i * kK], 0.0) << "self distance";
+    for (size_t j = 1; j < kK; ++j) {
+      EXPECT_LE(prefix[i * kK + j - 1], prefix[i * kK + j]);
+    }
+  }
+  for (size_t k : {size_t{1}, size_t{4}, size_t{12}}) {
+    std::vector<double> direct = KthNeighborDistances(tree, k);
+    for (size_t i = 0; i < pts.size(); ++i) {
+      ASSERT_EQ(prefix[i * kK + (k - 1)], direct[i]) << "k=" << k;
+    }
+  }
+}
+
+// --- Cached vs uncached equivalence -------------------------------------
+
+TEST(EngineEquivalence, CachedHdbscanMatchesDirect) {
+  auto pts = SeedSpreaderVarden<2>(4000, 13, 3);
+  ClusteringEngine engine;
+  engine.registry().Add("d", pts);
+
+  EngineRequest req;
+  req.dataset = "d";
+  req.type = QueryType::kHdbscan;
+  req.min_pts = 50;
+  ASSERT_TRUE(engine.Run(req).ok);  // warm kNN@50 + clustering@50
+
+  for (int min_pts : {5, 10, 20, 50}) {
+    HdbscanResult direct = Hdbscan(pts, min_pts);
+    req.min_pts = min_pts;
+    EngineResponse r = engine.Run(req);
+    ASSERT_TRUE(r.ok) << r.error;
+    ASSERT_EQ(r.mst->size(), direct.mst.size());
+    // Same mutual-reachability graph, unique generic-position weights:
+    // the MST edge weight multisets must agree exactly.
+    EXPECT_EQ(SortedWeights(*r.mst), SortedWeights(direct.mst))
+        << "minPts=" << min_pts;
+    EXPECT_EQ(r.mst_weight,
+              std::accumulate(r.mst->begin(), r.mst->end(), 0.0,
+                              [](double s, const WeightedEdge& e) {
+                                return s + e.w;
+                              }));
+    // The dendrograms answer identical flat clusterings and reachability
+    // queries (cross-checks the sequential vs parallel builder too).
+    double eps = direct.dendrogram.Height(direct.dendrogram.root()) * 0.05;
+    EXPECT_EQ(DbscanStarLabels(*r.dendrogram, *r.core_dist, eps),
+              direct.ClustersAt(eps))
+        << "minPts=" << min_pts;
+    ReachabilityPlot cached = ComputeReachability(*r.dendrogram);
+    ReachabilityPlot plain = direct.Reachability();
+    EXPECT_EQ(cached.order, plain.order) << "minPts=" << min_pts;
+    EXPECT_EQ(cached.value, plain.value) << "minPts=" << min_pts;
+  }
+}
+
+TEST(EngineEquivalence, DbscanAtEpsAndStableClustersMatchDirect) {
+  auto pts = SeedSpreaderVarden<2>(3000, 17, 4);
+  HdbscanResult direct = Hdbscan(pts, 10);
+  ClusteringEngine engine;
+  engine.registry().Add("d", pts);
+
+  EngineRequest req;
+  req.dataset = "d";
+  req.type = QueryType::kDbscanStarAt;
+  req.min_pts = 10;
+  for (double frac : {0.01, 0.05, 0.3}) {
+    req.eps = direct.dendrogram.Height(direct.dendrogram.root()) * frac;
+    EngineResponse r = engine.Run(req);
+    ASSERT_TRUE(r.ok) << r.error;
+    EXPECT_EQ(r.labels, direct.ClustersAt(req.eps)) << "frac=" << frac;
+  }
+
+  req.type = QueryType::kStableClusters;
+  req.min_cluster_size = 30;
+  EngineResponse r = engine.Run(req);
+  ASSERT_TRUE(r.ok) << r.error;
+  StabilityClusters sc = ExtractStableClusters(direct.dendrogram, 30);
+  EXPECT_EQ(r.labels, sc.label);
+  EXPECT_EQ(r.stability, sc.stability);
+}
+
+TEST(EngineEquivalence, EmstAndSingleLinkageMatchDirect) {
+  auto pts = test::RandomPoints<3>(2500, 23);
+  std::vector<WeightedEdge> direct = Emst(pts);
+  ClusteringEngine engine;
+  engine.registry().Add("d", pts);
+
+  EngineRequest req;
+  req.dataset = "d";
+  req.type = QueryType::kEmst;
+  EngineResponse r = engine.Run(req);
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(SortedWeights(*r.mst), SortedWeights(direct));
+
+  req.type = QueryType::kSingleLinkage;
+  req.k = 6;
+  EngineResponse sl = engine.Run(req);
+  ASSERT_TRUE(sl.ok) << sl.error;
+  Dendrogram d = BuildDendrogramParallel(pts.size(), direct, 0);
+  EXPECT_EQ(sl.labels, KClusters(d, 6));
+  // EMST artifacts were reused, not rebuilt.
+  EXPECT_NE(std::find(sl.reused.begin(), sl.reused.end(), "emst"),
+            sl.reused.end());
+}
+
+// --- Cache mechanics ----------------------------------------------------
+
+TEST(EngineCache, SecondIdenticalQueryIsAPureHit) {
+  ClusteringEngine engine;
+  engine.registry().Add("d", UniformFill<2>(2000, 3));
+  EngineRequest req;
+  req.dataset = "d";
+  req.type = QueryType::kHdbscan;
+  req.min_pts = 10;
+  EngineResponse first = engine.Run(req);
+  ASSERT_TRUE(first.ok);
+  EXPECT_FALSE(first.built.empty());
+  EngineResponse second = engine.Run(req);
+  ASSERT_TRUE(second.ok);
+  EXPECT_TRUE(second.built.empty()) << "second query rebuilt artifacts";
+  EXPECT_EQ(second.mst.get(), first.mst.get());  // same shared snapshot
+}
+
+TEST(EngineCache, LruEvictionBoundsCachedClusterings) {
+  ClusteringEngine engine;
+  engine.registry().Add("d", UniformFill<2>(1500, 9));
+  EngineRequest req;
+  req.dataset = "d";
+  req.type = QueryType::kHdbscan;
+  std::vector<EngineResponse> held;
+  for (int m = 2; m < 2 + static_cast<int>(kMaxCachedClusterings) + 4; ++m) {
+    req.min_pts = m;
+    held.push_back(engine.Run(req));  // responses outlive eviction
+    ASSERT_TRUE(held.back().ok);
+  }
+  auto entry = engine.registry().Find("d");
+  ASSERT_NE(entry, nullptr);
+  EXPECT_LE(entry->num_cached_clusterings(), kMaxCachedClusterings);
+  // Evicted snapshots stay valid through their shared_ptrs.
+  for (const EngineResponse& r : held) {
+    EXPECT_EQ(r.mst->size(), size_t{1499});
+  }
+}
+
+TEST(EngineRegistry, ErrorsAndTypeErasedDispatch) {
+  ClusteringEngine engine;
+  EngineRequest req;
+  req.dataset = "missing";
+  EngineResponse r = engine.Run(req);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("unknown dataset"), std::string::npos);
+
+  engine.registry().Add("d7", ClusteredGaussians<7>(500, 2));
+  req.dataset = "d7";
+  req.type = QueryType::kHdbscan;
+  req.min_pts = 5;
+  r = engine.Run(req);
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.mst->size(), size_t{499});
+
+  req.min_pts = 0;
+  EXPECT_FALSE(engine.Run(req).ok);
+  req.min_pts = 501;
+  EXPECT_FALSE(engine.Run(req).ok);
+
+  std::vector<std::vector<double>> ragged = {{1, 2}, {3}};
+  EXPECT_FALSE(engine.registry().TryAddRows("bad", ragged).empty());
+  std::vector<std::vector<double>> dim6(4, std::vector<double>(6, 0.0));
+  EXPECT_FALSE(engine.registry().TryAddRows("bad", dim6).empty());
+  EXPECT_EQ(engine.registry().Find("bad"), nullptr);
+
+  EXPECT_TRUE(engine.registry().Remove("d7"));
+  EXPECT_FALSE(engine.registry().Remove("d7"));
+  EXPECT_EQ(engine.registry().List().size(), size_t{0});
+}
+
+// Concurrent readers answer from shared artifacts while a writer builds a
+// new parameterization; run under the sanitizer CI job this validates the
+// readers-writer discipline.
+TEST(EngineConcurrency, ParallelMixedQueriesStayConsistent) {
+  auto pts = SeedSpreaderVarden<2>(2000, 29, 3);
+  HdbscanResult direct = Hdbscan(pts, 8);
+  double eps = direct.dendrogram.Height(direct.dendrogram.root()) * 0.05;
+  std::vector<int32_t> expect = direct.ClustersAt(eps);
+
+  ClusteringEngine engine;
+  engine.registry().Add("d", pts);
+  EngineRequest warm;
+  warm.dataset = "d";
+  warm.type = QueryType::kHdbscan;
+  warm.min_pts = 8;
+  ASSERT_TRUE(engine.Run(warm).ok);
+
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 6; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < 15; ++i) {
+        EngineRequest req;
+        req.dataset = "d";
+        if (t == 0 && i % 5 == 0) {
+          // One thread also triggers builds of new parameterizations.
+          req.type = QueryType::kHdbscan;
+          req.min_pts = 3 + i;
+          if (!engine.Run(req).ok) failures.fetch_add(1);
+          continue;
+        }
+        req.type = QueryType::kDbscanStarAt;
+        req.min_pts = 8;
+        req.eps = eps;
+        EngineResponse r = engine.Run(req);
+        if (!r.ok || r.labels != expect) failures.fetch_add(1);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+}  // namespace
+}  // namespace parhc
