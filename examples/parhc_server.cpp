@@ -7,7 +7,11 @@
 // Commands:
 //   gen <name> <dim> <uniform|varden|levy|gauss> <n> [seed]
 //   load <name> <csv|bin> <path>
-//   save <name> ... is intentionally absent: datasets are immutable inputs
+//   save <name> ... is intentionally absent: static datasets are immutable
+//   dyn <name> <dim>                  create an empty batch-dynamic dataset
+//   insert <name> <coords...>        insert points (dim values per point)
+//   geninsert <name> <dim> <kind> <n> [seed]   generate + insert a batch
+//   delete <name> <gid> [gid ...]    tombstone points by global id
 //   list
 //   drop <name>
 //   emst <name>
@@ -54,6 +58,31 @@ std::vector<Point<D>> GenTyped(const std::string& kind, size_t n,
   if (kind == "levy") return SkewedLevy<D>(n, seed);
   if (kind == "gauss") return ClusteredGaussians<D>(n, seed);
   return {};
+}
+
+template <int D>
+std::vector<std::vector<double>> RowsFrom(const std::vector<Point<D>>& pts) {
+  std::vector<std::vector<double>> rows(pts.size(), std::vector<double>(D));
+  for (size_t i = 0; i < pts.size(); ++i) {
+    for (int d = 0; d < D; ++d) rows[i][d] = pts[i][d];
+  }
+  return rows;
+}
+
+/// Generated points as runtime rows, for the batch-dynamic insert path.
+/// Empty when the kind is unknown.
+std::vector<std::vector<double>> GenRows(int dim, const std::string& kind,
+                                         size_t n, uint64_t seed) {
+  switch (dim) {
+    case 2: return RowsFrom(GenTyped<2>(kind, n, seed));
+    case 3: return RowsFrom(GenTyped<3>(kind, n, seed));
+    case 4: return RowsFrom(GenTyped<4>(kind, n, seed));
+    case 5: return RowsFrom(GenTyped<5>(kind, n, seed));
+    case 7: return RowsFrom(GenTyped<7>(kind, n, seed));
+    case 10: return RowsFrom(GenTyped<10>(kind, n, seed));
+    case 16: return RowsFrom(GenTyped<16>(kind, n, seed));
+    default: return {};
+  }
 }
 
 bool Generate(DatasetRegistry& reg, const std::string& name, int dim,
@@ -105,6 +134,10 @@ void Help() {
       "commands:\n"
       "  gen <name> <dim> <uniform|varden|levy|gauss> <n> [seed]\n"
       "  load <name> <csv|bin> <path>\n"
+      "  dyn <name> <dim>\n"
+      "  insert <name> <coords...>\n"
+      "  geninsert <name> <dim> <kind> <n> [seed]\n"
+      "  delete <name> <gid> [gid ...]\n"
       "  list | drop <name>\n"
       "  emst <name>\n"
       "  slink <name> <k>\n"
@@ -170,11 +203,115 @@ int main() {
         auto entry = engine.registry().Find(name);
         std::printf("ok load %s dim=%d n=%zu\n", name.c_str(), entry->dim(),
                     entry->num_points());
+      } else if (cmd == "dyn") {
+        std::string name;
+        int dim = 0;
+        ss >> name >> dim;
+        if (ss.fail() || name.empty()) {
+          std::printf("err dyn: usage: dyn <name> <dim>\n");
+          continue;
+        }
+        std::string err = engine.registry().TryAddDynamic(name, dim);
+        if (!err.empty()) {
+          std::printf("err dyn %s: %s\n", name.c_str(), err.c_str());
+        } else {
+          std::printf("ok dyn %s dim=%d\n", name.c_str(), dim);
+        }
+      } else if (cmd == "insert") {
+        std::string name;
+        ss >> name;
+        auto entry = engine.registry().Find(name);
+        if (!entry) {
+          std::printf("err insert %s: unknown dataset\n", name.c_str());
+          continue;
+        }
+        int dim = entry->dim();
+        std::vector<double> vals;
+        double v;
+        while (ss >> v) vals.push_back(v);
+        // A malformed token must not silently truncate the batch and print
+        // "ok" (same rule the query verbs enforce below).
+        if (!ss.eof()) {
+          std::printf("err insert %s: malformed coordinate\n", name.c_str());
+          continue;
+        }
+        if (vals.empty() || vals.size() % static_cast<size_t>(dim) != 0) {
+          std::printf("err insert %s: need a multiple of %d coordinates\n",
+                      name.c_str(), dim);
+          continue;
+        }
+        std::vector<std::vector<double>> rows(vals.size() / dim);
+        for (size_t i = 0; i < rows.size(); ++i) {
+          rows[i].assign(vals.begin() + i * dim, vals.begin() + (i + 1) * dim);
+        }
+        uint32_t first = 0;
+        std::string err = engine.InsertBatch(name, rows, &first);
+        if (!err.empty()) {
+          std::printf("err insert %s: %s\n", name.c_str(), err.c_str());
+        } else {
+          std::printf("ok insert %s n=%zu gids=[%u,%u)\n", name.c_str(),
+                      rows.size(), first,
+                      first + static_cast<uint32_t>(rows.size()));
+        }
+      } else if (cmd == "geninsert") {
+        std::string name, kind;
+        int dim = 0;
+        size_t n = 0;
+        uint64_t seed = 1;
+        ss >> name >> dim >> kind >> n;
+        if (!(ss >> seed)) seed = 1;
+        if (name.empty() || n == 0 || !DatasetRegistry::SupportedDim(dim)) {
+          std::printf("err geninsert: usage/unsupported dim\n");
+          continue;
+        }
+        // Validate the generator kind before the create-if-absent side
+        // effect, so a typo doesn't leave a spurious empty dataset behind.
+        std::vector<std::vector<double>> rows = GenRows(dim, kind, n, seed);
+        if (rows.empty()) {
+          std::printf("err geninsert: unknown kind %s\n", kind.c_str());
+          continue;
+        }
+        if (!engine.registry().Find(name)) {
+          engine.registry().TryAddDynamic(name, dim);
+        }
+        uint32_t first = 0;
+        std::string err = engine.InsertBatch(name, rows, &first);
+        if (!err.empty()) {
+          std::printf("err geninsert %s: %s\n", name.c_str(), err.c_str());
+        } else {
+          std::printf("ok geninsert %s n=%zu gids=[%u,%u)\n", name.c_str(), n,
+                      first, first + static_cast<uint32_t>(n));
+        }
+      } else if (cmd == "delete") {
+        std::string name;
+        ss >> name;
+        std::vector<uint32_t> gids;
+        uint32_t gid;
+        while (ss >> gid) gids.push_back(gid);
+        if (!ss.eof()) {
+          std::printf("err delete %s: malformed gid\n", name.c_str());
+          continue;
+        }
+        if (name.empty() || gids.empty()) {
+          std::printf("err delete: usage: delete <name> <gid> [gid ...]\n");
+          continue;
+        }
+        size_t deleted = 0;
+        std::string err = engine.DeleteBatch(name, gids, &deleted);
+        if (!err.empty()) {
+          std::printf("err delete %s: %s\n", name.c_str(), err.c_str());
+        } else {
+          std::printf("ok delete %s deleted=%zu\n", name.c_str(), deleted);
+        }
       } else if (cmd == "list") {
         for (const DatasetInfo& info : engine.registry().List()) {
-          std::printf("dataset %s dim=%d n=%zu knn_k=%zu cached=%zu\n",
+          std::string extra;
+          if (info.dynamic) {
+            extra = " dynamic shards=" + std::to_string(info.num_shards);
+          }
+          std::printf("dataset %s dim=%d n=%zu knn_k=%zu cached=%zu%s\n",
                       info.name.c_str(), info.dim, info.num_points,
-                      info.knn_k, info.cached_clusterings);
+                      info.knn_k, info.cached_clusterings, extra.c_str());
         }
         std::printf("ok list\n");
       } else if (cmd == "drop") {

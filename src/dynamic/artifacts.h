@@ -1,0 +1,600 @@
+// Batch-dynamic artifact cache: the mutable-dataset backend of the
+// clustering engine (the immutable backend is engine/artifacts.h).
+//
+// Points live in an LSM shard forest (forest.h). Every pipeline artifact is
+// assigned to one of three invalidation tiers:
+//
+//   shard tier    per-shard kd-tree and EMST edge list, cached inside the
+//                 shard object; survive any mutation that leaves the shard
+//                 untouched (keyed implicitly by shard content id).
+//   cross tier    per shard *pair*: the Euclidean cross candidate edges
+//                 (well-separated cross decomposition + cross BCCP, s = 2),
+//                 cached by content-id pair — stale exactly when either
+//                 side's live content changes.
+//   global tier   everything derived from the whole forest: the merged kNN
+//                 rows, the global EMST / MR-MST Kruskal results,
+//                 dendrograms and clusterings; keyed by the forest mutation
+//                 epoch.
+//
+// Exactness comes from the distance-decomposition rule (Lettich,
+// arXiv:2406.01739): the MST of a union of parts is contained in the union
+// of the parts' MSTs plus cross-part candidate edges — valid for any
+// strictly totally ordered weight function, so it covers both the
+// Euclidean and the mutual-reachability graph. A small insert therefore
+// pays its own shard build + EMST, one cross pass against each surviving
+// shard, and a Kruskal over ~n cached edges — not an O(n) tree + kNN + MST
+// rebuild.
+//
+// HDBSCAN* stays exact through the multi-shard kNN merge: each point's
+// global K nearest neighbors are accumulated by querying every shard's
+// tree into one bounded heap, so core distances at any minPts <= K are the
+// square roots of the exact minPts-th smallest squared distances —
+// bit-identical to a from-scratch AllKnnDistances pass over the union. On
+// insert the cached rows are updated incrementally (merge each old row
+// with the K best candidates from the new batch's tree; new points query
+// every shard once); a delete invalidates the rows wholesale, since a
+// vanished neighbor cannot be repaired locally.
+//
+// Per-point outputs (core distances, labels, dendrograms, MST endpoints)
+// use *dense* indices: position i corresponds to the i-th live global id in
+// ascending order (EngineResponse::point_ids carries the mapping). Because
+// the dense map is monotone in gid, all tie-breaks agree with a
+// from-scratch build over the live points in gid order.
+//
+// Thread safety: none here; the engine front-end serializes mutations and
+// builds (engine.h). Answer(allow_build = false) is the read-only path and
+// touches no mutable state except the LRU clock.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "dendrogram/cluster_extraction.h"
+#include "dendrogram/reachability.h"
+#include "dynamic/forest.h"
+#include "engine/artifact_util.h"
+#include "engine/request.h"
+#include "graph/kruskal.h"
+#include "hdbscan/hdbscan_mst.h"
+#include "hdbscan/stability.h"
+#include "spatial/cross_traverse.h"
+#include "spatial/knn.h"
+#include "spatial/wspd.h"
+
+namespace parhc {
+
+template <int D>
+class DynamicArtifacts {
+ public:
+  size_t num_points() const { return forest_.live_count(); }
+  size_t num_shards() const { return forest_.num_shards(); }
+  size_t knn_k() const { return knn_valid_ ? knn_k_ : 0; }
+  size_t num_cached_clusterings() const { return hdbscan_.size(); }
+  uint32_t next_gid() const { return forest_.next_gid(); }
+
+  /// Inserts one batch; returns the first assigned global id. Maintains
+  /// the kNN rows incrementally when they are warm, then invalidates the
+  /// global tier (cached cross edges and shard artifacts survive).
+  uint32_t InsertBatch(std::vector<Point<D>> pts) {
+    if (knn_valid_) UpdateKnnRowsForInsert(pts);
+    uint32_t first = forest_.InsertBatch(std::move(pts));
+    InvalidateGlobalTier();
+    return first;
+  }
+
+  /// Tombstones the given global ids; returns the number deleted. The kNN
+  /// rows cannot be repaired locally (a deleted point may have been inside
+  /// another point's neighborhood), so they are invalidated wholesale.
+  size_t DeleteBatch(const std::vector<uint32_t>& gids) {
+    size_t deleted = forest_.DeleteBatch(gids);
+    if (deleted > 0) {
+      knn_valid_ = false;
+      InvalidateGlobalTier();
+    }
+    return deleted;
+  }
+
+  /// Same contract as DatasetArtifacts::Answer.
+  bool Answer(const EngineRequest& req, bool allow_build,
+              EngineResponse* out) {
+    if (forest_.live_count() == 0) {
+      out->error = "dataset is empty";
+      return true;
+    }
+    switch (req.type) {
+      case QueryType::kEmst:
+      case QueryType::kSingleLinkage:
+        return AnswerEmstFamily(req, allow_build, out);
+      case QueryType::kHdbscan:
+      case QueryType::kDbscanStarAt:
+      case QueryType::kReachability:
+      case QueryType::kStableClusters:
+        return AnswerHdbscanFamily(req, allow_build, out);
+    }
+    out->error = "unknown query type";
+    return true;
+  }
+
+ private:
+  static constexpr uint64_t kNoEpoch = std::numeric_limits<uint64_t>::max();
+  static constexpr uint32_t kNoDense = std::numeric_limits<uint32_t>::max();
+
+  using HdbscanEntry = ClusteringEntry;
+
+  void Touch(HdbscanEntry& e) { TouchClusteringEntry(e, clock_); }
+
+  void InvalidateGlobalTier() {
+    emst_epoch_ = kNoEpoch;
+    emst_mst_.reset();
+    emst_dendro_.reset();
+    hdbscan_.clear();
+    core_.clear();
+    ids_dense_.reset();
+  }
+
+  // --- dense <-> gid mapping (global tier) -------------------------------
+
+  void EnsureDense() {
+    if (ids_dense_ && dense_epoch_ == forest_.epoch()) return;
+    auto ids =
+        std::make_shared<const std::vector<uint32_t>>(forest_.LiveGids());
+    dense_of_gid_.assign(forest_.next_gid(), kNoDense);
+    for (uint32_t i = 0; i < ids->size(); ++i) {
+      dense_of_gid_[(*ids)[i]] = i;
+    }
+    ids_dense_ = std::move(ids);
+    dense_epoch_ = forest_.epoch();
+  }
+
+  /// Remaps gid-space edges to dense indices in place.
+  void ToDense(std::vector<WeightedEdge>& edges) const {
+    ParallelFor(0, edges.size(), [&](size_t i) {
+      edges[i].u = dense_of_gid_[edges[i].u];
+      edges[i].v = dense_of_gid_[edges[i].v];
+    });
+  }
+
+  // --- cross candidate edges (cross tier) --------------------------------
+
+  /// Cross candidates between two shards: one closest-pair edge (from
+  /// `bccp(ta, tb, a, b, ida, idb)`) per well-separated cross pair
+  /// (s = 2), in gid space.
+  template <typename BccpFn>
+  static std::vector<WeightedEdge> CrossCandidates(Shard<D>& sa,
+                                                   Shard<D>& sb,
+                                                   const BccpFn& bccp) {
+    KdTree<D>& ta = sa.tree();
+    KdTree<D>& tb = sb.tree();
+    const std::vector<uint32_t>& ga = sa.live_gids();
+    const std::vector<uint32_t>& gb = sb.live_gids();
+    auto ida = [&](uint32_t i) { return ga[i]; };
+    auto idb = [&](uint32_t j) { return gb[j]; };
+    std::vector<std::vector<WeightedEdge>> local(NumWorkers());
+    CrossDualTraverse(
+        ta, tb, [](uint32_t, uint32_t) { return false; },
+        [&](uint32_t a, uint32_t b) {
+          return WellSeparated(ta.NodeBox(a), tb.NodeBox(b), 2.0);
+        },
+        [&](uint32_t a, uint32_t b, bool /*separated*/) {
+          ClosestPair cp = bccp(ta, tb, a, b, ida, idb);
+          local[Scheduler::Get().MyId()].push_back({cp.u, cp.v, cp.dist});
+        });
+    return Flatten(local);
+  }
+
+  /// Euclidean cross candidates (cross BCCP).
+  static std::vector<WeightedEdge> CrossEmstCandidates(Shard<D>& sa,
+                                                       Shard<D>& sb) {
+    return CrossCandidates(
+        sa, sb,
+        [](KdTree<D>& ta, KdTree<D>& tb, uint32_t a, uint32_t b,
+           const auto& ida, const auto& idb) {
+          return CrossBccp(ta, tb, a, b, ida, idb);
+        });
+  }
+
+  /// Mutual-reachability cross candidates (cross BCCP*). Both shard trees
+  /// must already be annotated with the current global core distances. Not
+  /// cached: the weights change with every core-distance epoch, unlike the
+  /// Euclidean cross tier.
+  static std::vector<WeightedEdge> CrossHdbscanCandidates(Shard<D>& sa,
+                                                          Shard<D>& sb) {
+    return CrossCandidates(
+        sa, sb,
+        [](KdTree<D>& ta, KdTree<D>& tb, uint32_t a, uint32_t b,
+           const auto& ida, const auto& idb) {
+          return CrossBccpStar(ta, tb, a, b, ida, idb);
+        });
+  }
+
+  /// Drops cross-tier cache entries that mention a content id no longer in
+  /// the forest (the shard was merged, compacted, or tombstoned).
+  void PurgeStaleCrossEdges() {
+    std::vector<uint64_t> cids;
+    cids.reserve(forest_.num_shards());
+    for (size_t i = 0; i < forest_.num_shards(); ++i) {
+      cids.push_back(forest_.shard(i).content_id());
+    }
+    std::sort(cids.begin(), cids.end());
+    auto alive = [&](uint64_t c) {
+      return std::binary_search(cids.begin(), cids.end(), c);
+    };
+    for (auto it = cross_.begin(); it != cross_.end();) {
+      if (!alive(it->first.first) || !alive(it->first.second)) {
+        it = cross_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  // --- EMST family -------------------------------------------------------
+
+  bool EnsureEmst(bool allow_build, EngineResponse* out) {
+    if (emst_mst_ && emst_epoch_ == forest_.epoch()) {
+      TraceArtifact(out, /*built=*/false, "forest-emst");
+      return true;
+    }
+    if (!allow_build) return false;
+    EnsureDense();
+    PurgeStaleCrossEdges();
+    std::vector<WeightedEdge> candidates;
+    for (size_t i = 0; i < forest_.num_shards(); ++i) {
+      Shard<D>& s = forest_.shard(i);
+      bool had = s.has_emst();
+      const std::vector<WeightedEdge>& edges = s.EmstEdges();
+      TraceArtifact(out, !had, "semst@" + std::to_string(s.content_id()));
+      candidates.insert(candidates.end(), edges.begin(), edges.end());
+    }
+    for (size_t i = 0; i < forest_.num_shards(); ++i) {
+      for (size_t j = i + 1; j < forest_.num_shards(); ++j) {
+        Shard<D>& sa = forest_.shard(i);
+        Shard<D>& sb = forest_.shard(j);
+        // Materialize into a value pair: std::minmax over the returned
+        // temporaries would yield a pair of dangling references.
+        std::pair<uint64_t, uint64_t> key{
+            std::min(sa.content_id(), sb.content_id()),
+            std::max(sa.content_id(), sb.content_id())};
+        std::string trace_key = "xemst@" + std::to_string(key.first) + "-" +
+                                std::to_string(key.second);
+        auto it = cross_.find(key);
+        if (it == cross_.end()) {
+          it = cross_.emplace(key, CrossEmstCandidates(sa, sb)).first;
+          TraceArtifact(out, /*built=*/true, trace_key);
+        } else {
+          TraceArtifact(out, /*built=*/false, trace_key);
+        }
+        candidates.insert(candidates.end(), it->second.begin(),
+                          it->second.end());
+      }
+    }
+    ToDense(candidates);
+    size_t n = forest_.live_count();
+    std::vector<WeightedEdge> mst = KruskalMst(n, std::move(candidates));
+    PARHC_CHECK_MSG(mst.size() + 1 == n,
+                    "shard-forest EMST candidates did not span all points");
+    emst_weight_ = TotalEdgeWeight(mst);
+    emst_mst_ =
+        std::make_shared<const std::vector<WeightedEdge>>(std::move(mst));
+    emst_dendro_.reset();
+    emst_epoch_ = forest_.epoch();
+    TraceArtifact(out, /*built=*/true, "forest-emst");
+    return true;
+  }
+
+  bool AnswerEmstFamily(const EngineRequest& req, bool allow_build,
+                        EngineResponse* out) {
+    bool need_dendro = req.type == QueryType::kSingleLinkage;
+    if (need_dendro && (req.k < 1 || req.k > forest_.live_count())) {
+      out->error = "k must be in [1, n]";
+      return true;
+    }
+    if (!EnsureEmst(allow_build, out)) return false;
+    if (need_dendro) {
+      if (!emst_dendro_) {
+        if (!allow_build) return false;
+        emst_dendro_ = BuildDendrogramArtifact(forest_.live_count(),
+                                               *emst_mst_);
+        TraceArtifact(out, /*built=*/true, "sl-dendro");
+      } else {
+        TraceArtifact(out, /*built=*/false, "sl-dendro");
+      }
+    }
+    out->mst = emst_mst_;
+    out->mst_weight = emst_weight_;
+    out->point_ids = ids_dense_;
+    if (need_dendro) {
+      out->dendrogram = emst_dendro_;
+      out->labels = KClusters(*emst_dendro_, req.k);
+      SummarizeLabels(out->labels, out);
+    }
+    out->ok = true;
+    return true;
+  }
+
+  // --- HDBSCAN* family ---------------------------------------------------
+
+  /// Multi-shard kNN merge: rebuilds the global rows at width K (>= the
+  /// requested k, clamped to n) by querying every shard's tree into one
+  /// bounded heap per point. Rows are indexed *densely* (position i = the
+  /// i-th live gid ascending) and hold the sorted squared distances to the
+  /// K global nearest neighbors (self included), so memory tracks the live
+  /// count, not the ever-growing gid space. Dense row indices stay valid
+  /// across inserts — new gids always sort after every existing one — and
+  /// deletes invalidate the rows wholesale.
+  bool EnsureKnn(size_t k, bool allow_build, EngineResponse* out) {
+    if (knn_valid_ && knn_k_ >= k) {
+      TraceArtifact(out, /*built=*/false, "knn@" + std::to_string(knn_k_));
+      return true;
+    }
+    if (!allow_build) return false;
+    size_t n = forest_.live_count();
+    size_t K = std::min(std::max(k, knn_k_), n);
+    for (size_t s = 0; s < forest_.num_shards(); ++s) {
+      forest_.shard(s).tree();  // build outside the parallel loop
+    }
+    std::vector<uint32_t> gids = forest_.LiveGids();
+    knn_sq_.assign(n * K, 0.0);
+    std::vector<std::vector<std::pair<double, uint32_t>>> scratch(
+        NumWorkers());
+    ParallelFor(0, gids.size(), [&](size_t idx) {
+      auto& buf = scratch[Scheduler::Get().MyId()];
+      if (buf.size() < K) buf.resize(K);
+      internal::KnnHeap heap(K, buf.data());
+      const Point<D>& q = forest_.PointOf(gids[idx]);
+      for (size_t s = 0; s < forest_.num_shards(); ++s) {
+        internal::KnnQueryInto(forest_.shard(s).tree(), q, heap);
+      }
+      PARHC_DCHECK(heap.size() == K);
+      std::sort(buf.data(), buf.data() + K);
+      double* row = knn_sq_.data() + idx * K;
+      for (size_t t = 0; t < K; ++t) row[t] = buf[t].first;
+    });
+    knn_k_ = K;
+    knn_valid_ = true;
+    TraceArtifact(out, /*built=*/true, "knn@" + std::to_string(K));
+    return true;
+  }
+
+  /// Incremental row maintenance for one insert batch, run *before* the
+  /// forest mutation (so the shard set is the pre-insert one): every
+  /// existing row merges the K best candidates from the batch's tree, and
+  /// each batch point gets a fresh row by querying every shard plus the
+  /// batch itself. Exact because the K smallest of (old forest U batch) is
+  /// the K smallest of (old row U batch candidates).
+  void UpdateKnnRowsForInsert(const std::vector<Point<D>>& batch) {
+    const size_t K = knn_k_;
+    KdTree<D> batch_tree(batch, /*leaf_size=*/1);
+    for (size_t s = 0; s < forest_.num_shards(); ++s) {
+      forest_.shard(s).tree();  // build outside the parallel loop
+    }
+    std::vector<uint32_t> old_gids = forest_.LiveGids();
+    size_t old_n = old_gids.size();
+    // New points extend the dense row range: their gids exceed every
+    // existing gid, so existing rows keep their dense positions.
+    knn_sq_.resize((old_n + batch.size()) * K, 0.0);
+    struct Scratch {
+      std::vector<std::pair<double, uint32_t>> heap;
+      std::vector<double> merged;
+    };
+    std::vector<Scratch> scratch(NumWorkers());
+    ParallelFor(0, old_n, [&](size_t idx) {
+      Scratch& sc = scratch[Scheduler::Get().MyId()];
+      if (sc.heap.size() < K) sc.heap.resize(K);
+      if (sc.merged.size() < K) sc.merged.resize(K);
+      internal::KnnHeap heap(K, sc.heap.data());
+      internal::KnnQueryInto(batch_tree, forest_.PointOf(old_gids[idx]),
+                             heap);
+      size_t c = heap.size();
+      std::sort(sc.heap.data(), sc.heap.data() + c);
+      double* row = knn_sq_.data() + idx * K;
+      size_t i = 0, j = 0;
+      for (size_t t = 0; t < K; ++t) {
+        sc.merged[t] = (j >= c || (i < K && row[i] <= sc.heap[j].first))
+                           ? row[i++]
+                           : sc.heap[j++].first;
+      }
+      std::copy(sc.merged.data(), sc.merged.data() + K, row);
+    });
+    ParallelFor(0, batch.size(), [&](size_t idx) {
+      Scratch& sc = scratch[Scheduler::Get().MyId()];
+      if (sc.heap.size() < K) sc.heap.resize(K);
+      internal::KnnHeap heap(K, sc.heap.data());
+      for (size_t s = 0; s < forest_.num_shards(); ++s) {
+        internal::KnnQueryInto(forest_.shard(s).tree(), batch[idx], heap);
+      }
+      internal::KnnQueryInto(batch_tree, batch[idx], heap);
+      PARHC_DCHECK(heap.size() == K);
+      std::sort(sc.heap.data(), sc.heap.data() + K);
+      double* row = knn_sq_.data() + (old_n + idx) * K;
+      for (size_t t = 0; t < K; ++t) row[t] = sc.heap[t].first;
+    });
+  }
+
+  /// Dense core distances for min_pts, derived from the kNN row columns.
+  std::shared_ptr<const std::vector<double>> CoreDist(int min_pts,
+                                                      bool allow_build,
+                                                      EngineResponse* out) {
+    const std::string key = "cd@" + std::to_string(min_pts);
+    auto it = core_.find(min_pts);
+    if (it != core_.end()) {
+      TraceArtifact(out, /*built=*/false, key);
+      return it->second;
+    }
+    if (!allow_build) return nullptr;
+    if (!EnsureKnn(static_cast<size_t>(min_pts), allow_build, out)) {
+      return nullptr;
+    }
+    EnsureDense();
+    size_t n = forest_.live_count();
+    size_t stride = knn_k_;
+    auto cd = std::make_shared<std::vector<double>>(n);
+    ParallelFor(0, n, [&](size_t i) {
+      (*cd)[i] = std::sqrt(knn_sq_[i * stride + (min_pts - 1)]);
+    });
+    core_.emplace(min_pts, cd);
+    TraceArtifact(out, /*built=*/true, key);
+    return cd;
+  }
+
+  /// The per-minPts clustering entry: the exact MR-MST over the shard
+  /// forest (per-shard MR-MSTs with global core distances + cross BCCP*
+  /// candidates), plus dendrogram / reachability plot on demand.
+  HdbscanEntry* Hdbscan(int min_pts, bool need_dendro, bool need_plot,
+                        bool allow_build, EngineResponse* out) {
+    const std::string suffix = "@" + std::to_string(min_pts);
+    auto it = hdbscan_.find(min_pts);
+    if (it == hdbscan_.end()) {
+      if (!allow_build) return nullptr;
+      auto cd = CoreDist(min_pts, allow_build, out);
+      if (!cd) return nullptr;
+      size_t n = forest_.live_count();
+      std::vector<WeightedEdge> candidates;
+      // Per-shard MR-MSTs, annotating every shard tree with the global
+      // core distances (the annotations then serve the cross BCCP* pass).
+      for (size_t i = 0; i < forest_.num_shards(); ++i) {
+        Shard<D>& s = forest_.shard(i);
+        const std::vector<uint32_t>& lg = s.live_gids();
+        std::vector<double> cd_local(lg.size());
+        for (size_t l = 0; l < lg.size(); ++l) {
+          cd_local[l] = (*cd)[dense_of_gid_[lg[l]]];
+        }
+        std::vector<WeightedEdge> edges =
+            HdbscanMstOnTree(s.tree(), cd_local);
+        for (WeightedEdge& e : edges) {
+          e.u = lg[e.u];
+          e.v = lg[e.v];
+        }
+        candidates.insert(candidates.end(), edges.begin(), edges.end());
+      }
+      for (size_t i = 0; i < forest_.num_shards(); ++i) {
+        for (size_t j = i + 1; j < forest_.num_shards(); ++j) {
+          std::vector<WeightedEdge> edges = CrossHdbscanCandidates(
+              forest_.shard(i), forest_.shard(j));
+          candidates.insert(candidates.end(), edges.begin(), edges.end());
+        }
+      }
+      ToDense(candidates);
+      std::vector<WeightedEdge> mst = KruskalMst(n, std::move(candidates));
+      PARHC_CHECK_MSG(mst.size() + 1 == n,
+                      "shard-forest MR-MST candidates did not span");
+      auto entry = std::make_unique<HdbscanEntry>();
+      entry->core_dist = cd;
+      entry->mst_weight = TotalEdgeWeight(mst);
+      entry->mst =
+          std::make_shared<const std::vector<WeightedEdge>>(std::move(mst));
+      TraceArtifact(out, /*built=*/true, "mst" + suffix);
+      it = hdbscan_.emplace(min_pts, std::move(entry)).first;
+      EvictLru(min_pts);
+    } else {
+      TraceArtifact(out, /*built=*/false, "mst" + suffix);
+    }
+    HdbscanEntry& e = *it->second;
+    if (need_dendro || need_plot) {
+      if (!e.dendrogram) {
+        if (!allow_build) return nullptr;
+        e.dendrogram = BuildDendrogramArtifact(forest_.live_count(), *e.mst);
+        TraceArtifact(out, /*built=*/true, "dendro" + suffix);
+      } else {
+        TraceArtifact(out, /*built=*/false, "dendro" + suffix);
+      }
+    }
+    if (need_plot) {
+      if (!e.plot) {
+        if (!allow_build) return nullptr;
+        e.plot = std::make_shared<const ReachabilityPlot>(
+            ComputeReachability(*e.dendrogram));
+        TraceArtifact(out, /*built=*/true, "reach" + suffix);
+      } else {
+        TraceArtifact(out, /*built=*/false, "reach" + suffix);
+      }
+    }
+    Touch(e);
+    return &e;
+  }
+
+  void EvictLru(int keep_min_pts) {
+    EvictLruClusterings(hdbscan_, core_, keep_min_pts);
+  }
+
+  bool AnswerHdbscanFamily(const EngineRequest& req, bool allow_build,
+                           EngineResponse* out) {
+    if (req.min_pts < 1 ||
+        static_cast<size_t>(req.min_pts) > forest_.live_count()) {
+      out->error = "min_pts must be in [1, n]";
+      return true;
+    }
+    if (req.type == QueryType::kStableClusters && req.min_cluster_size < 2) {
+      out->error = "min_cluster_size must be >= 2";
+      return true;
+    }
+    bool need_plot = req.type == QueryType::kReachability;
+    HdbscanEntry* e =
+        Hdbscan(req.min_pts, /*need_dendro=*/true, need_plot, allow_build,
+                out);
+    if (!e) return false;
+    out->core_dist = e->core_dist;
+    out->point_ids = ids_dense_;
+    switch (req.type) {
+      case QueryType::kHdbscan:
+        out->mst = e->mst;
+        out->mst_weight = e->mst_weight;
+        out->dendrogram = e->dendrogram;
+        break;
+      case QueryType::kDbscanStarAt:
+        out->labels = DbscanStarLabels(*e->dendrogram, *e->core_dist, req.eps);
+        SummarizeLabels(out->labels, out);
+        break;
+      case QueryType::kReachability:
+        out->plot = e->plot;
+        break;
+      case QueryType::kStableClusters: {
+        StabilityClusters sc =
+            ExtractStableClusters(*e->dendrogram, req.min_cluster_size);
+        out->labels = std::move(sc.label);
+        out->stability = std::move(sc.stability);
+        SummarizeLabels(out->labels, out);
+        break;
+      }
+      default:
+        break;
+    }
+    out->ok = true;
+    return true;
+  }
+
+  ShardForest<D> forest_;
+
+  // Global tier: dense mapping.
+  std::shared_ptr<const std::vector<uint32_t>> ids_dense_;
+  std::vector<uint32_t> dense_of_gid_;
+  uint64_t dense_epoch_ = kNoEpoch;
+
+  // Cross tier: Euclidean candidates per content-id pair.
+  std::map<std::pair<uint64_t, uint64_t>, std::vector<WeightedEdge>> cross_;
+
+  // Global tier: EMST.
+  std::shared_ptr<const std::vector<WeightedEdge>> emst_mst_;
+  double emst_weight_ = 0;
+  std::shared_ptr<const Dendrogram> emst_dendro_;
+  uint64_t emst_epoch_ = kNoEpoch;
+
+  // Global tier: merged kNN rows (squared distances, row i = i-th live gid
+  // ascending — see EnsureKnn for why dense indices survive inserts).
+  std::vector<double> knn_sq_;
+  size_t knn_k_ = 0;
+  bool knn_valid_ = false;
+
+  std::map<int, std::shared_ptr<const std::vector<double>>> core_;
+  std::map<int, std::unique_ptr<HdbscanEntry>> hdbscan_;
+  std::atomic<uint64_t> clock_{0};
+};
+
+}  // namespace parhc

@@ -1,0 +1,172 @@
+// One immutable shard of the batch-dynamic LSM forest (src/dynamic/).
+//
+// A shard owns one batch of points (plus their stable global ids) and a
+// tombstone bitmap. Its *live* subset — the points not yet tombstoned — is
+// what every derived artifact is defined over: a flat kd-tree arena built
+// with the existing arena builder, and the shard's Euclidean MST edge list
+// in global-id space. Both are built lazily and cached until the live set
+// changes (a tombstone drops them; the GPU single-tree EMST line of work,
+// Prokopenko et al. arXiv:2207.00514, motivates keeping each shard a static
+// flat arena rather than mutating the tree in place).
+//
+// Identity is two-level:
+//  * `uid`        — stable for the lifetime of the shard object; the
+//                   forest's gid locator refers to shards by uid, so
+//                   tombstoning (which moves no points) leaves it valid.
+//  * `content_id` — identifies the live *content*; the forest bumps it on
+//                   every tombstone. Cross-shard artifact caches key on
+//                   content ids, so any live-set change invalidates exactly
+//                   the cached cross edges that mention this shard.
+//
+// Invariant: local point order is ascending in global id (batches arrive
+// gid-ascending and merges are gid-ordered merges), so per-shard tie-breaks
+// on local ids agree with global-id tie-breaks — required for the shard
+// forest's MSTs to match a from-scratch build edge-for-edge.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "emst/emst_memogfk.h"
+#include "graph/edge.h"
+#include "spatial/kdtree.h"
+#include "util/check.h"
+
+namespace parhc {
+
+template <int D>
+class Shard {
+ public:
+  Shard(uint64_t uid, uint64_t content_id, std::vector<Point<D>> pts,
+        std::vector<uint32_t> gids)
+      : uid_(uid),
+        content_id_(content_id),
+        pts_(std::move(pts)),
+        gids_(std::move(gids)),
+        dead_(pts_.size(), 0) {
+    PARHC_CHECK_MSG(!pts_.empty(), "shard must be non-empty");
+    PARHC_CHECK(pts_.size() == gids_.size());
+    for (size_t i = 1; i < gids_.size(); ++i) {
+      PARHC_DCHECK(gids_[i - 1] < gids_[i]);
+    }
+  }
+
+  uint64_t uid() const { return uid_; }
+  uint64_t content_id() const { return content_id_; }
+
+  size_t total_count() const { return pts_.size(); }
+  size_t live_count() const { return pts_.size() - dead_count_; }
+  size_t dead_count() const { return dead_count_; }
+  double dead_fraction() const {
+    return static_cast<double>(dead_count_) / static_cast<double>(pts_.size());
+  }
+  /// LSM size class: floor(log2(live_count)).
+  int size_class() const {
+    int c = 0;
+    for (size_t n = live_count(); n > 1; n >>= 1) ++c;
+    return c;
+  }
+
+  /// All points / gids, including tombstoned entries (stable local order).
+  const std::vector<Point<D>>& points() const { return pts_; }
+  const std::vector<uint32_t>& gids() const { return gids_; }
+  bool dead(uint32_t local) const { return dead_[local] != 0; }
+
+  /// Tombstones one local index, dropping the live-set artifacts. The
+  /// forest bumps `content_id` alongside. Returns false if already dead.
+  bool Tombstone(uint32_t local, uint64_t new_content_id) {
+    PARHC_CHECK(local < pts_.size());
+    if (dead_[local]) return false;
+    dead_[local] = 1;
+    ++dead_count_;
+    content_id_ = new_content_id;
+    tree_.reset();
+    emst_.clear();
+    has_emst_ = false;
+    live_pts_.clear();
+    live_gids_.clear();
+    return true;
+  }
+
+  /// Live points / gids in local (= gid-ascending) order. Aliases the full
+  /// arrays when nothing is tombstoned.
+  const std::vector<Point<D>>& live_points() {
+    EnsureLive();
+    return dead_count_ == 0 ? pts_ : live_pts_;
+  }
+  const std::vector<uint32_t>& live_gids() {
+    EnsureLive();
+    return dead_count_ == 0 ? gids_ : live_gids_;
+  }
+
+  bool has_tree() const { return tree_ != nullptr; }
+  bool has_emst() const { return has_emst_; }
+
+  /// The shard's kd-tree over its live points (arena builder, unit leaves),
+  /// built on first use. Tree point ids index live_points()/live_gids().
+  KdTree<D>& tree() {
+    if (!tree_) {
+      tree_ = std::make_unique<KdTree<D>>(live_points(), /*leaf_size=*/1);
+    }
+    return *tree_;
+  }
+
+  /// The shard's exact EMST over its live points, edges in global-id space,
+  /// built on first use via MemoGFK on the shard tree.
+  const std::vector<WeightedEdge>& EmstEdges() {
+    if (!has_emst_) {
+      emst_ = EmstMemoGfkOnTree(tree());
+      const std::vector<uint32_t>& lg = live_gids();
+      for (WeightedEdge& e : emst_) {
+        e.u = lg[e.u];
+        e.v = lg[e.v];
+      }
+      has_emst_ = true;
+    }
+    return emst_;
+  }
+
+  /// Releases the live points and gids of this shard (for merging or
+  /// compaction); the shard must be discarded afterwards.
+  std::pair<std::vector<Point<D>>, std::vector<uint32_t>> TakeLive() {
+    EnsureLive();
+    if (dead_count_ == 0) {
+      return {std::move(pts_), std::move(gids_)};
+    }
+    return {std::move(live_pts_), std::move(live_gids_)};
+  }
+
+  Shard(const Shard&) = delete;
+  Shard& operator=(const Shard&) = delete;
+
+ private:
+  void EnsureLive() {
+    if (dead_count_ == 0 || !live_pts_.empty()) return;
+    live_pts_.reserve(live_count());
+    live_gids_.reserve(live_count());
+    for (size_t i = 0; i < pts_.size(); ++i) {
+      if (!dead_[i]) {
+        live_pts_.push_back(pts_[i]);
+        live_gids_.push_back(gids_[i]);
+      }
+    }
+  }
+
+  uint64_t uid_;
+  uint64_t content_id_;
+  std::vector<Point<D>> pts_;
+  std::vector<uint32_t> gids_;
+  std::vector<uint8_t> dead_;  ///< tombstone bitmap (1 byte per point)
+  size_t dead_count_ = 0;
+
+  // Live-set artifacts, dropped on every tombstone.
+  std::vector<Point<D>> live_pts_;
+  std::vector<uint32_t> live_gids_;
+  std::unique_ptr<KdTree<D>> tree_;
+  std::vector<WeightedEdge> emst_;
+  bool has_emst_ = false;
+};
+
+}  // namespace parhc

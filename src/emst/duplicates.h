@@ -13,6 +13,18 @@
 // force-adding them before Kruskal preserves MST optimality (standard
 // exchange argument); the integration tests validate total weight against
 // dense Prim on inputs with duplicates.
+//
+// Duplicates arriving across batches (batch-dynamic shard forest): a group
+// of identical points can be split over several shards, so its members are
+// never in one leaf and the intra-leaf handling above cannot connect them.
+// The cross-shard candidate pass covers this case without special-casing:
+// two coincident duplicate leaves have zero-radius bounding spheres, which
+// satisfy every separation criterion (0 >= s * 0), so the cross
+// decomposition reports the pair and its cross BCCP contributes the
+// zero-weight (for HDBSCAN*: shared-core-distance-weight) edge that stitches
+// the group's shard-local chains/stars together. Kruskal then keeps exactly
+// (group size - 1) of these minimum-cut edges, so the forest MST weight
+// matches a from-scratch build (validated by DynamicDuplicates tests).
 #pragma once
 
 #include <vector>

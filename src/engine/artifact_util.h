@@ -1,0 +1,111 @@
+// Helpers shared by the engine's two artifact backends: the immutable
+// per-dataset cache (engine/artifacts.h) and the batch-dynamic shard-forest
+// cache (dynamic/artifacts.h). Factored out so both paths report the same
+// build/reuse traces and construct dendrograms identically.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dendrogram/builder.h"
+#include "dendrogram/reachability.h"
+#include "engine/request.h"
+#include "graph/edge.h"
+
+namespace parhc {
+
+/// Upper bound on simultaneously cached per-minPts clusterings (MST +
+/// dendrogram + plot) per dataset; least-recently-used entries are evicted.
+inline constexpr size_t kMaxCachedClusterings = 8;
+
+/// Worker count at or above which artifact dendrograms use the parallel
+/// builder; below it the sequential builder wins (no Euler-tour overhead).
+inline constexpr int kParallelDendrogramWorkers = 8;
+
+/// Records `key` in the response's built or reused artifact trace (first
+/// mention wins; later stages touching the same artifact are not repeated).
+inline void TraceArtifact(EngineResponse* out, bool built,
+                          const std::string& key) {
+  auto contains = [&](const std::vector<std::string>& v) {
+    return std::find(v.begin(), v.end(), key) != v.end();
+  };
+  if (contains(out->built) || contains(out->reused)) return;
+  (built ? out->built : out->reused).push_back(key);
+}
+
+inline double TotalEdgeWeight(const std::vector<WeightedEdge>& edges) {
+  double w = 0;
+  for (const auto& e : edges) w += e.w;
+  return w;
+}
+
+/// Ordered dendrogram of `edges` over `n` points anchored at source 0, via
+/// whichever builder fits the current worker count (both produce the same
+/// ordered dendrogram).
+inline std::shared_ptr<const Dendrogram> BuildDendrogramArtifact(
+    size_t n, const std::vector<WeightedEdge>& edges) {
+  if (n == 1) {
+    auto d = std::make_shared<Dendrogram>(1);
+    d->set_root(0);
+    return d;
+  }
+  if (NumWorkers() >= kParallelDendrogramWorkers) {
+    return std::make_shared<const Dendrogram>(
+        BuildDendrogramParallel(n, edges, /*source=*/0));
+  }
+  return std::make_shared<const Dendrogram>(
+      BuildDendrogramSequential(n, edges, /*source=*/0));
+}
+
+/// One cached per-minPts clustering: the MR-MST (always) plus the
+/// dendrogram and reachability plot (built on demand). Shared by both
+/// artifact backends so the LRU machinery exists once.
+struct ClusteringEntry {
+  std::shared_ptr<const std::vector<double>> core_dist;
+  std::shared_ptr<const std::vector<WeightedEdge>> mst;
+  double mst_weight = 0;
+  std::shared_ptr<const Dendrogram> dendrogram;
+  std::shared_ptr<const ReachabilityPlot> plot;
+  std::atomic<uint64_t> last_used{0};
+};
+
+/// Stamps `e` as most recently used against the backend's LRU clock. Safe
+/// on the read-only query path (atomics only).
+inline void TouchClusteringEntry(ClusteringEntry& e,
+                                 std::atomic<uint64_t>& clock) {
+  e.last_used.store(clock.fetch_add(1, std::memory_order_relaxed) + 1,
+                    std::memory_order_relaxed);
+}
+
+/// Drops least-recently-used clustering entries beyond the cache cap,
+/// never the one just touched. Snapshots held by responses stay valid.
+/// The matching derived core distances go too — they re-derive from the
+/// kNN rows in O(n) — so per-minPts memory really is bounded.
+inline void EvictLruClusterings(
+    std::map<int, std::unique_ptr<ClusteringEntry>>& entries,
+    std::map<int, std::shared_ptr<const std::vector<double>>>& core,
+    int keep_min_pts) {
+  while (entries.size() > kMaxCachedClusterings) {
+    auto victim = entries.end();
+    uint64_t oldest = std::numeric_limits<uint64_t>::max();
+    for (auto it = entries.begin(); it != entries.end(); ++it) {
+      if (it->first == keep_min_pts) continue;
+      uint64_t used = it->second->last_used.load(std::memory_order_relaxed);
+      if (used < oldest) {
+        oldest = used;
+        victim = it;
+      }
+    }
+    if (victim == entries.end()) return;
+    core.erase(victim->first);
+    entries.erase(victim);
+  }
+}
+
+}  // namespace parhc

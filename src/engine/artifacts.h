@@ -25,12 +25,24 @@
 // rebuilds, and eps / min-cluster-size / reachability queries at an
 // already-seen minPts touch only the cached dendrogram.
 //
-// Invalidation: datasets are immutable, so artifacts never go stale.
-//  * Growing K rebuilds only the prefix matrix; derived artifacts keep
-//    their values (prefixes of a longer sorted neighbor list are unchanged).
-//  * Per-minPts clusterings are LRU-capped (kMaxCachedClusterings) to bound
-//    memory; eviction is safe because responses hold shared_ptr snapshots.
-//  * Removing or replacing a dataset drops the whole cache.
+// Invalidation (two backends, one model):
+//  * This file is the *immutable* backend: datasets never change, so
+//    artifacts never go stale. Growing K rebuilds only the prefix matrix;
+//    derived artifacts keep their values (prefixes of a longer sorted
+//    neighbor list are unchanged). Per-minPts clusterings are LRU-capped
+//    (kMaxCachedClusterings) to bound memory; eviction is safe because
+//    responses hold shared_ptr snapshots. Removing or replacing a dataset
+//    drops the whole cache.
+//  * The *mutable* backend (dynamic/artifacts.h) stores points as an LSM
+//    shard forest and splits every artifact into a shard-local part (keyed
+//    by shard content id: per-shard trees and EMSTs survive any mutation
+//    that leaves their shard untouched), a cross-shard part (per shard
+//    pair, invalidated exactly when either side's content changes), and a
+//    forest-global part (keyed by the forest mutation epoch: the merged
+//    kNN rows, the global Kruskal result, dendrograms). An insert
+//    therefore dirties only the new shard's artifacts, the cross edges
+//    that mention it, and the global tier — never surviving shard
+//    artifacts.
 //
 // Thread safety: none here. The engine front-end (engine.h) serializes
 // builders and lets read-only answers run concurrently; Answer(allow_build
@@ -47,24 +59,16 @@
 #include <utility>
 #include <vector>
 
-#include "dendrogram/builder.h"
 #include "dendrogram/cluster_extraction.h"
 #include "dendrogram/reachability.h"
 #include "emst/emst_memogfk.h"
+#include "engine/artifact_util.h"
 #include "engine/request.h"
 #include "hdbscan/hdbscan_mst.h"
 #include "hdbscan/stability.h"
 #include "spatial/knn.h"
 
 namespace parhc {
-
-/// Upper bound on simultaneously cached per-minPts clusterings (MST +
-/// dendrogram + plot) per dataset; least-recently-used entries are evicted.
-inline constexpr size_t kMaxCachedClusterings = 8;
-
-/// Worker count at or above which artifact dendrograms use the parallel
-/// builder; below it the sequential builder wins (no Euler-tour overhead).
-inline constexpr int kParallelDendrogramWorkers = 8;
 
 template <int D>
 class DatasetArtifacts {
@@ -98,14 +102,7 @@ class DatasetArtifacts {
   }
 
  private:
-  struct HdbscanEntry {
-    std::shared_ptr<const std::vector<double>> core_dist;
-    std::shared_ptr<const std::vector<WeightedEdge>> mst;
-    double mst_weight = 0;
-    std::shared_ptr<const Dendrogram> dendrogram;
-    std::shared_ptr<const ReachabilityPlot> plot;
-    std::atomic<uint64_t> last_used{0};
-  };
+  using HdbscanEntry = ClusteringEntry;
 
   struct EmstEntry {
     std::shared_ptr<const std::vector<WeightedEdge>> mst;
@@ -113,41 +110,19 @@ class DatasetArtifacts {
     std::shared_ptr<const Dendrogram> dendrogram;  ///< single-linkage
   };
 
-  void Touch(HdbscanEntry& e) {
-    e.last_used.store(clock_.fetch_add(1, std::memory_order_relaxed) + 1,
-                      std::memory_order_relaxed);
-  }
+  void Touch(HdbscanEntry& e) { TouchClusteringEntry(e, clock_); }
 
   static void Trace(EngineResponse* out, bool built, const std::string& key) {
-    auto contains = [&](const std::vector<std::string>& v) {
-      return std::find(v.begin(), v.end(), key) != v.end();
-    };
-    if (contains(out->built) || contains(out->reused)) return;
-    (built ? out->built : out->reused).push_back(key);
+    TraceArtifact(out, built, key);
   }
 
   static double TotalWeight(const std::vector<WeightedEdge>& edges) {
-    double w = 0;
-    for (const auto& e : edges) w += e.w;
-    return w;
+    return TotalEdgeWeight(edges);
   }
 
-  /// Ordered dendrogram of `edges` anchored at source 0, via whichever
-  /// builder fits the current worker count (both produce the same ordered
-  /// dendrogram).
   std::shared_ptr<const Dendrogram> BuildDendro(
       const std::vector<WeightedEdge>& edges) const {
-    if (pts_.size() == 1) {
-      auto d = std::make_shared<Dendrogram>(1);
-      d->set_root(0);
-      return d;
-    }
-    if (NumWorkers() >= kParallelDendrogramWorkers) {
-      return std::make_shared<const Dendrogram>(
-          BuildDendrogramParallel(pts_.size(), edges, /*source=*/0));
-    }
-    return std::make_shared<const Dendrogram>(
-        BuildDendrogramSequential(pts_.size(), edges, /*source=*/0));
+    return BuildDendrogramArtifact(pts_.size(), edges);
   }
 
   KdTree<D>* Tree(bool allow_build, EngineResponse* out) {
@@ -245,26 +220,8 @@ class DatasetArtifacts {
     return &e;
   }
 
-  /// Drops least-recently-used clustering entries beyond the cache cap,
-  /// never the one just touched. Snapshots held by responses stay valid.
-  /// The matching derived core distances go too — they re-derive from the
-  /// prefix matrix in O(n) — so per-minPts memory really is bounded.
   void EvictLru(int keep_min_pts) {
-    while (hdbscan_.size() > kMaxCachedClusterings) {
-      auto victim = hdbscan_.end();
-      uint64_t oldest = UINT64_MAX;
-      for (auto it = hdbscan_.begin(); it != hdbscan_.end(); ++it) {
-        if (it->first == keep_min_pts) continue;
-        uint64_t used = it->second->last_used.load(std::memory_order_relaxed);
-        if (used < oldest) {
-          oldest = used;
-          victim = it;
-        }
-      }
-      if (victim == hdbscan_.end()) return;
-      core_.erase(victim->first);
-      hdbscan_.erase(victim);
-    }
+    EvictLruClusterings(hdbscan_, core_, keep_min_pts);
   }
 
   EmstEntry* Emst(bool need_dendro, bool allow_build, EngineResponse* out) {

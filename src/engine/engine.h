@@ -19,6 +19,13 @@
 // Run() is therefore safe to call from any number of threads; a cache hit
 // never waits on a concurrent build of a *different* dataset's artifacts
 // (the build holds only its own dataset's lock exclusively).
+//
+// Batch-dynamic datasets add two mutation entry points, InsertBatch and
+// DeleteBatch. Mutations are writes end to end: they take the engine-wide
+// build mutex plus the dataset's exclusive lock (mutating the shard forest
+// issues parallel work and rewrites shard artifacts), so they serialize
+// with artifact builds and exclude concurrent readers of the same dataset
+// for their duration — queries against other datasets are unaffected.
 #pragma once
 
 #include <mutex>
@@ -68,6 +75,32 @@ class ClusteringEngine {
     entry->Answer(req, /*allow_build=*/true, &out);
     out.seconds = timer.Seconds();
     return out;
+  }
+
+  /// Inserts one batch of rows into the batch-dynamic dataset `name`.
+  /// Returns "" on success (setting *first_gid to the batch's first global
+  /// id), else an error message. Thread-safe.
+  std::string InsertBatch(const std::string& name,
+                          const std::vector<std::vector<double>>& rows,
+                          uint32_t* first_gid = nullptr) {
+    std::shared_ptr<DatasetEntryBase> entry = registry_.Find(name);
+    if (!entry) return "unknown dataset: " + name;
+    std::lock_guard<std::mutex> build(build_mu_);
+    std::unique_lock<std::shared_mutex> write(entry->mu);
+    return entry->InsertRows(rows, first_gid);
+  }
+
+  /// Tombstones global ids in the batch-dynamic dataset `name`. Returns ""
+  /// on success (setting *deleted to the number of points removed; unknown
+  /// ids are skipped), else an error message. Thread-safe.
+  std::string DeleteBatch(const std::string& name,
+                          const std::vector<uint32_t>& gids,
+                          size_t* deleted = nullptr) {
+    std::shared_ptr<DatasetEntryBase> entry = registry_.Find(name);
+    if (!entry) return "unknown dataset: " + name;
+    std::lock_guard<std::mutex> build(build_mu_);
+    std::unique_lock<std::shared_mutex> write(entry->mu);
+    return entry->DeleteIds(gids, deleted);
   }
 
  private:

@@ -9,9 +9,19 @@
 // set {2, 3, 4, 5, 7, 10, 16}; loading another dimension fails with a
 // clear error rather than instantiating unboundedly.
 //
-// Datasets are immutable once added. Re-adding a name atomically replaces
-// the entry: in-flight queries keep answering from the old shared_ptr and
-// new queries see the new data (documented in README "Serving layer").
+// Static datasets are immutable once added; re-adding a name atomically
+// replaces the entry: in-flight queries keep answering from the old
+// shared_ptr and new queries see the new data (documented in README
+// "Serving layer"). Batch-dynamic datasets (AddDynamic) instead accept
+// InsertRows / DeleteIds mutations, backed by the LSM shard forest
+// (dynamic/artifacts.h); the engine front-end serializes mutations with
+// artifact builds.
+//
+// Lifetime audit (Remove vs concurrent Run): Find hands each query its own
+// shared_ptr copy, so Remove only drops the registry's reference — the
+// entry (and the shared_mutex inside it) outlives every in-flight query,
+// and a query that loses the race keeps answering from the orphaned entry.
+// Regression-tested by EngineConcurrency.RemoveWhileQueriesInFlight.
 #pragma once
 
 #include <map>
@@ -23,6 +33,7 @@
 #include <vector>
 
 #include "data/io.h"
+#include "dynamic/artifacts.h"
 #include "engine/artifacts.h"
 #include "engine/request.h"
 
@@ -30,7 +41,7 @@ namespace parhc {
 
 /// Type-erased registered dataset. `mu` is the readers-writer lock the
 /// engine front-end takes around Answer (shared for read-only cache hits,
-/// exclusive for artifact builds).
+/// exclusive for artifact builds and mutations).
 class DatasetEntryBase {
  public:
   virtual ~DatasetEntryBase() = default;
@@ -41,6 +52,23 @@ class DatasetEntryBase {
   /// See DatasetArtifacts::Answer.
   virtual bool Answer(const EngineRequest& req, bool allow_build,
                       EngineResponse* out) = 0;
+
+  // Batch-dynamic interface; the immutable backend rejects mutations.
+  virtual bool is_dynamic() const { return false; }
+  virtual size_t num_shards() const { return 1; }
+  /// Inserts one batch; on success returns "" and sets *first_gid to the
+  /// first assigned global id (the batch gets [first, first + n)).
+  virtual std::string InsertRows(
+      const std::vector<std::vector<double>>& /*rows*/,
+      uint32_t* /*first_gid*/) {
+    return "dataset is immutable (create with AddDynamic for ingestion)";
+  }
+  /// Tombstones global ids; on success returns "" and sets *deleted to the
+  /// number of points actually removed (unknown ids are skipped).
+  virtual std::string DeleteIds(const std::vector<uint32_t>& /*gids*/,
+                                size_t* /*deleted*/) {
+    return "dataset is immutable (create with AddDynamic for ingestion)";
+  }
 
   std::shared_mutex mu;
 };
@@ -66,6 +94,51 @@ class DatasetEntry final : public DatasetEntryBase {
   DatasetArtifacts<D> artifacts_;
 };
 
+/// A batch-dynamic dataset over the LSM shard forest. Starts empty; points
+/// arrive through InsertRows and leave through DeleteIds.
+template <int D>
+class DynamicDatasetEntry final : public DatasetEntryBase {
+ public:
+  int dim() const override { return D; }
+  size_t num_points() const override { return artifacts_.num_points(); }
+  size_t knn_k() const override { return artifacts_.knn_k(); }
+  size_t num_cached_clusterings() const override {
+    return artifacts_.num_cached_clusterings();
+  }
+  bool Answer(const EngineRequest& req, bool allow_build,
+              EngineResponse* out) override {
+    return artifacts_.Answer(req, allow_build, out);
+  }
+
+  bool is_dynamic() const override { return true; }
+  size_t num_shards() const override { return artifacts_.num_shards(); }
+
+  std::string InsertRows(const std::vector<std::vector<double>>& rows,
+                         uint32_t* first_gid) override {
+    if (rows.empty()) return "insert batch must be non-empty";
+    std::vector<Point<D>> pts(rows.size());
+    for (size_t i = 0; i < rows.size(); ++i) {
+      if (rows[i].size() != static_cast<size_t>(D)) {
+        return "rows must match the dataset dimension " + std::to_string(D);
+      }
+      for (int d = 0; d < D; ++d) pts[i][d] = rows[i][d];
+    }
+    uint32_t first = artifacts_.InsertBatch(std::move(pts));
+    if (first_gid) *first_gid = first;
+    return "";
+  }
+
+  std::string DeleteIds(const std::vector<uint32_t>& gids,
+                        size_t* deleted) override {
+    size_t n = artifacts_.DeleteBatch(gids);
+    if (deleted) *deleted = n;
+    return "";
+  }
+
+ private:
+  DynamicArtifacts<D> artifacts_;
+};
+
 /// Cache-state summary of one registered dataset.
 struct DatasetInfo {
   std::string name;
@@ -73,6 +146,8 @@ struct DatasetInfo {
   size_t num_points = 0;
   size_t knn_k = 0;                 ///< cached kNN prefix width (0 = none)
   size_t cached_clusterings = 0;    ///< per-minPts entries currently held
+  bool dynamic = false;             ///< batch-dynamic (shard forest) backend
+  size_t num_shards = 1;            ///< shard count (1 for immutable)
 };
 
 class DatasetRegistry {
@@ -165,6 +240,35 @@ class DatasetRegistry {
     PARHC_CHECK_MSG(err.empty(), err.c_str());
   }
 
+  /// Registers (or atomically replaces) `name` as an empty batch-dynamic
+  /// dataset of the given dimension. Returns "" on success.
+  std::string TryAddDynamic(const std::string& name, int dim) {
+    if (!SupportedDim(dim)) {
+      return "unsupported dataset dimension " + std::to_string(dim);
+    }
+    switch (dim) {
+      case 2: Insert(name, std::make_shared<DynamicDatasetEntry<2>>()); break;
+      case 3: Insert(name, std::make_shared<DynamicDatasetEntry<3>>()); break;
+      case 4: Insert(name, std::make_shared<DynamicDatasetEntry<4>>()); break;
+      case 5: Insert(name, std::make_shared<DynamicDatasetEntry<5>>()); break;
+      case 7: Insert(name, std::make_shared<DynamicDatasetEntry<7>>()); break;
+      case 10:
+        Insert(name, std::make_shared<DynamicDatasetEntry<10>>());
+        break;
+      case 16:
+        Insert(name, std::make_shared<DynamicDatasetEntry<16>>());
+        break;
+      default: break;  // unreachable: SupportedDim checked above
+    }
+    return "";
+  }
+
+  /// TryAddDynamic that treats failure as a programmer error.
+  void AddDynamic(const std::string& name, int dim) {
+    std::string err = TryAddDynamic(name, dim);
+    PARHC_CHECK_MSG(err.empty(), err.c_str());
+  }
+
   /// Drops `name` and its whole artifact cache. In-flight queries holding
   /// the entry finish normally. Returns false when absent.
   bool Remove(const std::string& name) {
@@ -194,7 +298,8 @@ class DatasetRegistry {
     for (const auto& [name, entry] : snapshot) {
       std::shared_lock<std::shared_mutex> read(entry->mu);
       out.push_back({name, entry->dim(), entry->num_points(), entry->knn_k(),
-                     entry->num_cached_clusterings()});
+                     entry->num_cached_clusterings(), entry->is_dynamic(),
+                     entry->num_shards()});
     }
     return out;
   }

@@ -52,6 +52,12 @@ struct EngineResponse {
   std::shared_ptr<const ReachabilityPlot> plot;  ///< kReachability
   std::vector<int32_t> labels;      ///< flat clusterings (kNoise = -1)
   std::vector<double> stability;    ///< kStableClusters scores
+  /// For batch-dynamic datasets: maps the dense point index used by every
+  /// per-point field above (labels, core_dist, dendrogram leaves, MST edge
+  /// endpoints) to the point's stable global id — dense index i is the
+  /// i-th live global id in ascending order. Null for immutable datasets,
+  /// whose points are already indexed 0..n-1.
+  std::shared_ptr<const std::vector<uint32_t>> point_ids;
   double mst_weight = 0;            ///< kEmst, kHdbscan
   int32_t num_clusters = 0;         ///< label summary
   size_t num_noise = 0;             ///< label summary

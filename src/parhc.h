@@ -10,7 +10,8 @@
 //   CutClusters(), KClusters(), DbscanStarLabels()
 //   UniformFill(), SeedSpreaderVarden(), ... — dataset generators
 //   ClusteringEngine — multi-query serving layer with a memoized
-//   artifact cache and dataset registry (src/engine/)
+//   artifact cache and dataset registry (src/engine/); batch-dynamic
+//   datasets (INSERT/DELETE) over the LSM shard forest (src/dynamic/)
 //
 // Reproduction of Wang, Yu, Gu, Shun, "Fast Parallel Algorithms for
 // Euclidean Minimum Spanning Tree and Hierarchical Spatial Clustering",

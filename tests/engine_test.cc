@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <numeric>
 #include <thread>
 
@@ -16,12 +17,7 @@
 namespace parhc {
 namespace {
 
-std::vector<double> SortedWeights(const std::vector<WeightedEdge>& edges) {
-  std::vector<double> w(edges.size());
-  for (size_t i = 0; i < edges.size(); ++i) w[i] = edges[i].w;
-  std::sort(w.begin(), w.end());
-  return w;
-}
+using test::SortedWeights;
 
 // --- Core-distance prefix reuse -----------------------------------------
 
@@ -288,6 +284,51 @@ TEST(EngineConcurrency, ParallelMixedQueriesStayConsistent) {
     });
   }
   for (auto& th : threads) th.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+// Regression guard for the Registry::Remove vs concurrent Run lifetime
+// audit: Find hands each query its own shared_ptr, so an entry removed (or
+// replaced) mid-query must stay alive — including its shared_mutex, which
+// the query still holds — until the last in-flight query drops it. Queries
+// racing a Remove must either answer from their snapshot or report
+// "unknown dataset"; nothing may crash or corrupt state. Run under the
+// ASan/UBSan CI job this validates the whole lifetime story.
+TEST(EngineConcurrency, RemoveWhileQueriesInFlight) {
+  auto pts = SeedSpreaderVarden<2>(1500, 37, 3);
+  ClusteringEngine engine;
+  std::atomic<bool> stop{false};
+  std::atomic<int> failures{0};
+
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 4; ++t) {
+    readers.emplace_back([&, t] {
+      int i = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        EngineRequest req;
+        req.dataset = "d";
+        // Mix pure cache hits with builds of new parameterizations so some
+        // queries hold the entry across long artifact builds.
+        req.type = QueryType::kHdbscan;
+        req.min_pts = 3 + (t * 31 + i++) % 6;
+        EngineResponse r = engine.Run(req);
+        if (!r.ok && r.error.find("unknown dataset") == std::string::npos) {
+          failures.fetch_add(1);
+        }
+        if (r.ok && r.mst->size() + 1 != size_t{1500}) {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (int cycle = 0; cycle < 10; ++cycle) {
+    engine.registry().Add("d", pts);
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    engine.registry().Remove("d");
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  stop.store(true);
+  for (auto& th : readers) th.join();
   EXPECT_EQ(failures.load(), 0);
 }
 

@@ -1,6 +1,7 @@
 // Shared test helpers: deterministic point generators and MST oracles.
 #pragma once
 
+#include <algorithm>
 #include <random>
 #include <vector>
 
@@ -47,6 +48,25 @@ inline double TotalWeight(const std::vector<WeightedEdge>& edges) {
   double s = 0;
   for (const auto& e : edges) s += e.w;
   return s;
+}
+
+/// Ascending weight multiset of `edges` (for MST equivalence checks that
+/// must ignore tied-edge identity).
+inline std::vector<double> SortedWeights(const std::vector<WeightedEdge>& edges) {
+  std::vector<double> w(edges.size());
+  for (size_t i = 0; i < edges.size(); ++i) w[i] = edges[i].w;
+  std::sort(w.begin(), w.end());
+  return w;
+}
+
+/// Typed points as runtime rows (the registry/engine ingestion format).
+template <int D>
+std::vector<std::vector<double>> RowsFrom(const std::vector<Point<D>>& pts) {
+  std::vector<std::vector<double>> rows(pts.size(), std::vector<double>(D));
+  for (size_t i = 0; i < pts.size(); ++i) {
+    for (int d = 0; d < D; ++d) rows[i][d] = pts[i][d];
+  }
+  return rows;
 }
 
 /// Exact EMST weight by dense Prim.
