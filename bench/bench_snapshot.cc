@@ -1,0 +1,147 @@
+// Persistent artifact store (src/store/): warm-start serving versus a
+// cold rebuild.
+//
+// Scenario: a dataset is registered in a ClusteringEngine, fully warmed
+// (kd-tree, kNN prefixes @ minPts, MR-MST, dendrogram) by one HDBSCAN*
+// query, and snapshotted to disk. Two strategies then stand up a fresh
+// engine and answer the same HDBSCAN* query:
+//   cold   register the raw points, rebuild every artifact;
+//   warm   LoadDataset from the snapshot (mmap-backed, zero-copy arena +
+//          prefix matrix) and answer from the loaded cache.
+// Counters report both times and `speedup` (cold / warm, including the
+// load itself), plus `identical` = 1 iff the warm answers are
+// bit-identical to the cold ones (EMST weight, MR-MST weight, core
+// distances, flat stable-cluster labels). The acceptance target is
+// speedup >= 10 at N = 1M, 2D (see README "Persistence & warm start" for
+// measured numbers). CI runs a small-N smoke via the bench_snapshot_smoke
+// target, emitting BENCH_snapshot.json.
+#include <cstdio>
+#include <filesystem>
+
+#include "bench_common.h"
+
+namespace parhc_bench {
+namespace {
+
+constexpr int kMinPts = 16;
+constexpr size_t kMinClusterSize = 50;
+
+template <int D>
+std::vector<Point<D>> Gen(const std::string& kind, size_t n, uint64_t seed) {
+  if (kind == "uniform") return UniformFill<D>(n, seed);
+  return SeedSpreaderVarden<D>(n, seed);
+}
+
+struct Answers {
+  double mr_mst_weight = 0;
+  double emst_weight = 0;
+  std::shared_ptr<const std::vector<double>> core_dist;
+  std::vector<int32_t> labels;
+  double secs = 0;  ///< wall clock to produce the answers (build or load)
+};
+
+/// Registers (or loads) the dataset and answers the query mix, timing
+/// everything end to end.
+template <int D>
+Answers AnswerQueries(ClusteringEngine& engine, const std::string& name) {
+  Answers a;
+  EngineRequest req;
+  req.dataset = name;
+  req.type = QueryType::kHdbscan;
+  req.min_pts = kMinPts;
+  EngineResponse h = engine.Run(req);
+  PARHC_CHECK_MSG(h.ok, h.error.c_str());
+  a.mr_mst_weight = h.mst_weight;
+  a.core_dist = h.core_dist;
+  req.type = QueryType::kStableClusters;
+  req.min_cluster_size = kMinClusterSize;
+  EngineResponse c = engine.Run(req);
+  PARHC_CHECK_MSG(c.ok, c.error.c_str());
+  a.labels = std::move(c.labels);
+  req.type = QueryType::kEmst;
+  EngineResponse e = engine.Run(req);
+  PARHC_CHECK_MSG(e.ok, e.error.c_str());
+  a.emst_weight = e.mst_weight;
+  return a;
+}
+
+bool BitIdentical(const Answers& a, const Answers& b) {
+  if (a.mr_mst_weight != b.mr_mst_weight) return false;
+  if (a.emst_weight != b.emst_weight) return false;
+  if (a.labels != b.labels) return false;
+  if (a.core_dist->size() != b.core_dist->size()) return false;
+  for (size_t i = 0; i < a.core_dist->size(); ++i) {
+    if ((*a.core_dist)[i] != (*b.core_dist)[i]) return false;
+  }
+  return true;
+}
+
+template <int D>
+void RunSnapshot(benchmark::State& st, const std::string& kind, size_t n,
+                 int workers) {
+  SetNumWorkers(workers);
+  std::vector<Point<D>> pts = Gen<D>(kind, n, 1);
+  std::string dir =
+      (std::filesystem::temp_directory_path() /
+       ("parhc_bench_snapshot_" + std::to_string(n) + "d" +
+        std::to_string(D)))
+          .string();
+
+  for (auto _ : st) {
+    // Cold path: raw points in, every artifact rebuilt.
+    Timer t;
+    ClusteringEngine cold;
+    cold.registry().Add("d", pts);
+    Answers cold_a = AnswerQueries<D>(cold, "d");
+    cold_a.secs = t.Seconds();
+
+    std::filesystem::remove_all(dir);
+    t.Reset();
+    std::string err = cold.SaveDataset("d", dir);
+    PARHC_CHECK_MSG(err.empty(), err.c_str());
+    double save_secs = t.Seconds();
+
+    // Warm path: mmap the snapshot, answer from the loaded cache.
+    t.Reset();
+    ClusteringEngine warm;
+    err = warm.LoadDataset("d", dir);
+    PARHC_CHECK_MSG(err.empty(), err.c_str());
+    Answers warm_a = AnswerQueries<D>(warm, "d");
+    warm_a.secs = t.Seconds();
+
+    st.counters["cold_secs"] = cold_a.secs;
+    st.counters["save_secs"] = save_secs;
+    st.counters["warm_secs"] = warm_a.secs;
+    st.counters["speedup"] = cold_a.secs / warm_a.secs;
+    st.counters["identical"] = BitIdentical(cold_a, warm_a) ? 1 : 0;
+  }
+  std::filesystem::remove_all(dir);
+  st.counters["n"] = static_cast<double>(n);
+  st.counters["min_pts"] = kMinPts;
+}
+
+void RegisterAll() {
+  size_t n = EnvN(100000);
+  int maxt = EnvMaxThreads();
+  benchmark::RegisterBenchmark(
+      "SnapshotWarmStart/2D-UniformFill",
+      [=](benchmark::State& st) { RunSnapshot<2>(st, "uniform", n, maxt); })
+      ->Unit(benchmark::kMillisecond)
+      ->Iterations(EnvIters());
+  benchmark::RegisterBenchmark(
+      "SnapshotWarmStart/3D-SS-varden",
+      [=](benchmark::State& st) { RunSnapshot<3>(st, "varden", n, maxt); })
+      ->Unit(benchmark::kMillisecond)
+      ->Iterations(EnvIters());
+}
+
+}  // namespace
+}  // namespace parhc_bench
+
+int main(int argc, char** argv) {
+  parhc_bench::RegisterAll();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

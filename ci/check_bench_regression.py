@@ -1,0 +1,178 @@
+#!/usr/bin/env python3
+"""Bench-regression gate: compare emitted BENCH_*.json against baselines.
+
+Each benchmark smoke target emits a google-benchmark JSON file
+(BENCH_emst_scaling.json, BENCH_minpts_sweep.json, ...). This script
+compares every emitted file against the committed baseline of the same
+name under bench/baselines/ and fails (exit 1) when:
+
+  * a benchmark's real_time regressed beyond the tolerance, or
+  * a gated counter left its allowed range (see gate.json), or
+  * a benchmark present in the baseline disappeared from the results.
+
+Tolerances: the default is --tolerance (20%). Shared-CI wall clocks are
+noisy, so bench/baselines/gate.json can override per file/benchmark and
+declare counter gates — machine-independent ratios like `speedup` or
+correctness flags like `identical` are the strong signals; wall-time
+tolerances there are deliberately loose.
+
+gate.json schema (all fields optional):
+  {
+    "BENCH_foo.json": {
+      "time_tolerance": 0.75,              # file-wide override
+      "benchmarks": {
+        "Bench/Name": {
+          "time_tolerance": 0.5,           # per-benchmark override
+          "counters": {
+            "speedup":   {"min": 1.5},     # lower bound (higher = better)
+            "identical": {"equals": 1.0},  # exact gate
+            "warm_secs": {"max": 2.0}      # upper bound (lower = better)
+          }
+        }
+      }
+    }
+  }
+
+Usage:
+  ci/check_bench_regression.py --results build [--baselines bench/baselines]
+      [--tolerance 0.20] [--update]
+
+--update rewrites the baselines from the current results (run locally,
+commit the diff) instead of checking.
+"""
+
+import argparse
+import glob
+import json
+import os
+import shutil
+import sys
+
+
+def load_benchmarks(path):
+    """name -> benchmark record from a google-benchmark JSON file."""
+    with open(path) as f:
+        data = json.load(f)
+    out = {}
+    for bench in data.get("benchmarks", []):
+        if bench.get("run_type") == "aggregate":
+            continue
+        out[bench["name"]] = bench
+    return out
+
+
+def fmt_time(value, unit):
+    return f"{value:.3f}{unit}"
+
+
+def check_file(name, result_path, baseline_path, default_tol, gate):
+    """Returns a list of failure strings for one BENCH_*.json pair."""
+    failures = []
+    results = load_benchmarks(result_path)
+    baselines = load_benchmarks(baseline_path)
+    file_gate = gate.get(name, {})
+    file_tol = file_gate.get("time_tolerance", default_tol)
+
+    for bench_name, base in baselines.items():
+        cur = results.get(bench_name)
+        if cur is None:
+            failures.append(f"{name}: benchmark '{bench_name}' is in the "
+                            "baseline but missing from the results")
+            continue
+        bench_gate = file_gate.get("benchmarks", {}).get(bench_name, {})
+        tol = bench_gate.get("time_tolerance", file_tol)
+
+        base_t, cur_t = base["real_time"], cur["real_time"]
+        unit = base.get("time_unit", "ns")
+        if cur.get("time_unit", "ns") != unit:
+            failures.append(f"{name}/{bench_name}: time unit changed "
+                            f"({unit} -> {cur.get('time_unit')})")
+            continue
+        if base_t > 0 and cur_t > base_t * (1.0 + tol):
+            failures.append(
+                f"{name}/{bench_name}: real_time {fmt_time(cur_t, unit)} "
+                f"regressed past baseline {fmt_time(base_t, unit)} "
+                f"+{tol:.0%}")
+
+        for counter, bounds in bench_gate.get("counters", {}).items():
+            val = cur.get(counter)
+            if val is None:
+                failures.append(
+                    f"{name}/{bench_name}: gated counter '{counter}' "
+                    "missing from results")
+                continue
+            if "min" in bounds and val < bounds["min"]:
+                failures.append(
+                    f"{name}/{bench_name}: counter {counter}={val:.4g} "
+                    f"below required min {bounds['min']:.4g}")
+            if "max" in bounds and val > bounds["max"]:
+                failures.append(
+                    f"{name}/{bench_name}: counter {counter}={val:.4g} "
+                    f"above allowed max {bounds['max']:.4g}")
+            if "equals" in bounds and val != bounds["equals"]:
+                failures.append(
+                    f"{name}/{bench_name}: counter {counter}={val:.4g} "
+                    f"!= required {bounds['equals']:.4g}")
+    return failures
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--results", default="build",
+                    help="directory containing the emitted BENCH_*.json")
+    ap.add_argument("--baselines", default="bench/baselines",
+                    help="directory of committed baseline BENCH_*.json")
+    ap.add_argument("--tolerance", type=float, default=0.20,
+                    help="default relative real_time tolerance (0.20 = 20%%)")
+    ap.add_argument("--update", action="store_true",
+                    help="rewrite baselines from the current results")
+    args = ap.parse_args()
+
+    result_files = sorted(glob.glob(os.path.join(args.results,
+                                                 "BENCH_*.json")))
+    if not result_files:
+        print(f"error: no BENCH_*.json under {args.results}", file=sys.stderr)
+        return 1
+
+    if args.update:
+        os.makedirs(args.baselines, exist_ok=True)
+        for path in result_files:
+            dst = os.path.join(args.baselines, os.path.basename(path))
+            shutil.copyfile(path, dst)
+            print(f"baseline updated: {dst}")
+        return 0
+
+    gate_path = os.path.join(args.baselines, "gate.json")
+    gate = {}
+    if os.path.exists(gate_path):
+        with open(gate_path) as f:
+            gate = json.load(f)
+
+    failures = []
+    checked = 0
+    for path in result_files:
+        name = os.path.basename(path)
+        baseline_path = os.path.join(args.baselines, name)
+        if not os.path.exists(baseline_path):
+            print(f"warn: no baseline for {name} (new benchmark?); run "
+                  f"--update and commit it")
+            continue
+        failures += check_file(name, path, baseline_path, args.tolerance,
+                               gate)
+        checked += 1
+
+    if checked == 0:
+        print("error: no result file matched any baseline", file=sys.stderr)
+        return 1
+    if failures:
+        print(f"\nbench-regression gate FAILED ({len(failures)} problem(s)):")
+        for f in failures:
+            print(f"  - {f}")
+        return 1
+    print(f"bench-regression gate passed ({checked} file(s) within "
+          f"tolerance)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -7,7 +7,8 @@
 // Commands:
 //   gen <name> <dim> <uniform|varden|levy|gauss> <n> [seed]
 //   load <name> <csv|bin> <path>
-//   save <name> ... is intentionally absent: static datasets are immutable
+//   load <name> snap <dir>           warm-start from a snapshot directory
+//   save <name> <dir>                snapshot every cached artifact to disk
 //   dyn <name> <dim>                  create an empty batch-dynamic dataset
 //   insert <name> <coords...>        insert points (dim values per point)
 //   geninsert <name> <dim> <kind> <n> [seed]   generate + insert a batch
@@ -133,7 +134,8 @@ void Help() {
   std::printf(
       "commands:\n"
       "  gen <name> <dim> <uniform|varden|levy|gauss> <n> [seed]\n"
-      "  load <name> <csv|bin> <path>\n"
+      "  load <name> <csv|bin|snap> <path>\n"
+      "  save <name> <dir>\n"
       "  dyn <name> <dim>\n"
       "  insert <name> <coords...>\n"
       "  geninsert <name> <dim> <kind> <n> [seed]\n"
@@ -181,28 +183,49 @@ int main() {
       } else if (cmd == "load") {
         std::string name, fmt, path;
         ss >> name >> fmt >> path;
-        if (fmt != "csv" && fmt != "bin") {
-          std::printf("err load: format must be csv or bin\n");
+        if (fmt != "csv" && fmt != "bin" && fmt != "snap") {
+          std::printf("err load: format must be csv, bin, or snap\n");
           continue;
         }
-        if (std::ifstream probe(path); !probe.good()) {
-          std::printf("err load %s: cannot open %s\n", name.c_str(),
-                      path.c_str());
-          continue;
+        std::string err;
+        if (fmt == "snap") {
+          // Snapshot problems (missing, truncated, corrupt, or
+          // version-mismatched files) come back as typed errors turned
+          // into strings — never aborts.
+          err = engine.LoadDataset(name, path);
+        } else {
+          if (std::ifstream probe(path); !probe.good()) {
+            std::printf("err load %s: cannot open %s\n", name.c_str(),
+                        path.c_str());
+            continue;
+          }
+          // Both loaders surface bad data as errors (CSV parse failures
+          // and malformed binary files throw; caught below), never aborts.
+          err = fmt == "csv"
+                    ? engine.registry().TryAddRows(name, ReadPointsCsv(path))
+                    : engine.registry().TryAddBin(name, path);
         }
-        // Both loaders surface bad data as errors (CSV parse failures and
-        // malformed binary files throw; caught below), never aborts.
-        std::string err =
-            fmt == "csv"
-                ? engine.registry().TryAddRows(name, ReadPointsCsv(path))
-                : engine.registry().TryAddBin(name, path);
         if (!err.empty()) {
           std::printf("err load %s: %s\n", name.c_str(), err.c_str());
           continue;
         }
         auto entry = engine.registry().Find(name);
-        std::printf("ok load %s dim=%d n=%zu\n", name.c_str(), entry->dim(),
-                    entry->num_points());
+        std::printf("ok load %s dim=%d n=%zu%s\n", name.c_str(),
+                    entry->dim(), entry->num_points(),
+                    fmt == "snap" ? " warm" : "");
+      } else if (cmd == "save") {
+        std::string name, dir;
+        ss >> name >> dir;
+        if (name.empty() || dir.empty()) {
+          std::printf("err save: usage: save <name> <dir>\n");
+          continue;
+        }
+        std::string err = engine.SaveDataset(name, dir);
+        if (!err.empty()) {
+          std::printf("err save %s: %s\n", name.c_str(), err.c_str());
+        } else {
+          std::printf("ok save %s dir=%s\n", name.c_str(), dir.c_str());
+        }
       } else if (cmd == "dyn") {
         std::string name;
         int dim = 0;

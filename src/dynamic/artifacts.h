@@ -53,6 +53,8 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <unordered_map>
+#include <unordered_set>
 #include <utility>
 #include <vector>
 
@@ -67,6 +69,8 @@
 #include "spatial/cross_traverse.h"
 #include "spatial/knn.h"
 #include "spatial/wspd.h"
+#include "store/artifact_io.h"
+#include "store/manifest.h"
 
 namespace parhc {
 
@@ -78,6 +82,10 @@ class DynamicArtifacts {
   size_t knn_k() const { return knn_valid_ ? knn_k_ : 0; }
   size_t num_cached_clusterings() const { return hdbscan_.size(); }
   uint32_t next_gid() const { return forest_.next_gid(); }
+  /// Entries in the dense gid map — O(live points) by construction;
+  /// regression-tested against churn alongside the forest locator.
+  size_t dense_map_size() const { return dense_of_gid_.size(); }
+  const ShardForest<D>& forest() const { return forest_; }
 
   /// Inserts one batch; returns the first assigned global id. Maintains
   /// the kNN rows incrementally when they are warm, then invalidates the
@@ -122,13 +130,193 @@ class DynamicArtifacts {
     return true;
   }
 
+  /// Writes the forest (per-shard files: full point batches + tombstone
+  /// bitmaps + cached shard EMSTs) plus the cached cross-edge tier and the
+  /// manifest into `dir`. Read-only — no lazy artifact builds run — so it
+  /// is safe under the engine's shared lock, concurrently with cache-hit
+  /// queries. Raises SnapshotError subtypes.
+  void SaveTo(const std::string& dir) const {
+    EnsureDatasetDir(dir);
+    DynamicManifest m;
+    m.dim = D;
+    m.live_count = forest_.live_count();
+    m.next_gid = forest_.next_gid();
+    m.next_uid = forest_.next_uid();
+    m.next_content_id = forest_.next_content_id();
+    for (size_t i = 0; i < forest_.num_shards(); ++i) {
+      const Shard<D>& s = forest_.shard(i);
+      ShardManifestEntry e;
+      e.uid = s.uid();
+      e.content_id = s.content_id();
+      e.has_emst = s.has_emst();
+      e.file = ShardFileName(i);
+      SaveShardSnapshot(dir + "/" + e.file, s);
+      m.shards.push_back(std::move(e));
+    }
+    // The cross cache may hold entries keyed by content ids that a
+    // delete/merge has since retired (PurgeStaleCrossEdges only runs
+    // inside EMST builds, and SaveTo is const). Snapshot only the live
+    // pairs: a stale entry can reference tombstoned endpoints, which
+    // LoadFrom would (rightly) reject.
+    std::vector<uint64_t> live_cids;
+    live_cids.reserve(m.shards.size());
+    for (const ShardManifestEntry& e : m.shards) {
+      live_cids.push_back(e.content_id);
+    }
+    std::sort(live_cids.begin(), live_cids.end());
+    auto alive = [&](uint64_t cid) {
+      return std::binary_search(live_cids.begin(), live_cids.end(), cid);
+    };
+    for (const auto& [key, edges] : cross_) {
+      if (!alive(key.first) || !alive(key.second)) continue;
+      CrossManifestEntry c;
+      c.cid_a = key.first;
+      c.cid_b = key.second;
+      c.file = CrossFileName(key.first, key.second);
+      SaveEdgesSnapshot(dir + "/" + c.file, edges, /*param=*/0);
+      m.cross.push_back(std::move(c));
+    }
+    WriteDynamicManifest(dir + "/" + kManifestFileName, m);
+  }
+
+  /// Restores a default-constructed instance from a directory written by
+  /// SaveTo: shard structure, tombstones, cached shard EMSTs and the
+  /// cross-edge tier come back warm; the global tier (merged kNN rows,
+  /// Kruskal results, dendrograms) rebuilds on first use. Raises
+  /// SnapshotError subtypes; discard the instance on throw.
+  void LoadFrom(const std::string& dir) {
+    DynamicManifest m = ReadDynamicManifest(dir + "/" + kManifestFileName);
+    if (m.dim != D) {
+      throw SnapshotSchemaError(dir + ": manifest dimension " +
+                                std::to_string(m.dim) + ", expected " +
+                                std::to_string(D));
+    }
+    std::vector<std::unique_ptr<Shard<D>>> shards;
+    std::unordered_set<uint64_t> uids;
+    std::unordered_set<uint32_t> live_gids;
+    uint64_t live = 0;
+    for (const ShardManifestEntry& e : m.shards) {
+      // Everything the forest's Restore CHECKs must be validated here
+      // first: untrusted files raise, they never abort.
+      if (e.uid >= m.next_uid || e.content_id >= m.next_content_id ||
+          !uids.insert(e.uid).second) {
+        throw SnapshotSchemaError(dir + ": shard identity out of range or " +
+                                  "duplicated in manifest");
+      }
+      std::unique_ptr<Shard<D>> s =
+          LoadShardSnapshot(dir + "/" + e.file, e, m.next_gid);
+      for (uint32_t i = 0; i < s->gids().size(); ++i) {
+        if (!s->dead(i) && !live_gids.insert(s->gids()[i]).second) {
+          throw SnapshotFormatError(dir + ": live gid " +
+                                    std::to_string(s->gids()[i]) +
+                                    " appears in two shards");
+        }
+      }
+      live += s->live_count();
+      shards.push_back(std::move(s));
+    }
+    if (live != m.live_count) {
+      throw SnapshotSchemaError(dir + ": live count disagrees with manifest");
+    }
+    forest_.Restore(std::move(shards), m.next_gid, m.next_uid,
+                    m.next_content_id);
+    for (const CrossManifestEntry& c : m.cross) {
+      if (c.cid_a >= c.cid_b) {
+        throw SnapshotSchemaError(dir +
+                                  ": cross entry not in canonical order");
+      }
+      std::vector<WeightedEdge> edges =
+          LoadEdgesSnapshot(dir + "/" + c.file, /*param=*/0, m.next_gid);
+      for (const WeightedEdge& e : edges) {
+        if (!forest_.IsLive(e.u) || !forest_.IsLive(e.v)) {
+          throw SnapshotFormatError(dir + "/" + c.file +
+                                    ": cross edge endpoint is not live");
+        }
+      }
+      cross_.emplace(std::make_pair(c.cid_a, c.cid_b), std::move(edges));
+    }
+  }
+
  private:
   static constexpr uint64_t kNoEpoch = std::numeric_limits<uint64_t>::max();
-  static constexpr uint32_t kNoDense = std::numeric_limits<uint32_t>::max();
 
   using HdbscanEntry = ClusteringEntry;
 
   void Touch(HdbscanEntry& e) { TouchClusteringEntry(e, clock_); }
+
+  // --- shard snapshot IO (store) -----------------------------------------
+
+  static void SaveShardSnapshot(const std::string& path, const Shard<D>& s) {
+    SnapshotWriter w(SnapshotKind::kShard, D, s.total_count(), s.uid(),
+                     s.content_id());
+    w.AddSection(SectionId::kPointData, s.points().data(),
+                 s.points().size());
+    w.AddSection(SectionId::kShardGids, s.gids().data(), s.gids().size());
+    w.AddSection(SectionId::kShardDead, s.dead_bitmap().data(),
+                 s.dead_bitmap().size());
+    if (s.has_emst()) {
+      w.AddSection(SectionId::kEdgeData, s.cached_emst().data(),
+                   s.cached_emst().size());
+    }
+    w.Write(path);
+  }
+
+  static std::unique_ptr<Shard<D>> LoadShardSnapshot(
+      const std::string& path, const ShardManifestEntry& me,
+      uint32_t next_gid) {
+    SnapshotFile f(path);
+    f.ExpectKind(SnapshotKind::kShard, D);
+    if (f.param() != me.uid || f.aux() != me.content_id) {
+      throw SnapshotSchemaError(path +
+                                ": shard identity disagrees with manifest");
+    }
+    uint64_t n = f.count();
+    if (n < 1) throw SnapshotSchemaError(path + ": empty shard");
+    Span<const Point<D>> pts = f.section<Point<D>>(SectionId::kPointData);
+    Span<const uint32_t> gids = f.section<uint32_t>(SectionId::kShardGids);
+    Span<const uint8_t> dead = f.section<uint8_t>(SectionId::kShardDead);
+    store_internal::RequireSectionSize(f, pts.size(), n, "shard points");
+    store_internal::RequireSectionSize(f, gids.size(), n, "shard gids");
+    store_internal::RequireSectionSize(f, dead.size(), n, "shard tombstones");
+    size_t live = 0;
+    for (uint64_t i = 0; i < n; ++i) {
+      if (gids[i] >= next_gid || (i > 0 && gids[i - 1] >= gids[i])) {
+        throw SnapshotFormatError(path +
+                                  ": shard gids not ascending below next_gid");
+      }
+      live += dead[i] == 0;
+    }
+    if (live == 0) {
+      throw SnapshotSchemaError(path + ": shard has no live points");
+    }
+    std::vector<WeightedEdge> emst;
+    if (me.has_emst) {
+      // The shard's cached EMST is an embedded section, in gid space over
+      // the live points; reject endpoints this shard does not own (a
+      // crafted or misfiled snapshot), which downstream candidate merging
+      // would index by.
+      Span<const WeightedEdge> edata =
+          f.section<WeightedEdge>(SectionId::kEdgeData);
+      emst.assign(edata.begin(), edata.end());
+      auto owns_live = [&](uint32_t gid) {
+        const uint32_t* it =
+            std::lower_bound(gids.begin(), gids.end(), gid);
+        return it != gids.end() && *it == gid &&
+               dead[it - gids.begin()] == 0;
+      };
+      for (const WeightedEdge& e : emst) {
+        if (!owns_live(e.u) || !owns_live(e.v)) {
+          throw SnapshotFormatError(path +
+                                    ": shard EMST endpoint not live here");
+        }
+      }
+    }
+    return std::make_unique<Shard<D>>(
+        me.uid, me.content_id, std::vector<Point<D>>(pts.begin(), pts.end()),
+        std::vector<uint32_t>(gids.begin(), gids.end()),
+        std::vector<uint8_t>(dead.begin(), dead.end()), std::move(emst),
+        me.has_emst);
+  }
 
   void InvalidateGlobalTier() {
     emst_epoch_ = kNoEpoch;
@@ -137,6 +325,7 @@ class DynamicArtifacts {
     hdbscan_.clear();
     core_.clear();
     ids_dense_.reset();
+    dense_of_gid_.clear();
   }
 
   // --- dense <-> gid mapping (global tier) -------------------------------
@@ -145,19 +334,30 @@ class DynamicArtifacts {
     if (ids_dense_ && dense_epoch_ == forest_.epoch()) return;
     auto ids =
         std::make_shared<const std::vector<uint32_t>>(forest_.LiveGids());
-    dense_of_gid_.assign(forest_.next_gid(), kNoDense);
+    // Hash map keyed by live gid only: like the forest's locator, the
+    // dense mapping is O(live points), not O(historical gid space).
+    dense_of_gid_.clear();
+    dense_of_gid_.reserve(ids->size());
     for (uint32_t i = 0; i < ids->size(); ++i) {
-      dense_of_gid_[(*ids)[i]] = i;
+      dense_of_gid_.emplace((*ids)[i], i);
     }
     ids_dense_ = std::move(ids);
     dense_epoch_ = forest_.epoch();
   }
 
-  /// Remaps gid-space edges to dense indices in place.
+  /// Dense index of a live gid (EnsureDense must be current).
+  uint32_t DenseOf(uint32_t gid) const {
+    auto it = dense_of_gid_.find(gid);
+    PARHC_DCHECK(it != dense_of_gid_.end());
+    return it->second;
+  }
+
+  /// Remaps gid-space edges to dense indices in place. Concurrent
+  /// const-only hash lookups are safe.
   void ToDense(std::vector<WeightedEdge>& edges) const {
     ParallelFor(0, edges.size(), [&](size_t i) {
-      edges[i].u = dense_of_gid_[edges[i].u];
-      edges[i].v = dense_of_gid_[edges[i].v];
+      edges[i].u = DenseOf(edges[i].u);
+      edges[i].v = DenseOf(edges[i].v);
     });
   }
 
@@ -464,7 +664,7 @@ class DynamicArtifacts {
         const std::vector<uint32_t>& lg = s.live_gids();
         std::vector<double> cd_local(lg.size());
         for (size_t l = 0; l < lg.size(); ++l) {
-          cd_local[l] = (*cd)[dense_of_gid_[lg[l]]];
+          cd_local[l] = (*cd)[DenseOf(lg[l])];
         }
         std::vector<WeightedEdge> edges =
             HdbscanMstOnTree(s.tree(), cd_local);
@@ -572,9 +772,9 @@ class DynamicArtifacts {
 
   ShardForest<D> forest_;
 
-  // Global tier: dense mapping.
+  // Global tier: dense mapping (compacting: keyed by live gids only).
   std::shared_ptr<const std::vector<uint32_t>> ids_dense_;
-  std::vector<uint32_t> dense_of_gid_;
+  std::unordered_map<uint32_t, uint32_t> dense_of_gid_;
   uint64_t dense_epoch_ = kNoEpoch;
 
   // Cross tier: Euclidean candidates per content-id pair.

@@ -12,9 +12,12 @@
 // itself cascade into merges).
 //
 // Global ids are assigned sequentially at insertion and never reused. The
-// locator maps gid -> (shard uid, local index); tombstoning moves no
-// points, so locator entries stay valid until a merge or compaction
-// relocates the survivors.
+// locator is a *compacting* hash map gid -> (shard uid, local index):
+// tombstoning erases the entry, so the map (and every per-epoch scan over
+// it, e.g. LiveGids) is O(live points), not O(historical gid space) — a
+// churn-heavy long-running dataset stays bounded however many gids it has
+// burned through. Tombstoning moves no points, so surviving entries stay
+// valid until a merge or compaction relocates the survivors.
 //
 // `epoch()` counts mutations: any artifact derived from the whole forest
 // (the global EMST, merged kNN rows, per-minPts clusterings) is tagged with
@@ -24,6 +27,7 @@
 // shard-aware half of the invalidation model (engine/artifacts.h).
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <limits>
 #include <memory>
@@ -46,7 +50,14 @@ class ShardForest {
   /// Mutation counter: bumped by every effective InsertBatch / DeleteBatch.
   uint64_t epoch() const { return epoch_; }
   /// One past the largest assigned gid.
-  uint32_t next_gid() const { return static_cast<uint32_t>(loc_.size()); }
+  uint32_t next_gid() const { return next_gid_; }
+  /// Gid-allocation cursors, persisted by the snapshot store so restored
+  /// forests keep minting fresh uids / content ids.
+  uint64_t next_uid() const { return next_uid_; }
+  uint64_t next_content_id() const { return next_content_id_; }
+  /// Live entries in the gid locator — O(live points) by construction
+  /// (tombstones erase their entry); regression-tested against churn.
+  size_t locator_size() const { return loc_.size(); }
 
   Shard<D>& shard(size_t i) { return *shards_[i]; }
   const Shard<D>& shard(size_t i) const { return *shards_[i]; }
@@ -55,20 +66,47 @@ class ShardForest {
   /// the first assigned gid (the batch gets [first, first + n)).
   uint32_t InsertBatch(std::vector<Point<D>> pts) {
     PARHC_CHECK_MSG(!pts.empty(), "insert batch must be non-empty");
-    uint32_t first = next_gid();
-    PARHC_CHECK_MSG(loc_.size() + pts.size() <=
+    uint32_t first = next_gid_;
+    PARHC_CHECK_MSG(static_cast<uint64_t>(next_gid_) + pts.size() <=
                         std::numeric_limits<uint32_t>::max(),
                     "global id space exhausted");
     std::vector<uint32_t> gids(pts.size());
     for (size_t i = 0; i < gids.size(); ++i) {
       gids[i] = first + static_cast<uint32_t>(i);
     }
-    loc_.resize(loc_.size() + pts.size());
+    next_gid_ += static_cast<uint32_t>(pts.size());
     live_count_ += pts.size();
     AddShard(std::move(pts), std::move(gids));
     MergeCascade();
     ++epoch_;
     return first;
+  }
+
+  /// Snapshot restore: replaces this (empty) forest with the given shards
+  /// and allocation cursors, rebuilding the locator and live count. The
+  /// store load path has already validated shard invariants (ascending
+  /// unique gids below `next_gid`, unique uids below `next_uid`). No merge
+  /// cascade runs — the saved shard structure is restored as-is.
+  void Restore(std::vector<std::unique_ptr<Shard<D>>> shards,
+               uint32_t next_gid, uint64_t next_uid,
+               uint64_t next_content_id) {
+    PARHC_CHECK_MSG(shards_.empty(), "Restore requires an empty forest");
+    next_gid_ = next_gid;
+    next_uid_ = next_uid;
+    next_content_id_ = next_content_id;
+    for (auto& s : shards) {
+      PARHC_CHECK(s->uid() < next_uid_ && s->content_id() < next_content_id_);
+      slot_of_uid_[s->uid()] = shards_.size();
+      for (uint32_t i = 0; i < s->gids().size(); ++i) {
+        if (s->dead(i)) continue;
+        uint32_t gid = s->gids()[i];
+        PARHC_CHECK(gid < next_gid_);
+        auto [it, inserted] = loc_.emplace(gid, Loc{s->uid(), i});
+        PARHC_CHECK_MSG(inserted, "duplicate live gid across shards");
+        ++live_count_;
+      }
+      shards_.push_back(std::move(s));
+    }
   }
 
   /// Tombstones the given gids (unknown or already-dead gids are skipped),
@@ -78,14 +116,14 @@ class ShardForest {
     size_t deleted = 0;
     std::vector<size_t> dirty;  // slots whose live set changed
     for (uint32_t gid : gids) {
-      if (gid >= loc_.size()) continue;
-      Loc loc = loc_[gid];
-      if (loc.uid == kNoShard) continue;
+      auto lit = loc_.find(gid);  // absent = unknown or already dead
+      if (lit == loc_.end()) continue;
+      Loc loc = lit->second;
       auto it = slot_of_uid_.find(loc.uid);
       PARHC_DCHECK(it != slot_of_uid_.end());
       Shard<D>& s = *shards_[it->second];
       if (s.Tombstone(loc.local, next_content_id_++)) {
-        loc_[gid].uid = kNoShard;
+        loc_.erase(lit);  // compacting: dead gids leave the locator
         --live_count_;
         ++deleted;
         dirty.push_back(it->second);
@@ -115,32 +153,30 @@ class ShardForest {
     return deleted;
   }
 
-  bool IsLive(uint32_t gid) const {
-    return gid < loc_.size() && loc_[gid].uid != kNoShard;
-  }
+  bool IsLive(uint32_t gid) const { return loc_.count(gid) != 0; }
 
   /// The point with global id `gid` (must be live).
   const Point<D>& PointOf(uint32_t gid) const {
-    PARHC_CHECK(IsLive(gid));
-    const Loc& loc = loc_[gid];
+    auto it = loc_.find(gid);
+    PARHC_CHECK(it != loc_.end());
+    const Loc& loc = it->second;
     return shards_[slot_of_uid_.at(loc.uid)]->points()[loc.local];
   }
 
-  /// All live gids, ascending.
+  /// All live gids, ascending. O(live log live): the compacting locator
+  /// holds exactly the live entries, independent of how many gids history
+  /// has burned through.
   std::vector<uint32_t> LiveGids() const {
     std::vector<uint32_t> out;
     out.reserve(live_count_);
-    for (uint32_t gid = 0; gid < loc_.size(); ++gid) {
-      if (loc_[gid].uid != kNoShard) out.push_back(gid);
-    }
+    for (const auto& [gid, loc] : loc_) out.push_back(gid);
+    std::sort(out.begin(), out.end());
     return out;
   }
 
  private:
-  static constexpr uint64_t kNoShard = std::numeric_limits<uint64_t>::max();
-
   struct Loc {
-    uint64_t uid = kNoShard;
+    uint64_t uid = 0;
     uint32_t local = 0;
   };
 
@@ -209,7 +245,10 @@ class ShardForest {
 
   std::vector<std::unique_ptr<Shard<D>>> shards_;
   std::unordered_map<uint64_t, size_t> slot_of_uid_;
-  std::vector<Loc> loc_;  ///< indexed by gid
+  /// Compacting gid locator: holds exactly the live gids (tombstones
+  /// erase), so per-epoch work over it is O(live points).
+  std::unordered_map<uint32_t, Loc> loc_;
+  uint32_t next_gid_ = 0;
   size_t live_count_ = 0;
   uint64_t next_uid_ = 0;
   uint64_t next_content_id_ = 0;

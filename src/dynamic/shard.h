@@ -53,6 +53,27 @@ class Shard {
     }
   }
 
+  /// Snapshot-restore constructor: rebuilds a shard with its tombstone
+  /// bitmap (and, when the snapshot carried one, its cached EMST edge
+  /// list) exactly as saved. The caller (store load path) has already
+  /// validated sizes, gid order, and that at least one point is live.
+  Shard(uint64_t uid, uint64_t content_id, std::vector<Point<D>> pts,
+        std::vector<uint32_t> gids, std::vector<uint8_t> dead,
+        std::vector<WeightedEdge> emst, bool has_emst)
+      : uid_(uid),
+        content_id_(content_id),
+        pts_(std::move(pts)),
+        gids_(std::move(gids)),
+        dead_(std::move(dead)),
+        emst_(std::move(emst)),
+        has_emst_(has_emst) {
+    PARHC_CHECK_MSG(!pts_.empty(), "shard must be non-empty");
+    PARHC_CHECK(pts_.size() == gids_.size() && pts_.size() == dead_.size());
+    for (uint8_t d : dead_) dead_count_ += d != 0;
+    PARHC_CHECK_MSG(dead_count_ < pts_.size(),
+                    "restored shard must have a live point");
+  }
+
   uint64_t uid() const { return uid_; }
   uint64_t content_id() const { return content_id_; }
 
@@ -73,6 +94,11 @@ class Shard {
   const std::vector<Point<D>>& points() const { return pts_; }
   const std::vector<uint32_t>& gids() const { return gids_; }
   bool dead(uint32_t local) const { return dead_[local] != 0; }
+  /// The tombstone bitmap (1 byte per point), for snapshot saves.
+  const std::vector<uint8_t>& dead_bitmap() const { return dead_; }
+  /// The cached EMST edges without triggering a build (valid only when
+  /// has_emst()); read-only, for snapshot saves.
+  const std::vector<WeightedEdge>& cached_emst() const { return emst_; }
 
   /// Tombstones one local index, dropping the live-set artifacts. The
   /// forest bumps `content_id` alongside. Returns false if already dead.

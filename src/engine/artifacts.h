@@ -67,6 +67,9 @@
 #include "hdbscan/hdbscan_mst.h"
 #include "hdbscan/stability.h"
 #include "spatial/knn.h"
+#include "store/artifact_io.h"
+#include "store/manifest.h"
+#include "store/mapped_array.h"
 
 namespace parhc {
 
@@ -75,6 +78,10 @@ class DatasetArtifacts {
  public:
   explicit DatasetArtifacts(std::vector<Point<D>> pts)
       : pts_(std::move(pts)) {}
+
+  /// Empty shell for LoadFrom (the snapshot store's two-phase
+  /// construction); not a valid dataset until LoadFrom succeeds.
+  DatasetArtifacts() = default;
 
   size_t num_points() const { return pts_.size(); }
   /// K of the cached kNN prefix matrix (0 when no kNN pass has run).
@@ -99,6 +106,129 @@ class DatasetArtifacts {
     }
     out->error = "unknown query type";
     return true;
+  }
+
+  /// Writes every cached artifact plus the manifest into `dir` (created
+  /// if needed). Read-only: safe under the engine's shared (reader) lock,
+  /// concurrently with cache-hit queries. Raises SnapshotError subtypes.
+  void SaveTo(const std::string& dir) const {
+    EnsureDatasetDir(dir);
+    StaticManifest m;
+    m.dim = D;
+    m.n = pts_.size();
+    m.points_file = PointsFileName();
+    SavePointsSnapshot<D>(dir + "/" + m.points_file, pts_);
+    if (tree_) {
+      m.tree_file = TreeFileName();
+      SaveKdTreeSnapshot<D>(dir + "/" + m.tree_file, *tree_);
+    }
+    if (knn_k_ > 0) {
+      m.knn_file = KnnFileName();
+      m.knn_k = knn_k_;
+      SaveMatrixSnapshot(dir + "/" + m.knn_file, D, pts_.size(), knn_k_,
+                         knn_prefix_.data());
+    }
+    if (emst_.mst) {
+      m.emst_file = EmstFileName();
+      SaveEdgesSnapshot(dir + "/" + m.emst_file, *emst_.mst, /*param=*/0);
+      if (emst_.dendrogram) {
+        m.sl_dendro_file = SlDendroFileName();
+        SaveDendrogramSnapshot(dir + "/" + m.sl_dendro_file,
+                               *emst_.dendrogram, /*param=*/0);
+      }
+    }
+    for (const auto& [min_pts, entry] : hdbscan_) {
+      ClusteringManifestEntry c;
+      c.min_pts = static_cast<uint32_t>(min_pts);
+      c.mst_file = MstFileName(min_pts);
+      SaveEdgesSnapshot(dir + "/" + c.mst_file, *entry->mst, min_pts);
+      if (entry->dendrogram) {
+        c.has_dendrogram = true;
+        c.dendro_file = DendroFileName(min_pts);
+        SaveDendrogramSnapshot(dir + "/" + c.dendro_file, *entry->dendrogram,
+                               min_pts);
+      }
+      m.clusterings.push_back(std::move(c));
+    }
+    WriteStaticManifest(dir + "/" + kManifestFileName, m);
+  }
+
+  /// Populates this default-constructed instance from a directory written
+  /// by SaveTo: the kd-tree arena and kNN prefix matrix come back as
+  /// zero-copy views of the mapped files; per-minPts core distances
+  /// re-derive from the prefix columns (bit-identical, see the DAG notes
+  /// above). Raises SnapshotError subtypes; discard the instance on throw.
+  void LoadFrom(const std::string& dir) {
+    StaticManifest m = ReadStaticManifest(dir + "/" + kManifestFileName);
+    if (m.dim != D) {
+      throw SnapshotSchemaError(dir + ": manifest dimension " +
+                                std::to_string(m.dim) + ", expected " +
+                                std::to_string(D));
+    }
+    if (m.n < 1) throw SnapshotSchemaError(dir + ": empty dataset");
+    pts_ = LoadPointsSnapshot<D>(dir + "/" + m.points_file);
+    if (pts_.size() != m.n) {
+      throw SnapshotSchemaError(dir + ": point count disagrees with manifest");
+    }
+    if (!m.tree_file.empty()) {
+      tree_ = LoadKdTreeSnapshot<D>(dir + "/" + m.tree_file);
+      if (tree_->size() != pts_.size()) {
+        throw SnapshotSchemaError(dir + ": tree size disagrees with manifest");
+      }
+    }
+    if (!m.knn_file.empty()) {
+      LoadedMatrix mat = LoadMatrixSnapshot(dir + "/" + m.knn_file, D);
+      if (mat.n != m.n || mat.k != m.knn_k) {
+        throw SnapshotSchemaError(dir +
+                                  ": kNN matrix disagrees with manifest");
+      }
+      knn_prefix_ = MappedArray<double>(mat.data, mat.keepalive);
+      knn_k_ = mat.k;
+    }
+    if (!m.emst_file.empty()) {
+      std::vector<WeightedEdge> edges =
+          LoadEdgesSnapshot(dir + "/" + m.emst_file, /*param=*/0, m.n);
+      if (edges.size() + 1 != m.n) {
+        throw SnapshotSchemaError(dir + ": EMST edge count mismatch");
+      }
+      emst_.mst_weight = TotalWeight(edges);
+      emst_.mst = std::make_shared<const std::vector<WeightedEdge>>(
+          std::move(edges));
+      if (!m.sl_dendro_file.empty()) {
+        emst_.dendrogram = LoadDendrogramSnapshot(
+            dir + "/" + m.sl_dendro_file, /*param=*/0, m.n);
+      }
+    }
+    EngineResponse scratch;  // loads do not report artifact traces
+    for (const ClusteringManifestEntry& c : m.clusterings) {
+      if (c.min_pts < 1 || c.min_pts > knn_k_) {
+        // Core distances re-derive from the prefix matrix, so a cached
+        // clustering without kNN coverage cannot have been written by
+        // SaveTo.
+        throw SnapshotSchemaError(dir + ": clustering@" +
+                                  std::to_string(c.min_pts) +
+                                  " lacks kNN prefix coverage");
+      }
+      auto entry = std::make_unique<HdbscanEntry>();
+      entry->core_dist =
+          CoreDist(static_cast<int>(c.min_pts), /*allow_build=*/true,
+                   &scratch);
+      std::vector<WeightedEdge> edges = LoadEdgesSnapshot(
+          dir + "/" + c.mst_file, c.min_pts, m.n);
+      if (edges.size() + 1 != m.n) {
+        throw SnapshotSchemaError(dir + ": MR-MST edge count mismatch at " +
+                                  std::to_string(c.min_pts));
+      }
+      entry->mst_weight = TotalWeight(edges);
+      entry->mst = std::make_shared<const std::vector<WeightedEdge>>(
+          std::move(edges));
+      if (c.has_dendrogram) {
+        entry->dendrogram = LoadDendrogramSnapshot(
+            dir + "/" + c.dendro_file, c.min_pts, m.n);
+      }
+      TouchClusteringEntry(*entry, clock_);
+      hdbscan_.emplace(static_cast<int>(c.min_pts), std::move(entry));
+    }
   }
 
  private:
@@ -136,8 +266,10 @@ class DatasetArtifacts {
     return tree_.get();
   }
 
-  /// kNN prefix matrix covering at least k columns (grows to the max seen).
-  const std::vector<double>* Prefixes(size_t k, bool allow_build,
+  /// kNN prefix matrix covering at least k columns (grows to the max
+  /// seen). Owned when built in RAM, a zero-copy mapped view after a
+  /// snapshot load; growing K past a loaded width rebuilds an owned copy.
+  const MappedArray<double>* Prefixes(size_t k, bool allow_build,
                                       EngineResponse* out) {
     if (knn_k_ < k) {
       if (!allow_build) return nullptr;
@@ -162,7 +294,7 @@ class DatasetArtifacts {
       return it->second;
     }
     if (!allow_build) return nullptr;
-    const std::vector<double>* prefix =
+    const MappedArray<double>* prefix =
         Prefixes(static_cast<size_t>(min_pts), allow_build, out);
     size_t n = pts_.size();
     size_t stride = knn_k_;
@@ -315,7 +447,7 @@ class DatasetArtifacts {
   std::vector<Point<D>> pts_;
   std::unique_ptr<KdTree<D>> tree_;
   size_t knn_k_ = 0;
-  std::vector<double> knn_prefix_;  ///< n x knn_k_, row-major by point id
+  MappedArray<double> knn_prefix_;  ///< n x knn_k_, row-major by point id
   std::map<int, std::shared_ptr<const std::vector<double>>> core_;
   std::map<int, std::unique_ptr<HdbscanEntry>> hdbscan_;
   EmstEntry emst_;

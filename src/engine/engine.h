@@ -34,6 +34,7 @@
 
 #include "engine/registry.h"
 #include "engine/request.h"
+#include "store/errors.h"
 #include "util/timer.h"
 
 namespace parhc {
@@ -101,6 +102,41 @@ class ClusteringEngine {
     std::lock_guard<std::mutex> build(build_mu_);
     std::unique_lock<std::shared_mutex> write(entry->mu);
     return entry->DeleteIds(gids, deleted);
+  }
+
+  /// Snapshots dataset `name` (points + every cached artifact + manifest)
+  /// into directory `dir`. Returns "" on success, else an error message;
+  /// filesystem and format problems never throw past this call.
+  /// Thread-safe, and runs under the dataset's *shared* lock: saving is
+  /// read-only, so cache-hit queries keep serving while the snapshot
+  /// streams out (only builds and mutations, which take the exclusive
+  /// lock, wait).
+  std::string SaveDataset(const std::string& name, const std::string& dir) {
+    std::shared_ptr<DatasetEntryBase> entry = registry_.Find(name);
+    if (!entry) return "unknown dataset: " + name;
+    std::shared_lock<std::shared_mutex> read(entry->mu);
+    try {
+      entry->SaveTo(dir);
+    } catch (const SnapshotError& e) {
+      return e.what();
+    }
+    return "";
+  }
+
+  /// Warm-starts dataset `name` from a snapshot directory written by
+  /// SaveDataset, registering (or atomically replacing) it with every
+  /// saved artifact already cached — the kd-tree arena and kNN prefix
+  /// matrix as zero-copy views of the mapped files. Returns "" on
+  /// success, else an error message (corrupt, truncated, or
+  /// version-mismatched snapshots are rejected with typed errors
+  /// internally; they never abort). Thread-safe: loading happens off to
+  /// the side and in-flight queries against a replaced dataset finish on
+  /// the old entry. Takes the engine-wide build mutex because restoring
+  /// derived artifacts issues parallel work (the scheduler's
+  /// single-external-caller model).
+  std::string LoadDataset(const std::string& name, const std::string& dir) {
+    std::lock_guard<std::mutex> build(build_mu_);
+    return registry_.TryLoadSnapshot(name, dir);
   }
 
  private:

@@ -36,6 +36,8 @@
 #include "dynamic/artifacts.h"
 #include "engine/artifacts.h"
 #include "engine/request.h"
+#include "store/errors.h"
+#include "store/manifest.h"
 
 namespace parhc {
 
@@ -52,6 +54,12 @@ class DatasetEntryBase {
   /// See DatasetArtifacts::Answer.
   virtual bool Answer(const EngineRequest& req, bool allow_build,
                       EngineResponse* out) = 0;
+
+  /// Writes every cached artifact plus the dataset manifest into `dir`.
+  /// Read-only (no lazy builds run), so the engine calls it under the
+  /// *shared* lock — snapshots are taken while cache-hit queries keep
+  /// serving. Raises SnapshotError subtypes.
+  virtual void SaveTo(const std::string& dir) const = 0;
 
   // Batch-dynamic interface; the immutable backend rejects mutations.
   virtual bool is_dynamic() const { return false; }
@@ -79,6 +87,11 @@ class DatasetEntry final : public DatasetEntryBase {
   explicit DatasetEntry(std::vector<Point<D>> pts)
       : artifacts_(std::move(pts)) {}
 
+  /// Warm-starts from a snapshot directory (see DatasetArtifacts::LoadFrom).
+  explicit DatasetEntry(const std::string& snapshot_dir) {
+    artifacts_.LoadFrom(snapshot_dir);
+  }
+
   int dim() const override { return D; }
   size_t num_points() const override { return artifacts_.num_points(); }
   size_t knn_k() const override { return artifacts_.knn_k(); }
@@ -88,6 +101,9 @@ class DatasetEntry final : public DatasetEntryBase {
   bool Answer(const EngineRequest& req, bool allow_build,
               EngineResponse* out) override {
     return artifacts_.Answer(req, allow_build, out);
+  }
+  void SaveTo(const std::string& dir) const override {
+    artifacts_.SaveTo(dir);
   }
 
  private:
@@ -99,6 +115,13 @@ class DatasetEntry final : public DatasetEntryBase {
 template <int D>
 class DynamicDatasetEntry final : public DatasetEntryBase {
  public:
+  DynamicDatasetEntry() = default;
+
+  /// Warm-starts from a snapshot directory (see DynamicArtifacts::LoadFrom).
+  explicit DynamicDatasetEntry(const std::string& snapshot_dir) {
+    artifacts_.LoadFrom(snapshot_dir);
+  }
+
   int dim() const override { return D; }
   size_t num_points() const override { return artifacts_.num_points(); }
   size_t knn_k() const override { return artifacts_.knn_k(); }
@@ -133,6 +156,10 @@ class DynamicDatasetEntry final : public DatasetEntryBase {
     size_t n = artifacts_.DeleteBatch(gids);
     if (deleted) *deleted = n;
     return "";
+  }
+
+  void SaveTo(const std::string& dir) const override {
+    artifacts_.SaveTo(dir);
   }
 
  private:
@@ -269,6 +296,37 @@ class DatasetRegistry {
     PARHC_CHECK_MSG(err.empty(), err.c_str());
   }
 
+  /// Registers (or atomically replaces) `name` from a snapshot directory
+  /// written by SaveTo, dispatching on the manifest's backend kind and
+  /// dimension. Returns "" on success; snapshot problems (missing,
+  /// truncated, corrupt, version-mismatched, wrong-dimension files) come
+  /// back as error strings — they raise typed SnapshotError subtypes
+  /// internally and never abort.
+  std::string TryLoadSnapshot(const std::string& name,
+                              const std::string& dir) {
+    try {
+      ManifestInfo info = ReadManifestInfo(dir + "/" + kManifestFileName);
+      if (!SupportedDim(static_cast<int>(info.dim))) {
+        return "unsupported dataset dimension " + std::to_string(info.dim);
+      }
+      std::shared_ptr<DatasetEntryBase> entry;
+      switch (info.dim) {
+        case 2: entry = LoadEntry<2>(dir, info.dynamic); break;
+        case 3: entry = LoadEntry<3>(dir, info.dynamic); break;
+        case 4: entry = LoadEntry<4>(dir, info.dynamic); break;
+        case 5: entry = LoadEntry<5>(dir, info.dynamic); break;
+        case 7: entry = LoadEntry<7>(dir, info.dynamic); break;
+        case 10: entry = LoadEntry<10>(dir, info.dynamic); break;
+        case 16: entry = LoadEntry<16>(dir, info.dynamic); break;
+        default: break;  // unreachable: SupportedDim checked above
+      }
+      Insert(name, std::move(entry));
+    } catch (const SnapshotError& e) {
+      return e.what();
+    }
+    return "";
+  }
+
   /// Drops `name` and its whole artifact cache. In-flight queries holding
   /// the entry finish normally. Returns false when absent.
   bool Remove(const std::string& name) {
@@ -305,6 +363,13 @@ class DatasetRegistry {
   }
 
  private:
+  template <int D>
+  static std::shared_ptr<DatasetEntryBase> LoadEntry(const std::string& dir,
+                                                     bool dynamic) {
+    if (dynamic) return std::make_shared<DynamicDatasetEntry<D>>(dir);
+    return std::make_shared<DatasetEntry<D>>(dir);
+  }
+
   template <int D>
   static std::vector<Point<D>> RowsToPoints(
       const std::vector<std::vector<double>>& rows) {

@@ -1,10 +1,11 @@
 // Union-find with path halving.
 //
 // Find is safe to call concurrently with other Finds (benign CAS-free
-// atomic halving); Union must run in a sequential phase (the Kruskal batch
-// loop), matching the phase-concurrency discipline the paper's algorithms
-// obey: tree traversals (which Find) alternate with MST batches (which
-// Union).
+// atomic halving). Unions must either run in a sequential phase (the
+// Kruskal batch loop) or touch pairwise vertex-disjoint components (the
+// parallel dendrogram builder's light subproblems): parent/rank accesses
+// then never overlap, and the component counter is atomic so the tally
+// stays exact either way.
 #pragma once
 
 #include <atomic>
@@ -37,26 +38,29 @@ class UnionFind {
   }
 
   /// Joins the components of a and b; returns false if already joined.
-  /// Not thread-safe; call from a sequential phase only.
+  /// Concurrent calls are allowed only on vertex-disjoint components (see
+  /// the header comment); otherwise call from a sequential phase.
   bool Union(uint32_t a, uint32_t b) {
     uint32_t ra = Find(a), rb = Find(b);
     if (ra == rb) return false;
     if (rank_[ra] < rank_[rb]) std::swap(ra, rb);
     parent_[rb].store(ra, std::memory_order_relaxed);
     if (rank_[ra] == rank_[rb]) ++rank_[ra];
-    --components_;
+    components_.fetch_sub(1, std::memory_order_relaxed);
     return true;
   }
 
   bool Connected(uint32_t a, uint32_t b) const { return Find(a) == Find(b); }
 
-  size_t num_components() const { return components_; }
+  size_t num_components() const {
+    return components_.load(std::memory_order_relaxed);
+  }
   size_t size() const { return parent_.size(); }
 
  private:
   mutable std::vector<std::atomic<uint32_t>> parent_;
   std::vector<uint8_t> rank_;
-  size_t components_;
+  std::atomic<size_t> components_;
 };
 
 }  // namespace parhc

@@ -11,7 +11,9 @@
 //   UniformFill(), SeedSpreaderVarden(), ... — dataset generators
 //   ClusteringEngine — multi-query serving layer with a memoized
 //   artifact cache and dataset registry (src/engine/); batch-dynamic
-//   datasets (INSERT/DELETE) over the LSM shard forest (src/dynamic/)
+//   datasets (INSERT/DELETE) over the LSM shard forest (src/dynamic/);
+//   SaveDataset/LoadDataset — persistent artifact snapshots with
+//   mmap-backed zero-copy warm starts (src/store/)
 //
 // Reproduction of Wang, Yu, Gu, Shun, "Fast Parallel Algorithms for
 // Euclidean Minimum Spanning Tree and Hierarchical Spatial Clustering",

@@ -40,6 +40,13 @@ namespace internal {
 /// Fixed-capacity array of trivially-copyable elements that, unlike
 /// std::vector, performs no value-initialization: allocating the k-d tree
 /// arena must not zero-fill O(n) nodes on the build's critical path.
+///
+/// An array can instead *adopt* external storage (AdoptExternal) — the
+/// zero-copy path of the snapshot store, where the arena fields are views
+/// straight into an mmapped file. Adopted storage is read-only by
+/// contract: the only writers of the core arena fields are the build-time
+/// passes, which snapshot-loaded trees never run (the lazily-annotated
+/// arrays — components, core distances — are always owned).
 template <typename T>
 class NodeArray {
   static_assert(std::is_trivially_copyable<T>::value,
@@ -47,32 +54,47 @@ class NodeArray {
 
  public:
   void Allocate(size_t n) {
-    data_.reset(new T[n]);  // default-init: no zero-fill for trivial T
+    owned_.reset(new T[n]);  // default-init: no zero-fill for trivial T
+    data_ = owned_.get();
+    size_ = n;
+  }
+
+  /// Points this array at caller-owned read-only storage (the caller
+  /// keeps it alive; see KdTree's mapping keepalive).
+  void AdoptExternal(const T* data, size_t n) {
+    owned_.reset();
+    data_ = const_cast<T*>(data);
     size_ = n;
   }
 
   /// Reallocates down to exactly `n` elements, preserving the prefix.
+  /// Owned storage only (build-path use).
   void ShrinkTo(size_t n) {
     PARHC_DCHECK(n <= size_);
+    PARHC_DCHECK(owned_ != nullptr);
     if (n == size_) return;
     std::unique_ptr<T[]> next(new T[n]);
-    std::copy(data_.get(), data_.get() + n, next.get());
-    data_ = std::move(next);
+    std::copy(data_, data_ + n, next.get());
+    owned_ = std::move(next);
+    data_ = owned_.get();
     size_ = n;
   }
 
   void Clear() {
-    data_.reset();
+    owned_.reset();
+    data_ = nullptr;
     size_ = 0;
   }
 
   bool empty() const { return size_ == 0; }
   size_t size() const { return size_; }
+  const T* data() const { return data_; }
   T& operator[](size_t i) { return data_[i]; }
   const T& operator[](size_t i) const { return data_[i]; }
 
  private:
-  std::unique_ptr<T[]> data_;
+  std::unique_ptr<T[]> owned_;
+  T* data_ = nullptr;
   size_t size_ = 0;
 };
 
@@ -86,6 +108,47 @@ class KdTree {
   static constexpr NodeId kRootNode = 0;
   /// Stored as a node's left-child index to mark it as a leaf.
   static constexpr NodeId kNullNode = 0xffffffffu;
+
+  /// A node's [begin, end) slice of the tree-ordered point array. Public
+  /// (and packed-free by layout) because the snapshot store serializes the
+  /// range arena verbatim.
+  struct PointRange {
+    uint32_t begin;
+    uint32_t end;
+  };
+
+  /// The deserialized parts a snapshot-loaded tree is assembled from: the
+  /// tree-order points/ids are owned copies, while the four node-arena
+  /// arrays are *views* (typically into an mmapped snapshot file) kept
+  /// alive by `keepalive`. The caller (store/artifact_io.h) validates
+  /// structural invariants before constructing; the constructor only
+  /// adopts.
+  struct ArenaParts {
+    uint32_t leaf_size = 1;
+    uint32_t node_count = 0;
+    std::vector<Point<D>> pts;          ///< tree order
+    std::vector<uint32_t> ids;          ///< tree order -> original id
+    const uint32_t* left = nullptr;     ///< [node_count]
+    const PointRange* range = nullptr;  ///< [node_count]
+    const Box<D>* box = nullptr;        ///< [node_count]
+    const double* diameter = nullptr;   ///< [node_count]
+    std::shared_ptr<const void> keepalive;
+  };
+
+  /// Reassembles a tree from snapshot parts: no build pass runs, the
+  /// node arena adopts the provided (read-only) views zero-copy.
+  explicit KdTree(ArenaParts parts)
+      : leaf_size_(parts.leaf_size),
+        pts_(std::move(parts.pts)),
+        ids_(std::move(parts.ids)),
+        mapping_(std::move(parts.keepalive)) {
+    PARHC_CHECK(parts.node_count >= 1 && !pts_.empty());
+    left_.AdoptExternal(parts.left, parts.node_count);
+    range_.AdoptExternal(parts.range, parts.node_count);
+    box_.AdoptExternal(parts.box, parts.node_count);
+    diameter_.AdoptExternal(parts.diameter, parts.node_count);
+    node_count_.store(parts.node_count, std::memory_order_relaxed);
+  }
 
   /// Builds the tree over `points` (copied and reordered internally).
   explicit KdTree(const std::vector<Point<D>>& points, uint32_t leaf_size = 1)
@@ -217,6 +280,13 @@ class KdTree {
               (component_[l] == component_[r]) ? component_[l] : -1;
         });
   }
+
+  // --- Raw arena access (snapshot store) ---
+  uint32_t leaf_size() const { return leaf_size_; }
+  const uint32_t* left_data() const { return left_.data(); }
+  const PointRange* range_data() const { return range_.data(); }
+  const Box<D>* box_data() const { return box_.data(); }
+  const double* diameter_data() const { return diameter_.data(); }
 
   /// Bottom-up arena sweep: `leaf(v)` runs for every leaf in parallel (the
   /// per-point work dominates), then `combine(v, left, right)` runs for
@@ -376,11 +446,8 @@ class KdTree {
   std::vector<double> cd_;
   std::vector<Point<D>> scratch_pts_;
   std::vector<uint32_t> scratch_ids_;
-
-  struct PointRange {
-    uint32_t begin;
-    uint32_t end;
-  };
+  /// Keeps a snapshot mapping alive while the arena views point into it.
+  std::shared_ptr<const void> mapping_;
 
   // Node arena (SoA). left_[v] == kNullNode marks a leaf; otherwise the
   // children are left_[v] and left_[v] + 1. The component and core-distance

@@ -1,0 +1,62 @@
+// Typed errors of the persistent artifact store (src/store/).
+//
+// Everything a snapshot load can reject — unreadable files, truncation,
+// foreign or corrupt bytes, format-version skew, schema mismatches (wrong
+// artifact kind, unsupported dimension) — raises one of these, never a
+// PARHC_CHECK abort: on the serving path a bad file on disk is an input
+// error the caller reports, not a program invariant. All of them derive
+// from SnapshotError, so callers that do not care about the distinction
+// catch one type (the engine front-end turns them into error-string
+// responses this way).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace parhc {
+
+/// Base class of every snapshot load/save failure.
+class SnapshotError : public std::runtime_error {
+ public:
+  explicit SnapshotError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+/// The file cannot be opened, read, mapped, or written.
+class SnapshotIoError : public SnapshotError {
+ public:
+  explicit SnapshotIoError(const std::string& what) : SnapshotError(what) {}
+};
+
+/// The bytes are not a well-formed snapshot: bad magic, truncated file,
+/// section table out of bounds, malformed manifest payload.
+class SnapshotFormatError : public SnapshotError {
+ public:
+  explicit SnapshotFormatError(const std::string& what)
+      : SnapshotError(what) {}
+};
+
+/// The snapshot was written by an incompatible format version.
+class SnapshotVersionError : public SnapshotError {
+ public:
+  explicit SnapshotVersionError(const std::string& what)
+      : SnapshotError(what) {}
+};
+
+/// A section (or the header/table) checksum does not match its bytes.
+class SnapshotChecksumError : public SnapshotError {
+ public:
+  explicit SnapshotChecksumError(const std::string& what)
+      : SnapshotError(what) {}
+};
+
+/// The snapshot is well-formed but does not describe what the caller
+/// asked for: wrong artifact kind, wrong or unsupported dimension, a
+/// manifest referencing artifacts that violate the pipeline's invariants.
+class SnapshotSchemaError : public SnapshotError {
+ public:
+  explicit SnapshotSchemaError(const std::string& what)
+      : SnapshotError(what) {}
+};
+
+}  // namespace parhc

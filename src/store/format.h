@@ -1,0 +1,114 @@
+// On-disk layout of the persistent artifact store (src/store/).
+//
+// Every artifact node of the engine's pipeline DAG — point sets, the flat
+// uint32 SoA kd-tree arena, kNN sorted-prefix matrices, EMST / MR-MST edge
+// lists, dendrograms, shard payloads, whole-dataset manifests — is one
+// snapshot file:
+//
+//   SnapshotHeader           (56 bytes, little-endian)
+//   SectionEntry[sections]   (32 bytes each)
+//   payload sections         (each 8-byte aligned, in table order)
+//
+// The header carries magic, format version, artifact kind, dimension, and
+// two kind-specific scalars (count / param, e.g. n and K for a kNN prefix
+// matrix). `table_checksum` covers the header (with the checksum field
+// zeroed) plus the whole section table; every section carries its own
+// checksum over its payload bytes. Readers validate magic -> version ->
+// table checksum -> bounds -> per-section checksums, raising the typed
+// errors in errors.h — a corrupt, truncated, or version-skewed file can
+// never abort the process or be silently served.
+//
+// All integers are little-endian; the store targets the little-endian
+// hosts the rest of the system assumes (the same native-byte-order stance
+// as data/io.h's point format, now made explicit in the header so a
+// foreign byte order fails loudly instead of decoding garbage:
+// kSnapshotMagic read on a big-endian host would not match).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace parhc {
+
+/// "PHCS" little-endian.
+inline constexpr uint32_t kSnapshotMagic = 0x53434850u;
+/// Bumped on any incompatible layout change.
+inline constexpr uint16_t kSnapshotVersion = 1;
+/// Section payloads start on 8-byte boundaries (doubles stay aligned when
+/// the file is mmapped).
+inline constexpr size_t kSectionAlign = 8;
+
+/// What one snapshot file stores (header `kind`).
+enum class SnapshotKind : uint16_t {
+  kPoints = 1,      ///< point set, original id order; count = n
+  kKdTree = 2,      ///< flat arena + tree-order points; count = n,
+                    ///< param = node count, aux = leaf size
+  kKnnPrefix = 3,   ///< sorted-prefix distance matrix; count = n, param = K
+  kEdgeList = 4,    ///< EMST / MR-MST edges; count = #edges, param = minPts
+                    ///< (0 for the Euclidean MST)
+  kDendrogram = 5,  ///< ordered dendrogram; count = n, param = minPts
+                    ///< (0 for single-linkage)
+  kShard = 6,       ///< dynamic shard payload; count = total points,
+                    ///< param = shard uid, aux = content id
+  kManifest = 7,    ///< whole-dataset manifest; count = live points
+};
+
+/// Section ids within a snapshot file (header table `id`).
+enum class SectionId : uint32_t {
+  kPointData = 1,    ///< Point<D>[count]
+  kPointIds = 2,     ///< uint32[count] (tree order -> original id)
+  kTreeLeft = 3,     ///< uint32[node_count] left child / leaf marker
+  kTreeRange = 4,    ///< {uint32 begin, uint32 end}[node_count]
+  kTreeBox = 5,      ///< Box<D>[node_count]
+  kTreeDiameter = 6, ///< double[node_count]
+  kMatrixData = 7,   ///< double[n * K] row-major
+  kEdgeData = 8,     ///< WeightedEdge[count]
+  kDendroLeft = 9,   ///< uint32[n - 1]
+  kDendroRight = 10, ///< uint32[n - 1]
+  kDendroHeight = 11,///< double[n - 1]
+  kDendroRoot = 12,  ///< uint32[1]
+  kShardGids = 13,   ///< uint32[count] global ids, ascending
+  kShardDead = 14,   ///< uint8[count] tombstone bitmap
+  kManifestData = 15,///< manifest byte stream (see manifest.h)
+};
+
+#pragma pack(push, 1)
+/// Fixed file header. Packed: the layout *is* the format, padding would
+/// leak indeterminate bytes into files and checksums.
+struct SnapshotHeader {
+  uint32_t magic = kSnapshotMagic;
+  uint16_t version = kSnapshotVersion;
+  uint16_t kind = 0;      ///< SnapshotKind
+  uint32_t dim = 0;       ///< point dimensionality (0 = not applicable)
+  uint32_t sections = 0;  ///< section table length
+  uint64_t count = 0;     ///< primary element count (kind-specific)
+  uint64_t param = 0;     ///< kind-specific parameter (K, minPts, uid, ...)
+  uint64_t aux = 0;       ///< second kind-specific parameter
+  /// Exact file size in bytes. Makes *any* size deviation fatal —
+  /// including truncation that only eats trailing alignment padding,
+  /// which section bounds alone would not notice.
+  uint64_t file_size = 0;
+  uint64_t table_checksum = 0;  ///< header (this field zeroed) + table
+};
+
+/// One section table entry. `offset` is from the file start and 8-byte
+/// aligned; `checksum` covers exactly [offset, offset + bytes).
+struct SectionEntry {
+  uint32_t id = 0;         ///< SectionId
+  uint32_t elem_size = 0;  ///< bytes per element (sanity/versioning aid)
+  uint64_t offset = 0;
+  uint64_t bytes = 0;
+  uint64_t checksum = 0;
+};
+#pragma pack(pop)
+
+static_assert(sizeof(SnapshotHeader) == 56, "snapshot header layout");
+static_assert(sizeof(SectionEntry) == 32, "section entry layout");
+
+/// 64-bit content checksum over arbitrary bytes: an FNV-style multiply-xor
+/// over 8-byte words with a byte-serial tail — not cryptographic, but it
+/// reliably catches the store's failure modes (truncation, bit rot, torn
+/// writes) at near-memcpy speed, unlike byte-serial FNV-1a.
+uint64_t Checksum64(const void* data, size_t bytes);
+
+}  // namespace parhc

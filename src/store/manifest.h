@@ -1,0 +1,116 @@
+// Whole-dataset manifests of the persistent artifact store.
+//
+// A saved dataset is a directory: one canonical-named snapshot file per
+// artifact (points.phcs, tree.phcs, knn.phcs, mst@10.phcs, shard-0.phcs,
+// ...) plus manifest.phcs, itself a snapshot file (kind = kManifest) whose
+// single section is the byte stream serialized here. The manifest records
+// which artifacts exist and the parameters tying them together — the kNN
+// prefix width, the cached minPts set, the dynamic forest's shard table
+// (uid / content id / cached-EMST flag per shard), gid-allocation cursors,
+// and the cached cross-edge tier. Serialization is fully deterministic
+// (sorted map iteration upstream, no timestamps), so save -> load -> save
+// produces byte-identical manifests — the round-trip invariant the store
+// tests pin.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "store/snapshot.h"
+
+namespace parhc {
+
+inline constexpr char kManifestFileName[] = "manifest.phcs";
+
+/// Canonical artifact file names inside a dataset directory.
+inline std::string PointsFileName() { return "points.phcs"; }
+inline std::string TreeFileName() { return "tree.phcs"; }
+inline std::string KnnFileName() { return "knn.phcs"; }
+inline std::string EmstFileName() { return "emst.phcs"; }
+inline std::string SlDendroFileName() { return "sl-dendro.phcs"; }
+inline std::string MstFileName(int min_pts) {
+  return "mst@" + std::to_string(min_pts) + ".phcs";
+}
+inline std::string DendroFileName(int min_pts) {
+  return "dendro@" + std::to_string(min_pts) + ".phcs";
+}
+inline std::string ShardFileName(size_t slot) {
+  return "shard-" + std::to_string(slot) + ".phcs";
+}
+inline std::string CrossFileName(uint64_t cid_a, uint64_t cid_b) {
+  return "cross-" + std::to_string(cid_a) + "-" + std::to_string(cid_b) +
+         ".phcs";
+}
+
+/// Cheap probe of a manifest: enough to dispatch on backend and dimension
+/// without parsing the payload.
+struct ManifestInfo {
+  bool dynamic = false;
+  uint32_t dim = 0;
+  uint64_t num_points = 0;  ///< live count for dynamic datasets
+};
+
+/// One cached per-minPts clustering in a static manifest.
+struct ClusteringManifestEntry {
+  uint32_t min_pts = 0;
+  bool has_dendrogram = false;
+  std::string mst_file;
+  std::string dendro_file;  ///< empty when absent
+};
+
+/// Manifest of an immutable (static) dataset.
+struct StaticManifest {
+  uint32_t dim = 0;
+  uint64_t n = 0;
+  std::string points_file;
+  std::string tree_file;       ///< empty when the tree was never built
+  std::string knn_file;        ///< empty when no kNN pass ran
+  uint64_t knn_k = 0;
+  std::string emst_file;       ///< empty when the EMST was never built
+  std::string sl_dendro_file;  ///< empty when absent
+  std::vector<ClusteringManifestEntry> clusterings;  ///< ascending minPts
+};
+
+/// One shard of a dynamic manifest (saved in slot order).
+struct ShardManifestEntry {
+  uint64_t uid = 0;
+  uint64_t content_id = 0;
+  bool has_emst = false;  ///< shard file carries its cached EMST edges
+  std::string file;
+};
+
+/// One cached cross-edge tier entry (content-id pair, ascending).
+struct CrossManifestEntry {
+  uint64_t cid_a = 0;
+  uint64_t cid_b = 0;
+  std::string file;
+};
+
+/// Manifest of a batch-dynamic (LSM shard forest) dataset.
+struct DynamicManifest {
+  uint32_t dim = 0;
+  uint64_t live_count = 0;
+  uint32_t next_gid = 0;
+  uint64_t next_uid = 0;
+  uint64_t next_content_id = 0;
+  std::vector<ShardManifestEntry> shards;
+  std::vector<CrossManifestEntry> cross;
+};
+
+/// Creates `dir` (and parents) if needed; raises SnapshotIoError when the
+/// filesystem refuses.
+void EnsureDatasetDir(const std::string& dir);
+
+void WriteStaticManifest(const std::string& path, const StaticManifest& m);
+void WriteDynamicManifest(const std::string& path, const DynamicManifest& m);
+
+/// Reads only the manifest header (kind/dim/count), for dispatch.
+ManifestInfo ReadManifestInfo(const std::string& path);
+
+/// Full parses; raise SnapshotSchemaError when the manifest is for the
+/// other backend kind.
+StaticManifest ReadStaticManifest(const std::string& path);
+DynamicManifest ReadDynamicManifest(const std::string& path);
+
+}  // namespace parhc

@@ -1,0 +1,48 @@
+// A read-only array that is either owned (a std::vector built in RAM) or
+// a zero-copy view into a mapped snapshot file (plus the keepalive that
+// pins the mapping). The engine's kNN sorted-prefix matrix uses this so a
+// warm-started dataset serves core-distance derivations straight out of
+// the page cache without materializing an n x K copy.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "store/span.h"
+
+namespace parhc {
+
+template <typename T>
+class MappedArray {
+ public:
+  MappedArray() = default;
+
+  /// Owned storage.
+  MappedArray(std::vector<T> v)  // NOLINT — implicit by design
+      : owned_(std::move(v)), view_(owned_.data(), owned_.size()) {}
+
+  /// Zero-copy view; `keepalive` pins the backing mapping.
+  MappedArray(Span<const T> view, std::shared_ptr<const void> keepalive)
+      : view_(view), keepalive_(std::move(keepalive)) {}
+
+  // Moves keep the view valid (a vector move transfers its heap buffer);
+  // copies are deleted — they would alias or dangle the view.
+  MappedArray(MappedArray&&) = default;
+  MappedArray& operator=(MappedArray&&) = default;
+  MappedArray(const MappedArray&) = delete;
+  MappedArray& operator=(const MappedArray&) = delete;
+
+  size_t size() const { return view_.size(); }
+  bool empty() const { return view_.empty(); }
+  const T* data() const { return view_.data(); }
+  const T& operator[](size_t i) const { return view_[i]; }
+
+ private:
+  std::vector<T> owned_;
+  Span<const T> view_;
+  std::shared_ptr<const void> keepalive_;
+};
+
+}  // namespace parhc

@@ -1,0 +1,484 @@
+#include "store/snapshot.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+
+#include "store/manifest.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define PARHC_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
+
+namespace parhc {
+
+uint64_t Checksum64(const void* data, size_t bytes) {
+  // Word-at-a-time multiply-xor mix (FNV-1a's prime over uint64 lanes): a
+  // flipped bit anywhere changes the result with overwhelming probability,
+  // and the loop runs near memory bandwidth.
+  constexpr uint64_t kPrime = 0x100000001b3ull;
+  uint64_t h = 0xcbf29ce484222325ull ^ (static_cast<uint64_t>(bytes) * kPrime);
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  size_t words = bytes / 8;
+  for (size_t i = 0; i < words; ++i) {
+    uint64_t w;
+    std::memcpy(&w, p + i * 8, 8);
+    h = (h ^ w) * kPrime;
+    h ^= h >> 29;
+  }
+  for (size_t i = words * 8; i < bytes; ++i) {
+    h = (h ^ p[i]) * kPrime;
+  }
+  h ^= h >> 32;
+  return h;
+}
+
+// ---- MappedFile -----------------------------------------------------------
+
+std::shared_ptr<const MappedFile> MappedFile::Open(const std::string& path) {
+  auto file = std::shared_ptr<MappedFile>(new MappedFile());
+#if PARHC_HAVE_MMAP
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    throw SnapshotIoError(path + ": cannot open: " + std::strerror(errno));
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    int err = errno;
+    ::close(fd);
+    throw SnapshotIoError(path + ": cannot stat: " + std::strerror(err));
+  }
+  size_t size = static_cast<size_t>(st.st_size);
+  if (size > 0) {
+    void* p = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+    if (p != MAP_FAILED) {
+      file->data_ = static_cast<const uint8_t*>(p);
+      file->size_ = size;
+      file->mapped_ = true;
+      ::close(fd);
+      return file;
+    }
+  }
+  ::close(fd);
+  // Empty file, or mmap refused (e.g. an exotic filesystem): fall through
+  // to the buffered path below — same interface, one extra copy.
+#endif
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in.good()) {
+    throw SnapshotIoError(path + ": cannot open");
+  }
+  std::streamoff size2 = in.tellg();
+  in.seekg(0);
+  uint8_t* buf = new uint8_t[static_cast<size_t>(size2) + 1];  // +1: size 0
+  in.read(reinterpret_cast<char*>(buf), size2);
+  if (!in.good() && size2 > 0) {
+    delete[] buf;
+    throw SnapshotIoError(path + ": short read");
+  }
+  file->data_ = buf;
+  file->size_ = static_cast<size_t>(size2);
+  file->mapped_ = false;
+  return file;
+}
+
+MappedFile::~MappedFile() {
+#if PARHC_HAVE_MMAP
+  if (mapped_) {
+    ::munmap(const_cast<uint8_t*>(data_), size_);
+    return;
+  }
+#endif
+  delete[] data_;
+}
+
+// ---- SnapshotFile ---------------------------------------------------------
+
+namespace {
+
+/// The header bytes with table_checksum zeroed, followed by the table —
+/// what `table_checksum` is computed over (by writer and reader alike).
+uint64_t TableChecksum(const SnapshotHeader& header,
+                       const SectionEntry* table, size_t sections) {
+  SnapshotHeader h = header;
+  h.table_checksum = 0;
+  std::vector<uint8_t> buf(sizeof(h) + sections * sizeof(SectionEntry));
+  std::memcpy(buf.data(), &h, sizeof(h));
+  if (sections > 0) {
+    std::memcpy(buf.data() + sizeof(h), table,
+                sections * sizeof(SectionEntry));
+  }
+  return Checksum64(buf.data(), buf.size());
+}
+
+}  // namespace
+
+SnapshotFile::SnapshotFile(const std::string& path) : path_(path) {
+  file_ = MappedFile::Open(path);
+  if (file_->size() < sizeof(SnapshotHeader)) {
+    throw SnapshotFormatError(path + ": truncated (no snapshot header)");
+  }
+  std::memcpy(&header_, file_->data(), sizeof(header_));
+  if (header_.magic != kSnapshotMagic) {
+    throw SnapshotFormatError(path + ": not a parhc snapshot file");
+  }
+  if (header_.version != kSnapshotVersion) {
+    throw SnapshotVersionError(
+        path + ": snapshot format version " +
+        std::to_string(header_.version) + ", this build reads version " +
+        std::to_string(kSnapshotVersion));
+  }
+  if (file_->size() != header_.file_size) {
+    throw SnapshotFormatError(
+        path + ": file is " + std::to_string(file_->size()) +
+        " bytes, header says " + std::to_string(header_.file_size) +
+        " (truncated or padded)");
+  }
+  size_t table_bytes =
+      static_cast<size_t>(header_.sections) * sizeof(SectionEntry);
+  if (file_->size() - sizeof(header_) < table_bytes) {
+    throw SnapshotFormatError(path + ": truncated (section table)");
+  }
+  table_.resize(header_.sections);
+  if (header_.sections > 0) {
+    std::memcpy(table_.data(), file_->data() + sizeof(header_), table_bytes);
+  }
+  if (TableChecksum(header_, table_.data(), table_.size()) !=
+      header_.table_checksum) {
+    throw SnapshotChecksumError(path + ": header/table checksum mismatch");
+  }
+  // The table checksum vouches for the entries; bounds still need the
+  // actual file size, and payload checksums need the payload bytes.
+  for (const SectionEntry& e : table_) {
+    if (e.offset % kSectionAlign != 0 || e.offset > file_->size() ||
+        file_->size() - e.offset < e.bytes) {
+      throw SnapshotFormatError(path + ": truncated (section " +
+                                std::to_string(e.id) +
+                                " exceeds file size)");
+    }
+    if (Checksum64(file_->data() + e.offset, e.bytes) != e.checksum) {
+      throw SnapshotChecksumError(path + ": section " +
+                                  std::to_string(e.id) +
+                                  " checksum mismatch");
+    }
+  }
+}
+
+void SnapshotFile::ExpectKind(SnapshotKind kind, uint32_t dim) const {
+  if (this->kind() != kind) {
+    throw SnapshotSchemaError(
+        path_ + ": snapshot kind " + std::to_string(header_.kind) +
+        ", expected " + std::to_string(static_cast<uint16_t>(kind)));
+  }
+  if (dim != 0 && header_.dim != dim) {
+    throw SnapshotSchemaError(path_ + ": snapshot dimension " +
+                              std::to_string(header_.dim) + ", expected " +
+                              std::to_string(dim));
+  }
+}
+
+bool SnapshotFile::HasSection(SectionId id) const {
+  return FindSection(id) != nullptr;
+}
+
+const SectionEntry* SnapshotFile::FindSection(SectionId id) const {
+  for (const SectionEntry& e : table_) {
+    if (e.id == static_cast<uint32_t>(id)) return &e;
+  }
+  return nullptr;
+}
+
+void SnapshotFile::RaiseMissingSection(uint32_t id) const {
+  throw SnapshotFormatError(path_ + ": missing section " +
+                            std::to_string(id));
+}
+
+void SnapshotFile::RaiseElemSizeMismatch(uint32_t id, uint32_t stored,
+                                         size_t expected) const {
+  throw SnapshotSchemaError(path_ + ": section " + std::to_string(id) +
+                            " element size " + std::to_string(stored) +
+                            ", expected " + std::to_string(expected));
+}
+
+// ---- SnapshotWriter -------------------------------------------------------
+
+SnapshotWriter::SnapshotWriter(SnapshotKind kind, uint32_t dim,
+                               uint64_t count, uint64_t param, uint64_t aux) {
+  header_.kind = static_cast<uint16_t>(kind);
+  header_.dim = dim;
+  header_.count = count;
+  header_.param = param;
+  header_.aux = aux;
+}
+
+void SnapshotWriter::AddRawSection(SectionId id, const void* data,
+                                   size_t bytes, uint32_t elem_size) {
+  Pending p;
+  p.entry.id = static_cast<uint32_t>(id);
+  p.entry.elem_size = elem_size;
+  p.entry.bytes = bytes;
+  p.entry.checksum = Checksum64(data, bytes);
+  p.data = data;
+  sections_.push_back(p);
+}
+
+void SnapshotWriter::Write(const std::string& path) {
+  header_.sections = static_cast<uint32_t>(sections_.size());
+  uint64_t offset = sizeof(SnapshotHeader) +
+                    sections_.size() * sizeof(SectionEntry);
+  offset = (offset + kSectionAlign - 1) / kSectionAlign * kSectionAlign;
+  std::vector<SectionEntry> table;
+  table.reserve(sections_.size());
+  for (Pending& p : sections_) {
+    p.entry.offset = offset;
+    table.push_back(p.entry);
+    offset += p.entry.bytes;
+    offset = (offset + kSectionAlign - 1) / kSectionAlign * kSectionAlign;
+  }
+  header_.file_size = offset;
+  header_.table_checksum = TableChecksum(header_, table.data(), table.size());
+
+  // Temp-then-rename so a crash mid-write never leaves a half snapshot
+  // under the final name (loads would reject it anyway, but the rename
+  // keeps any previous complete snapshot intact).
+  std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out.good()) {
+      throw SnapshotIoError(tmp + ": cannot open for writing");
+    }
+    out.write(reinterpret_cast<const char*>(&header_), sizeof(header_));
+    out.write(reinterpret_cast<const char*>(table.data()),
+              static_cast<std::streamsize>(table.size() *
+                                           sizeof(SectionEntry)));
+    uint64_t pos = sizeof(SnapshotHeader) +
+                   table.size() * sizeof(SectionEntry);
+    static const char kZeros[kSectionAlign] = {0};
+    for (size_t i = 0; i < sections_.size(); ++i) {
+      uint64_t pad = table[i].offset - pos;
+      out.write(kZeros, static_cast<std::streamsize>(pad));
+      if (table[i].bytes > 0) {  // empty sections may carry a null pointer
+        out.write(static_cast<const char*>(sections_[i].data),
+                  static_cast<std::streamsize>(table[i].bytes));
+      }
+      pos = table[i].offset + table[i].bytes;
+    }
+    uint64_t tail = (pos + kSectionAlign - 1) / kSectionAlign *
+                        kSectionAlign - pos;
+    out.write(kZeros, static_cast<std::streamsize>(tail));
+    // Close (flushing the filebuf) and re-check *before* the rename: a
+    // flush error at close (e.g. disk full on the last buffered chunk)
+    // must fail the save while the previous complete snapshot still sits
+    // untouched under the final name.
+    out.close();
+    if (out.fail()) {
+      std::remove(tmp.c_str());
+      throw SnapshotIoError(tmp + ": write failed");
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw SnapshotIoError(path + ": rename failed: " + std::strerror(errno));
+  }
+}
+
+// ---- Manifests ------------------------------------------------------------
+
+namespace {
+
+/// Manifest payload discriminator (header `param` and first payload byte).
+constexpr uint8_t kManifestStatic = 0;
+constexpr uint8_t kManifestDynamic = 1;
+
+void WriteManifestPayload(const std::string& path, uint8_t backend,
+                          uint32_t dim, uint64_t count,
+                          const std::vector<uint8_t>& payload) {
+  SnapshotWriter w(SnapshotKind::kManifest, dim, count, backend);
+  w.AddRawSection(SectionId::kManifestData, payload.data(), payload.size(),
+                  /*elem_size=*/1);
+  w.Write(path);
+}
+
+/// Opens a manifest file and returns (reader over payload, backend kind).
+/// The SnapshotFile is returned through `file` so the payload span stays
+/// mapped while parsing.
+/// Validates a manifest file-name field — the one untrusted string the
+/// loaders join onto a filesystem path. Path separators and dot
+/// components would let a crafted manifest read outside its snapshot
+/// directory, so they are rejected outright.
+std::string SafeFileName(const std::string& path, std::string name,
+                         bool allow_empty) {
+  if (name.empty()) {
+    if (allow_empty) return name;
+    throw SnapshotFormatError(path + ": empty artifact file name");
+  }
+  if (name.find('/') != std::string::npos ||
+      name.find('\\') != std::string::npos || name == "." || name == "..") {
+    throw SnapshotFormatError(path + ": unsafe artifact file name '" +
+                              name + "'");
+  }
+  return name;
+}
+
+ByteReader OpenManifest(const std::string& path,
+                        std::unique_ptr<SnapshotFile>* file,
+                        uint8_t* backend) {
+  file->reset(new SnapshotFile(path));
+  (*file)->ExpectKind(SnapshotKind::kManifest);
+  *backend = static_cast<uint8_t>((*file)->param());
+  if (*backend != kManifestStatic && *backend != kManifestDynamic) {
+    throw SnapshotSchemaError(path + ": unknown manifest backend kind " +
+                              std::to_string((*file)->param()));
+  }
+  return ByteReader((*file)->section<uint8_t>(SectionId::kManifestData),
+                    path);
+}
+
+}  // namespace
+
+void EnsureDatasetDir(const std::string& dir) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    throw SnapshotIoError(dir + ": cannot create directory: " +
+                          ec.message());
+  }
+}
+
+void WriteStaticManifest(const std::string& path, const StaticManifest& m) {
+  ByteWriter w;
+  w.U8(kManifestStatic);
+  w.U32(m.dim);
+  w.U64(m.n);
+  w.Str(m.points_file);
+  w.Str(m.tree_file);
+  w.Str(m.knn_file);
+  w.U64(m.knn_k);
+  w.Str(m.emst_file);
+  w.Str(m.sl_dendro_file);
+  w.U32(static_cast<uint32_t>(m.clusterings.size()));
+  for (const ClusteringManifestEntry& c : m.clusterings) {
+    w.U32(c.min_pts);
+    w.U8(c.has_dendrogram ? 1 : 0);
+    w.Str(c.mst_file);
+    w.Str(c.dendro_file);
+  }
+  WriteManifestPayload(path, kManifestStatic, m.dim, m.n, w.bytes());
+}
+
+void WriteDynamicManifest(const std::string& path, const DynamicManifest& m) {
+  ByteWriter w;
+  w.U8(kManifestDynamic);
+  w.U32(m.dim);
+  w.U64(m.live_count);
+  w.U32(m.next_gid);
+  w.U64(m.next_uid);
+  w.U64(m.next_content_id);
+  w.U32(static_cast<uint32_t>(m.shards.size()));
+  for (const ShardManifestEntry& s : m.shards) {
+    w.U64(s.uid);
+    w.U64(s.content_id);
+    w.U8(s.has_emst ? 1 : 0);
+    w.Str(s.file);
+  }
+  w.U32(static_cast<uint32_t>(m.cross.size()));
+  for (const CrossManifestEntry& c : m.cross) {
+    w.U64(c.cid_a);
+    w.U64(c.cid_b);
+    w.Str(c.file);
+  }
+  WriteManifestPayload(path, kManifestDynamic, m.dim, m.live_count,
+                       w.bytes());
+}
+
+ManifestInfo ReadManifestInfo(const std::string& path) {
+  SnapshotFile f(path);
+  f.ExpectKind(SnapshotKind::kManifest);
+  if (f.param() != kManifestStatic && f.param() != kManifestDynamic) {
+    throw SnapshotSchemaError(path + ": unknown manifest backend kind " +
+                              std::to_string(f.param()));
+  }
+  ManifestInfo info;
+  info.dynamic = f.param() == kManifestDynamic;
+  info.dim = f.dim();
+  info.num_points = f.count();
+  return info;
+}
+
+StaticManifest ReadStaticManifest(const std::string& path) {
+  std::unique_ptr<SnapshotFile> file;
+  uint8_t backend = 0;
+  ByteReader r = OpenManifest(path, &file, &backend);
+  if (backend != kManifestStatic || r.U8() != kManifestStatic) {
+    throw SnapshotSchemaError(path +
+                              ": not a static (immutable) dataset manifest");
+  }
+  StaticManifest m;
+  m.dim = r.U32();
+  m.n = r.U64();
+  m.points_file = SafeFileName(path, r.Str(), /*allow_empty=*/false);
+  m.tree_file = SafeFileName(path, r.Str(), /*allow_empty=*/true);
+  m.knn_file = SafeFileName(path, r.Str(), /*allow_empty=*/true);
+  m.knn_k = r.U64();
+  m.emst_file = SafeFileName(path, r.Str(), /*allow_empty=*/true);
+  m.sl_dendro_file = SafeFileName(path, r.Str(), /*allow_empty=*/true);
+  uint32_t clusterings = r.U32();
+  // Grow per parsed entry (not resize(count)): a corrupt count must hit
+  // the reader's truncation error, not a giant allocation.
+  for (uint32_t i = 0; i < clusterings; ++i) {
+    ClusteringManifestEntry c;
+    c.min_pts = r.U32();
+    c.has_dendrogram = r.U8() != 0;
+    c.mst_file = SafeFileName(path, r.Str(), /*allow_empty=*/false);
+    c.dendro_file = SafeFileName(path, r.Str(), /*allow_empty=*/true);
+    m.clusterings.push_back(std::move(c));
+  }
+  if (!r.AtEnd()) {
+    throw SnapshotFormatError(path + ": trailing bytes after manifest");
+  }
+  return m;
+}
+
+DynamicManifest ReadDynamicManifest(const std::string& path) {
+  std::unique_ptr<SnapshotFile> file;
+  uint8_t backend = 0;
+  ByteReader r = OpenManifest(path, &file, &backend);
+  if (backend != kManifestDynamic || r.U8() != kManifestDynamic) {
+    throw SnapshotSchemaError(path + ": not a dynamic dataset manifest");
+  }
+  DynamicManifest m;
+  m.dim = r.U32();
+  m.live_count = r.U64();
+  m.next_gid = r.U32();
+  m.next_uid = r.U64();
+  m.next_content_id = r.U64();
+  uint32_t shards = r.U32();
+  // Grow per parsed entry (not resize(count)): see ReadStaticManifest.
+  for (uint32_t i = 0; i < shards; ++i) {
+    ShardManifestEntry s;
+    s.uid = r.U64();
+    s.content_id = r.U64();
+    s.has_emst = r.U8() != 0;
+    s.file = SafeFileName(path, r.Str(), /*allow_empty=*/false);
+    m.shards.push_back(std::move(s));
+  }
+  uint32_t cross = r.U32();
+  for (uint32_t i = 0; i < cross; ++i) {
+    CrossManifestEntry c;
+    c.cid_a = r.U64();
+    c.cid_b = r.U64();
+    c.file = SafeFileName(path, r.Str(), /*allow_empty=*/false);
+    m.cross.push_back(std::move(c));
+  }
+  if (!r.AtEnd()) {
+    throw SnapshotFormatError(path + ": trailing bytes after manifest");
+  }
+  return m;
+}
+
+}  // namespace parhc

@@ -1,0 +1,205 @@
+// Snapshot file reader/writer of the persistent artifact store.
+//
+// SnapshotWriter assembles a file from typed sections and writes it
+// atomically (temp file + rename), computing the per-section and table
+// checksums of format.h. SnapshotFile opens a file, validates it fully
+// (magic, version, table checksum, section bounds, per-section checksums),
+// and serves zero-copy typed Spans into the mmapped bytes; artifacts that
+// adopt those spans keep the SnapshotFile alive through a shared_ptr. On
+// platforms without mmap (or when mapping fails) the file is read into an
+// anonymous buffer instead — same interface, one extra copy.
+//
+// ByteWriter/ByteReader build and parse the manifest's variable-length
+// payload (length-prefixed strings, fixed-width little-endian integers);
+// the reader raises SnapshotFormatError on any overrun instead of
+// trusting the producer.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "store/errors.h"
+#include "store/format.h"
+#include "store/span.h"
+
+namespace parhc {
+
+/// A file mapped read-only into memory (or buffered when mmap is
+/// unavailable). Movable handle; unmaps on destruction.
+class MappedFile {
+ public:
+  /// Maps `path`; raises SnapshotIoError when it cannot be opened or
+  /// mapped-or-read.
+  static std::shared_ptr<const MappedFile> Open(const std::string& path);
+  ~MappedFile();
+
+  const uint8_t* data() const { return data_; }
+  size_t size() const { return size_; }
+
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+
+ private:
+  MappedFile() = default;
+
+  const uint8_t* data_ = nullptr;
+  size_t size_ = 0;
+  bool mapped_ = false;               ///< true: munmap; false: delete[]
+};
+
+/// One opened, fully-validated snapshot file.
+class SnapshotFile {
+ public:
+  /// Opens and validates `path` end to end. Raises the typed errors of
+  /// errors.h; on return every section checksum has been verified.
+  explicit SnapshotFile(const std::string& path);
+
+  const std::string& path() const { return path_; }
+  SnapshotKind kind() const { return static_cast<SnapshotKind>(header_.kind); }
+  uint32_t dim() const { return header_.dim; }
+  uint64_t count() const { return header_.count; }
+  uint64_t param() const { return header_.param; }
+  uint64_t aux() const { return header_.aux; }
+
+  /// Raises SnapshotSchemaError unless the header matches `kind` (and
+  /// `dim`, when non-zero).
+  void ExpectKind(SnapshotKind kind, uint32_t dim = 0) const;
+
+  bool HasSection(SectionId id) const;
+
+  /// Typed view of a section's payload. Raises SnapshotFormatError when
+  /// the section is absent or its byte size is not a multiple of
+  /// sizeof(T), SnapshotSchemaError when the recorded element size
+  /// disagrees with T.
+  template <typename T>
+  Span<const T> section(SectionId id) const {
+    const SectionEntry* e = FindSection(id);
+    if (e == nullptr) {
+      RaiseMissingSection(static_cast<uint32_t>(id));
+    }
+    if (e->elem_size != sizeof(T) || e->bytes % sizeof(T) != 0) {
+      RaiseElemSizeMismatch(static_cast<uint32_t>(id), e->elem_size,
+                            sizeof(T));
+    }
+    return Span<const T>(
+        reinterpret_cast<const T*>(file_->data() + e->offset),
+        e->bytes / sizeof(T));
+  }
+
+  /// The mapping backing every Span this file hands out; adopters hold it.
+  std::shared_ptr<const MappedFile> mapping() const { return file_; }
+
+ private:
+  const SectionEntry* FindSection(SectionId id) const;
+  [[noreturn]] void RaiseMissingSection(uint32_t id) const;
+  [[noreturn]] void RaiseElemSizeMismatch(uint32_t id, uint32_t stored,
+                                          size_t expected) const;
+
+  std::string path_;
+  std::shared_ptr<const MappedFile> file_;
+  SnapshotHeader header_;
+  std::vector<SectionEntry> table_;
+};
+
+/// Assembles one snapshot file. Section payloads must stay alive until
+/// Write(); the writer copies nothing up front.
+class SnapshotWriter {
+ public:
+  SnapshotWriter(SnapshotKind kind, uint32_t dim, uint64_t count,
+                 uint64_t param = 0, uint64_t aux = 0);
+
+  /// Adds one typed section (elem_size = sizeof(T)).
+  template <typename T>
+  void AddSection(SectionId id, const T* data, size_t n) {
+    AddRawSection(id, data, n * sizeof(T), sizeof(T));
+  }
+
+  void AddRawSection(SectionId id, const void* data, size_t bytes,
+                     uint32_t elem_size);
+
+  /// Writes the file atomically (temp + rename). Raises SnapshotIoError
+  /// on any filesystem failure.
+  void Write(const std::string& path);
+
+ private:
+  SnapshotHeader header_;
+  struct Pending {
+    SectionEntry entry;
+    const void* data;
+  };
+  std::vector<Pending> sections_;
+};
+
+/// Little-endian byte-stream builder for manifest payloads.
+class ByteWriter {
+ public:
+  void U8(uint8_t v) { bytes_.push_back(v); }
+  void U32(uint32_t v) { Raw(&v, sizeof(v)); }
+  void U64(uint64_t v) { Raw(&v, sizeof(v)); }
+  void Str(const std::string& s) {
+    U32(static_cast<uint32_t>(s.size()));
+    Raw(s.data(), s.size());
+  }
+
+  const std::vector<uint8_t>& bytes() const { return bytes_; }
+
+ private:
+  void Raw(const void* p, size_t n) {
+    const uint8_t* b = static_cast<const uint8_t*>(p);
+    bytes_.insert(bytes_.end(), b, b + n);
+  }
+
+  std::vector<uint8_t> bytes_;
+};
+
+/// Bounds-checked reader over a manifest payload; raises
+/// SnapshotFormatError on overrun instead of reading past the section.
+class ByteReader {
+ public:
+  ByteReader(Span<const uint8_t> bytes, std::string context)
+      : bytes_(bytes), context_(std::move(context)) {}
+
+  uint8_t U8() {
+    Need(1);
+    return bytes_[pos_++];
+  }
+  uint32_t U32() {
+    uint32_t v;
+    Fixed(&v, sizeof(v));
+    return v;
+  }
+  uint64_t U64() {
+    uint64_t v;
+    Fixed(&v, sizeof(v));
+    return v;
+  }
+  std::string Str() {
+    uint32_t n = U32();
+    Need(n);
+    std::string s(reinterpret_cast<const char*>(bytes_.data() + pos_), n);
+    pos_ += n;
+    return s;
+  }
+  bool AtEnd() const { return pos_ == bytes_.size(); }
+
+ private:
+  void Need(size_t n) {
+    if (bytes_.size() - pos_ < n) {
+      throw SnapshotFormatError(context_ + ": manifest payload truncated");
+    }
+  }
+  void Fixed(void* out, size_t n) {
+    Need(n);
+    std::memcpy(out, bytes_.data() + pos_, n);
+    pos_ += n;
+  }
+
+  Span<const uint8_t> bytes_;
+  size_t pos_ = 0;
+  std::string context_;
+};
+
+}  // namespace parhc

@@ -1,0 +1,29 @@
+// Minimal non-owning contiguous view, used by the persistent artifact
+// store (src/store/) for zero-copy access to mmap-backed snapshot
+// sections. Intentionally tiny (no std::span in C++17): just enough to
+// iterate, index, and size-check a typed region of a mapped file.
+#pragma once
+
+#include <cstddef>
+
+namespace parhc {
+
+template <typename T>
+class Span {
+ public:
+  Span() = default;
+  Span(const T* data, size_t size) : data_(data), size_(size) {}
+
+  const T* data() const { return data_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  const T& operator[](size_t i) const { return data_[i]; }
+  const T* begin() const { return data_; }
+  const T* end() const { return data_ + size_; }
+
+ private:
+  const T* data_ = nullptr;
+  size_t size_ = 0;
+};
+
+}  // namespace parhc

@@ -152,6 +152,47 @@ TEST(ShardForest, TombstonesAndCompaction) {
   }
 }
 
+// The gid locator and dense map compact: after many insert/delete epochs
+// their sizes track the *live* count, never the historical gid space —
+// the ROADMAP churn-scaling fix (per-epoch work stays O(live points)).
+TEST(ShardForest, LocatorStaysBoundedUnderChurn) {
+  constexpr size_t kBatch = 200;
+  constexpr int kEpochs = 50;
+  DynamicArtifacts<2> artifacts;
+  EngineRequest req;
+  req.type = QueryType::kEmst;
+  std::mt19937_64 rng(99);
+  for (int epoch = 0; epoch < kEpochs; ++epoch) {
+    uint32_t first =
+        artifacts.InsertBatch(test::RandomPoints<2>(kBatch, rng()));
+    // Query so the dense gid map actually materializes each epoch.
+    EngineResponse r;
+    ASSERT_TRUE(artifacts.Answer(req, /*allow_build=*/true, &r));
+    ASSERT_TRUE(r.ok) << r.error;
+    EXPECT_EQ(artifacts.dense_map_size(), artifacts.num_points());
+    // Delete most of the batch, keeping a small resident remainder.
+    std::vector<uint32_t> doomed;
+    for (uint32_t g = first; g < first + kBatch - 10; ++g) {
+      doomed.push_back(g);
+    }
+    EXPECT_EQ(artifacts.DeleteBatch(doomed), doomed.size());
+    // The locator holds exactly the live gids — deleted history leaves no
+    // residue, however many gids have been burned through.
+    EXPECT_EQ(artifacts.forest().locator_size(), artifacts.num_points());
+    EXPECT_EQ(artifacts.num_points(), size_t{10} * (epoch + 1));
+  }
+  // 50 epochs burned ~10k gids; live structures stay at the ~500 live
+  // points (the old dense-array scheme would have grown 20x larger).
+  EXPECT_EQ(artifacts.forest().next_gid(), kBatch * kEpochs);
+  EXPECT_EQ(artifacts.forest().locator_size(), size_t{10} * kEpochs);
+  EngineResponse r;
+  ASSERT_TRUE(artifacts.Answer(req, /*allow_build=*/true, &r));
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(artifacts.dense_map_size(), size_t{10} * kEpochs);
+  EXPECT_EQ(r.point_ids->size(), size_t{10} * kEpochs);
+  EXPECT_TRUE(std::is_sorted(r.point_ids->begin(), r.point_ids->end()));
+}
+
 // --- Randomized oracle: exactness after every insert/delete batch --------
 
 /// Mirror of the forest contents by gid, for from-scratch rebuilds.

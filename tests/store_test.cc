@@ -1,0 +1,486 @@
+// Persistent artifact store (src/store/): snapshot round trips, typed
+// rejection of corrupt / truncated / version-skewed files, and
+// snapshot-while-serving concurrency.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "data/generators.h"
+#include "engine/engine.h"
+#include "store/artifact_io.h"
+#include "store/manifest.h"
+#include "store/snapshot.h"
+#include "test_util.h"
+
+namespace parhc {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// A fresh empty directory under the test temp root, removed by the
+/// destructor.
+struct TempDir {
+  explicit TempDir(const std::string& tag)
+      : path(fs::path(::testing::TempDir()) /
+             ("parhc_store_" + tag + "_" +
+              std::to_string(reinterpret_cast<uintptr_t>(this)))) {
+    fs::remove_all(path);
+    fs::create_directories(path);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    fs::remove_all(path, ec);
+  }
+  std::string str() const { return path.string(); }
+  fs::path path;
+};
+
+std::vector<uint8_t> ReadAll(const fs::path& p) {
+  std::ifstream in(p, std::ios::binary | std::ios::ate);
+  EXPECT_TRUE(in.good()) << p;
+  std::vector<uint8_t> bytes(static_cast<size_t>(in.tellg()));
+  in.seekg(0);
+  in.read(reinterpret_cast<char*>(bytes.data()),
+          static_cast<std::streamsize>(bytes.size()));
+  return bytes;
+}
+
+void WriteAll(const fs::path& p, const std::vector<uint8_t>& bytes) {
+  std::ofstream out(p, std::ios::binary | std::ios::trunc);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  ASSERT_TRUE(out.good()) << p;
+}
+
+/// Sorted relative file names inside a dataset directory.
+std::vector<std::string> DirFiles(const fs::path& dir) {
+  std::vector<std::string> names;
+  for (const auto& e : fs::directory_iterator(dir)) {
+    names.push_back(e.path().filename().string());
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+/// Warms an engine dataset through the standard query mix so every
+/// artifact class (tree, kNN prefixes, EMST, single-linkage dendrogram,
+/// two per-minPts clusterings with dendrograms) is cached.
+void WarmDataset(ClusteringEngine& engine, const std::string& name) {
+  EngineRequest req;
+  req.dataset = name;
+  req.type = QueryType::kHdbscan;
+  req.min_pts = 16;
+  ASSERT_TRUE(engine.Run(req).ok);
+  req.min_pts = 5;
+  ASSERT_TRUE(engine.Run(req).ok);
+  req.type = QueryType::kEmst;
+  ASSERT_TRUE(engine.Run(req).ok);
+  req.type = QueryType::kSingleLinkage;
+  req.k = 3;
+  ASSERT_TRUE(engine.Run(req).ok);
+}
+
+// --- Round trips ----------------------------------------------------------
+
+TEST(SnapshotRoundTrip, StaticArtifactsBitIdentical) {
+  auto pts = SeedSpreaderVarden<2>(2500, 21, 3);
+  ClusteringEngine cold;
+  cold.registry().Add("d", pts);
+  WarmDataset(cold, "d");
+
+  TempDir dir("static");
+  ASSERT_EQ(cold.SaveDataset("d", dir.str()), "");
+
+  ClusteringEngine warm;
+  ASSERT_EQ(warm.LoadDataset("d", dir.str()), "");
+
+  auto infos = warm.registry().List();
+  ASSERT_EQ(infos.size(), 1u);
+  EXPECT_EQ(infos[0].dim, 2);
+  EXPECT_EQ(infos[0].num_points, pts.size());
+  EXPECT_EQ(infos[0].knn_k, 16u);
+  EXPECT_EQ(infos[0].cached_clusterings, 2u);
+
+  EngineRequest req;
+  req.dataset = "d";
+  for (int min_pts : {5, 16}) {
+    req.type = QueryType::kHdbscan;
+    req.min_pts = min_pts;
+    EngineResponse a = cold.Run(req);
+    EngineResponse b = warm.Run(req);
+    ASSERT_TRUE(a.ok && b.ok);
+    // The warm engine must answer entirely from loaded artifacts.
+    EXPECT_TRUE(b.built.empty())
+        << "minPts=" << min_pts << " rebuilt " << b.built[0];
+    EXPECT_EQ(a.mst_weight, b.mst_weight);
+    ASSERT_EQ(a.mst->size(), b.mst->size());
+    for (size_t i = 0; i < a.mst->size(); ++i) {
+      ASSERT_EQ((*a.mst)[i].u, (*b.mst)[i].u);
+      ASSERT_EQ((*a.mst)[i].v, (*b.mst)[i].v);
+      ASSERT_EQ((*a.mst)[i].w, (*b.mst)[i].w);
+    }
+    ASSERT_EQ(a.core_dist->size(), b.core_dist->size());
+    for (size_t i = 0; i < a.core_dist->size(); ++i) {
+      ASSERT_EQ((*a.core_dist)[i], (*b.core_dist)[i]);
+    }
+    // Flat clusterings from the loaded dendrogram.
+    req.type = QueryType::kStableClusters;
+    req.min_cluster_size = 20;
+    EngineResponse ca = cold.Run(req);
+    EngineResponse cb = warm.Run(req);
+    ASSERT_TRUE(ca.ok && cb.ok);
+    EXPECT_EQ(ca.labels, cb.labels);
+  }
+  req.type = QueryType::kEmst;
+  EngineResponse ea = cold.Run(req);
+  EngineResponse eb = warm.Run(req);
+  ASSERT_TRUE(ea.ok && eb.ok);
+  EXPECT_TRUE(eb.built.empty());
+  EXPECT_EQ(ea.mst_weight, eb.mst_weight);
+  req.type = QueryType::kSingleLinkage;
+  req.k = 3;
+  EngineResponse sa = cold.Run(req);
+  EngineResponse sb = warm.Run(req);
+  ASSERT_TRUE(sa.ok && sb.ok);
+  EXPECT_EQ(sa.labels, sb.labels);
+}
+
+TEST(SnapshotRoundTrip, SaveLoadSaveByteIdentical) {
+  auto pts = test::RandomPoints<3>(1200, 7);
+  ClusteringEngine engine;
+  engine.registry().Add("d", pts);
+  WarmDataset(engine, "d");
+
+  TempDir dir1("first"), dir2("second");
+  ASSERT_EQ(engine.SaveDataset("d", dir1.str()), "");
+
+  ClusteringEngine loaded;
+  ASSERT_EQ(loaded.LoadDataset("d", dir1.str()), "");
+  ASSERT_EQ(loaded.SaveDataset("d", dir2.str()), "");
+
+  ASSERT_EQ(DirFiles(dir1.path), DirFiles(dir2.path));
+  for (const std::string& name : DirFiles(dir1.path)) {
+    EXPECT_EQ(ReadAll(dir1.path / name), ReadAll(dir2.path / name))
+        << name << " is not byte-identical across save -> load -> save";
+  }
+}
+
+TEST(SnapshotRoundTrip, DynamicForestRoundTrip) {
+  auto pts = SeedSpreaderVarden<2>(1500, 33, 3);
+  ClusteringEngine cold;
+  cold.registry().AddDynamic("d", 2);
+  auto rows = test::RowsFrom(pts);
+  // Several batches (a multi-shard forest) plus deletes (tombstones).
+  ASSERT_EQ(cold.InsertBatch(
+                "d", {rows.begin(), rows.begin() + 1000}, nullptr),
+            "");
+  ASSERT_EQ(cold.InsertBatch(
+                "d", {rows.begin() + 1000, rows.begin() + 1400}, nullptr),
+            "");
+  ASSERT_EQ(cold.InsertBatch("d", {rows.begin() + 1400, rows.end()}, nullptr),
+            "");
+  size_t deleted = 0;
+  ASSERT_EQ(cold.DeleteBatch("d", {3, 44, 555, 1401}, &deleted), "");
+  EXPECT_EQ(deleted, 4u);
+
+  EngineRequest req;
+  req.dataset = "d";
+  req.type = QueryType::kEmst;
+  EngineResponse ea = cold.Run(req);
+  ASSERT_TRUE(ea.ok) << ea.error;
+  req.type = QueryType::kHdbscan;
+  req.min_pts = 10;
+  EngineResponse ha = cold.Run(req);
+  ASSERT_TRUE(ha.ok) << ha.error;
+
+  TempDir dir("dynamic"), dir2("dynamic2");
+  ASSERT_EQ(cold.SaveDataset("d", dir.str()), "");
+
+  ClusteringEngine warm;
+  ASSERT_EQ(warm.LoadDataset("d", dir.str()), "");
+  auto infos = warm.registry().List();
+  ASSERT_EQ(infos.size(), 1u);
+  EXPECT_TRUE(infos[0].dynamic);
+  EXPECT_EQ(infos[0].num_points, pts.size() - 4);
+
+  // The restored forest answers bit-identically (per-shard EMSTs and the
+  // cross tier came back warm; only the global Kruskal re-runs).
+  req.type = QueryType::kEmst;
+  EngineResponse eb = warm.Run(req);
+  ASSERT_TRUE(eb.ok) << eb.error;
+  EXPECT_EQ(ea.mst_weight, eb.mst_weight);
+  ASSERT_EQ(ea.point_ids->size(), eb.point_ids->size());
+  EXPECT_EQ(*ea.point_ids, *eb.point_ids);
+  req.type = QueryType::kHdbscan;
+  EngineResponse hb = warm.Run(req);
+  ASSERT_TRUE(hb.ok) << hb.error;
+  EXPECT_EQ(ha.mst_weight, hb.mst_weight);
+  for (size_t i = 0; i < ha.core_dist->size(); ++i) {
+    ASSERT_EQ((*ha.core_dist)[i], (*hb.core_dist)[i]);
+  }
+
+  // Gid allocation resumes after the saved cursor: new inserts never
+  // collide with restored gids.
+  uint32_t first = 0;
+  ASSERT_EQ(warm.InsertBatch("d", {rows.begin(), rows.begin() + 5}, &first),
+            "");
+  EXPECT_GE(first, pts.size());
+
+  // And the dynamic manifest round-trips byte-identically too.
+  ClusteringEngine replay;
+  ASSERT_EQ(replay.LoadDataset("d", dir.str()), "");
+  ASSERT_EQ(replay.SaveDataset("d", dir2.str()), "");
+  ASSERT_EQ(DirFiles(dir.path), DirFiles(dir2.path));
+  for (const std::string& name : DirFiles(dir.path)) {
+    EXPECT_EQ(ReadAll(dir.path / name), ReadAll(dir2.path / name))
+        << name << " is not byte-identical across save -> load -> save";
+  }
+}
+
+// Saving right after a delete — before any build re-runs
+// PurgeStaleCrossEdges — must not snapshot cross-tier entries keyed by
+// retired content ids (their edges can reference tombstoned endpoints,
+// which LoadFrom rightly rejects). Regression: this exact sequence once
+// produced a snapshot the engine itself refused to load.
+TEST(SnapshotRoundTrip, SaveAfterDeleteWithoutRebuildLoads) {
+  // Two shards (different Bentley–Saxe size classes, so no merge) whose
+  // between-shard closest pair is known by construction: batch A sits in
+  // [0,1]^2 plus an outpost at (10, 0) — gid 100; batch B sits in
+  // [20,21]^2 plus an outpost at (10.1, 0) — gid 101. The cached cross
+  // BCCP edge is therefore (100, 101), and deleting gid 100 leaves the
+  // cross tier holding a stale entry whose endpoint is tombstoned.
+  ClusteringEngine engine;
+  engine.registry().AddDynamic("d", 2);
+  auto batch_a = test::RowsFrom(test::RandomPoints<2>(100, 13, /*side=*/1.0));
+  batch_a.push_back({10.0, 0.0});  // gid 100
+  auto batch_b = test::RowsFrom(test::RandomPoints<2>(40, 14, /*side=*/1.0));
+  for (auto& row : batch_b) {
+    row[0] += 20.0;
+    row[1] += 20.0;
+  }
+  batch_b.insert(batch_b.begin(), {10.1, 0.0});  // gid 101
+  ASSERT_EQ(engine.InsertBatch("d", batch_a, nullptr), "");
+  ASSERT_EQ(engine.InsertBatch("d", batch_b, nullptr), "");
+  EngineRequest req;
+  req.dataset = "d";
+  req.type = QueryType::kEmst;
+  EngineResponse before = engine.Run(req);
+  ASSERT_TRUE(before.ok) << before.error;  // populates the cross tier
+  size_t deleted = 0;
+  ASSERT_EQ(engine.DeleteBatch("d", {100}, &deleted), "");
+  ASSERT_EQ(deleted, 1u);
+
+  TempDir dir("stale_cross");
+  ASSERT_EQ(engine.SaveDataset("d", dir.str()), "");
+  ClusteringEngine warm;
+  ASSERT_EQ(warm.LoadDataset("d", dir.str()), "");
+
+  // Both engines agree on the post-delete EMST.
+  EngineResponse a = engine.Run(req);
+  EngineResponse b = warm.Run(req);
+  ASSERT_TRUE(a.ok && b.ok) << a.error << b.error;
+  EXPECT_EQ(a.mst_weight, b.mst_weight);
+}
+
+// --- Fuzz: corrupt / truncated / mismatched files must raise -------------
+
+/// A small saved static dataset reused by the fuzz cases.
+class SnapshotFuzz : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::make_unique<TempDir>("fuzz");
+    ClusteringEngine engine;
+    engine.registry().Add("d", test::RandomPoints<2>(300, 3));
+    WarmDataset(engine, "d");
+    ASSERT_EQ(engine.SaveDataset("d", dir_->str()), "");
+  }
+
+  /// Expects LoadDataset to reject the directory with a non-empty error
+  /// (typed SnapshotError internally — never an abort).
+  void ExpectLoadFails(const std::string& what) {
+    ClusteringEngine engine;
+    std::string err = engine.LoadDataset("d", dir_->str());
+    EXPECT_NE(err, "") << what << ": corrupt snapshot was accepted";
+  }
+
+  std::unique_ptr<TempDir> dir_;
+};
+
+TEST_F(SnapshotFuzz, TruncatedFilesRaise) {
+  for (const std::string& name : DirFiles(dir_->path)) {
+    std::vector<uint8_t> orig = ReadAll(dir_->path / name);
+    for (double f : {0.0, 0.2, 0.5, 0.9}) {
+      size_t cut = static_cast<size_t>(orig.size() * f);
+      WriteAll(dir_->path / name,
+               {orig.begin(), orig.begin() + cut});
+      ExpectLoadFails(name + " truncated to " + std::to_string(cut));
+    }
+    // Dropping the last byte alone must already be fatal.
+    WriteAll(dir_->path / name, {orig.begin(), orig.end() - 1});
+    ExpectLoadFails(name + " missing last byte");
+    WriteAll(dir_->path / name, orig);
+  }
+  // Intact again: the round trip still loads.
+  ClusteringEngine engine;
+  EXPECT_EQ(engine.LoadDataset("d", dir_->str()), "");
+}
+
+TEST_F(SnapshotFuzz, FlippedBytesRaise) {
+  // Exhaustive over the point file (its layout has no padding: header +
+  // table + 16-byte point payload, all 8-aligned), sampled over the rest.
+  fs::path points = dir_->path / PointsFileName();
+  std::vector<uint8_t> orig = ReadAll(points);
+  for (size_t i = 0; i < orig.size(); ++i) {
+    std::vector<uint8_t> bad = orig;
+    bad[i] ^= 0x40;
+    WriteAll(points, bad);
+    EXPECT_THROW(SnapshotFile f(points.string()), SnapshotError)
+        << "flip at byte " << i << " was accepted";
+  }
+  WriteAll(points, orig);
+
+  for (const std::string& name : DirFiles(dir_->path)) {
+    std::vector<uint8_t> bytes = ReadAll(dir_->path / name);
+    // Two flips in the header (dim field, file-size field), one past it
+    // (section table, or first payload for single-section files) —
+    // positions chosen to always land in checksummed bytes, never in
+    // inter-section alignment padding.
+    for (size_t pos : {size_t{9}, size_t{50}, size_t{96}}) {
+      std::vector<uint8_t> bad = bytes;
+      bad[pos] ^= 0x01;
+      WriteAll(dir_->path / name, bad);
+      ExpectLoadFails(name + " flipped at " + std::to_string(pos));
+    }
+    WriteAll(dir_->path / name, bytes);
+  }
+}
+
+TEST_F(SnapshotFuzz, WrongVersionRaises) {
+  fs::path points = dir_->path / PointsFileName();
+  std::vector<uint8_t> bytes = ReadAll(points);
+  bytes[4] ^= 0xff;  // SnapshotHeader::version (offset 4, little-endian)
+  WriteAll(points, bytes);
+  EXPECT_THROW(SnapshotFile f(points.string()), SnapshotVersionError);
+  ExpectLoadFails("version skew");
+}
+
+TEST_F(SnapshotFuzz, WrongMagicRaises) {
+  fs::path manifest = dir_->path / kManifestFileName;
+  std::vector<uint8_t> bytes = ReadAll(manifest);
+  bytes[0] = 'X';
+  WriteAll(manifest, bytes);
+  EXPECT_THROW(SnapshotFile f(manifest.string()), SnapshotFormatError);
+  ExpectLoadFails("magic");
+}
+
+TEST_F(SnapshotFuzz, MissingFilesRaise) {
+  fs::remove(dir_->path / KnnFileName());
+  ExpectLoadFails("missing knn file");
+  fs::remove(dir_->path / kManifestFileName);
+  ExpectLoadFails("missing manifest");
+}
+
+// Manifest file-name fields are the one untrusted string joined onto a
+// filesystem path; separators and dot components must be rejected before
+// any loader touches the disk.
+TEST(SnapshotSchema, ManifestPathTraversalRaises) {
+  TempDir dir("traversal");
+  for (const std::string& evil :
+       {std::string("../evil.phcs"), std::string("a/b.phcs"),
+        std::string(".."), std::string("")}) {
+    StaticManifest m;
+    m.dim = 2;
+    m.n = 4;
+    m.points_file = evil;
+    std::string path = dir.str() + "/manifest.phcs";
+    WriteStaticManifest(path, m);
+    EXPECT_THROW(ReadStaticManifest(path), SnapshotFormatError) << evil;
+  }
+}
+
+TEST(SnapshotSchema, WrongDimensionRaises) {
+  TempDir dir("dim");
+  auto pts = test::RandomPoints<3>(64, 9);
+  std::string path = dir.str() + "/pts.phcs";
+  SavePointsSnapshot<3>(path, pts);
+  EXPECT_THROW(LoadPointsSnapshot<2>(path), SnapshotSchemaError);
+  EXPECT_NO_THROW(LoadPointsSnapshot<3>(path));
+}
+
+TEST(SnapshotSchema, WrongKindRaises) {
+  TempDir dir("kind");
+  auto pts = test::RandomPoints<2>(64, 9);
+  std::string path = dir.str() + "/pts.phcs";
+  SavePointsSnapshot<2>(path, pts);
+  EXPECT_THROW(LoadKdTreeSnapshot<2>(path), SnapshotSchemaError);
+  EXPECT_THROW(LoadEdgesSnapshot(path, 0, 64), SnapshotSchemaError);
+}
+
+// --- Snapshot-while-serving (the TSan job runs this under -fsanitize=thread)
+
+TEST(StoreConcurrency, SaveWhileServingStaysConsistent) {
+  auto pts = SeedSpreaderVarden<2>(1200, 17, 3);
+  ClusteringEngine engine;
+  engine.registry().Add("d", pts);
+  WarmDataset(engine, "d");
+  TempDir save_dir("concurrent_save");
+  TempDir seed_dir("concurrent_seed");
+  ASSERT_EQ(engine.SaveDataset("d", seed_dir.str()), "");
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> failures{0};
+
+  // Readers: cache-hit queries run under the shared lock, concurrently
+  // with the snapshot writer.
+  std::thread reader([&] {
+    EngineRequest req;
+    req.dataset = "d";
+    req.type = QueryType::kHdbscan;
+    req.min_pts = 16;
+    double want = engine.Run(req).mst_weight;
+    while (!stop.load()) {
+      EngineResponse r = engine.Run(req);
+      if (!r.ok || r.mst_weight != want) failures.fetch_add(1);
+    }
+  });
+  // Snapshotter: saves the served dataset repeatedly.
+  std::thread saver([&] {
+    for (int i = 0; i < 5; ++i) {
+      if (engine.SaveDataset("d", save_dir.str()) != "") {
+        failures.fetch_add(1);
+      }
+    }
+  });
+  // Loader: warm-starts new datasets into the same engine while both run.
+  std::thread loader([&] {
+    for (int i = 0; i < 3; ++i) {
+      if (engine.LoadDataset("warm" + std::to_string(i), seed_dir.str()) !=
+          "") {
+        failures.fetch_add(1);
+      }
+    }
+  });
+  saver.join();
+  loader.join();
+  stop.store(true);
+  reader.join();
+  EXPECT_EQ(failures.load(), 0);
+
+  // All three warm-started copies arrived, and the concurrently-written
+  // snapshot is complete and loads cleanly into a fresh engine.
+  EXPECT_EQ(engine.registry().List().size(), 4u);  // d + warm0..warm2
+  ClusteringEngine check;
+  EXPECT_EQ(check.LoadDataset("d", save_dir.str()), "");
+  EXPECT_EQ(check.registry().List().size(), 1u);
+}
+
+}  // namespace
+}  // namespace parhc
