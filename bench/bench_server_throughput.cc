@@ -1,0 +1,216 @@
+// Loopback throughput of the networked serving layer (src/net/): one
+// strict request/response client (the "single REPL client" baseline)
+// versus 32 concurrent pipelined connections, both hammering the same
+// warm dataset in one in-process NetServer.
+//
+// Scenario: a dataset is generated and fully warmed (tree, kNN@minPts,
+// MR-MST, dendrogram) so every benchmark query is a cache-hit read — the
+// serving layer itself is the bottleneck, not artifact builds. Then:
+//   single  1 connection, 1 outstanding request (send, wait, repeat) —
+//           every query pays a full loopback round trip;
+//   multi   kClients=32 connections, each pipelining kWindow requests —
+//           the event loop batches reads, the worker pool answers
+//           concurrently under the engine's shared-lock read path.
+// Counters report both rates and `speedup` (multi qps / single qps; the
+// acceptance target is >= 10x at N = 1M, see README "Network serving"),
+// `identical` = 1 iff every one of the ~70k responses is byte-identical
+// to the single-threaded protocol-core answer (the REPL path), and
+// `dropped`/`shed` from the server (both must be 0 — every request got a
+// real answer). CI runs a small-N smoke via bench_server_smoke, emitting
+// BENCH_server_throughput.json for the bench-regression gate.
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "net/protocol.h"
+#include "net/server.h"
+
+namespace parhc_bench {
+namespace {
+
+constexpr int kClients = 32;
+constexpr int kWindow = 64;     ///< pipelined requests in flight per conn
+constexpr int kMinPts = 16;
+
+/// Blocking loopback client with buffered line reads.
+class Client {
+ public:
+  explicit Client(uint16_t port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    int one = 1;
+    ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    PARHC_CHECK_MSG(
+        ::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) == 0,
+        "bench client connect failed");
+  }
+  ~Client() { ::close(fd_); }
+
+  void Send(const std::string& bytes) {
+    size_t off = 0;
+    while (off < bytes.size()) {
+      ssize_t n = ::send(fd_, bytes.data() + off, bytes.size() - off, 0);
+      PARHC_CHECK_MSG(n > 0, "bench client send failed");
+      off += static_cast<size_t>(n);
+    }
+  }
+
+  std::string ReadLine() {
+    for (;;) {
+      size_t nl = buf_.find('\n', pos_);
+      if (nl != std::string::npos) {
+        std::string line = buf_.substr(pos_, nl + 1 - pos_);
+        pos_ = nl + 1;
+        // Reclaim lazily: per-line erase(0, n) would memmove the whole
+        // remainder each time and dominate the measurement.
+        if (pos_ >= 64 * 1024 || pos_ == buf_.size()) {
+          buf_.erase(0, pos_);
+          pos_ = 0;
+        }
+        return line;
+      }
+      char tmp[65536];
+      ssize_t n = ::read(fd_, tmp, sizeof tmp);
+      PARHC_CHECK_MSG(n > 0, "bench client read failed/eof");
+      buf_.append(tmp, static_cast<size_t>(n));
+    }
+  }
+
+ private:
+  int fd_ = -1;
+  std::string buf_;
+  size_t pos_ = 0;
+};
+
+void RunServerThroughput(benchmark::State& st, size_t n) {
+  const std::string query = "hdbscan warm " + std::to_string(kMinPts) + "\n";
+  // Per-client request counts, scaled down for the CI smoke (tiny N ==
+  // smoke mode; the acceptance run at N = 1M uses the full counts).
+  const int single_queries = n >= 100000 ? 4000 : 1500;
+  const int multi_queries_per_client = n >= 100000 ? 2000 : 400;
+
+  ClusteringEngine engine;
+  net::NetServerOptions opts;
+  opts.port = 0;
+  opts.workers = std::max(4u, std::thread::hardware_concurrency());
+  opts.max_queued = 1 << 16;  // no load-shed: every answer must be real
+  opts.max_pipelined = kWindow * 2;
+  opts.show_timing = false;  // responses compared byte-for-byte
+  net::NetServer server(engine, opts);
+  std::string err = server.Start();
+  PARHC_CHECK_MSG(err.empty(), err.c_str());
+  std::thread loop([&server] { server.Run(); });
+
+  // Warm the dataset through the shared protocol core (the REPL path) —
+  // its answer is also the reference every network response must match.
+  net::ProtocolOptions popts;
+  popts.show_timing = false;
+  net::ProtocolSession repl(engine, popts);
+  std::string gen_reply =
+      repl.HandleLine("gen warm 2 varden " + std::to_string(n) + " 42").out;
+  PARHC_CHECK_MSG(gen_reply.rfind("ok gen", 0) == 0, gen_reply.c_str());
+  repl.HandleLine("hdbscan warm " + std::to_string(kMinPts));  // build
+  const std::string expected =
+      repl.HandleLine("hdbscan warm " + std::to_string(kMinPts)).out;
+  PARHC_CHECK_MSG(expected.rfind("ok hdbscan", 0) == 0, expected.c_str());
+
+  for (auto _ : st) {
+    // ---- single: strict request/response over one connection ----
+    std::atomic<uint64_t> mismatches{0};
+    Timer t;
+    {
+      Client c(server.port());
+      for (int i = 0; i < single_queries; ++i) {
+        c.Send(query);
+        if (c.ReadLine() != expected) ++mismatches;
+      }
+    }
+    double single_secs = t.Seconds();
+
+    // ---- multi: kClients pipelined connections ----
+    std::vector<std::thread> threads;
+    threads.reserve(kClients);
+    t.Reset();
+    for (int ci = 0; ci < kClients; ++ci) {
+      threads.emplace_back([&] {
+        Client c(server.port());
+        // Keep ~kWindow requests in flight; refill in half-window
+        // batches so the client pays one send(2) per kWindow/2 replies,
+        // not one per reply.
+        int total = multi_queries_per_client;
+        int prefill = std::min(kWindow, total);
+        std::string burst;
+        for (int w = 0; w < prefill; ++w) burst += query;
+        c.Send(burst);
+        int sent = prefill;
+        for (int received = 0; received < total; ++received) {
+          if (c.ReadLine() != expected) ++mismatches;
+          int outstanding = sent - (received + 1);
+          if (sent < total && outstanding <= kWindow / 2) {
+            int batch = std::min(kWindow - outstanding, total - sent);
+            c.Send(burst.substr(0, batch * query.size()));
+            sent += batch;
+          }
+        }
+      });
+    }
+    for (auto& th : threads) th.join();
+    double multi_secs = t.Seconds();
+
+    net::ServerStatsSnapshot stats = server.Stats();
+    double qps_single = single_queries / single_secs;
+    double qps_multi =
+        static_cast<double>(kClients) * multi_queries_per_client /
+        multi_secs;
+    st.counters["qps_single"] = qps_single;
+    st.counters["qps_multi"] = qps_multi;
+    st.counters["speedup"] = qps_multi / qps_single;
+    st.counters["identical"] = mismatches.load() == 0 ? 1 : 0;
+    st.counters["dropped"] = static_cast<double>(stats.dropped);
+    st.counters["shed"] = static_cast<double>(stats.shed);
+    st.counters["p99_us"] = static_cast<double>(stats.p99_us);
+  }
+  st.counters["n"] = static_cast<double>(n);
+  st.counters["clients"] = kClients;
+  // The speedup is hardware-bound: on one core only pipelining
+  // amortization counts; the concurrent shared-lock read path needs real
+  // cores to show (see README "Network serving").
+  st.counters["cores"] =
+      static_cast<double>(std::thread::hardware_concurrency());
+
+  server.Shutdown();
+  loop.join();
+}
+
+void RegisterAll() {
+  size_t n = EnvN(100000);
+  benchmark::RegisterBenchmark(
+      "ServerThroughput/2D-SS-varden",
+      [=](benchmark::State& st) { RunServerThroughput(st, n); })
+      ->Unit(benchmark::kMillisecond)
+      ->Iterations(EnvIters())
+      ->UseRealTime();
+}
+
+}  // namespace
+}  // namespace parhc_bench
+
+int main(int argc, char** argv) {
+  parhc_bench::RegisterAll();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,78 @@
+// parhc_netserver: the TCP front-end over the ClusteringEngine.
+//
+// Serves the same protocol as the stdin REPL (parhc_server) to many
+// concurrent clients: non-blocking epoll (or poll) event loop, bounded
+// fair query scheduler, per-connection response ordering, `err busy`
+// load-shed, idle timeouts, and graceful drain on SIGINT/SIGTERM. See
+// src/net/server.h for the architecture and README "Network serving" for
+// the wire protocol.
+//
+// Usage: parhc_netserver [options]
+//   --port N        listen port (default 7077; 0 = ephemeral)
+//   --bind ADDR     bind address (default 127.0.0.1)
+//   --workers N     scheduler worker threads (default 4)
+//   --queue N       global queued-request bound before load-shed (1024)
+//   --pipeline N    per-connection pipelining bound (128)
+//   --idle-ms N     idle connection timeout, <=0 disables (300000)
+//   --poll          force the poll(2) backend instead of epoll
+//   --no-timing     omit the secs= field from query responses
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "net/server.h"
+#include "parhc.h"
+
+int main(int argc, char** argv) {
+  using namespace parhc;
+  net::NetServerOptions opts;
+  opts.port = 7077;
+  opts.install_signal_handlers = true;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--port") {
+      opts.port = static_cast<uint16_t>(std::atoi(next("--port")));
+    } else if (arg == "--bind") {
+      opts.bind_addr = next("--bind");
+    } else if (arg == "--workers") {
+      opts.workers = std::atoi(next("--workers"));
+    } else if (arg == "--queue") {
+      opts.max_queued = static_cast<size_t>(std::atoll(next("--queue")));
+    } else if (arg == "--pipeline") {
+      opts.max_pipelined =
+          static_cast<size_t>(std::atoll(next("--pipeline")));
+    } else if (arg == "--idle-ms") {
+      opts.idle_timeout_ms = std::atoi(next("--idle-ms"));
+    } else if (arg == "--poll") {
+      opts.use_poll = true;
+    } else if (arg == "--no-timing") {
+      opts.show_timing = false;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      return 2;
+    }
+  }
+
+  ClusteringEngine engine;
+  net::NetServer server(engine, opts);
+  std::string err = server.Start();
+  if (!err.empty()) {
+    std::fprintf(stderr, "parhc_netserver: %s\n", err.c_str());
+    return 1;
+  }
+  std::printf("parhc_netserver listening on %s:%u workers=%d\n",
+              opts.bind_addr.c_str(), server.port(), opts.workers);
+  std::fflush(stdout);
+  server.Run();  // returns after SIGINT/SIGTERM graceful drain
+  std::printf("parhc_netserver drained, bye\n");
+  return 0;
+}

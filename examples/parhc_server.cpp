@@ -1,385 +1,64 @@
-// parhc_server: a line-protocol front-end over the ClusteringEngine.
+// parhc_server: the line-protocol stdin/stdout front-end over the
+// ClusteringEngine.
 //
-// Reads one command per line from stdin and answers on stdout, so it works
-// both as an interactive REPL and in batch mode (pipe a script in; used by
-// the CI examples smoke step). Blank lines and '#' comments are ignored.
+// Reads commands from stdin and answers on stdout, so it works both as an
+// interactive REPL and in batch mode (pipe a script in; used by the CI
+// examples smoke step). Blank lines and '#' comments are ignored.
 //
-// Commands:
-//   gen <name> <dim> <uniform|varden|levy|gauss> <n> [seed]
-//   load <name> <csv|bin> <path>
-//   load <name> snap <dir>           warm-start from a snapshot directory
-//   save <name> <dir>                snapshot every cached artifact to disk
-//   dyn <name> <dim>                  create an empty batch-dynamic dataset
-//   insert <name> <coords...>        insert points (dim values per point)
-//   geninsert <name> <dim> <kind> <n> [seed]   generate + insert a batch
-//   delete <name> <gid> [gid ...]    tombstone points by global id
-//   list
-//   drop <name>
-//   emst <name>
-//   slink <name> <k>
-//   hdbscan <name> <minPts>
-//   dbscan <name> <minPts> <eps>
-//   reach <name> <minPts>
-//   clusters <name> <minPts> <minClusterSize>
-//   help
-//   quit
-//
-// Every query line answers with a single "ok ..." or "err ..." line
-// containing the result summary plus the built/reused artifact trace, e.g.
+// All verb parsing, execution, and response formatting lives in the
+// shared protocol core (src/net/protocol.h) — the TCP front-end
+// (parhc_netserver) answers with the same bytes. Run `help` (or see
+// protocol.h) for the command list; responses look like
 //   ok hdbscan d mst_edges=9999 mst_weight=123.456 built=[mst@10,dendro@10]
 //      reused=[tree,knn@50,cd@10] secs=0.42
+//
+// Input is split with the same FrameSplitter the TCP server uses, fed
+// with FlushEof at end of input: a final line *without* a trailing
+// newline is processed and answered like any other line, not dropped.
+#include <unistd.h>
+
+#include <cerrno>
 #include <cstdio>
-#include <cstdlib>
-#include <fstream>
-#include <iostream>
-#include <sstream>
-#include <string>
-#include <vector>
+#include <limits>
 
+#include "net/frame.h"
+#include "net/protocol.h"
 #include "parhc.h"
-
-namespace {
-
-using namespace parhc;
-
-std::string JoinKeys(const std::vector<std::string>& keys) {
-  std::string out = "[";
-  for (size_t i = 0; i < keys.size(); ++i) {
-    if (i) out += ',';
-    out += keys[i];
-  }
-  return out + "]";
-}
-
-template <int D>
-std::vector<Point<D>> GenTyped(const std::string& kind, size_t n,
-                               uint64_t seed) {
-  if (kind == "uniform") return UniformFill<D>(n, seed);
-  if (kind == "varden") return SeedSpreaderVarden<D>(n, seed);
-  if (kind == "levy") return SkewedLevy<D>(n, seed);
-  if (kind == "gauss") return ClusteredGaussians<D>(n, seed);
-  return {};
-}
-
-template <int D>
-std::vector<std::vector<double>> RowsFrom(const std::vector<Point<D>>& pts) {
-  std::vector<std::vector<double>> rows(pts.size(), std::vector<double>(D));
-  for (size_t i = 0; i < pts.size(); ++i) {
-    for (int d = 0; d < D; ++d) rows[i][d] = pts[i][d];
-  }
-  return rows;
-}
-
-/// Generated points as runtime rows, for the batch-dynamic insert path.
-/// Empty when the kind is unknown.
-std::vector<std::vector<double>> GenRows(int dim, const std::string& kind,
-                                         size_t n, uint64_t seed) {
-  switch (dim) {
-    case 2: return RowsFrom(GenTyped<2>(kind, n, seed));
-    case 3: return RowsFrom(GenTyped<3>(kind, n, seed));
-    case 4: return RowsFrom(GenTyped<4>(kind, n, seed));
-    case 5: return RowsFrom(GenTyped<5>(kind, n, seed));
-    case 7: return RowsFrom(GenTyped<7>(kind, n, seed));
-    case 10: return RowsFrom(GenTyped<10>(kind, n, seed));
-    case 16: return RowsFrom(GenTyped<16>(kind, n, seed));
-    default: return {};
-  }
-}
-
-bool Generate(DatasetRegistry& reg, const std::string& name, int dim,
-              const std::string& kind, size_t n, uint64_t seed) {
-  if (kind != "uniform" && kind != "varden" && kind != "levy" &&
-      kind != "gauss") {
-    return false;
-  }
-  switch (dim) {
-    case 2: reg.Add(name, GenTyped<2>(kind, n, seed)); return true;
-    case 3: reg.Add(name, GenTyped<3>(kind, n, seed)); return true;
-    case 4: reg.Add(name, GenTyped<4>(kind, n, seed)); return true;
-    case 5: reg.Add(name, GenTyped<5>(kind, n, seed)); return true;
-    case 7: reg.Add(name, GenTyped<7>(kind, n, seed)); return true;
-    case 10: reg.Add(name, GenTyped<10>(kind, n, seed)); return true;
-    case 16: reg.Add(name, GenTyped<16>(kind, n, seed)); return true;
-    default: return false;
-  }
-}
-
-void PrintResponse(const std::string& what, const std::string& name,
-                   const EngineResponse& r) {
-  if (!r.ok) {
-    std::printf("err %s %s: %s\n", what.c_str(), name.c_str(),
-                r.error.c_str());
-    return;
-  }
-  std::ostringstream body;
-  if (r.mst) {
-    body << " mst_edges=" << r.mst->size() << " mst_weight=" << r.mst_weight;
-  }
-  if (!r.labels.empty()) {
-    body << " clusters=" << r.num_clusters << " noise=" << r.num_noise;
-  }
-  if (r.plot) body << " plot_points=" << r.plot->order.size();
-  if (r.dendrogram && !r.plot && r.labels.empty()) {
-    body << " dendro_root_height="
-         << (r.dendrogram->num_points() > 1
-                 ? r.dendrogram->Height(r.dendrogram->root())
-                 : 0.0);
-  }
-  std::printf("ok %s %s%s built=%s reused=%s secs=%.4f\n", what.c_str(),
-              name.c_str(), body.str().c_str(), JoinKeys(r.built).c_str(),
-              JoinKeys(r.reused).c_str(), r.seconds);
-}
-
-void Help() {
-  std::printf(
-      "commands:\n"
-      "  gen <name> <dim> <uniform|varden|levy|gauss> <n> [seed]\n"
-      "  load <name> <csv|bin|snap> <path>\n"
-      "  save <name> <dir>\n"
-      "  dyn <name> <dim>\n"
-      "  insert <name> <coords...>\n"
-      "  geninsert <name> <dim> <kind> <n> [seed]\n"
-      "  delete <name> <gid> [gid ...]\n"
-      "  list | drop <name>\n"
-      "  emst <name>\n"
-      "  slink <name> <k>\n"
-      "  hdbscan <name> <minPts>\n"
-      "  dbscan <name> <minPts> <eps>\n"
-      "  reach <name> <minPts>\n"
-      "  clusters <name> <minPts> <minClusterSize>\n"
-      "  help | quit\n");
-}
-
-}  // namespace
 
 int main() {
   using namespace parhc;
   ClusteringEngine engine;
-  std::string line;
-  while (std::getline(std::cin, line)) {
-    if (line.empty() || line[0] == '#') continue;
-    std::istringstream ss(line);
-    std::string cmd;
-    ss >> cmd;
-    try {
-      if (cmd == "quit" || cmd == "exit") {
-        break;
-      } else if (cmd == "help") {
-        Help();
-      } else if (cmd == "gen") {
-        std::string name, kind;
-        int dim = 0;
-        size_t n = 0;
-        uint64_t seed = 1;
-        ss >> name >> dim >> kind >> n;
-        if (!(ss >> seed)) seed = 1;
-        if (name.empty() || n == 0 ||
-            !Generate(engine.registry(), name, dim, kind, n, seed)) {
-          std::printf("err gen: usage/unsupported dim or kind\n");
-        } else {
-          std::printf("ok gen %s dim=%d n=%zu kind=%s\n", name.c_str(), dim,
-                      n, kind.c_str());
-        }
-      } else if (cmd == "load") {
-        std::string name, fmt, path;
-        ss >> name >> fmt >> path;
-        if (fmt != "csv" && fmt != "bin" && fmt != "snap") {
-          std::printf("err load: format must be csv, bin, or snap\n");
-          continue;
-        }
-        std::string err;
-        if (fmt == "snap") {
-          // Snapshot problems (missing, truncated, corrupt, or
-          // version-mismatched files) come back as typed errors turned
-          // into strings — never aborts.
-          err = engine.LoadDataset(name, path);
-        } else {
-          if (std::ifstream probe(path); !probe.good()) {
-            std::printf("err load %s: cannot open %s\n", name.c_str(),
-                        path.c_str());
-            continue;
-          }
-          // Both loaders surface bad data as errors (CSV parse failures
-          // and malformed binary files throw; caught below), never aborts.
-          err = fmt == "csv"
-                    ? engine.registry().TryAddRows(name, ReadPointsCsv(path))
-                    : engine.registry().TryAddBin(name, path);
-        }
-        if (!err.empty()) {
-          std::printf("err load %s: %s\n", name.c_str(), err.c_str());
-          continue;
-        }
-        auto entry = engine.registry().Find(name);
-        std::printf("ok load %s dim=%d n=%zu%s\n", name.c_str(),
-                    entry->dim(), entry->num_points(),
-                    fmt == "snap" ? " warm" : "");
-      } else if (cmd == "save") {
-        std::string name, dir;
-        ss >> name >> dir;
-        if (name.empty() || dir.empty()) {
-          std::printf("err save: usage: save <name> <dir>\n");
-          continue;
-        }
-        std::string err = engine.SaveDataset(name, dir);
-        if (!err.empty()) {
-          std::printf("err save %s: %s\n", name.c_str(), err.c_str());
-        } else {
-          std::printf("ok save %s dir=%s\n", name.c_str(), dir.c_str());
-        }
-      } else if (cmd == "dyn") {
-        std::string name;
-        int dim = 0;
-        ss >> name >> dim;
-        if (ss.fail() || name.empty()) {
-          std::printf("err dyn: usage: dyn <name> <dim>\n");
-          continue;
-        }
-        std::string err = engine.registry().TryAddDynamic(name, dim);
-        if (!err.empty()) {
-          std::printf("err dyn %s: %s\n", name.c_str(), err.c_str());
-        } else {
-          std::printf("ok dyn %s dim=%d\n", name.c_str(), dim);
-        }
-      } else if (cmd == "insert") {
-        std::string name;
-        ss >> name;
-        auto entry = engine.registry().Find(name);
-        if (!entry) {
-          std::printf("err insert %s: unknown dataset\n", name.c_str());
-          continue;
-        }
-        int dim = entry->dim();
-        std::vector<double> vals;
-        double v;
-        while (ss >> v) vals.push_back(v);
-        // A malformed token must not silently truncate the batch and print
-        // "ok" (same rule the query verbs enforce below).
-        if (!ss.eof()) {
-          std::printf("err insert %s: malformed coordinate\n", name.c_str());
-          continue;
-        }
-        if (vals.empty() || vals.size() % static_cast<size_t>(dim) != 0) {
-          std::printf("err insert %s: need a multiple of %d coordinates\n",
-                      name.c_str(), dim);
-          continue;
-        }
-        std::vector<std::vector<double>> rows(vals.size() / dim);
-        for (size_t i = 0; i < rows.size(); ++i) {
-          rows[i].assign(vals.begin() + i * dim, vals.begin() + (i + 1) * dim);
-        }
-        uint32_t first = 0;
-        std::string err = engine.InsertBatch(name, rows, &first);
-        if (!err.empty()) {
-          std::printf("err insert %s: %s\n", name.c_str(), err.c_str());
-        } else {
-          std::printf("ok insert %s n=%zu gids=[%u,%u)\n", name.c_str(),
-                      rows.size(), first,
-                      first + static_cast<uint32_t>(rows.size()));
-        }
-      } else if (cmd == "geninsert") {
-        std::string name, kind;
-        int dim = 0;
-        size_t n = 0;
-        uint64_t seed = 1;
-        ss >> name >> dim >> kind >> n;
-        if (!(ss >> seed)) seed = 1;
-        if (name.empty() || n == 0 || !DatasetRegistry::SupportedDim(dim)) {
-          std::printf("err geninsert: usage/unsupported dim\n");
-          continue;
-        }
-        // Validate the generator kind before the create-if-absent side
-        // effect, so a typo doesn't leave a spurious empty dataset behind.
-        std::vector<std::vector<double>> rows = GenRows(dim, kind, n, seed);
-        if (rows.empty()) {
-          std::printf("err geninsert: unknown kind %s\n", kind.c_str());
-          continue;
-        }
-        if (!engine.registry().Find(name)) {
-          engine.registry().TryAddDynamic(name, dim);
-        }
-        uint32_t first = 0;
-        std::string err = engine.InsertBatch(name, rows, &first);
-        if (!err.empty()) {
-          std::printf("err geninsert %s: %s\n", name.c_str(), err.c_str());
-        } else {
-          std::printf("ok geninsert %s n=%zu gids=[%u,%u)\n", name.c_str(), n,
-                      first, first + static_cast<uint32_t>(n));
-        }
-      } else if (cmd == "delete") {
-        std::string name;
-        ss >> name;
-        std::vector<uint32_t> gids;
-        uint32_t gid;
-        while (ss >> gid) gids.push_back(gid);
-        if (!ss.eof()) {
-          std::printf("err delete %s: malformed gid\n", name.c_str());
-          continue;
-        }
-        if (name.empty() || gids.empty()) {
-          std::printf("err delete: usage: delete <name> <gid> [gid ...]\n");
-          continue;
-        }
-        size_t deleted = 0;
-        std::string err = engine.DeleteBatch(name, gids, &deleted);
-        if (!err.empty()) {
-          std::printf("err delete %s: %s\n", name.c_str(), err.c_str());
-        } else {
-          std::printf("ok delete %s deleted=%zu\n", name.c_str(), deleted);
-        }
-      } else if (cmd == "list") {
-        for (const DatasetInfo& info : engine.registry().List()) {
-          std::string extra;
-          if (info.dynamic) {
-            extra = " dynamic shards=" + std::to_string(info.num_shards);
-          }
-          std::printf("dataset %s dim=%d n=%zu knn_k=%zu cached=%zu%s\n",
-                      info.name.c_str(), info.dim, info.num_points,
-                      info.knn_k, info.cached_clusterings, extra.c_str());
-        }
-        std::printf("ok list\n");
-      } else if (cmd == "drop") {
-        std::string name;
-        ss >> name;
-        std::printf(engine.registry().Remove(name) ? "ok drop %s\n"
-                                                   : "err drop %s: unknown\n",
-                    name.c_str());
-      } else if (cmd == "emst" || cmd == "slink" || cmd == "hdbscan" ||
-                 cmd == "dbscan" || cmd == "reach" || cmd == "clusters") {
-        EngineRequest req;
-        ss >> req.dataset;
-        if (cmd == "emst") {
-          req.type = QueryType::kEmst;
-        } else if (cmd == "slink") {
-          req.type = QueryType::kSingleLinkage;
-          ss >> req.k;
-        } else if (cmd == "hdbscan") {
-          req.type = QueryType::kHdbscan;
-          ss >> req.min_pts;
-        } else if (cmd == "dbscan") {
-          req.type = QueryType::kDbscanStarAt;
-          ss >> req.min_pts >> req.eps;
-        } else if (cmd == "reach") {
-          req.type = QueryType::kReachability;
-          ss >> req.min_pts;
-        } else {
-          req.type = QueryType::kStableClusters;
-          ss >> req.min_pts >> req.min_cluster_size;
-        }
-        // A missing or malformed argument must not silently fall back to a
-        // default parameterization and print "ok".
-        if (ss.fail() || req.dataset.empty()) {
-          std::printf("err %s: missing or malformed arguments (try help)\n",
-                      cmd.c_str());
-          continue;
-        }
-        PrintResponse(cmd, req.dataset, engine.Run(req));
-      } else {
-        std::printf("err unknown command: %s (try help)\n", cmd.c_str());
-      }
-    } catch (const std::exception& e) {
-      std::printf("err %s: %s\n", cmd.c_str(), e.what());
+  net::ProtocolSession session(engine);
+  // Text-only splitting on stdin: a 0x01 byte is line data, not a binary
+  // frame (binary frames are a TCP-transport feature), and lines may be
+  // arbitrarily long (the 1 MiB cap protects the TCP server from remote
+  // peers; the pre-refactor getline REPL had no cap).
+  net::FrameSplitter splitter(
+      /*allow_binary=*/false,
+      /*max_line_bytes=*/std::numeric_limits<size_t>::max());
+
+  char buf[1 << 16];
+  bool eof = false;
+  while (!eof) {
+    // read(2), not fread: a short read (one interactive line) must be
+    // processed immediately, not buffered until 64 KiB accumulate.
+    ssize_t n = ::read(STDIN_FILENO, buf, sizeof buf);
+    if (n < 0 && errno == EINTR) continue;
+    if (n > 0) {
+      splitter.Feed(buf, static_cast<size_t>(n));
+    } else {
+      splitter.FlushEof();
+      eof = true;
     }
-    std::fflush(stdout);
+    net::WireMessage msg;
+    while (splitter.Next(&msg)) {
+      net::ProtocolResult res = session.Handle(msg);
+      if (!res.out.empty()) {
+        std::fwrite(res.out.data(), 1, res.out.size(), stdout);
+        std::fflush(stdout);
+      }
+      if (res.quit) return 0;
+    }
   }
   return 0;
 }

@@ -28,9 +28,12 @@
 // for their duration — queries against other datasets are unaffected.
 #pragma once
 
+#include <atomic>
+#include <cstdint>
 #include <mutex>
 #include <shared_mutex>
 #include <string>
+#include <utility>
 
 #include "engine/registry.h"
 #include "engine/request.h"
@@ -38,6 +41,36 @@
 #include "util/timer.h"
 
 namespace parhc {
+
+/// Point-in-time copy of the engine's cumulative counters (see
+/// ClusteringEngine::counters). Fields are individually exact but not
+/// mutually consistent — they are read with relaxed atomics while the
+/// engine keeps serving.
+struct EngineCounterSnapshot {
+  uint64_t queries = 0;      ///< Run() calls
+  uint64_t cache_hits = 0;   ///< queries answered on the shared-lock path
+  uint64_t builds = 0;       ///< queries that built >= 1 artifact
+  uint64_t mutations = 0;    ///< successful InsertBatch/DeleteBatch calls
+  uint64_t errors = 0;       ///< failed queries + failed mutations
+
+  /// Space-separated key=value rendering (stable field order) used by the
+  /// serving layer's `stats` verb.
+  std::string Format() const {
+    std::string s;
+    auto kv = [&s](const char* k, uint64_t v) {
+      s += ' ';
+      s += k;
+      s += '=';
+      s += std::to_string(v);
+    };
+    kv("engine_queries", queries);
+    kv("engine_cache_hits", cache_hits);
+    kv("engine_builds", builds);
+    kv("engine_mutations", mutations);
+    kv("engine_errors", errors);
+    return s.substr(1);
+  }
+};
 
 class ClusteringEngine {
  public:
@@ -64,6 +97,10 @@ class ClusteringEngine {
       std::shared_lock<std::shared_mutex> read(entry->mu);
       if (entry->Answer(req, /*allow_build=*/false, &out)) {
         out.seconds = timer.Seconds();
+        out.from_cache = true;
+        counters_.queries.fetch_add(1, std::memory_order_relaxed);
+        counters_.cache_hits.fetch_add(1, std::memory_order_relaxed);
+        if (!out.ok) counters_.errors.fetch_add(1, std::memory_order_relaxed);
         return out;
       }
     }
@@ -75,7 +112,45 @@ class ClusteringEngine {
     out = EngineResponse();
     entry->Answer(req, /*allow_build=*/true, &out);
     out.seconds = timer.Seconds();
+    counters_.queries.fetch_add(1, std::memory_order_relaxed);
+    if (out.built.empty()) {
+      // Lost the race to another builder: everything was cached by the
+      // time we held the lock.
+      counters_.cache_hits.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      counters_.builds.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (!out.ok) counters_.errors.fetch_add(1, std::memory_order_relaxed);
     return out;
+  }
+
+  /// Non-blocking cache-only variant of Run: answers iff the dataset's
+  /// shared lock is free right now AND every needed artifact is cached
+  /// (never builds, never waits on a build). Returns false when the
+  /// caller should fall back to Run() — used by the TCP server's event
+  /// loop to answer warm reads inline without a worker handoff, which it
+  /// may only attempt when no earlier request of the same connection is
+  /// still queued (response ordering). Counter effects mirror Run's
+  /// fast path exactly.
+  bool TryRunCached(const EngineRequest& req, EngineResponse* out) {
+    Timer timer;
+    *out = EngineResponse();
+    std::shared_ptr<DatasetEntryBase> entry = registry_.Find(req.dataset);
+    if (!entry) {
+      // Same terminal answer Run() gives; no build could change it now.
+      out->error = "unknown dataset: " + req.dataset;
+      out->seconds = timer.Seconds();
+      return true;
+    }
+    std::shared_lock<std::shared_mutex> read(entry->mu, std::try_to_lock);
+    if (!read.owns_lock()) return false;  // a build/mutation holds it
+    if (!entry->Answer(req, /*allow_build=*/false, out)) return false;
+    out->seconds = timer.Seconds();
+    out->from_cache = true;
+    counters_.queries.fetch_add(1, std::memory_order_relaxed);
+    counters_.cache_hits.fetch_add(1, std::memory_order_relaxed);
+    if (!out->ok) counters_.errors.fetch_add(1, std::memory_order_relaxed);
+    return true;
   }
 
   /// Inserts one batch of rows into the batch-dynamic dataset `name`.
@@ -86,9 +161,14 @@ class ClusteringEngine {
                           uint32_t* first_gid = nullptr) {
     std::shared_ptr<DatasetEntryBase> entry = registry_.Find(name);
     if (!entry) return "unknown dataset: " + name;
-    std::lock_guard<std::mutex> build(build_mu_);
-    std::unique_lock<std::shared_mutex> write(entry->mu);
-    return entry->InsertRows(rows, first_gid);
+    std::string err;
+    {
+      std::lock_guard<std::mutex> build(build_mu_);
+      std::unique_lock<std::shared_mutex> write(entry->mu);
+      err = entry->InsertRows(rows, first_gid);
+    }
+    CountMutation(err);
+    return err;
   }
 
   /// Tombstones global ids in the batch-dynamic dataset `name`. Returns ""
@@ -99,9 +179,40 @@ class ClusteringEngine {
                           size_t* deleted = nullptr) {
     std::shared_ptr<DatasetEntryBase> entry = registry_.Find(name);
     if (!entry) return "unknown dataset: " + name;
+    std::string err;
+    {
+      std::lock_guard<std::mutex> build(build_mu_);
+      std::unique_lock<std::shared_mutex> write(entry->mu);
+      err = entry->DeleteIds(gids, deleted);
+    }
+    CountMutation(err);
+    return err;
+  }
+
+  /// Runs `fn` holding the engine-wide build mutex and returns its result.
+  /// Serving front-ends use this for work that issues parallel scheduler
+  /// tasks *outside* the engine (e.g. the `gen` verb's data generators):
+  /// the fork-join scheduler allows one external caller at a time, and
+  /// every build inside the engine already runs under this mutex, so
+  /// routing external parallel work through it preserves that model.
+  /// `fn` must not call back into an engine entry point that takes the
+  /// build mutex (Run's build path, InsertBatch, DeleteBatch,
+  /// LoadDataset).
+  template <typename F>
+  auto WithBuildLock(F&& fn) -> decltype(fn()) {
     std::lock_guard<std::mutex> build(build_mu_);
-    std::unique_lock<std::shared_mutex> write(entry->mu);
-    return entry->DeleteIds(gids, deleted);
+    return std::forward<F>(fn)();
+  }
+
+  /// Cumulative serving counters; cheap and safe to read while serving.
+  EngineCounterSnapshot counters() const {
+    EngineCounterSnapshot s;
+    s.queries = counters_.queries.load(std::memory_order_relaxed);
+    s.cache_hits = counters_.cache_hits.load(std::memory_order_relaxed);
+    s.builds = counters_.builds.load(std::memory_order_relaxed);
+    s.mutations = counters_.mutations.load(std::memory_order_relaxed);
+    s.errors = counters_.errors.load(std::memory_order_relaxed);
+    return s;
   }
 
   /// Snapshots dataset `name` (points + every cached artifact + manifest)
@@ -140,8 +251,25 @@ class ClusteringEngine {
   }
 
  private:
+  void CountMutation(const std::string& err) {
+    if (err.empty()) {
+      counters_.mutations.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      counters_.errors.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  struct Counters {
+    std::atomic<uint64_t> queries{0};
+    std::atomic<uint64_t> cache_hits{0};
+    std::atomic<uint64_t> builds{0};
+    std::atomic<uint64_t> mutations{0};
+    std::atomic<uint64_t> errors{0};
+  };
+
   DatasetRegistry registry_;
   std::mutex build_mu_;
+  Counters counters_;
 };
 
 }  // namespace parhc

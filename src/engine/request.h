@@ -67,6 +67,9 @@ struct EngineResponse {
   std::vector<std::string> built;
   std::vector<std::string> reused;
   double seconds = 0;  ///< wall-clock time answering the query
+  /// True iff the engine answered on the concurrent shared-lock fast path
+  /// (every needed artifact was already cached).
+  bool from_cache = false;
 };
 
 /// Summarizes `labels` into the response's cluster/noise counters.

@@ -1,0 +1,619 @@
+// Verb implementations of the serving protocol (see protocol.h).
+//
+// Ported verbatim from the pre-PR examples/parhc_server.cpp REPL loop:
+// every response is formatted with the same format strings so the REPL's
+// batch output stays byte-identical (tests/protocol_golden_test.cc pins
+// this against a transcript captured from the original implementation).
+#include "net/protocol.h"
+
+#include <algorithm>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "data/generators.h"
+#include "data/io.h"
+
+namespace parhc {
+namespace net {
+namespace {
+
+std::string StrPrintf(const char* fmt, ...) {
+  va_list ap;
+  va_start(ap, fmt);
+  char buf[512];
+  int n = vsnprintf(buf, sizeof buf, fmt, ap);
+  va_end(ap);
+  if (n < 0) return {};
+  if (static_cast<size_t>(n) < sizeof buf) return std::string(buf, n);
+  std::string big(static_cast<size_t>(n) + 1, '\0');
+  va_start(ap, fmt);
+  vsnprintf(&big[0], big.size(), fmt, ap);
+  va_end(ap);
+  big.resize(static_cast<size_t>(n));
+  return big;
+}
+
+std::string JoinKeys(const std::vector<std::string>& keys) {
+  std::string out = "[";
+  for (size_t i = 0; i < keys.size(); ++i) {
+    if (i) out += ',';
+    out += keys[i];
+  }
+  return out + "]";
+}
+
+template <int D>
+std::vector<Point<D>> GenTyped(const std::string& kind, size_t n,
+                               uint64_t seed) {
+  if (kind == "uniform") return UniformFill<D>(n, seed);
+  if (kind == "varden") return SeedSpreaderVarden<D>(n, seed);
+  if (kind == "levy") return SkewedLevy<D>(n, seed);
+  if (kind == "gauss") return ClusteredGaussians<D>(n, seed);
+  return {};
+}
+
+template <int D>
+std::vector<std::vector<double>> RowsFrom(const std::vector<Point<D>>& pts) {
+  std::vector<std::vector<double>> rows(pts.size(), std::vector<double>(D));
+  for (size_t i = 0; i < pts.size(); ++i) {
+    for (int d = 0; d < D; ++d) rows[i][d] = pts[i][d];
+  }
+  return rows;
+}
+
+/// Generated points as runtime rows, for the batch-dynamic insert path.
+/// Empty when the kind is unknown.
+std::vector<std::vector<double>> GenRows(int dim, const std::string& kind,
+                                         size_t n, uint64_t seed) {
+  switch (dim) {
+    case 2: return RowsFrom(GenTyped<2>(kind, n, seed));
+    case 3: return RowsFrom(GenTyped<3>(kind, n, seed));
+    case 4: return RowsFrom(GenTyped<4>(kind, n, seed));
+    case 5: return RowsFrom(GenTyped<5>(kind, n, seed));
+    case 7: return RowsFrom(GenTyped<7>(kind, n, seed));
+    case 10: return RowsFrom(GenTyped<10>(kind, n, seed));
+    case 16: return RowsFrom(GenTyped<16>(kind, n, seed));
+    default: return {};
+  }
+}
+
+bool Generate(DatasetRegistry& reg, const std::string& name, int dim,
+              const std::string& kind, size_t n, uint64_t seed) {
+  if (kind != "uniform" && kind != "varden" && kind != "levy" &&
+      kind != "gauss") {
+    return false;
+  }
+  switch (dim) {
+    case 2: reg.Add(name, GenTyped<2>(kind, n, seed)); return true;
+    case 3: reg.Add(name, GenTyped<3>(kind, n, seed)); return true;
+    case 4: reg.Add(name, GenTyped<4>(kind, n, seed)); return true;
+    case 5: reg.Add(name, GenTyped<5>(kind, n, seed)); return true;
+    case 7: reg.Add(name, GenTyped<7>(kind, n, seed)); return true;
+    case 10: reg.Add(name, GenTyped<10>(kind, n, seed)); return true;
+    case 16: reg.Add(name, GenTyped<16>(kind, n, seed)); return true;
+    default: return false;
+  }
+}
+
+// Hot path under pipelined load: snprintf into a stack buffer, no
+// ostringstream. `%.6g` is byte-identical to `ostream << double` at the
+// default precision (what the original REPL printed through
+// ostringstream) — pinned by tests/protocol_golden_test.cc.
+std::string FormatResponse(const std::string& what, const std::string& name,
+                           const EngineResponse& r, bool show_timing) {
+  if (!r.ok) {
+    return StrPrintf("err %s %s: %s\n", what.c_str(), name.c_str(),
+                     r.error.c_str());
+  }
+  char body[256];
+  body[0] = '\0';
+  size_t off = 0;
+  auto put = [&body, &off](const char* fmt, auto... args) {
+    if (off >= sizeof body) return;
+    int n = snprintf(body + off, sizeof body - off, fmt, args...);
+    if (n > 0) off = std::min(off + static_cast<size_t>(n), sizeof body);
+  };
+  if (r.mst) {
+    put(" mst_edges=%zu mst_weight=%.6g", r.mst->size(), r.mst_weight);
+  }
+  if (!r.labels.empty()) {
+    put(" clusters=%d noise=%zu", r.num_clusters, r.num_noise);
+  }
+  if (r.plot) put(" plot_points=%zu", r.plot->order.size());
+  if (r.dendrogram && !r.plot && r.labels.empty()) {
+    put(" dendro_root_height=%.6g",
+        r.dendrogram->num_points() > 1
+            ? r.dendrogram->Height(r.dendrogram->root())
+            : 0.0);
+  }
+  char tail[32];
+  tail[0] = '\0';
+  if (show_timing) snprintf(tail, sizeof tail, " secs=%.4f", r.seconds);
+  return StrPrintf("ok %s %s%s built=%s reused=%s%s\n", what.c_str(),
+                   name.c_str(), body, JoinKeys(r.built).c_str(),
+                   JoinKeys(r.reused).c_str(), tail);
+}
+
+// `stats` is deliberately absent below: the REPL's batch output (including
+// `help`) is pinned byte-for-byte to the pre-refactor implementation by
+// tests/protocol_golden_test.cc. The verb is documented in README
+// "Network serving" and protocol.h.
+std::string HelpText() {
+  return
+      "commands:\n"
+      "  gen <name> <dim> <uniform|varden|levy|gauss> <n> [seed]\n"
+      "  load <name> <csv|bin|snap> <path>\n"
+      "  save <name> <dir>\n"
+      "  dyn <name> <dim>\n"
+      "  insert <name> <coords...>\n"
+      "  geninsert <name> <dim> <kind> <n> [seed]\n"
+      "  delete <name> <gid> [gid ...]\n"
+      "  list | drop <name>\n"
+      "  emst <name>\n"
+      "  slink <name> <k>\n"
+      "  hdbscan <name> <minPts>\n"
+      "  dbscan <name> <minPts> <eps>\n"
+      "  reach <name> <minPts>\n"
+      "  clusters <name> <minPts> <minClusterSize>\n"
+      "  help | quit\n";
+}
+
+// ---- Fast query-line parser (the inline cache-hit path) ----
+//
+// Splits on the same whitespace set operator>> skips and accepts only
+// tokens whose hand parse provably matches istringstream extraction
+// (decimal ints without overflow risk; doubles whose characters rule out
+// the strtod/num_get divergences: hex, inf, nan). Anything else returns
+// false and takes the istringstream path, so the two parses can never
+// disagree on an accepted line.
+
+bool IsStreamSpace(char ch) {
+  return ch == ' ' || ch == '\t' || ch == '\n' || ch == '\v' ||
+         ch == '\f' || ch == '\r';
+}
+
+/// Up to the first four whitespace-delimited tokens, allocation-free
+/// (the query verbs need at most verb + dataset + two parameters; extra
+/// tokens are ignored like the istringstream path ignores them).
+int SplitTokens4(const std::string& line, std::string_view out[4]) {
+  int count = 0;
+  size_t i = 0;
+  while (i < line.size() && count < 4) {
+    while (i < line.size() && IsStreamSpace(line[i])) ++i;
+    size_t b = i;
+    while (i < line.size() && !IsStreamSpace(line[i])) ++i;
+    if (i > b) out[count++] = std::string_view(line.data() + b, i - b);
+  }
+  return count;
+}
+
+bool ParseSmallInt(std::string_view tok, long* val) {
+  size_t i = (tok[0] == '+' || tok[0] == '-') ? 1 : 0;
+  if (i == tok.size() || tok.size() - i > 9) return false;  // no overflow
+  long v = 0;
+  for (size_t k = i; k < tok.size(); ++k) {
+    if (tok[k] < '0' || tok[k] > '9') return false;
+    v = v * 10 + (tok[k] - '0');
+  }
+  *val = tok[0] == '-' ? -v : v;
+  return true;
+}
+
+bool ParseSimpleDouble(std::string_view tok, double* val) {
+  if (tok.empty() || tok.size() > 63) return false;
+  char buf[64];
+  for (size_t k = 0; k < tok.size(); ++k) {
+    char ch = tok[k];
+    if (!((ch >= '0' && ch <= '9') || ch == '.' || ch == '+' ||
+          ch == '-' || ch == 'e' || ch == 'E')) {
+      return false;  // rules out hex/inf/nan, where strtod != operator>>
+    }
+    buf[k] = ch;
+  }
+  buf[tok.size()] = '\0';
+  char* end = nullptr;
+  *val = std::strtod(buf, &end);
+  return end == buf + tok.size();
+}
+
+/// Recognizes a cleanly formed query line; extra trailing tokens are
+/// ignored exactly like the istringstream path (which never checks eof
+/// for query verbs).
+bool FastParseQuery(const std::string& line, EngineRequest* req) {
+  if (line.empty() || line[0] == '#') return false;
+  std::string_view t[4];
+  int nt = SplitTokens4(line, t);
+  if (nt < 2) return false;
+  std::string_view cmd = t[0];
+  long a = 0, b = 0;
+  double d = 0;
+  if (cmd == "emst") {
+    req->type = QueryType::kEmst;
+  } else if (cmd == "slink") {
+    if (nt < 3 || !ParseSmallInt(t[2], &a) || a < 0) return false;
+    req->type = QueryType::kSingleLinkage;
+    req->k = static_cast<size_t>(a);
+  } else if (cmd == "hdbscan") {
+    if (nt < 3 || !ParseSmallInt(t[2], &a)) return false;
+    req->type = QueryType::kHdbscan;
+    req->min_pts = static_cast<int>(a);
+  } else if (cmd == "dbscan") {
+    if (nt < 4 || !ParseSmallInt(t[2], &a) ||
+        !ParseSimpleDouble(t[3], &d)) {
+      return false;
+    }
+    req->type = QueryType::kDbscanStarAt;
+    req->min_pts = static_cast<int>(a);
+    req->eps = d;
+  } else if (cmd == "reach") {
+    if (nt < 3 || !ParseSmallInt(t[2], &a)) return false;
+    req->type = QueryType::kReachability;
+    req->min_pts = static_cast<int>(a);
+  } else if (cmd == "clusters") {
+    if (nt < 4 || !ParseSmallInt(t[2], &a) || !ParseSmallInt(t[3], &b) ||
+        b < 0) {
+      return false;
+    }
+    req->type = QueryType::kStableClusters;
+    req->min_pts = static_cast<int>(a);
+    req->min_cluster_size = static_cast<size_t>(b);
+  } else {
+    return false;
+  }
+  req->dataset.assign(t[1].data(), t[1].size());
+  return true;
+}
+
+}  // namespace
+
+bool ProtocolSession::TryHandleCachedQuery(const std::string& line,
+                                           std::string* out) {
+  EngineRequest req;
+  if (!FastParseQuery(line, &req)) return false;
+  EngineResponse r;
+  if (!engine_.TryRunCached(req, &r)) return false;
+  // Same verb echo HandleLine produces (the verb is t[0] by construction).
+  size_t b = line.find_first_not_of(" \t\n\v\f\r");
+  size_t e = line.find_first_of(" \t\n\v\f\r", b);
+  *out = FormatResponse(line.substr(b, e - b), req.dataset, r,
+                        opts_.show_timing);
+  return true;
+}
+
+std::string VerbOf(const WireMessage& msg) {
+  if (msg.binary) return "frame";
+  size_t b = msg.text.find_first_not_of(" \t");
+  if (b == std::string::npos) return "";
+  size_t e = msg.text.find_first_of(" \t", b);
+  return msg.text.substr(b, e == std::string::npos ? e : e - b);
+}
+
+ProtocolResult ProtocolSession::HandleLine(const std::string& line) {
+  ProtocolResult res;
+  if (line.empty() || line[0] == '#') return res;
+  std::istringstream ss(line);
+  std::string cmd;
+  ss >> cmd;
+  try {
+    if (cmd == "quit" || cmd == "exit") {
+      res.quit = true;
+    } else if (cmd == "help") {
+      res.out = HelpText();
+    } else if (cmd == "stats") {
+      res.out = "ok stats ";
+      if (opts_.stats_source) {
+        res.out += opts_.stats_source->Stats().Format();
+        res.out += ' ';
+      }
+      res.out += engine_.counters().Format();
+      res.out += '\n';
+    } else if (cmd == "gen") {
+      std::string name, kind;
+      int dim = 0;
+      size_t n = 0;
+      uint64_t seed = 1;
+      ss >> name >> dim >> kind >> n;
+      if (!(ss >> seed)) seed = 1;
+      // Generators issue parallel scheduler work, so they run under the
+      // engine's build lock (single-external-caller model; see
+      // engine.h::WithBuildLock).
+      bool ok = !name.empty() && n != 0 && engine_.WithBuildLock([&] {
+        return Generate(engine_.registry(), name, dim, kind, n, seed);
+      });
+      if (!ok) {
+        res.out = "err gen: usage/unsupported dim or kind\n";
+      } else {
+        res.out = StrPrintf("ok gen %s dim=%d n=%zu kind=%s\n", name.c_str(),
+                            dim, n, kind.c_str());
+      }
+    } else if (cmd == "load") {
+      std::string name, fmt, path;
+      ss >> name >> fmt >> path;
+      if (fmt != "csv" && fmt != "bin" && fmt != "snap") {
+        res.out = "err load: format must be csv, bin, or snap\n";
+        return res;
+      }
+      std::string err;
+      if (fmt == "snap") {
+        // Snapshot problems (missing, truncated, corrupt, or
+        // version-mismatched files) come back as typed errors turned
+        // into strings — never aborts.
+        err = engine_.LoadDataset(name, path);
+      } else {
+        if (std::ifstream probe(path); !probe.good()) {
+          res.out = StrPrintf("err load %s: cannot open %s\n", name.c_str(),
+                              path.c_str());
+          return res;
+        }
+        // Both loaders surface bad data as errors (CSV parse failures
+        // and malformed binary files throw; caught below), never aborts.
+        err = fmt == "csv"
+                  ? engine_.registry().TryAddRows(name, ReadPointsCsv(path))
+                  : engine_.registry().TryAddBin(name, path);
+      }
+      if (!err.empty()) {
+        res.out = StrPrintf("err load %s: %s\n", name.c_str(), err.c_str());
+        return res;
+      }
+      auto entry = engine_.registry().Find(name);
+      res.out = StrPrintf("ok load %s dim=%d n=%zu%s\n", name.c_str(),
+                          entry->dim(), entry->num_points(),
+                          fmt == "snap" ? " warm" : "");
+    } else if (cmd == "save") {
+      std::string name, dir;
+      ss >> name >> dir;
+      if (name.empty() || dir.empty()) {
+        res.out = "err save: usage: save <name> <dir>\n";
+        return res;
+      }
+      std::string err = engine_.SaveDataset(name, dir);
+      if (!err.empty()) {
+        res.out = StrPrintf("err save %s: %s\n", name.c_str(), err.c_str());
+      } else {
+        res.out = StrPrintf("ok save %s dir=%s\n", name.c_str(), dir.c_str());
+      }
+    } else if (cmd == "dyn") {
+      std::string name;
+      int dim = 0;
+      ss >> name >> dim;
+      if (ss.fail() || name.empty()) {
+        res.out = "err dyn: usage: dyn <name> <dim>\n";
+        return res;
+      }
+      std::string err = engine_.registry().TryAddDynamic(name, dim);
+      if (!err.empty()) {
+        res.out = StrPrintf("err dyn %s: %s\n", name.c_str(), err.c_str());
+      } else {
+        res.out = StrPrintf("ok dyn %s dim=%d\n", name.c_str(), dim);
+      }
+    } else if (cmd == "insert") {
+      std::string name;
+      ss >> name;
+      auto entry = engine_.registry().Find(name);
+      if (!entry) {
+        res.out = StrPrintf("err insert %s: unknown dataset\n", name.c_str());
+        return res;
+      }
+      int dim = entry->dim();
+      std::vector<double> vals;
+      double v;
+      while (ss >> v) vals.push_back(v);
+      // A malformed token must not silently truncate the batch and print
+      // "ok" (same rule the query verbs enforce below).
+      if (!ss.eof()) {
+        res.out = StrPrintf("err insert %s: malformed coordinate\n",
+                            name.c_str());
+        return res;
+      }
+      if (vals.empty() || vals.size() % static_cast<size_t>(dim) != 0) {
+        res.out = StrPrintf("err insert %s: need a multiple of %d "
+                            "coordinates\n",
+                            name.c_str(), dim);
+        return res;
+      }
+      std::vector<std::vector<double>> rows(vals.size() / dim);
+      for (size_t i = 0; i < rows.size(); ++i) {
+        rows[i].assign(vals.begin() + i * dim, vals.begin() + (i + 1) * dim);
+      }
+      res.out = DoInsert(name, rows);
+    } else if (cmd == "geninsert") {
+      std::string name, kind;
+      int dim = 0;
+      size_t n = 0;
+      uint64_t seed = 1;
+      ss >> name >> dim >> kind >> n;
+      if (!(ss >> seed)) seed = 1;
+      if (name.empty() || n == 0 || !DatasetRegistry::SupportedDim(dim)) {
+        res.out = "err geninsert: usage/unsupported dim\n";
+        return res;
+      }
+      // Validate the generator kind before the create-if-absent side
+      // effect, so a typo doesn't leave a spurious empty dataset behind.
+      // (Build lock: generators issue parallel work; see `gen` above.)
+      std::vector<std::vector<double>> rows = engine_.WithBuildLock(
+          [&] { return GenRows(dim, kind, n, seed); });
+      if (rows.empty()) {
+        res.out = StrPrintf("err geninsert: unknown kind %s\n", kind.c_str());
+        return res;
+      }
+      if (!engine_.registry().Find(name)) {
+        engine_.registry().TryAddDynamic(name, dim);
+      }
+      uint32_t first = 0;
+      std::string err = engine_.InsertBatch(name, rows, &first);
+      if (!err.empty()) {
+        res.out = StrPrintf("err geninsert %s: %s\n", name.c_str(),
+                            err.c_str());
+      } else {
+        res.out = StrPrintf("ok geninsert %s n=%zu gids=[%u,%u)\n",
+                            name.c_str(), n, first,
+                            first + static_cast<uint32_t>(n));
+      }
+    } else if (cmd == "delete") {
+      std::string name;
+      ss >> name;
+      std::vector<uint32_t> gids;
+      uint32_t gid;
+      while (ss >> gid) gids.push_back(gid);
+      if (!ss.eof()) {
+        res.out = StrPrintf("err delete %s: malformed gid\n", name.c_str());
+        return res;
+      }
+      if (name.empty() || gids.empty()) {
+        res.out = "err delete: usage: delete <name> <gid> [gid ...]\n";
+        return res;
+      }
+      size_t deleted = 0;
+      std::string err = engine_.DeleteBatch(name, gids, &deleted);
+      if (!err.empty()) {
+        res.out = StrPrintf("err delete %s: %s\n", name.c_str(), err.c_str());
+      } else {
+        res.out = StrPrintf("ok delete %s deleted=%zu\n", name.c_str(),
+                            deleted);
+      }
+    } else if (cmd == "list") {
+      for (const DatasetInfo& info : engine_.registry().List()) {
+        std::string extra;
+        if (info.dynamic) {
+          extra = " dynamic shards=" + std::to_string(info.num_shards);
+        }
+        res.out += StrPrintf("dataset %s dim=%d n=%zu knn_k=%zu cached=%zu%s\n",
+                             info.name.c_str(), info.dim, info.num_points,
+                             info.knn_k, info.cached_clusterings,
+                             extra.c_str());
+      }
+      res.out += "ok list\n";
+    } else if (cmd == "drop") {
+      std::string name;
+      ss >> name;
+      res.out = StrPrintf(engine_.registry().Remove(name)
+                              ? "ok drop %s\n"
+                              : "err drop %s: unknown\n",
+                          name.c_str());
+    } else if (cmd == "emst" || cmd == "slink" || cmd == "hdbscan" ||
+               cmd == "dbscan" || cmd == "reach" || cmd == "clusters") {
+      EngineRequest req;
+      ss >> req.dataset;
+      if (cmd == "emst") {
+        req.type = QueryType::kEmst;
+      } else if (cmd == "slink") {
+        req.type = QueryType::kSingleLinkage;
+        ss >> req.k;
+      } else if (cmd == "hdbscan") {
+        req.type = QueryType::kHdbscan;
+        ss >> req.min_pts;
+      } else if (cmd == "dbscan") {
+        req.type = QueryType::kDbscanStarAt;
+        ss >> req.min_pts >> req.eps;
+      } else if (cmd == "reach") {
+        req.type = QueryType::kReachability;
+        ss >> req.min_pts;
+      } else {
+        req.type = QueryType::kStableClusters;
+        ss >> req.min_pts >> req.min_cluster_size;
+      }
+      // A missing or malformed argument must not silently fall back to a
+      // default parameterization and print "ok".
+      if (ss.fail() || req.dataset.empty()) {
+        res.out = StrPrintf("err %s: missing or malformed arguments "
+                            "(try help)\n",
+                            cmd.c_str());
+        return res;
+      }
+      res.out = FormatResponse(cmd, req.dataset, engine_.Run(req),
+                               opts_.show_timing);
+    } else {
+      res.out = StrPrintf("err unknown command: %s (try help)\n", cmd.c_str());
+    }
+  } catch (const std::exception& e) {
+    res.out = StrPrintf("err %s: %s\n", cmd.c_str(), e.what());
+  }
+  return res;
+}
+
+ProtocolResult ProtocolSession::HandleFrame(uint8_t opcode,
+                                            const std::string& payload) {
+  ProtocolResult res;
+  try {
+    PayloadReader rd(payload);
+    if (opcode == kOpInsertPoints) {
+      std::string name = rd.GetBytes(rd.GetU16());
+      int dim = static_cast<int>(rd.GetU16());
+      uint32_t count = rd.GetU32();
+      if (!rd.ok() || name.empty() || dim <= 0 || count == 0 ||
+          rd.remaining() != static_cast<size_t>(count) * dim * sizeof(double)) {
+        res.out = "err insert: malformed frame payload\n";
+        return res;
+      }
+      auto entry = engine_.registry().Find(name);
+      if (!entry) {
+        res.out = StrPrintf("err insert %s: unknown dataset\n", name.c_str());
+        return res;
+      }
+      if (entry->dim() != dim) {
+        res.out = StrPrintf("err insert %s: frame dim %d != dataset dim %d\n",
+                            name.c_str(), dim, entry->dim());
+        return res;
+      }
+      std::vector<std::vector<double>> rows(count, std::vector<double>(dim));
+      for (auto& row : rows) {
+        for (double& v : row) v = rd.GetF64();
+      }
+      res.out = DoInsert(name, rows);
+    } else if (opcode == kOpGetLabels) {
+      std::string name = rd.GetBytes(rd.GetU16());
+      uint8_t kind = rd.GetU8();
+      EngineRequest req;
+      req.dataset = name;
+      req.min_pts = static_cast<int>(rd.GetU32());
+      if (kind == 0) {
+        req.type = QueryType::kDbscanStarAt;
+        req.eps = rd.GetF64();
+      } else {
+        req.type = QueryType::kStableClusters;
+        req.min_cluster_size = static_cast<size_t>(rd.GetU64());
+      }
+      if (!rd.ok() || name.empty() || kind > 1 || rd.remaining() != 0) {
+        res.out = "err labels: malformed frame payload\n";
+        return res;
+      }
+      EngineResponse r = engine_.Run(req);
+      if (!r.ok) {
+        res.out = StrPrintf("err labels %s: %s\n", name.c_str(),
+                            r.error.c_str());
+        return res;
+      }
+      std::string reply;
+      reply.reserve(4 + r.labels.size() * 4);
+      PutU32(&reply, static_cast<uint32_t>(r.labels.size()));
+      for (int32_t l : r.labels) PutU32(&reply, static_cast<uint32_t>(l));
+      res.out = EncodeFrame(kOpLabelsReply, reply);
+    } else {
+      res.out = StrPrintf("err frame: unknown opcode 0x%02x\n", opcode);
+    }
+  } catch (const std::exception& e) {
+    res.out = StrPrintf("err frame: %s\n", e.what());
+  }
+  return res;
+}
+
+std::string ProtocolSession::DoInsert(
+    const std::string& name, const std::vector<std::vector<double>>& rows) {
+  uint32_t first = 0;
+  std::string err = engine_.InsertBatch(name, rows, &first);
+  if (!err.empty()) {
+    return StrPrintf("err insert %s: %s\n", name.c_str(), err.c_str());
+  }
+  return StrPrintf("ok insert %s n=%zu gids=[%u,%u)\n", name.c_str(),
+                   rows.size(), first,
+                   first + static_cast<uint32_t>(rows.size()));
+}
+
+}  // namespace net
+}  // namespace parhc

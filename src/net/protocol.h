@@ -1,0 +1,110 @@
+// The serving layer's shared request language: one verb implementation
+// for every front-end.
+//
+// Factored out of examples/parhc_server.cpp so the stdin REPL and the TCP
+// server (net/server.h) parse, execute, and format requests with the same
+// code — the REPL's batch output is byte-identical to the pre-split
+// implementation (regression-locked by tests/protocol_golden_test.cc, and
+// the loopback integration test holds the TCP path to the same bytes).
+//
+// Text verbs (one request per line; responses are '\n'-terminated lines):
+//   gen <name> <dim> <uniform|varden|levy|gauss> <n> [seed]
+//   load <name> <csv|bin|snap> <path>
+//   save <name> <dir>
+//   dyn <name> <dim>
+//   insert <name> <coords...>
+//   geninsert <name> <dim> <kind> <n> [seed]
+//   delete <name> <gid> [gid ...]
+//   list | drop <name>
+//   emst <name> | slink <name> <k> | hdbscan <name> <minPts>
+//   dbscan <name> <minPts> <eps> | reach <name> <minPts>
+//   clusters <name> <minPts> <minClusterSize>
+//   stats | help | quit
+//
+// Binary requests (TCP only; see frame.h for the frame layout) reuse the
+// same execution paths: kOpInsertPoints answers with the text `insert`
+// verb's line, kOpGetLabels answers with a kOpLabelsReply frame.
+//
+// Thread-safety: a ProtocolSession holds only a reference to the (thread-
+// safe) engine plus immutable options, so distinct sessions may execute
+// on distinct threads concurrently. One session must not be driven from
+// two threads at once (the TCP scheduler runs at most one request per
+// connection at a time, which also keeps responses in request order).
+// Verbs that issue parallel scheduler work outside the engine (the data
+// generators behind gen/geninsert) run under
+// ClusteringEngine::WithBuildLock to preserve the fork-join scheduler's
+// single-external-caller model.
+#pragma once
+
+#include <string>
+
+#include "engine/engine.h"
+#include "net/frame.h"
+#include "net/stats.h"
+
+namespace parhc {
+namespace net {
+
+struct ProtocolOptions {
+  /// Appends " secs=<wall clock>" to query responses (the REPL's historical
+  /// format). Off in tests/benches that compare transcripts across runs.
+  bool show_timing = true;
+  /// Server counters for the `stats` verb; null (the REPL) reports engine
+  /// counters only.
+  const ServerStatsSource* stats_source = nullptr;
+};
+
+/// Result of executing one request: the exact bytes to write back (every
+/// line '\n'-terminated; empty for blank/comment input) and whether the
+/// client asked to end the session.
+struct ProtocolResult {
+  std::string out;
+  bool quit = false;
+};
+
+class ProtocolSession {
+ public:
+  explicit ProtocolSession(ClusteringEngine& engine,
+                           ProtocolOptions opts = {})
+      : engine_(engine), opts_(opts) {}
+
+  /// Executes one text request line (without its '\n').
+  ProtocolResult HandleLine(const std::string& line);
+
+  /// Zero-dispatch fast path for the event loop: if `line` is a cleanly
+  /// formed query verb (emst/slink/hdbscan/dbscan/reach/clusters) whose
+  /// parse provably matches HandleLine's, and the engine can answer it
+  /// from cache without blocking (ClusteringEngine::TryRunCached), sets
+  /// *out to the exact bytes HandleLine would produce and returns true.
+  /// Returns false for everything else — the caller must then route the
+  /// line through HandleLine (on a worker). Callers may only use this
+  /// when no earlier request of the same client is still pending, or
+  /// responses would reorder.
+  bool TryHandleCachedQuery(const std::string& line, std::string* out);
+
+  /// Executes one binary frame. The returned bytes are either an encoded
+  /// reply frame or a text err line.
+  ProtocolResult HandleFrame(uint8_t opcode, const std::string& payload);
+
+  /// Dispatches a decoded wire message to HandleLine/HandleFrame.
+  ProtocolResult Handle(const WireMessage& msg) {
+    return msg.binary ? HandleFrame(msg.opcode, msg.payload)
+                      : HandleLine(msg.text);
+  }
+
+ private:
+  /// Shared tail of the text and binary insert paths; returns the reply
+  /// line.
+  std::string DoInsert(const std::string& name,
+                       const std::vector<std::vector<double>>& rows);
+
+  ClusteringEngine& engine_;
+  ProtocolOptions opts_;
+};
+
+/// First whitespace-delimited token of a text line ("frame" for binary
+/// messages) — the verb named in `err busy <verb>` load-shed replies.
+std::string VerbOf(const WireMessage& msg);
+
+}  // namespace net
+}  // namespace parhc

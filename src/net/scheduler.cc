@@ -1,0 +1,154 @@
+#include "net/scheduler.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace parhc {
+namespace net {
+
+QueryScheduler::QueryScheduler(const Options& opts, Completion completion)
+    : opts_(opts), completion_(std::move(completion)) {
+  int n = std::max(1, opts_.workers);
+  workers_.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+QueryScheduler::~QueryScheduler() { Stop(); }
+
+size_t QueryScheduler::Submit(uint64_t conn_id, std::string busy_reply,
+                              std::function<std::string()> work) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ConnQueue& cq = conns_[conn_id];
+  if (cq.closed) return 0;
+  Item item;
+  item.seq = cq.next_seq++;
+  item.shed = queued_live_ >= opts_.max_queued;
+  item.busy_reply = std::move(busy_reply);
+  item.work = std::move(work);
+  item.enqueued = std::chrono::steady_clock::now();
+  if (!item.shed) ++queued_live_;
+  ++queued_total_;
+  cq.q.push_back(std::move(item));
+  if (!cq.in_flight && cq.q.size() == 1) {
+    ready_.push_back(conn_id);
+    work_cv_.notify_one();
+  }
+  return cq.q.size() + (cq.in_flight ? 1 : 0);
+}
+
+size_t QueryScheduler::PendingFor(uint64_t conn_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = conns_.find(conn_id);
+  if (it == conns_.end()) return 0;
+  return it->second.q.size() + (it->second.in_flight ? 1 : 0);
+}
+
+void QueryScheduler::CloseConn(uint64_t conn_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = conns_.find(conn_id);
+  if (it == conns_.end()) return;
+  ConnQueue& cq = it->second;
+  for (const Item& item : cq.q) {
+    if (!item.shed) --queued_live_;
+  }
+  queued_total_ -= cq.q.size();
+  cq.q.clear();
+  if (cq.in_flight) {
+    cq.closed = true;  // worker erases the entry when the job returns
+  } else {
+    conns_.erase(it);
+  }
+  drain_cv_.notify_all();
+}
+
+void QueryScheduler::Drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  drain_cv_.wait(lock,
+                 [this] { return queued_total_ == 0 && inflight_ == 0; });
+}
+
+void QueryScheduler::Stop() {
+  Drain();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) return;
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+  workers_.clear();
+}
+
+size_t QueryScheduler::queued_now() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queued_total_;
+}
+
+size_t QueryScheduler::inflight_now() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return inflight_;
+}
+
+bool QueryScheduler::NextReady(std::unique_lock<std::mutex>& lock,
+                               uint64_t* conn_id) {
+  for (;;) {
+    work_cv_.wait(lock, [this] { return stopping_ || !ready_.empty(); });
+    if (ready_.empty()) return false;  // stopping_ and nothing to run
+    *conn_id = ready_.front();
+    ready_.pop_front();
+    auto it = conns_.find(*conn_id);
+    if (it == conns_.end() || it->second.q.empty() || it->second.in_flight) {
+      continue;  // closed or raced; stale ready entry
+    }
+    return true;
+  }
+}
+
+void QueryScheduler::WorkerLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  uint64_t conn_id;
+  while (NextReady(lock, &conn_id)) {
+    ConnQueue& cq = conns_[conn_id];
+    Item item = std::move(cq.q.front());
+    cq.q.pop_front();
+    cq.in_flight = true;
+    if (!item.shed) --queued_live_;
+    --queued_total_;
+    ++inflight_;
+    lock.unlock();
+
+    std::string bytes = item.shed ? std::move(item.busy_reply) : item.work();
+    auto now = std::chrono::steady_clock::now();
+    latency_.Record(static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(now -
+                                                              item.enqueued)
+            .count()));
+    if (item.shed) {
+      shed_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      served_.fetch_add(1, std::memory_order_relaxed);
+    }
+    // Deliver outside the lock: the completion may call back into
+    // PendingFor or enqueue writes on the event loop.
+    completion_(conn_id, item.seq, std::move(bytes), item.shed);
+
+    lock.lock();
+    auto it = conns_.find(conn_id);
+    if (it != conns_.end()) {
+      it->second.in_flight = false;
+      if (it->second.closed && it->second.q.empty()) {
+        conns_.erase(it);
+      } else if (!it->second.q.empty()) {
+        ready_.push_back(conn_id);  // back of the line: round-robin
+        work_cv_.notify_one();
+      }
+    }
+    --inflight_;
+    drain_cv_.notify_all();
+  }
+}
+
+}  // namespace net
+}  // namespace parhc

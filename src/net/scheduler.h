@@ -1,0 +1,144 @@
+// Fair bounded work-queue scheduler between the TCP event loop and the
+// clustering engine.
+//
+// Design:
+//  * Per connection, a FIFO queue of parsed requests with **at most one
+//    request of a connection running at a time** — responses therefore
+//    complete in request order with no reorder buffer, and one client
+//    pipelining thousands of requests cannot occupy more than one worker.
+//  * A round-robin ready list of connections: when a connection's
+//    in-flight request finishes (or its first request arrives) it goes to
+//    the *back* of the ready list, so N active connections share the
+//    worker pool evenly regardless of their queue depths.
+//  * A global bound (`max_queued`) on requests waiting across all
+//    connections. A request arriving past the bound is *shed*: it stays
+//    in its connection's queue (so the `err busy` reply is delivered in
+//    request order like any other response) but is marked to skip
+//    execution, costs no engine work, and does not count against the
+//    bound. The TCP server layers per-connection flow control on top
+//    (it stops reading a connection's socket past `max_pipelined`
+//    unparsed requests), so shedding only triggers under genuine
+//    many-connection overload.
+//  * Workers execute requests against the (thread-safe) ClusteringEngine;
+//    reads on warm datasets run concurrently under the engine's
+//    readers-writer model while builds and per-dataset mutations
+//    serialize on the engine's build mutex.
+//
+// Completions are delivered by invoking the `Completion` callback on the
+// worker thread that ran the request; the TCP server's callback posts the
+// bytes to its event loop, and tests collect them directly.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "net/stats.h"
+
+namespace parhc {
+namespace net {
+
+class QueryScheduler {
+ public:
+  struct Options {
+    int workers = 4;
+    size_t max_queued = 256;  ///< global waiting-request bound (load-shed)
+  };
+
+  /// Called once per request, in per-connection request order, on a worker
+  /// thread. `bytes` is the response to deliver; `shed` marks a load-shed
+  /// busy reply.
+  using Completion = std::function<void(uint64_t conn_id, uint64_t seq,
+                                       std::string bytes, bool shed)>;
+
+  QueryScheduler(const Options& opts, Completion completion);
+  ~QueryScheduler();
+
+  QueryScheduler(const QueryScheduler&) = delete;
+  QueryScheduler& operator=(const QueryScheduler&) = delete;
+
+  /// Enqueues one request for `conn_id`. `work` produces the response
+  /// bytes; `busy_reply` is delivered instead if the global bound sheds
+  /// this request. Never blocks. Returns the connection's pending count
+  /// (queued + in flight) after the enqueue — the flow-control signal,
+  /// returned here so the hot path pays no second lock via PendingFor.
+  size_t Submit(uint64_t conn_id, std::string busy_reply,
+                std::function<std::string()> work);
+
+  /// Requests of `conn_id` still queued or running (the server's
+  /// per-connection flow-control signal).
+  size_t PendingFor(uint64_t conn_id) const;
+
+  /// Drops every queued (not yet running) request of a closed connection;
+  /// its in-flight request, if any, still completes (the server drops the
+  /// orphaned response).
+  void CloseConn(uint64_t conn_id);
+
+  /// Blocks until every queued and in-flight request has completed.
+  /// Callers must stop Submitting first (graceful-drain shutdown).
+  void Drain();
+
+  /// Drain, then stop and join the workers. Idempotent; the destructor
+  /// calls it.
+  void Stop();
+
+  // Cumulative/state counters (all safe to read concurrently).
+  uint64_t served() const { return served_.load(std::memory_order_relaxed); }
+  uint64_t shed() const { return shed_.load(std::memory_order_relaxed); }
+  size_t queued_now() const;
+  size_t inflight_now() const;
+  const LatencyHistogram& latency() const { return latency_; }
+  /// Folds an externally measured request latency (the server's inline
+  /// cache-hit path) into the same histogram the p50/p99 stats report.
+  void RecordLatency(uint64_t us) { latency_.Record(us); }
+
+ private:
+  struct Item {
+    uint64_t seq;
+    bool shed;
+    std::string busy_reply;
+    std::function<std::string()> work;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
+  struct ConnQueue {
+    std::deque<Item> q;
+    bool in_flight = false;
+    bool closed = false;
+    uint64_t next_seq = 0;
+  };
+
+  void WorkerLoop();
+  /// Pops the next runnable connection id; returns false when stopping
+  /// and no work remains. Called under mu_.
+  bool NextReady(std::unique_lock<std::mutex>& lock, uint64_t* conn_id);
+
+  const Options opts_;
+  const Completion completion_;
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;   ///< workers wait for ready conns
+  std::condition_variable drain_cv_;  ///< Drain waits for quiescence
+  std::unordered_map<uint64_t, ConnQueue> conns_;
+  std::deque<uint64_t> ready_;  ///< conns with work and nothing in flight
+  size_t queued_live_ = 0;      ///< non-shed queued items (the bound)
+  size_t queued_total_ = 0;     ///< all queued items incl. shed
+  size_t inflight_ = 0;
+  bool stopping_ = false;
+
+  std::atomic<uint64_t> served_{0};
+  std::atomic<uint64_t> shed_{0};
+  LatencyHistogram latency_;
+
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace net
+}  // namespace parhc

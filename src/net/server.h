@@ -1,0 +1,104 @@
+// Non-blocking TCP front-end over the ClusteringEngine.
+//
+// Architecture (single event-loop thread + worker pool):
+//
+//   clients --> accept --> per-conn read buffer --> FrameSplitter
+//                                |                      | parsed requests
+//                                |                      v
+//                                |              QueryScheduler
+//                                |      (bounded, fair, per-conn FIFO,
+//                                |       one in-flight per connection)
+//                                |                      | worker threads
+//                                |                      v
+//                                |              ProtocolSession --> engine
+//                                |                      | response bytes
+//                                v                      v
+//                           per-conn write buffer <-- completion queue
+//                                |                      (wake pipe)
+//                                v
+//                             flush / EPOLLOUT
+//
+// The event-loop thread owns every connection object and all socket I/O;
+// scheduler workers never touch a socket — they post (conn_id, bytes) to
+// the completion queue and write one byte to the wake pipe. Responses to
+// one connection are delivered in request order (the scheduler runs at
+// most one of its requests at a time).
+//
+// Overload behavior, outermost first:
+//  1. Per-connection pipelining bound (`max_pipelined`): past it the
+//     server stops parsing (and reading) that connection until its queue
+//     drains below half — the kernel socket buffer then fills and TCP
+//     flow control pushes back on the client. No requests are lost.
+//  2. Global scheduler bound (`max_queued`): across connections, excess
+//     requests are answered `err busy <verb>` in order (load-shed)
+//     without touching the engine.
+//
+// Lifecycle: idle connections (no request, no response activity for
+// `idle_timeout_ms`) are closed. On Shutdown() — or SIGINT/SIGTERM when
+// `install_signal_handlers` — the server stops accepting and reading,
+// lets queued requests finish, flushes every write buffer (bounded by
+// `drain_timeout_ms`), then closes. A client half-closing its write side
+// still gets answers to everything it sent, including a final line
+// without '\n'.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "engine/engine.h"
+#include "net/stats.h"
+
+namespace parhc {
+namespace net {
+
+struct NetServerOptions {
+  std::string bind_addr = "127.0.0.1";
+  uint16_t port = 0;  ///< 0 = pick an ephemeral port (see NetServer::port)
+  int workers = 4;
+  size_t max_queued = 1024;    ///< global bound -> `err busy` load-shed
+  size_t max_pipelined = 128;  ///< per-conn bound -> pause reads (TCP
+                               ///< pushback)
+  int idle_timeout_ms = 300000;  ///< <= 0 disables idle closing
+  int drain_timeout_ms = 5000;   ///< shutdown flush deadline
+  bool use_poll = false;         ///< force the poll(2) backend
+  bool show_timing = true;       ///< secs= field on query responses
+  bool install_signal_handlers = false;  ///< SIGINT/SIGTERM → Shutdown()
+};
+
+class NetServer final : public ServerStatsSource {
+ public:
+  /// The engine must outlive the server. Serving starts at Start().
+  NetServer(ClusteringEngine& engine, NetServerOptions opts);
+  ~NetServer() override;
+
+  NetServer(const NetServer&) = delete;
+  NetServer& operator=(const NetServer&) = delete;
+
+  /// Binds, listens, and starts the worker pool. Returns "" on success,
+  /// else an error message. port() is valid afterwards.
+  std::string Start();
+
+  /// Runs the event loop on the calling thread until Shutdown() (or a
+  /// handled signal) completes the graceful drain. Call after Start().
+  void Run();
+
+  /// Initiates graceful drain from any thread (idempotent). Run()
+  /// returns once the drain finishes.
+  void Shutdown();
+
+  /// The bound port (resolves option port = 0).
+  uint16_t port() const { return port_; }
+
+  /// Server counters for the `stats` verb (ServerStatsSource).
+  ServerStatsSnapshot Stats() const override;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+  uint16_t port_ = 0;
+};
+
+}  // namespace net
+}  // namespace parhc

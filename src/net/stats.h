@@ -1,0 +1,117 @@
+// Serving-layer counters: lock-free request-latency histogram and the
+// stats-source hook the `stats` verb reads.
+//
+// Every counter is a relaxed atomic: the stats verb runs on scheduler
+// worker threads while the event loop and other workers keep mutating, so
+// a snapshot is approximate by design (each field is individually exact;
+// fields are not mutually consistent). That is the right trade for a
+// monitoring verb — no shared lock on the serving path.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace parhc {
+namespace net {
+
+/// Log2-bucketed latency histogram over microseconds. Bucket b holds
+/// samples with bit_width(us) == b, i.e. us in [2^(b-1), 2^b); quantiles
+/// report the bucket's upper bound, so they overestimate by at most 2x —
+/// plenty for p50/p99 monitoring, at the cost of one relaxed increment
+/// per sample.
+class LatencyHistogram {
+ public:
+  static constexpr int kBuckets = 48;
+
+  void Record(uint64_t us) {
+    int b = 0;
+    while (us > 0 && b < kBuckets - 1) {
+      us >>= 1;
+      ++b;
+    }
+    buckets_[b].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+
+  /// Upper bound (µs) of the bucket containing quantile q in [0, 1];
+  /// 0 when empty.
+  uint64_t QuantileUs(double q) const {
+    uint64_t total = count();
+    if (total == 0) return 0;
+    uint64_t rank = static_cast<uint64_t>(q * static_cast<double>(total));
+    if (rank >= total) rank = total - 1;
+    uint64_t seen = 0;
+    for (int b = 0; b < kBuckets; ++b) {
+      seen += buckets_[b].load(std::memory_order_relaxed);
+      if (seen > rank) return b == 0 ? 0 : (uint64_t{1} << b) - 1;
+    }
+    return (uint64_t{1} << (kBuckets - 1)) - 1;
+  }
+
+ private:
+  std::atomic<uint64_t> buckets_[kBuckets] = {};
+  std::atomic<uint64_t> count_{0};
+};
+
+/// What the TCP server knows and the protocol's `stats` verb reports.
+/// All gauges/counters are cumulative since server start except the
+/// `*_now` gauges.
+struct ServerStatsSnapshot {
+  uint64_t connections_now = 0;
+  uint64_t connections_total = 0;
+  uint64_t served = 0;        ///< responses delivered (incl. busy replies)
+  uint64_t inline_hits = 0;   ///< subset of served answered on the event
+                              ///< loop's inline cache-hit path
+  uint64_t shed = 0;          ///< requests answered `err busy` by load-shed
+  uint64_t dropped = 0;       ///< responses whose connection died first
+  uint64_t queued_now = 0;    ///< requests waiting in the scheduler
+  uint64_t inflight_now = 0;  ///< requests running on a worker
+  uint64_t protocol_errors = 0;
+  uint64_t idle_closed = 0;
+  uint64_t bytes_in = 0;
+  uint64_t bytes_out = 0;
+  uint64_t p50_us = 0;
+  uint64_t p99_us = 0;
+
+  /// Space-separated key=value rendering, stable field order (parsed by
+  /// the bench client and the CI smoke step).
+  std::string Format() const {
+    std::string s;
+    auto kv = [&s](const char* k, uint64_t v) {
+      s += ' ';
+      s += k;
+      s += '=';
+      s += std::to_string(v);
+    };
+    kv("conns", connections_now);
+    kv("conns_total", connections_total);
+    kv("served", served);
+    kv("inline_hits", inline_hits);
+    kv("shed", shed);
+    kv("dropped", dropped);
+    kv("queued", queued_now);
+    kv("inflight", inflight_now);
+    kv("proto_errors", protocol_errors);
+    kv("idle_closed", idle_closed);
+    kv("bytes_in", bytes_in);
+    kv("bytes_out", bytes_out);
+    kv("p50_us", p50_us);
+    kv("p99_us", p99_us);
+    return s.substr(1);
+  }
+};
+
+/// Implemented by the TCP server; the protocol core calls it (from a
+/// worker thread) to answer the `stats` verb. The stdin REPL has no
+/// server, so the hook is optional there.
+class ServerStatsSource {
+ public:
+  virtual ~ServerStatsSource() = default;
+  virtual ServerStatsSnapshot Stats() const = 0;
+};
+
+}  // namespace net
+}  // namespace parhc

@@ -1,0 +1,89 @@
+// Golden-transcript lock on the protocol refactor: the REPL's batch-mode
+// output must be byte-identical to the pre-split examples/parhc_server.cpp
+// implementation.
+//
+// tests/golden/repl_golden.txt was captured by piping
+// tests/golden/repl_script.txt through the *original* monolithic
+// parhc_server binary (commit 1498fd7, before the verb logic moved into
+// src/net/protocol.cc), with one normalization: wall-clock `secs=...`
+// fields are rewritten to `secs=X` (the only nondeterministic bytes in
+// the transcript). This test replays the script through the shared
+// protocol core exactly the way the REPL main() does — FrameSplitter in
+// text mode, FlushEof at end of input — applies the same normalization,
+// and compares the whole transcript.
+//
+// The transcript was captured with one scheduler worker; artifact values
+// (MST weights, dendrogram heights) are summed in deterministic order for
+// a fixed worker count, so the test pins the worker count too.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <regex>
+#include <sstream>
+#include <string>
+
+#include "net/frame.h"
+#include "net/protocol.h"
+#include "parhc.h"
+
+namespace parhc {
+namespace {
+
+std::string ReadFileOrDie(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "cannot open " << path;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+std::string NormalizeSecs(const std::string& s) {
+  static const std::regex kSecs("secs=[-+0-9.eE]+");
+  return std::regex_replace(s, kSecs, "secs=X");
+}
+
+TEST(ProtocolGolden, ReplBatchOutputIsByteIdentical) {
+  SetNumWorkers(1);  // the golden transcript was captured single-worker
+
+  const std::string dir = std::string(PARHC_SOURCE_DIR) + "/tests/golden/";
+  const std::string script = ReadFileOrDie(dir + "repl_script.txt");
+  const std::string golden = ReadFileOrDie(dir + "repl_golden.txt");
+
+  ClusteringEngine engine;
+  net::ProtocolSession session(engine);
+  net::FrameSplitter splitter(/*allow_binary=*/false);
+  splitter.Feed(script);
+  splitter.FlushEof();
+
+  std::string transcript;
+  net::WireMessage msg;
+  bool quit = false;
+  while (!quit && splitter.Next(&msg)) {
+    net::ProtocolResult res = session.Handle(msg);
+    transcript += res.out;
+    quit = res.quit;
+  }
+  EXPECT_TRUE(quit) << "script must end with quit";
+  EXPECT_EQ(NormalizeSecs(transcript), NormalizeSecs(golden));
+}
+
+/// The partial-line fix: a final command without a trailing newline is
+/// processed and answered, not dropped (both front-ends share this
+/// splitter-driven input path).
+TEST(ProtocolGolden, FinalLineWithoutNewlineIsAnswered) {
+  SetNumWorkers(1);
+  ClusteringEngine engine;
+  net::ProtocolSession session(engine);
+  net::FrameSplitter splitter(/*allow_binary=*/false);
+  splitter.Feed("gen g 2 uniform 50 1\nemst g");  // no trailing '\n'
+  splitter.FlushEof();
+
+  std::string transcript;
+  net::WireMessage msg;
+  while (splitter.Next(&msg)) transcript += session.Handle(msg).out;
+  EXPECT_NE(transcript.find("ok gen g"), std::string::npos);
+  EXPECT_NE(transcript.find("ok emst g mst_edges=49"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace parhc
