@@ -3,13 +3,17 @@
 // and thread sweeps.
 //
 // Environment variables:
-//   PARHC_N      base dataset size            (default 10000)
-//   PARHC_MAXT   max worker count for sweeps  (default max(4, hw threads))
-//   PARHC_ITERS  iterations per benchmark     (default 1)
+//   PARHC_N        base dataset size            (default 10000)
+//   PARHC_MAXT     max worker count for sweeps  (default PARHC_WORKERS,
+//                  else max(4, hw threads))
+//   PARHC_WORKERS  scheduler pool size — also honored by every library
+//                  binary via Scheduler::Get
+//   PARHC_ITERS    iterations per benchmark     (default 1)
 #pragma once
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <cstdlib>
 #include <map>
 #include <string>
@@ -32,8 +36,24 @@ inline size_t EnvN(size_t dflt = 10000) {
 inline int EnvMaxThreads() {
   const char* s = std::getenv("PARHC_MAXT");
   if (s) return std::max(1, std::atoi(s));
+  if (const char* w = std::getenv("PARHC_WORKERS")) {
+    return std::max(1, std::atoi(w));
+  }
   unsigned hw = std::thread::hardware_concurrency();
   return std::max(4u, hw);  // demonstrate the sweep even on small machines
+}
+
+/// Worker counts for the multicore build-executor matrix: 1, 4, and all
+/// hardware threads (deduplicated, sorted). The 1-worker row is the gated
+/// floor; multi-worker rows gate on identical results plus monotone
+/// non-regression (ci/check_bench_regression.py).
+inline std::vector<int> WorkerMatrix() {
+  int maxt = EnvMaxThreads();
+  std::vector<int> out = {1};
+  if (maxt >= 4) out.push_back(4);
+  if (maxt != 1 && maxt != 4) out.push_back(maxt);
+  std::sort(out.begin(), out.end());
+  return out;
 }
 
 inline int EnvIters() {

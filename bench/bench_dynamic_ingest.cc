@@ -92,6 +92,7 @@ void RunIngest(benchmark::State& st, const std::string& kind, size_t n,
   st.counters["base_n"] = static_cast<double>(n);
   st.counters["batch_n"] = static_cast<double>(batch_n);
   st.counters["batches"] = kBatches;
+  st.counters["workers"] = workers;
 }
 
 void RegisterAll() {

@@ -15,6 +15,15 @@
 //                        MST + dendrogram rebuilds remain.
 // The cached/cold ratio is the engine's reuse win (>= 3x on 1M uniform 2D
 // points single-threaded; see README "Serving layer").
+//
+// The cold/cached family runs once per scheduler-pool size in
+// WorkerMatrix() (1/4/all-hw, deduplicated) as `.../workers:N` rows. The
+// 1-worker rows are the gated wall-time floors; multi-worker rows gate on
+// the cached sweep's `identical` flag (the memoized engine path answers
+// exactly what the cold path answers at that worker count) and monotone
+// non-regression of real_time (bench/baselines/gate.json).
+#include <algorithm>
+
 #include "bench_common.h"
 
 namespace parhc_bench {
@@ -47,6 +56,7 @@ void RegisterPerMinPts() {
                 benchmark::DoNotOptimize(r.mst.data());
               }
               st.counters["minPts"] = min_pts;
+              st.counters["workers"] = maxt;
             });
           })
           ->Unit(benchmark::kMillisecond)
@@ -55,66 +65,98 @@ void RegisterPerMinPts() {
   }
 }
 
+std::vector<double> SortedWeights(const std::vector<WeightedEdge>& edges) {
+  std::vector<double> w;
+  w.reserve(edges.size());
+  for (const WeightedEdge& e : edges) w.push_back(e.w);
+  std::sort(w.begin(), w.end());
+  return w;
+}
+
 void RegisterColdVsCached() {
   size_t n = EnvN();
-  int maxt = EnvMaxThreads();
   std::vector<DatasetSpec> sets = {
       {"2D-UniformFill", 2, "uniform"},
       {"3D-SS-varden", 3, "varden"},
   };
   for (const DatasetSpec& ds : sets) {
-    std::string cold = std::string("MinPtsSweepCold/") + ds.label;
-    benchmark::RegisterBenchmark(
-        cold.c_str(),
-        [=](benchmark::State& st) {
-          DispatchDataset(ds, n, [&](const auto& pts) {
-            SetNumWorkers(maxt);
-            for (auto _ : st) {
-              for (int min_pts : SweepMinPts()) {
-                auto r = Hdbscan(pts, min_pts);
-                benchmark::DoNotOptimize(r.mst.data());
+    for (int workers : WorkerMatrix()) {
+      std::string cold = std::string("MinPtsSweepCold/") + ds.label +
+                         "/workers:" + std::to_string(workers);
+      benchmark::RegisterBenchmark(
+          cold.c_str(),
+          [=](benchmark::State& st) {
+            DispatchDataset(ds, n, [&](const auto& pts) {
+              SetNumWorkers(workers);
+              for (auto _ : st) {
+                for (int min_pts : SweepMinPts()) {
+                  auto r = Hdbscan(pts, min_pts);
+                  benchmark::DoNotOptimize(r.mst.data());
+                }
               }
-            }
-            st.counters["sweep_len"] = SweepMinPts().size();
-          });
-        })
-        ->Unit(benchmark::kMillisecond)
-        ->Iterations(EnvIters());
+              st.counters["sweep_len"] = SweepMinPts().size();
+              st.counters["workers"] = workers;
+            });
+          })
+          ->Unit(benchmark::kMillisecond)
+          ->Iterations(EnvIters());
 
-    std::string cached = std::string("MinPtsSweepCached/") + ds.label;
-    benchmark::RegisterBenchmark(
-        cached.c_str(),
-        [=](benchmark::State& st) {
-          DispatchDataset(ds, n, [&](const auto& pts) {
-            SetNumWorkers(maxt);
-            for (auto _ : st) {
-              st.PauseTiming();
-              // Warm outside the measurement: one query at the sweep's
-              // largest minPts computes the tree + kNN@50 prefix matrix
-              // (and caches the minPts=50 clustering, as any real serving
-              // warm-up would).
+      std::string cached = std::string("MinPtsSweepCached/") + ds.label +
+                           "/workers:" + std::to_string(workers);
+      benchmark::RegisterBenchmark(
+          cached.c_str(),
+          [=](benchmark::State& st) {
+            DispatchDataset(ds, n, [&](const auto& pts) {
+              SetNumWorkers(workers);
+              for (auto _ : st) {
+                st.PauseTiming();
+                // Warm outside the measurement: one query at the sweep's
+                // largest minPts computes the tree + kNN@50 prefix matrix
+                // (and caches the minPts=50 clustering, as any real
+                // serving warm-up would).
+                ClusteringEngine engine;
+                engine.registry().Add("bench", pts);
+                EngineRequest req;
+                req.dataset = "bench";
+                req.type = QueryType::kHdbscan;
+                req.min_pts = SweepMinPts().back();
+                EngineResponse warm = engine.Run(req);
+                PARHC_CHECK(warm.ok);
+                st.ResumeTiming();
+                for (int min_pts : SweepMinPts()) {
+                  req.min_pts = min_pts;
+                  EngineResponse r = engine.Run(req);
+                  benchmark::DoNotOptimize(r.mst);
+                  PARHC_CHECK(r.ok);
+                }
+              }
+              // Outside the measurement: the memoized sweep must answer
+              // exactly what the cold path answers at this worker count.
               ClusteringEngine engine;
               engine.registry().Add("bench", pts);
               EngineRequest req;
               req.dataset = "bench";
               req.type = QueryType::kHdbscan;
               req.min_pts = SweepMinPts().back();
-              EngineResponse warm = engine.Run(req);
-              PARHC_CHECK(warm.ok);
-              st.ResumeTiming();
+              PARHC_CHECK(engine.Run(req).ok);
+              bool identical = true;
               for (int min_pts : SweepMinPts()) {
                 req.min_pts = min_pts;
                 EngineResponse r = engine.Run(req);
-                benchmark::DoNotOptimize(r.mst);
                 PARHC_CHECK(r.ok);
+                auto direct = Hdbscan(pts, min_pts);
+                identical = identical &&
+                            SortedWeights(*r.mst) == SortedWeights(direct.mst);
               }
-            }
-            st.counters["sweep_len"] = SweepMinPts().size();
-            st.counters["warm_knn_k"] = SweepMinPts().back();
-          });
-        })
-        ->Unit(benchmark::kMillisecond)
-        ->Iterations(EnvIters());
+              st.counters["identical"] = identical ? 1 : 0;
+              st.counters["sweep_len"] = SweepMinPts().size();
+              st.counters["warm_knn_k"] = SweepMinPts().back();
+              st.counters["workers"] = workers;
+            });
+          })
+          ->Unit(benchmark::kMillisecond)
+          ->Iterations(EnvIters());
+    }
   }
 }
 

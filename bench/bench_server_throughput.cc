@@ -18,12 +18,26 @@
 // `dropped`/`shed` from the server (both must be 0 — every request got a
 // real answer). CI runs a small-N smoke via bench_server_smoke, emitting
 // BENCH_server_throughput.json for the bench-regression gate.
+//
+// Both families run once per scheduler-pool size in WorkerMatrix()
+// (1/4/all-hw, deduplicated) as `.../workers:N` rows: the 1-worker rows
+// are the gated floors; multi-worker rows gate on `identical == 1` plus
+// monotone non-regression of `qps_multi` (see bench/baselines/gate.json).
+//
+// The second family, ConcurrentColdBuilds, measures the build executor
+// itself: two independent cold HDBSCAN* builds through one engine,
+// serialized versus issued from two threads at once. `overlap_ratio` is
+// the concurrent wall time over the slower solo build — 1.0 is perfect
+// overlap, 2.0 fully serialized. One core can only interleave, so the
+// < 1.6x acceptance target applies at >= 4 real cores (README
+// "Multicore execution"); the gate allows the serialized worst case.
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cstring>
 #include <string>
@@ -94,7 +108,8 @@ class Client {
   size_t pos_ = 0;
 };
 
-void RunServerThroughput(benchmark::State& st, size_t n) {
+void RunServerThroughput(benchmark::State& st, size_t n, int workers) {
+  SetNumWorkers(workers);
   const std::string query = "hdbscan warm " + std::to_string(kMinPts) + "\n";
   // Per-client request counts, scaled down for the CI smoke (tiny N ==
   // smoke mode; the acceptance run at N = 1M uses the full counts).
@@ -184,6 +199,7 @@ void RunServerThroughput(benchmark::State& st, size_t n) {
   }
   st.counters["n"] = static_cast<double>(n);
   st.counters["clients"] = kClients;
+  st.counters["workers"] = workers;
   // The speedup is hardware-bound: on one core only pipelining
   // amortization counts; the concurrent shared-lock read path needs real
   // cores to show (see README "Network serving").
@@ -194,14 +210,95 @@ void RunServerThroughput(benchmark::State& st, size_t n) {
   loop.join();
 }
 
+std::vector<double> SortedWeights(const std::vector<WeightedEdge>& edges) {
+  std::vector<double> w;
+  w.reserve(edges.size());
+  for (const WeightedEdge& e : edges) w.push_back(e.w);
+  std::sort(w.begin(), w.end());
+  return w;
+}
+
+void RunConcurrentColdBuilds(benchmark::State& st, size_t n, int workers) {
+  SetNumWorkers(workers);
+  const auto& pts_a = GetDataset<2>("uniform", n);
+  const auto& pts_b = GetDataset<2>("varden", n);
+  auto request = [](const char* ds) {
+    EngineRequest req;
+    req.dataset = ds;
+    req.type = QueryType::kHdbscan;
+    req.min_pts = kMinPts;
+    return req;
+  };
+  for (auto _ : st) {
+    // Solo reference: each dataset built cold, one after the other. The
+    // slower of the two is the overlap-ratio denominator, and the edge
+    // weights are the answers the concurrent builds must reproduce.
+    std::vector<double> ref_a, ref_b;
+    double solo_secs = 0;
+    Timer t;
+    {
+      ClusteringEngine engine;
+      engine.registry().Add("a", pts_a);
+      engine.registry().Add("b", pts_b);
+      t.Reset();
+      EngineResponse ra = engine.Run(request("a"));
+      double secs_a = t.Seconds();
+      t.Reset();
+      EngineResponse rb = engine.Run(request("b"));
+      double secs_b = t.Seconds();
+      PARHC_CHECK(ra.ok && rb.ok);
+      ref_a = SortedWeights(*ra.mst);
+      ref_b = SortedWeights(*rb.mst);
+      solo_secs = std::max(secs_a, secs_b);
+    }
+    // Concurrent: the same two cold builds issued from two threads into a
+    // fresh engine — the executor splits the pool between them.
+    ClusteringEngine engine;
+    engine.registry().Add("a", pts_a);
+    engine.registry().Add("b", pts_b);
+    std::vector<double> conc_a;
+    t.Reset();
+    std::thread other([&] {
+      EngineResponse r = engine.Run(request("a"));
+      PARHC_CHECK(r.ok);
+      conc_a = SortedWeights(*r.mst);
+    });
+    EngineResponse rb = engine.Run(request("b"));
+    other.join();
+    double conc_secs = t.Seconds();
+    PARHC_CHECK(rb.ok);
+    st.counters["overlap_ratio"] = conc_secs / solo_secs;
+    st.counters["identical"] =
+        (conc_a == ref_a && SortedWeights(*rb.mst) == ref_b) ? 1 : 0;
+    st.counters["peak_builds"] =
+        static_cast<double>(engine.executor().stats().peak_concurrent);
+  }
+  st.counters["n"] = static_cast<double>(n);
+  st.counters["workers"] = workers;
+  st.counters["cores"] =
+      static_cast<double>(std::thread::hardware_concurrency());
+}
+
 void RegisterAll() {
   size_t n = EnvN(100000);
-  benchmark::RegisterBenchmark(
-      "ServerThroughput/2D-SS-varden",
-      [=](benchmark::State& st) { RunServerThroughput(st, n); })
-      ->Unit(benchmark::kMillisecond)
-      ->Iterations(EnvIters())
-      ->UseRealTime();
+  for (int w : WorkerMatrix()) {
+    std::string name =
+        "ServerThroughput/2D-SS-varden/workers:" + std::to_string(w);
+    benchmark::RegisterBenchmark(
+        name.c_str(),
+        [=](benchmark::State& st) { RunServerThroughput(st, n, w); })
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(EnvIters())
+        ->UseRealTime();
+    std::string cold =
+        "ConcurrentColdBuilds/2D-pair/workers:" + std::to_string(w);
+    benchmark::RegisterBenchmark(
+        cold.c_str(),
+        [=](benchmark::State& st) { RunConcurrentColdBuilds(st, n, w); })
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(EnvIters())
+        ->UseRealTime();
+  }
 }
 
 }  // namespace

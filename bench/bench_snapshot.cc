@@ -118,6 +118,7 @@ void RunSnapshot(benchmark::State& st, const std::string& kind, size_t n,
   std::filesystem::remove_all(dir);
   st.counters["n"] = static_cast<double>(n);
   st.counters["min_pts"] = kMinPts;
+  st.counters["workers"] = workers;
 }
 
 void RegisterAll() {

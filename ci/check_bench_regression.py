@@ -29,7 +29,21 @@ gate.json schema (all fields optional):
             "warm_secs": {"max": 2.0}      # upper bound (lower = better)
           }
         }
-      }
+      },
+      "monotone_groups": [
+        { # Each later row must not regress vs the previous one: with
+          # direction "higher" (default) val >= slack * prev; with
+          # "lower" val <= slack * prev. "real_time" reads the wall time;
+          # anything else reads that counter. Rows absent from the
+          # results are skipped (presence is the baseline check's job) —
+          # used for the 1/4/all-hw worker matrices, where only the rows
+          # the smoke machine can produce exist.
+          "counter": "qps_multi",
+          "slack": 0.7,
+          "direction": "higher",
+          "benchmarks": ["Bench/workers:1", "Bench/workers:4"]
+        }
+      ]
     }
   }
 
@@ -113,6 +127,34 @@ def check_file(name, result_path, baseline_path, default_tol, gate):
                 failures.append(
                     f"{name}/{bench_name}: counter {counter}={val:.4g} "
                     f"!= required {bounds['equals']:.4g}")
+
+    for group in file_gate.get("monotone_groups", []):
+        counter = group["counter"]
+        slack = group.get("slack", 1.0)
+        direction = group.get("direction", "higher")
+        prev_name, prev_val = None, None
+        for bench_name in group["benchmarks"]:
+            cur = results.get(bench_name)
+            if cur is None:
+                continue
+            val = cur.get(counter)
+            if val is None:
+                failures.append(
+                    f"{name}/{bench_name}: monotone-gated counter "
+                    f"'{counter}' missing from results")
+                continue
+            if prev_val is not None:
+                if direction == "higher" and val < prev_val * slack:
+                    failures.append(
+                        f"{name}: monotone gate on '{counter}': "
+                        f"'{bench_name}'={val:.4g} fell below "
+                        f"{slack:.2f}x '{prev_name}'={prev_val:.4g}")
+                elif direction == "lower" and val > prev_val * slack:
+                    failures.append(
+                        f"{name}: monotone gate on '{counter}': "
+                        f"'{bench_name}'={val:.4g} exceeded "
+                        f"{slack:.2f}x '{prev_name}'={prev_val:.4g}")
+            prev_name, prev_val = bench_name, val
     return failures
 
 

@@ -10,7 +10,9 @@
 // Usage: parhc_netserver [options]
 //   --port N        listen port (default 7077; 0 = ephemeral)
 //   --bind ADDR     bind address (default 127.0.0.1)
-//   --workers N     scheduler worker threads (default 4)
+//   --workers N     query worker threads (default 4)
+//   --parallel N    fork-join scheduler pool size (default: all hardware
+//                   threads, or the PARHC_WORKERS environment variable)
 //   --queue N       global queued-request bound before load-shed (1024)
 //   --pipeline N    per-connection pipelining bound (128)
 //   --idle-ms N     idle connection timeout, <=0 disables (300000)
@@ -45,6 +47,9 @@ int main(int argc, char** argv) {
       opts.bind_addr = next("--bind");
     } else if (arg == "--workers") {
       opts.workers = std::atoi(next("--workers"));
+    } else if (arg == "--parallel") {
+      int w = std::atoi(next("--parallel"));
+      if (w >= 1) SetNumWorkers(w);
     } else if (arg == "--queue") {
       opts.max_queued = static_cast<size_t>(std::atoll(next("--queue")));
     } else if (arg == "--pipeline") {
@@ -69,8 +74,9 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "parhc_netserver: %s\n", err.c_str());
     return 1;
   }
-  std::printf("parhc_netserver listening on %s:%u workers=%d\n",
-              opts.bind_addr.c_str(), server.port(), opts.workers);
+  std::printf(
+      "parhc_netserver listening on %s:%u workers=%d parallel=%d\n",
+      opts.bind_addr.c_str(), server.port(), opts.workers, NumWorkers());
   std::fflush(stdout);
   server.Run();  // returns after SIGINT/SIGTERM graceful drain
   std::printf("parhc_netserver drained, bye\n");

@@ -19,14 +19,28 @@
 
 #include <cerrno>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <limits>
 
 #include "net/frame.h"
 #include "net/protocol.h"
 #include "parhc.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace parhc;
+  // --workers N pins the fork-join scheduler's pool size; the
+  // PARHC_WORKERS environment variable does the same without a flag
+  // (honored by Scheduler::Get on first use).
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--workers") == 0 && i + 1 < argc) {
+      int w = std::atoi(argv[++i]);
+      if (w >= 1) SetNumWorkers(w);
+    } else {
+      std::fprintf(stderr, "usage: %s [--workers N]\n", argv[0]);
+      return 2;
+    }
+  }
   ClusteringEngine engine;
   net::ProtocolSession session(engine);
   // Text-only splitting on stdin: a 0x01 byte is line data, not a binary

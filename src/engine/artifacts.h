@@ -27,12 +27,13 @@
 //
 // Invalidation (two backends, one model):
 //  * This file is the *immutable* backend: datasets never change, so
-//    artifacts never go stale. Growing K rebuilds only the prefix matrix;
-//    derived artifacts keep their values (prefixes of a longer sorted
-//    neighbor list are unchanged). Per-minPts clusterings are LRU-capped
-//    (kMaxCachedClusterings) to bound memory; eviction is safe because
-//    responses hold shared_ptr snapshots. Removing or replacing a dataset
-//    drops the whole cache.
+//    artifacts never go stale. Growing K installs a wider prefix matrix
+//    (versioned behind a shared_ptr; readers of the old width finish on
+//    their snapshot); derived artifacts keep their values (prefixes of a
+//    longer sorted neighbor list are unchanged). Per-minPts clusterings
+//    are LRU-capped (kMaxCachedClusterings) to bound memory; eviction is
+//    safe because responses hold shared_ptr snapshots. Removing or
+//    replacing a dataset drops the whole cache.
 //  * The *mutable* backend (dynamic/artifacts.h) stores points as an LSM
 //    shard forest and splits every artifact into a shard-local part (keyed
 //    by shard content id: per-shard trees and EMSTs survive any mutation
@@ -44,17 +45,34 @@
 //    that mention it, and the global tier — never surviving shard
 //    artifacts.
 //
-// Thread safety: none here. The engine front-end (engine.h) serializes
-// builders and lets read-only answers run concurrently; Answer(allow_build
-// = false) is the read-only path and touches no mutable state except the
-// atomic LRU clock.
+// Thread safety (this backend only; the dynamic backend relies on the
+// engine's exclusive lock): every DAG node is a monitor-guarded state
+// machine absent -> building -> ready. A builder claims the node's
+// building flag under `state_mu_`, runs the (possibly long, parallel)
+// build OUTSIDE the lock, installs the result, and broadcasts
+// `state_cv_`. Duplicate requests for the same node wait on the condition
+// variable and come back with the builder's shared_ptr — exactly one
+// build ever runs per node. Independent nodes (different datasets'
+// artifacts trivially, and e.g. dendro@3 vs mst@5 of one dataset) build
+// concurrently. The one cross-node constraint: MST-family builds
+// (HdbscanMstOnTree / EmstMemoGfkOnTree) rewrite the kd-tree's annotation
+// arrays (core-distance + component fields), so they serialize on
+// `tree_annot_mu_`; kNN search and snapshot writes read only the tree's
+// geometry and proceed concurrently. Answer(allow_build = false) is the
+// read-only path: it never blocks on a build (a node mid-build reads as
+// absent) and touches no mutable state beyond brief `state_mu_` critical
+// sections and the atomic LRU clock.
 #pragma once
 
 #include <algorithm>
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
+#include <limits>
 #include <map>
 #include <memory>
+#include <mutex>
+#include <set>
 #include <string>
 #include <utility>
 #include <vector>
@@ -85,13 +103,19 @@ class DatasetArtifacts {
 
   size_t num_points() const { return pts_.size(); }
   /// K of the cached kNN prefix matrix (0 when no kNN pass has run).
-  size_t knn_k() const { return knn_k_; }
-  size_t num_cached_clusterings() const { return hdbscan_.size(); }
+  size_t knn_k() const {
+    std::lock_guard<std::mutex> lk(state_mu_);
+    return knn_ ? knn_->k : 0;
+  }
+  size_t num_cached_clusterings() const {
+    std::lock_guard<std::mutex> lk(state_mu_);
+    return hdbscan_.size();
+  }
 
   /// Answers `req` into `out`, building missing artifacts when
-  /// `allow_build`. Returns false iff an artifact was missing and building
-  /// was not allowed (the caller should retry holding the build lock);
-  /// invalid requests return true with out->ok == false.
+  /// `allow_build`. Returns false iff an artifact was missing (or mid-
+  /// build) and building was not allowed — the caller should retry on the
+  /// build path; invalid requests return true with out->ok == false.
   bool Answer(const EngineRequest& req, bool allow_build,
               EngineResponse* out) {
     switch (req.type) {
@@ -109,43 +133,64 @@ class DatasetArtifacts {
   }
 
   /// Writes every cached artifact plus the manifest into `dir` (created
-  /// if needed). Read-only: safe under the engine's shared (reader) lock,
-  /// concurrently with cache-hit queries. Raises SnapshotError subtypes.
+  /// if needed). Takes a consistent shared_ptr snapshot of the DAG under
+  /// `state_mu_`, then streams files with no lock held — concurrent
+  /// queries and builds keep going (tree snapshots store only geometry,
+  /// never the annotation arrays MST builds rewrite). Raises
+  /// SnapshotError subtypes.
   void SaveTo(const std::string& dir) const {
+    std::shared_ptr<KdTree<D>> tree;
+    std::shared_ptr<const KnnMatrix> knn;
+    EmstEntry emst;
+    std::vector<std::pair<int, ClusteringView>> clusterings;
+    {
+      std::lock_guard<std::mutex> lk(state_mu_);
+      tree = tree_;
+      knn = knn_;
+      emst = emst_;
+      clusterings.reserve(hdbscan_.size());
+      for (const auto& [min_pts, e] : hdbscan_) {
+        ClusteringView v;
+        v.mst = e->mst;
+        v.mst_weight = e->mst_weight;
+        v.dendrogram = e->dendrogram;
+        clusterings.emplace_back(min_pts, std::move(v));
+      }
+    }
     EnsureDatasetDir(dir);
     StaticManifest m;
     m.dim = D;
     m.n = pts_.size();
     m.points_file = PointsFileName();
     SavePointsSnapshot<D>(dir + "/" + m.points_file, pts_);
-    if (tree_) {
+    if (tree) {
       m.tree_file = TreeFileName();
-      SaveKdTreeSnapshot<D>(dir + "/" + m.tree_file, *tree_);
+      SaveKdTreeSnapshot<D>(dir + "/" + m.tree_file, *tree);
     }
-    if (knn_k_ > 0) {
+    if (knn) {
       m.knn_file = KnnFileName();
-      m.knn_k = knn_k_;
-      SaveMatrixSnapshot(dir + "/" + m.knn_file, D, pts_.size(), knn_k_,
-                         knn_prefix_.data());
+      m.knn_k = knn->k;
+      SaveMatrixSnapshot(dir + "/" + m.knn_file, D, pts_.size(), knn->k,
+                         knn->data.data());
     }
-    if (emst_.mst) {
+    if (emst.mst) {
       m.emst_file = EmstFileName();
-      SaveEdgesSnapshot(dir + "/" + m.emst_file, *emst_.mst, /*param=*/0);
-      if (emst_.dendrogram) {
+      SaveEdgesSnapshot(dir + "/" + m.emst_file, *emst.mst, /*param=*/0);
+      if (emst.dendrogram) {
         m.sl_dendro_file = SlDendroFileName();
         SaveDendrogramSnapshot(dir + "/" + m.sl_dendro_file,
-                               *emst_.dendrogram, /*param=*/0);
+                               *emst.dendrogram, /*param=*/0);
       }
     }
-    for (const auto& [min_pts, entry] : hdbscan_) {
+    for (const auto& [min_pts, v] : clusterings) {
       ClusteringManifestEntry c;
       c.min_pts = static_cast<uint32_t>(min_pts);
       c.mst_file = MstFileName(min_pts);
-      SaveEdgesSnapshot(dir + "/" + c.mst_file, *entry->mst, min_pts);
-      if (entry->dendrogram) {
+      SaveEdgesSnapshot(dir + "/" + c.mst_file, *v.mst, min_pts);
+      if (v.dendrogram) {
         c.has_dendrogram = true;
         c.dendro_file = DendroFileName(min_pts);
-        SaveDendrogramSnapshot(dir + "/" + c.dendro_file, *entry->dendrogram,
+        SaveDendrogramSnapshot(dir + "/" + c.dendro_file, *v.dendrogram,
                                min_pts);
       }
       m.clusterings.push_back(std::move(c));
@@ -157,7 +202,9 @@ class DatasetArtifacts {
   /// by SaveTo: the kd-tree arena and kNN prefix matrix come back as
   /// zero-copy views of the mapped files; per-minPts core distances
   /// re-derive from the prefix columns (bit-identical, see the DAG notes
-  /// above). Raises SnapshotError subtypes; discard the instance on throw.
+  /// above). Runs pre-publication on a fresh instance (no concurrent
+  /// access). Raises SnapshotError subtypes; discard the instance on
+  /// throw.
   void LoadFrom(const std::string& dir) {
     StaticManifest m = ReadStaticManifest(dir + "/" + kManifestFileName);
     if (m.dim != D) {
@@ -182,8 +229,10 @@ class DatasetArtifacts {
         throw SnapshotSchemaError(dir +
                                   ": kNN matrix disagrees with manifest");
       }
-      knn_prefix_ = MappedArray<double>(mat.data, mat.keepalive);
-      knn_k_ = mat.k;
+      auto knn = std::make_shared<KnnMatrix>();
+      knn->data = MappedArray<double>(mat.data, mat.keepalive);
+      knn->k = mat.k;
+      knn_ = std::move(knn);
     }
     if (!m.emst_file.empty()) {
       std::vector<WeightedEdge> edges =
@@ -200,8 +249,9 @@ class DatasetArtifacts {
       }
     }
     EngineResponse scratch;  // loads do not report artifact traces
+    size_t loaded_k = knn_ ? knn_->k : 0;
     for (const ClusteringManifestEntry& c : m.clusterings) {
-      if (c.min_pts < 1 || c.min_pts > knn_k_) {
+      if (c.min_pts < 1 || c.min_pts > loaded_k) {
         // Core distances re-derive from the prefix matrix, so a cached
         // clustering without kNN coverage cannot have been written by
         // SaveTo.
@@ -209,7 +259,7 @@ class DatasetArtifacts {
                                   std::to_string(c.min_pts) +
                                   " lacks kNN prefix coverage");
       }
-      auto entry = std::make_unique<HdbscanEntry>();
+      auto entry = std::make_shared<HdbscanEntry>();
       entry->core_dist =
           CoreDist(static_cast<int>(c.min_pts), /*allow_build=*/true,
                    &scratch);
@@ -234,11 +284,40 @@ class DatasetArtifacts {
  private:
   using HdbscanEntry = ClusteringEntry;
 
+  /// Versioned kNN prefix matrix: installed whole, never mutated, only
+  /// replaced by a wider one. Readers keep their snapshot's stride.
+  struct KnnMatrix {
+    MappedArray<double> data;  ///< n x k, row-major by point id
+    size_t k = 0;
+  };
+
   struct EmstEntry {
     std::shared_ptr<const std::vector<WeightedEdge>> mst;
     double mst_weight = 0;
     std::shared_ptr<const Dendrogram> dendrogram;  ///< single-linkage
   };
+
+  /// Consistent copy of one clustering's shared_ptrs, taken under
+  /// `state_mu_` (entry fields may be extended concurrently).
+  struct ClusteringView {
+    std::shared_ptr<const std::vector<double>> core_dist;
+    std::shared_ptr<const std::vector<WeightedEdge>> mst;
+    double mst_weight = 0;
+    std::shared_ptr<const Dendrogram> dendrogram;
+    std::shared_ptr<const ReachabilityPlot> plot;
+  };
+
+  /// Clears a node's building flag and broadcasts at scope exit, so a
+  /// throwing build never wedges its waiters.
+  template <typename F>
+  struct BuildScope {
+    F fn;
+    ~BuildScope() { fn(); }
+  };
+  template <typename F>
+  BuildScope<F> OnBuildExit(F fn) {
+    return BuildScope<F>{std::move(fn)};
+  }
 
   void Touch(HdbscanEntry& e) { TouchClusteringEntry(e, clock_); }
 
@@ -255,32 +334,69 @@ class DatasetArtifacts {
     return BuildDendrogramArtifact(pts_.size(), edges);
   }
 
-  KdTree<D>* Tree(bool allow_build, EngineResponse* out) {
-    if (!tree_) {
-      if (!allow_build) return nullptr;
-      tree_ = std::make_unique<KdTree<D>>(pts_, /*leaf_size=*/1);
-      Trace(out, /*built=*/true, "tree");
-    } else {
-      Trace(out, /*built=*/false, "tree");
+  std::shared_ptr<KdTree<D>> Tree(bool allow_build, EngineResponse* out) {
+    {
+      std::unique_lock<std::mutex> lk(state_mu_);
+      for (;;) {
+        if (tree_) {
+          Trace(out, /*built=*/false, "tree");
+          return tree_;
+        }
+        if (!allow_build) return nullptr;
+        if (!tree_building_) break;
+        state_cv_.wait(lk);
+      }
+      tree_building_ = true;
     }
-    return tree_.get();
+    auto done = OnBuildExit([this] {
+      std::lock_guard<std::mutex> lk(state_mu_);
+      tree_building_ = false;
+      state_cv_.notify_all();
+    });
+    auto t = std::make_shared<KdTree<D>>(pts_, /*leaf_size=*/1);
+    {
+      std::lock_guard<std::mutex> lk(state_mu_);
+      tree_ = t;
+    }
+    Trace(out, /*built=*/true, "tree");
+    return t;
   }
 
   /// kNN prefix matrix covering at least k columns (grows to the max
   /// seen). Owned when built in RAM, a zero-copy mapped view after a
   /// snapshot load; growing K past a loaded width rebuilds an owned copy.
-  const MappedArray<double>* Prefixes(size_t k, bool allow_build,
-                                      EngineResponse* out) {
-    if (knn_k_ < k) {
-      if (!allow_build) return nullptr;
-      KdTree<D>* tree = Tree(allow_build, out);
-      knn_prefix_ = AllKnnDistances(*tree, k);
-      knn_k_ = k;
-      Trace(out, /*built=*/true, "knn@" + std::to_string(k));
-    } else {
-      Trace(out, /*built=*/false, "knn@" + std::to_string(knn_k_));
+  std::shared_ptr<const KnnMatrix> Prefixes(size_t k, bool allow_build,
+                                            EngineResponse* out) {
+    {
+      std::unique_lock<std::mutex> lk(state_mu_);
+      for (;;) {
+        if (knn_ && knn_->k >= k) {
+          Trace(out, /*built=*/false, "knn@" + std::to_string(knn_->k));
+          return knn_;
+        }
+        if (!allow_build) return nullptr;
+        if (knn_building_k_ == 0) break;
+        // A build is running; wait it out. If it is too narrow for us we
+        // re-enter the loop and become the next (wider) builder.
+        state_cv_.wait(lk);
+      }
+      knn_building_k_ = k;
     }
-    return &knn_prefix_;
+    auto done = OnBuildExit([this] {
+      std::lock_guard<std::mutex> lk(state_mu_);
+      knn_building_k_ = 0;
+      state_cv_.notify_all();
+    });
+    std::shared_ptr<KdTree<D>> tree = Tree(allow_build, out);
+    auto mat = std::make_shared<KnnMatrix>();
+    mat->data = AllKnnDistances(*tree, k);
+    mat->k = k;
+    {
+      std::lock_guard<std::mutex> lk(state_mu_);
+      knn_ = mat;
+    }
+    Trace(out, /*built=*/true, "knn@" + std::to_string(k));
+    return mat;
   }
 
   /// Core distances for min_pts, derived from the prefix matrix column.
@@ -288,95 +404,283 @@ class DatasetArtifacts {
                                                       bool allow_build,
                                                       EngineResponse* out) {
     const std::string key = "cd@" + std::to_string(min_pts);
-    auto it = core_.find(min_pts);
-    if (it != core_.end()) {
-      Trace(out, /*built=*/false, key);
-      return it->second;
+    {
+      std::unique_lock<std::mutex> lk(state_mu_);
+      for (;;) {
+        auto it = core_.find(min_pts);
+        if (it != core_.end()) {
+          Trace(out, /*built=*/false, key);
+          return it->second;
+        }
+        if (!allow_build) return nullptr;
+        if (core_building_.count(min_pts) == 0) break;
+        state_cv_.wait(lk);
+      }
+      core_building_.insert(min_pts);
     }
-    if (!allow_build) return nullptr;
-    const MappedArray<double>* prefix =
+    auto done = OnBuildExit([this, min_pts] {
+      std::lock_guard<std::mutex> lk(state_mu_);
+      core_building_.erase(min_pts);
+      state_cv_.notify_all();
+    });
+    std::shared_ptr<const KnnMatrix> prefix =
         Prefixes(static_cast<size_t>(min_pts), allow_build, out);
     size_t n = pts_.size();
-    size_t stride = knn_k_;
+    size_t stride = prefix->k;
     auto cd = std::make_shared<std::vector<double>>(n);
     ParallelFor(0, n, [&](size_t i) {
-      (*cd)[i] = (*prefix)[i * stride + (min_pts - 1)];
+      (*cd)[i] = prefix->data[i * stride + (min_pts - 1)];
     });
-    core_.emplace(min_pts, cd);
+    {
+      std::lock_guard<std::mutex> lk(state_mu_);
+      core_.emplace(min_pts, cd);
+    }
     Trace(out, /*built=*/true, key);
     return cd;
   }
 
-  /// The per-minPts clustering entry, with the MST (always) and the
-  /// dendrogram / reachability plot (on demand) filled in.
-  HdbscanEntry* Hdbscan(int min_pts, bool need_dendro, bool need_plot,
-                        bool allow_build, EngineResponse* out) {
+  /// The per-minPts clustering, with the MST (always) and the dendrogram /
+  /// reachability plot (on demand) filled into *view. Returns false iff
+  /// something was missing and !allow_build.
+  bool Hdbscan(int min_pts, bool need_dendro, bool need_plot,
+               bool allow_build, EngineResponse* out, ClusteringView* view) {
     const std::string suffix = "@" + std::to_string(min_pts);
-    auto it = hdbscan_.find(min_pts);
-    if (it == hdbscan_.end()) {
-      if (!allow_build) return nullptr;
-      auto cd = CoreDist(min_pts, allow_build, out);
-      KdTree<D>* tree = Tree(allow_build, out);
-      auto entry = std::make_unique<HdbscanEntry>();
-      entry->core_dist = cd;
-      entry->mst = std::make_shared<const std::vector<WeightedEdge>>(
-          HdbscanMstOnTree(*tree, *cd));
-      entry->mst_weight = TotalWeight(*entry->mst);
-      Trace(out, /*built=*/true, "mst" + suffix);
-      it = hdbscan_.emplace(min_pts, std::move(entry)).first;
-      EvictLru(min_pts);
-    } else {
-      Trace(out, /*built=*/false, "mst" + suffix);
+    std::shared_ptr<HdbscanEntry> e;
+    {
+      std::unique_lock<std::mutex> lk(state_mu_);
+      for (;;) {
+        auto it = hdbscan_.find(min_pts);
+        if (it != hdbscan_.end()) {
+          e = it->second;
+          break;
+        }
+        if (!allow_build) return false;
+        if (mst_building_.count(min_pts) == 0) break;
+        state_cv_.wait(lk);
+      }
+      if (!e) mst_building_.insert(min_pts);
     }
-    HdbscanEntry& e = *it->second;
+    if (e) {
+      Trace(out, /*built=*/false, "mst" + suffix);
+    } else {
+      auto done = OnBuildExit([this, min_pts] {
+        std::lock_guard<std::mutex> lk(state_mu_);
+        mst_building_.erase(min_pts);
+        state_cv_.notify_all();
+      });
+      auto cd = CoreDist(min_pts, allow_build, out);
+      std::shared_ptr<KdTree<D>> tree = Tree(allow_build, out);
+      e = std::make_shared<HdbscanEntry>();
+      e->core_dist = cd;
+      {
+        // MST builds rewrite the shared tree's annotation arrays.
+        std::lock_guard<std::mutex> annot(tree_annot_mu_);
+        e->mst = std::make_shared<const std::vector<WeightedEdge>>(
+            HdbscanMstOnTree(*tree, *cd));
+      }
+      e->mst_weight = TotalWeight(*e->mst);
+      Trace(out, /*built=*/true, "mst" + suffix);
+      {
+        std::lock_guard<std::mutex> lk(state_mu_);
+        hdbscan_.emplace(min_pts, e);
+        EvictLruLocked(min_pts);
+      }
+    }
     if (need_dendro || need_plot) {
-      if (!e.dendrogram) {
-        if (!allow_build) return nullptr;
-        e.dendrogram = BuildDendro(*e.mst);
-        Trace(out, /*built=*/true, "dendro" + suffix);
-      } else {
+      std::shared_ptr<const Dendrogram> dendro;
+      bool build_it = false;
+      {
+        std::unique_lock<std::mutex> lk(state_mu_);
+        for (;;) {
+          if (e->dendrogram) {
+            dendro = e->dendrogram;
+            break;
+          }
+          if (!allow_build) return false;
+          if (dendro_building_.count(min_pts) == 0) {
+            build_it = true;
+            break;
+          }
+          state_cv_.wait(lk);
+        }
+        if (build_it) dendro_building_.insert(min_pts);
+      }
+      if (!build_it) {
         Trace(out, /*built=*/false, "dendro" + suffix);
+      } else {
+        auto done = OnBuildExit([this, min_pts] {
+          std::lock_guard<std::mutex> lk(state_mu_);
+          dendro_building_.erase(min_pts);
+          state_cv_.notify_all();
+        });
+        dendro = BuildDendro(*e->mst);
+        {
+          std::lock_guard<std::mutex> lk(state_mu_);
+          e->dendrogram = dendro;
+        }
+        Trace(out, /*built=*/true, "dendro" + suffix);
       }
     }
     if (need_plot) {
-      if (!e.plot) {
-        if (!allow_build) return nullptr;
-        e.plot = std::make_shared<const ReachabilityPlot>(
-            ComputeReachability(*e.dendrogram));
-        Trace(out, /*built=*/true, "reach" + suffix);
-      } else {
+      std::shared_ptr<const ReachabilityPlot> plot;
+      bool build_it = false;
+      {
+        std::unique_lock<std::mutex> lk(state_mu_);
+        for (;;) {
+          if (e->plot) {
+            plot = e->plot;
+            break;
+          }
+          if (!allow_build) return false;
+          if (plot_building_.count(min_pts) == 0) {
+            build_it = true;
+            break;
+          }
+          state_cv_.wait(lk);
+        }
+        if (build_it) plot_building_.insert(min_pts);
+      }
+      if (!build_it) {
         Trace(out, /*built=*/false, "reach" + suffix);
+      } else {
+        auto done = OnBuildExit([this, min_pts] {
+          std::lock_guard<std::mutex> lk(state_mu_);
+          plot_building_.erase(min_pts);
+          state_cv_.notify_all();
+        });
+        std::shared_ptr<const Dendrogram> dendro;
+        {
+          std::lock_guard<std::mutex> lk(state_mu_);
+          dendro = e->dendrogram;
+        }
+        plot = std::make_shared<const ReachabilityPlot>(
+            ComputeReachability(*dendro));
+        {
+          std::lock_guard<std::mutex> lk(state_mu_);
+          e->plot = plot;
+        }
+        Trace(out, /*built=*/true, "reach" + suffix);
       }
     }
-    Touch(e);
-    return &e;
+    {
+      std::lock_guard<std::mutex> lk(state_mu_);
+      view->core_dist = e->core_dist;
+      view->mst = e->mst;
+      view->mst_weight = e->mst_weight;
+      view->dendrogram = e->dendrogram;
+      view->plot = e->plot;
+      Touch(*e);
+    }
+    return true;
   }
 
-  void EvictLru(int keep_min_pts) {
-    EvictLruClusterings(hdbscan_, core_, keep_min_pts);
+  /// Drops least-recently-used clustering entries beyond the cache cap
+  /// (never the one just touched, never one currently being extended by a
+  /// dendrogram/plot builder). Call with `state_mu_` held. Snapshots held
+  /// by responses — and by in-flight builders — stay valid through their
+  /// shared_ptrs.
+  void EvictLruLocked(int keep_min_pts) {
+    while (hdbscan_.size() > kMaxCachedClusterings) {
+      auto victim = hdbscan_.end();
+      uint64_t oldest = std::numeric_limits<uint64_t>::max();
+      for (auto it = hdbscan_.begin(); it != hdbscan_.end(); ++it) {
+        int m = it->first;
+        if (m == keep_min_pts || dendro_building_.count(m) != 0 ||
+            plot_building_.count(m) != 0) {
+          continue;
+        }
+        uint64_t used = it->second->last_used.load(std::memory_order_relaxed);
+        if (used < oldest) {
+          oldest = used;
+          victim = it;
+        }
+      }
+      if (victim == hdbscan_.end()) return;
+      core_.erase(victim->first);
+      hdbscan_.erase(victim);
+    }
   }
 
-  EmstEntry* Emst(bool need_dendro, bool allow_build, EngineResponse* out) {
-    if (!emst_.mst) {
-      if (!allow_build) return nullptr;
-      KdTree<D>* tree = Tree(allow_build, out);
-      emst_.mst = std::make_shared<const std::vector<WeightedEdge>>(
-          EmstMemoGfkOnTree(*tree));
-      emst_.mst_weight = TotalWeight(*emst_.mst);
-      Trace(out, /*built=*/true, "emst");
-    } else {
+  /// EMST + optional single-linkage dendrogram into *view. Returns false
+  /// iff something was missing and !allow_build.
+  bool Emst(bool need_dendro, bool allow_build, EngineResponse* out,
+            EmstEntry* view) {
+    std::shared_ptr<const std::vector<WeightedEdge>> mst;
+    {
+      std::unique_lock<std::mutex> lk(state_mu_);
+      for (;;) {
+        if (emst_.mst) {
+          mst = emst_.mst;
+          break;
+        }
+        if (!allow_build) return false;
+        if (!emst_building_) break;
+        state_cv_.wait(lk);
+      }
+      if (!mst) emst_building_ = true;
+    }
+    if (mst) {
       Trace(out, /*built=*/false, "emst");
+    } else {
+      auto done = OnBuildExit([this] {
+        std::lock_guard<std::mutex> lk(state_mu_);
+        emst_building_ = false;
+        state_cv_.notify_all();
+      });
+      std::shared_ptr<KdTree<D>> tree = Tree(allow_build, out);
+      {
+        // EMST builds rewrite the shared tree's annotation arrays.
+        std::lock_guard<std::mutex> annot(tree_annot_mu_);
+        mst = std::make_shared<const std::vector<WeightedEdge>>(
+            EmstMemoGfkOnTree(*tree));
+      }
+      {
+        std::lock_guard<std::mutex> lk(state_mu_);
+        emst_.mst = mst;
+        emst_.mst_weight = TotalWeight(*mst);
+      }
+      Trace(out, /*built=*/true, "emst");
     }
     if (need_dendro) {
-      if (!emst_.dendrogram) {
-        if (!allow_build) return nullptr;
-        emst_.dendrogram = BuildDendro(*emst_.mst);
-        Trace(out, /*built=*/true, "sl-dendro");
-      } else {
+      std::shared_ptr<const Dendrogram> dendro;
+      bool build_it = false;
+      {
+        std::unique_lock<std::mutex> lk(state_mu_);
+        for (;;) {
+          if (emst_.dendrogram) {
+            dendro = emst_.dendrogram;
+            break;
+          }
+          if (!allow_build) return false;
+          if (!sl_building_) {
+            build_it = true;
+            break;
+          }
+          state_cv_.wait(lk);
+        }
+        if (build_it) sl_building_ = true;
+      }
+      if (!build_it) {
         Trace(out, /*built=*/false, "sl-dendro");
+      } else {
+        auto done = OnBuildExit([this] {
+          std::lock_guard<std::mutex> lk(state_mu_);
+          sl_building_ = false;
+          state_cv_.notify_all();
+        });
+        dendro = BuildDendro(*mst);
+        {
+          std::lock_guard<std::mutex> lk(state_mu_);
+          emst_.dendrogram = dendro;
+        }
+        Trace(out, /*built=*/true, "sl-dendro");
       }
     }
-    return &emst_;
+    {
+      std::lock_guard<std::mutex> lk(state_mu_);
+      *view = emst_;
+    }
+    return true;
   }
 
   bool AnswerEmstFamily(const EngineRequest& req, bool allow_build,
@@ -386,13 +690,13 @@ class DatasetArtifacts {
       out->error = "k must be in [1, n]";
       return true;
     }
-    EmstEntry* e = Emst(need_dendro, allow_build, out);
-    if (!e) return false;
-    out->mst = e->mst;
-    out->mst_weight = e->mst_weight;
+    EmstEntry e;
+    if (!Emst(need_dendro, allow_build, out, &e)) return false;
+    out->mst = e.mst;
+    out->mst_weight = e.mst_weight;
     if (need_dendro) {
-      out->dendrogram = e->dendrogram;
-      out->labels = KClusters(*e->dendrogram, req.k);
+      out->dendrogram = e.dendrogram;
+      out->labels = KClusters(*e.dendrogram, req.k);
       SummarizeLabels(out->labels, out);
     }
     out->ok = true;
@@ -412,26 +716,27 @@ class DatasetArtifacts {
     }
     bool need_plot = req.type == QueryType::kReachability;
     bool need_dendro = true;
-    HdbscanEntry* e =
-        Hdbscan(req.min_pts, need_dendro, need_plot, allow_build, out);
-    if (!e) return false;
-    out->core_dist = e->core_dist;
+    ClusteringView e;
+    if (!Hdbscan(req.min_pts, need_dendro, need_plot, allow_build, out, &e)) {
+      return false;
+    }
+    out->core_dist = e.core_dist;
     switch (req.type) {
       case QueryType::kHdbscan:
-        out->mst = e->mst;
-        out->mst_weight = e->mst_weight;
-        out->dendrogram = e->dendrogram;
+        out->mst = e.mst;
+        out->mst_weight = e.mst_weight;
+        out->dendrogram = e.dendrogram;
         break;
       case QueryType::kDbscanStarAt:
-        out->labels = DbscanStarLabels(*e->dendrogram, *e->core_dist, req.eps);
+        out->labels = DbscanStarLabels(*e.dendrogram, *e.core_dist, req.eps);
         SummarizeLabels(out->labels, out);
         break;
       case QueryType::kReachability:
-        out->plot = e->plot;
+        out->plot = e.plot;
         break;
       case QueryType::kStableClusters: {
         StabilityClusters sc =
-            ExtractStableClusters(*e->dendrogram, req.min_cluster_size);
+            ExtractStableClusters(*e.dendrogram, req.min_cluster_size);
         out->labels = std::move(sc.label);
         out->stability = std::move(sc.stability);
         SummarizeLabels(out->labels, out);
@@ -445,12 +750,30 @@ class DatasetArtifacts {
   }
 
   std::vector<Point<D>> pts_;
-  std::unique_ptr<KdTree<D>> tree_;
-  size_t knn_k_ = 0;
-  MappedArray<double> knn_prefix_;  ///< n x knn_k_, row-major by point id
+
+  // DAG node storage. Every field below is read/written only under
+  // `state_mu_` (builds run outside it; see the file comment's monitor
+  // protocol). `tree_annot_mu_` additionally serializes the MST-family
+  // builds that rewrite the kd-tree's annotation arrays.
+  mutable std::mutex state_mu_;
+  mutable std::condition_variable state_cv_;
+  std::mutex tree_annot_mu_;
+
+  std::shared_ptr<KdTree<D>> tree_;
+  std::shared_ptr<const KnnMatrix> knn_;
   std::map<int, std::shared_ptr<const std::vector<double>>> core_;
-  std::map<int, std::unique_ptr<HdbscanEntry>> hdbscan_;
+  std::map<int, std::shared_ptr<HdbscanEntry>> hdbscan_;
   EmstEntry emst_;
+
+  bool tree_building_ = false;
+  size_t knn_building_k_ = 0;  ///< 0 = idle, else the width being built
+  std::set<int> core_building_;
+  std::set<int> mst_building_;
+  std::set<int> dendro_building_;
+  std::set<int> plot_building_;
+  bool emst_building_ = false;
+  bool sl_building_ = false;
+
   std::atomic<uint64_t> clock_{0};
 };
 

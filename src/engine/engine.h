@@ -5,27 +5,34 @@
 // stable-cluster requests against them, memoizing every pipeline artifact
 // (see artifacts.h for the DAG and reuse guarantees).
 //
-// Concurrency discipline (two-level):
-//  * Per dataset, a readers-writer lock: queries fully answerable from
-//    cache take it shared and run concurrently; queries that must build an
-//    artifact take it exclusive. The read-only path issues no parallel
-//    work, so any number of client threads may be inside it at once.
-//  * One engine-wide build mutex serializes all artifact builds. This both
-//    matches the fork-join scheduler's threading model (a single external
-//    thread issues parallel work at a time — the build then uses all
-//    workers) and serializes mutation of the shared kd-tree annotations
-//    (core-distance and component arrays) that MST builds rewrite.
+// Concurrency discipline (artifact-DAG executor):
+//  * Per dataset, a readers-writer lock: queries against the *immutable*
+//    backend always take it shared — the artifact cache itself is a
+//    thread-safe DAG of absent/building/ready nodes (artifacts.h), so any
+//    number of readers and builders of one dataset coexist, duplicate
+//    builds of the same artifact coalesce onto one builder, and
+//    independent artifacts build concurrently. Batch-dynamic datasets keep
+//    the classic split: shared for cache-only answers, exclusive for
+//    builds and mutations (the shard forest is not internally
+//    synchronized), which is also what excludes a dataset's builds while
+//    it is being mutated.
+//  * The BuildExecutor (executor.h) replaces the old engine-wide build
+//    mutex: each build is admitted into a bounded set of concurrent
+//    builds and runs inside its own TaskArena worker group, so builds for
+//    different datasets — and independent artifacts of one dataset —
+//    proceed in parallel, each with fork-join semantics identical to a
+//    dedicated scheduler of the group's size.
 //
 // Run() is therefore safe to call from any number of threads; a cache hit
-// never waits on a concurrent build of a *different* dataset's artifacts
-// (the build holds only its own dataset's lock exclusively).
+// never waits on a concurrent build, and cold builds of independent
+// datasets overlap instead of queueing behind one mutex.
 //
 // Batch-dynamic datasets add two mutation entry points, InsertBatch and
-// DeleteBatch. Mutations are writes end to end: they take the engine-wide
-// build mutex plus the dataset's exclusive lock (mutating the shard forest
-// issues parallel work and rewrites shard artifacts), so they serialize
-// with artifact builds and exclude concurrent readers of the same dataset
-// for their duration — queries against other datasets are unaffected.
+// DeleteBatch. Mutations are writes end to end: they run as executor tasks
+// holding the dataset's exclusive lock, so they serialize with that
+// dataset's artifact builds and exclude concurrent readers of the same
+// dataset for their duration — queries against other datasets are
+// unaffected.
 #pragma once
 
 #include <atomic>
@@ -35,6 +42,7 @@
 #include <string>
 #include <utility>
 
+#include "engine/executor.h"
 #include "engine/registry.h"
 #include "engine/request.h"
 #include "store/errors.h"
@@ -79,6 +87,9 @@ class ClusteringEngine {
   DatasetRegistry& registry() { return registry_; }
   const DatasetRegistry& registry() const { return registry_; }
 
+  /// The build admission layer; exposed for its stats snapshot.
+  const BuildExecutor& executor() const { return executor_; }
+
   /// Answers one request, building and caching whatever artifacts it
   /// needs. Thread-safe. Errors (unknown dataset, invalid parameters) come
   /// back as ok == false with `error` set; they never throw.
@@ -104,18 +115,29 @@ class ClusteringEngine {
         return out;
       }
     }
-    // Build path: one build at a time engine-wide, exclusive on this
-    // dataset. Re-answer from scratch — another thread may have built the
-    // missing artifacts while we waited for the locks.
-    std::lock_guard<std::mutex> build(build_mu_);
-    std::unique_lock<std::shared_mutex> write(entry->mu);
+    // Build path: run as an executor task inside a worker group. The
+    // immutable backend's artifact DAG is internally synchronized, so a
+    // shared lock suffices and same-dataset builds of independent
+    // artifacts overlap (duplicates coalesce inside artifacts.h). The
+    // dynamic backend mutates unsynchronized shard state, so its builds
+    // take the exclusive lock — which is also what serializes them with
+    // InsertBatch/DeleteBatch. Either way, re-answer from scratch: another
+    // thread may have built the missing artifacts while we waited.
     out = EngineResponse();
-    entry->Answer(req, /*allow_build=*/true, &out);
+    executor_.RunBuild([&] {
+      if (entry->is_dynamic()) {
+        std::unique_lock<std::shared_mutex> write(entry->mu);
+        entry->Answer(req, /*allow_build=*/true, &out);
+      } else {
+        std::shared_lock<std::shared_mutex> read(entry->mu);
+        entry->Answer(req, /*allow_build=*/true, &out);
+      }
+    });
     out.seconds = timer.Seconds();
     counters_.queries.fetch_add(1, std::memory_order_relaxed);
     if (out.built.empty()) {
-      // Lost the race to another builder: everything was cached by the
-      // time we held the lock.
+      // Lost the race to another builder: everything was cached (or
+      // coalesced onto that builder) by the time we ran.
       counters_.cache_hits.fetch_add(1, std::memory_order_relaxed);
     } else {
       counters_.builds.fetch_add(1, std::memory_order_relaxed);
@@ -161,12 +183,10 @@ class ClusteringEngine {
                           uint32_t* first_gid = nullptr) {
     std::shared_ptr<DatasetEntryBase> entry = registry_.Find(name);
     if (!entry) return "unknown dataset: " + name;
-    std::string err;
-    {
-      std::lock_guard<std::mutex> build(build_mu_);
+    std::string err = executor_.RunBuild([&] {
       std::unique_lock<std::shared_mutex> write(entry->mu);
-      err = entry->InsertRows(rows, first_gid);
-    }
+      return entry->InsertRows(rows, first_gid);
+    });
     CountMutation(err);
     return err;
   }
@@ -179,29 +199,22 @@ class ClusteringEngine {
                           size_t* deleted = nullptr) {
     std::shared_ptr<DatasetEntryBase> entry = registry_.Find(name);
     if (!entry) return "unknown dataset: " + name;
-    std::string err;
-    {
-      std::lock_guard<std::mutex> build(build_mu_);
+    std::string err = executor_.RunBuild([&] {
       std::unique_lock<std::shared_mutex> write(entry->mu);
-      err = entry->DeleteIds(gids, deleted);
-    }
+      return entry->DeleteIds(gids, deleted);
+    });
     CountMutation(err);
     return err;
   }
 
-  /// Runs `fn` holding the engine-wide build mutex and returns its result.
-  /// Serving front-ends use this for work that issues parallel scheduler
-  /// tasks *outside* the engine (e.g. the `gen` verb's data generators):
-  /// the fork-join scheduler allows one external caller at a time, and
-  /// every build inside the engine already runs under this mutex, so
-  /// routing external parallel work through it preserves that model.
-  /// `fn` must not call back into an engine entry point that takes the
-  /// build mutex (Run's build path, InsertBatch, DeleteBatch,
-  /// LoadDataset).
+  /// Runs `fn` as an executor task inside a worker group and returns its
+  /// result. Serving front-ends use this for work that issues parallel
+  /// scheduler tasks *outside* the engine (e.g. the `gen` verb's data
+  /// generators): the executor bounds build concurrency and sizes the
+  /// group, exactly as for artifact builds.
   template <typename F>
-  auto WithBuildLock(F&& fn) -> decltype(fn()) {
-    std::lock_guard<std::mutex> build(build_mu_);
-    return std::forward<F>(fn)();
+  auto RunExternal(F&& fn) -> decltype(fn()) {
+    return executor_.RunBuild(std::forward<F>(fn));
   }
 
   /// Cumulative serving counters; cheap and safe to read while serving.
@@ -218,20 +231,22 @@ class ClusteringEngine {
   /// Snapshots dataset `name` (points + every cached artifact + manifest)
   /// into directory `dir`. Returns "" on success, else an error message;
   /// filesystem and format problems never throw past this call.
-  /// Thread-safe, and runs under the dataset's *shared* lock: saving is
-  /// read-only, so cache-hit queries keep serving while the snapshot
-  /// streams out (only builds and mutations, which take the exclusive
-  /// lock, wait).
+  /// Thread-safe. Runs as an executor task under the dataset's *shared*
+  /// lock: saving is read-only, so cache-hit queries keep serving while
+  /// the snapshot streams out, and the save overlaps other datasets'
+  /// builds like any DAG task.
   std::string SaveDataset(const std::string& name, const std::string& dir) {
     std::shared_ptr<DatasetEntryBase> entry = registry_.Find(name);
     if (!entry) return "unknown dataset: " + name;
-    std::shared_lock<std::shared_mutex> read(entry->mu);
-    try {
-      entry->SaveTo(dir);
-    } catch (const SnapshotError& e) {
-      return e.what();
-    }
-    return "";
+    return executor_.RunBuild([&]() -> std::string {
+      std::shared_lock<std::shared_mutex> read(entry->mu);
+      try {
+        entry->SaveTo(dir);
+      } catch (const SnapshotError& e) {
+        return e.what();
+      }
+      return "";
+    });
   }
 
   /// Warm-starts dataset `name` from a snapshot directory written by
@@ -242,12 +257,11 @@ class ClusteringEngine {
   /// version-mismatched snapshots are rejected with typed errors
   /// internally; they never abort). Thread-safe: loading happens off to
   /// the side and in-flight queries against a replaced dataset finish on
-  /// the old entry. Takes the engine-wide build mutex because restoring
-  /// derived artifacts issues parallel work (the scheduler's
-  /// single-external-caller model).
+  /// the old entry. Runs as an executor task because restoring derived
+  /// artifacts issues parallel work.
   std::string LoadDataset(const std::string& name, const std::string& dir) {
-    std::lock_guard<std::mutex> build(build_mu_);
-    return registry_.TryLoadSnapshot(name, dir);
+    return executor_.RunBuild(
+        [&] { return registry_.TryLoadSnapshot(name, dir); });
   }
 
  private:
@@ -268,7 +282,7 @@ class ClusteringEngine {
   };
 
   DatasetRegistry registry_;
-  std::mutex build_mu_;
+  mutable BuildExecutor executor_;
   Counters counters_;
 };
 

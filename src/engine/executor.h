@@ -1,0 +1,128 @@
+// BuildExecutor: the engine's parallel artifact-build admission layer.
+//
+// Every artifact build, mutation, snapshot task, and external parallel job
+// (the server's `gen` verb) runs through RunBuild, which (1) bounds how
+// many builds run concurrently, and (2) runs each admitted build inside a
+// TaskArena worker group sized total_workers / active_builds, so one cold
+// build uses the whole machine while N concurrent builds split it fairly.
+// Group isolation keeps each build's ParallelFor semantics — and therefore
+// its results — bit-identical to a dedicated scheduler of the group size,
+// and identical across group sizes (the library's algorithms are
+// deterministic per input; see README "Determinism").
+//
+// The concurrency bound is max(2, total workers): at least two builds may
+// always overlap (so independent datasets make progress side by side even
+// on small machines), and never more groups than workers exist.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <type_traits>
+#include <utility>
+
+#include "parallel/scheduler.h"
+
+namespace parhc {
+
+/// Point-in-time copy of the executor's gauges and counters. Gauges
+/// (active/queued) are instantaneous; counters are cumulative.
+struct ExecutorStatsSnapshot {
+  int workers = 1;                ///< scheduler pool size
+  uint64_t concurrent_builds = 0; ///< builds running right now
+  uint64_t build_queue_depth = 0; ///< builds waiting for admission
+  uint64_t builds_total = 0;      ///< RunBuild calls admitted so far
+  uint64_t peak_concurrent = 0;   ///< max concurrent_builds ever observed
+  int last_group_size = 0;        ///< worker-group size of the last build
+
+  /// Space-separated key=value rendering (stable field order) used by the
+  /// serving layer's `stats` verb.
+  std::string Format() const {
+    std::string s;
+    auto kv = [&s](const char* k, uint64_t v) {
+      s += ' ';
+      s += k;
+      s += '=';
+      s += std::to_string(v);
+    };
+    kv("workers", static_cast<uint64_t>(workers));
+    kv("concurrent_builds", concurrent_builds);
+    kv("build_queue_depth", build_queue_depth);
+    kv("builds_total", builds_total);
+    kv("peak_builds", peak_concurrent);
+    kv("last_group_size", static_cast<uint64_t>(last_group_size));
+    return s.substr(1);
+  }
+};
+
+class BuildExecutor {
+ public:
+  /// Runs `fn` inside a worker group and returns its result. Blocks for
+  /// admission while max-concurrency is reached; exceptions propagate to
+  /// the caller (the slot is released either way).
+  template <typename F>
+  auto RunBuild(F&& fn) -> decltype(fn()) {
+    int total = Scheduler::Get().total_workers();
+    int max_concurrent = std::max(2, total);
+    int group;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      ++queued_;
+      cv_.wait(lk, [&] { return active_ < max_concurrent; });
+      --queued_;
+      ++active_;
+      peak_ = std::max(peak_, active_);
+      ++builds_total_;
+      // Split the pool fairly among the builds currently running; a lone
+      // build gets every worker.
+      group = std::clamp(total / active_, 1, total);
+      last_group_ = group;
+    }
+    struct Release {
+      BuildExecutor* e;
+      ~Release() {
+        {
+          std::lock_guard<std::mutex> lk(e->mu_);
+          --e->active_;
+        }
+        e->cv_.notify_one();
+      }
+    } release{this};
+    TaskArena arena(group);
+    using R = decltype(fn());
+    if constexpr (std::is_void_v<R>) {
+      arena.Execute([&] { fn(); });
+    } else {
+      std::optional<R> result;
+      arena.Execute([&] { result.emplace(fn()); });
+      return std::move(*result);
+    }
+  }
+
+  ExecutorStatsSnapshot stats() const {
+    ExecutorStatsSnapshot s;
+    s.workers = Scheduler::Get().total_workers();
+    std::lock_guard<std::mutex> lk(mu_);
+    s.concurrent_builds = static_cast<uint64_t>(active_);
+    s.build_queue_depth = static_cast<uint64_t>(queued_);
+    s.builds_total = builds_total_;
+    s.peak_concurrent = static_cast<uint64_t>(peak_);
+    s.last_group_size = last_group_;
+    return s;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  int active_ = 0;
+  int queued_ = 0;
+  int peak_ = 0;
+  int last_group_ = 0;
+  uint64_t builds_total_ = 0;
+};
+
+}  // namespace parhc

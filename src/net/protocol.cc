@@ -312,6 +312,8 @@ ProtocolResult ProtocolSession::HandleLine(const std::string& line) {
         res.out += ' ';
       }
       res.out += engine_.counters().Format();
+      res.out += ' ';
+      res.out += engine_.executor().stats().Format();
       res.out += '\n';
     } else if (cmd == "gen") {
       std::string name, kind;
@@ -320,10 +322,9 @@ ProtocolResult ProtocolSession::HandleLine(const std::string& line) {
       uint64_t seed = 1;
       ss >> name >> dim >> kind >> n;
       if (!(ss >> seed)) seed = 1;
-      // Generators issue parallel scheduler work, so they run under the
-      // engine's build lock (single-external-caller model; see
-      // engine.h::WithBuildLock).
-      bool ok = !name.empty() && n != 0 && engine_.WithBuildLock([&] {
+      // Generators issue parallel scheduler work, so they run as an
+      // executor task inside a worker group (see engine.h::RunExternal).
+      bool ok = !name.empty() && n != 0 && engine_.RunExternal([&] {
         return Generate(engine_.registry(), name, dim, kind, n, seed);
       });
       if (!ok) {
@@ -435,8 +436,8 @@ ProtocolResult ProtocolSession::HandleLine(const std::string& line) {
       }
       // Validate the generator kind before the create-if-absent side
       // effect, so a typo doesn't leave a spurious empty dataset behind.
-      // (Build lock: generators issue parallel work; see `gen` above.)
-      std::vector<std::vector<double>> rows = engine_.WithBuildLock(
+      // (Executor task: generators issue parallel work; see `gen` above.)
+      std::vector<std::vector<double>> rows = engine_.RunExternal(
           [&] { return GenRows(dim, kind, n, seed); });
       if (rows.empty()) {
         res.out = StrPrintf("err geninsert: unknown kind %s\n", kind.c_str());

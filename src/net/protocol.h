@@ -31,9 +31,10 @@
 // two threads at once (the TCP scheduler runs at most one request per
 // connection at a time, which also keeps responses in request order).
 // Verbs that issue parallel scheduler work outside the engine (the data
-// generators behind gen/geninsert) run under
-// ClusteringEngine::WithBuildLock to preserve the fork-join scheduler's
-// single-external-caller model.
+// generators behind gen/geninsert) run through
+// ClusteringEngine::RunExternal, which admits them into the engine's
+// build executor and runs them inside a TaskArena worker group like any
+// artifact build.
 #pragma once
 
 #include <string>

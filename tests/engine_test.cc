@@ -287,6 +287,154 @@ TEST(EngineConcurrency, ParallelMixedQueriesStayConsistent) {
   EXPECT_EQ(failures.load(), 0);
 }
 
+// Two independent datasets' cold builds must proceed concurrently through
+// the build executor (no engine-wide mutex), and every result must be
+// bit-identical to the serialized-build path (a fresh engine answering the
+// same queries one at a time).
+TEST(EngineConcurrency, TwoDatasetsBuildConcurrentlyAndMatchSerial) {
+  auto pts_a = SeedSpreaderVarden<2>(2500, 41, 3);
+  auto pts_b = SeedSpreaderVarden<2>(2500, 43, 3);
+
+  ClusteringEngine serial;
+  serial.registry().Add("a", pts_a);
+  serial.registry().Add("b", pts_b);
+  EngineRequest req;
+  req.type = QueryType::kHdbscan;
+  req.min_pts = 10;
+  req.dataset = "a";
+  EngineResponse want_a = serial.Run(req);
+  req.dataset = "b";
+  EngineResponse want_b = serial.Run(req);
+  ASSERT_TRUE(want_a.ok && want_b.ok);
+
+  ClusteringEngine engine;
+  engine.registry().Add("a", pts_a);
+  engine.registry().Add("b", pts_b);
+  EngineResponse got_a, got_b;
+  std::thread ta([&] {
+    EngineRequest r = req;
+    r.dataset = "a";
+    got_a = engine.Run(r);
+  });
+  std::thread tb([&] {
+    EngineRequest r = req;
+    r.dataset = "b";
+    got_b = engine.Run(r);
+  });
+  ta.join();
+  tb.join();
+  ASSERT_TRUE(got_a.ok) << got_a.error;
+  ASSERT_TRUE(got_b.ok) << got_b.error;
+  EXPECT_EQ(got_a.mst_weight, want_a.mst_weight);
+  EXPECT_EQ(got_b.mst_weight, want_b.mst_weight);
+  ASSERT_EQ(got_a.mst->size(), want_a.mst->size());
+  ASSERT_EQ(got_b.mst->size(), want_b.mst->size());
+  EXPECT_EQ(SortedWeights(*got_a.mst), SortedWeights(*want_a.mst));
+  EXPECT_EQ(SortedWeights(*got_b.mst), SortedWeights(*want_b.mst));
+  EXPECT_EQ(*got_a.core_dist, *want_a.core_dist);
+  EXPECT_EQ(*got_b.core_dist, *want_b.core_dist);
+  EXPECT_GE(engine.executor().stats().builds_total, uint64_t{2});
+}
+
+// N threads requesting the same uncached artifact must coalesce onto one
+// build: exactly one response reports building the MST, and every thread
+// comes back holding the same shared_ptr snapshot.
+TEST(EngineConcurrency, DuplicateArtifactRequestsCoalesce) {
+  auto pts = SeedSpreaderVarden<2>(2500, 47, 3);
+  ClusteringEngine engine;
+  engine.registry().Add("d", pts);
+
+  constexpr int kThreads = 6;
+  std::vector<EngineResponse> res(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      EngineRequest req;
+      req.dataset = "d";
+      req.type = QueryType::kHdbscan;
+      req.min_pts = 8;
+      res[t] = engine.Run(req);
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  int mst_builds = 0, tree_builds = 0;
+  for (const auto& r : res) {
+    ASSERT_TRUE(r.ok) << r.error;
+    mst_builds += static_cast<int>(
+        std::count(r.built.begin(), r.built.end(), "mst@8"));
+    tree_builds += static_cast<int>(
+        std::count(r.built.begin(), r.built.end(), "tree"));
+    // Same physical snapshot, not an equal copy: coalesced waiters get
+    // the builder's shared_ptr.
+    EXPECT_EQ(r.mst.get(), res[0].mst.get());
+    EXPECT_EQ(r.core_dist.get(), res[0].core_dist.get());
+  }
+  EXPECT_EQ(mst_builds, 1);
+  EXPECT_EQ(tree_builds, 1);
+}
+
+// Mutating a batch-dynamic dataset excludes that dataset's builds (both
+// take the exclusive per-dataset lock), and the end state is bit-identical
+// to replaying the same batches serially.
+TEST(EngineConcurrency, MutationExcludesBuildsAndMatchesSerialReplay) {
+  constexpr int kBatches = 8;
+  constexpr size_t kBatch = 150;
+  std::vector<std::vector<std::vector<double>>> batches;
+  std::mt19937_64 rng(59);
+  std::uniform_real_distribution<double> u(0.0, 100.0);
+  for (int b = 0; b < kBatches; ++b) {
+    std::vector<std::vector<double>> rows(kBatch);
+    for (auto& row : rows) row = {u(rng), u(rng)};
+    batches.push_back(std::move(rows));
+  }
+
+  ClusteringEngine serial;
+  serial.registry().AddDynamic("d", 2);
+  for (const auto& rows : batches) {
+    ASSERT_EQ(serial.InsertBatch("d", rows), "");
+  }
+  EngineRequest req;
+  req.dataset = "d";
+  req.type = QueryType::kHdbscan;
+  req.min_pts = 6;
+  EngineResponse want = serial.Run(req);
+  ASSERT_TRUE(want.ok) << want.error;
+
+  ClusteringEngine engine;
+  engine.registry().AddDynamic("d", 2);
+  std::atomic<int> failures{0};
+  std::thread writer([&] {
+    for (const auto& rows : batches) {
+      if (!engine.InsertBatch("d", rows).empty()) failures.fetch_add(1);
+    }
+  });
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 3; ++t) {
+    readers.emplace_back([&] {
+      for (int i = 0; i < 10; ++i) {
+        EngineResponse r = engine.Run(req);
+        // Builds interleave with inserts: any consistent prefix of the
+        // stream is a valid answer; empty-dataset errors are too. Crashes
+        // and torn state are what this test hunts (run under TSan in CI).
+        if (r.ok && r.mst && r.mst->size() + 1 > kBatches * kBatch) {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  writer.join();
+  for (auto& th : readers) th.join();
+  EXPECT_EQ(failures.load(), 0);
+
+  EngineResponse got = engine.Run(req);
+  ASSERT_TRUE(got.ok) << got.error;
+  EXPECT_EQ(got.mst_weight, want.mst_weight);
+  ASSERT_EQ(got.mst->size(), want.mst->size());
+  EXPECT_EQ(SortedWeights(*got.mst), SortedWeights(*want.mst));
+  EXPECT_EQ(*got.core_dist, *want.core_dist);
+}
+
 // Regression guard for the Registry::Remove vs concurrent Run lifetime
 // audit: Find hands each query its own shared_ptr, so an entry removed (or
 // replaced) mid-query must stay alive — including its shared_mutex, which

@@ -655,6 +655,11 @@ TEST(NetServer, StatsVerbReportsServerAndEngineCounters) {
   EXPECT_NE(stats.find("p99_us="), std::string::npos) << stats;
   EXPECT_NE(stats.find("engine_queries=1"), std::string::npos) << stats;
   EXPECT_NE(stats.find("engine_builds=1"), std::string::npos) << stats;
+  // Build-executor counters (the engine's parallel artifact executor).
+  EXPECT_NE(stats.find("workers="), std::string::npos) << stats;
+  EXPECT_NE(stats.find("builds_total="), std::string::npos) << stats;
+  EXPECT_NE(stats.find("concurrent_builds=0"), std::string::npos) << stats;
+  EXPECT_NE(stats.find("peak_builds="), std::string::npos) << stats;
 }
 
 TEST(NetServer, IdleConnectionsAreClosed) {

@@ -86,6 +86,110 @@ TEST(Scheduler, EmptyRange) {
   EXPECT_FALSE(ran);
 }
 
+TEST(TaskArena, GroupSizeIsVisibleInsideExecute) {
+  SetNumWorkers(4);
+  TaskArena arena(2);
+  EXPECT_EQ(arena.size(), 2);
+  int inside = 0;
+  arena.Execute([&] { inside = NumWorkers(); });
+  EXPECT_EQ(inside, 2);
+  EXPECT_EQ(NumWorkers(), 4);  // outside any arena: the whole pool
+}
+
+TEST(TaskArena, ClampsToPoolSize) {
+  SetNumWorkers(2);
+  {
+    TaskArena arena(16);
+    EXPECT_EQ(arena.size(), 2);
+  }  // the arena must be gone before Reset may run again
+  SetNumWorkers(4);  // restore the test-binary default
+}
+
+TEST(TaskArena, ParallelForCoversRangeExactlyOnceInsideGroup) {
+  SetNumWorkers(4);
+  constexpr size_t kN = 50000;
+  std::vector<std::atomic<int>> hits(kN);
+  for (auto& h : hits) h.store(0);
+  TaskArena arena(2);
+  arena.Execute([&] {
+    ParallelFor(0, kN, [&](size_t i) {
+      // Scratch indexed by MyId must stay in [0, group size).
+      ASSERT_LT(Scheduler::Get().MyId(), 2);
+      hits[i].fetch_add(1);
+    });
+  });
+  for (size_t i = 0; i < kN; ++i) ASSERT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(TaskArena, ConcurrentGroupsRunIndependently) {
+  SetNumWorkers(4);
+  constexpr size_t kN = 200000;
+  std::atomic<int64_t> sums[2] = {{0}, {0}};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 2; ++t) {
+    threads.emplace_back([&, t] {
+      TaskArena arena(2);
+      for (int rep = 0; rep < 5; ++rep) {
+        sums[t].store(0);
+        arena.Execute([&] {
+          ParallelFor(0, kN, [&](size_t i) {
+            sums[t].fetch_add(static_cast<int64_t>(i));
+          });
+        });
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  constexpr int64_t kExpect = int64_t{kN} * (kN - 1) / 2;
+  EXPECT_EQ(sums[0].load(), kExpect);
+  EXPECT_EQ(sums[1].load(), kExpect);
+}
+
+TEST(Scheduler, ConcurrentPlainExternalSubmitters) {
+  // Multiple threads issuing ParallelFor without any arena was illegal
+  // under the old single-external-caller contract; now each claims a root
+  // arena slot (or degrades to inline execution) and must be correct.
+  SetNumWorkers(4);
+  constexpr size_t kN = 100000;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 6; ++t) {
+    threads.emplace_back([&] {
+      for (int rep = 0; rep < 3; ++rep) {
+        std::atomic<int64_t> sum{0};
+        ParallelFor(0, kN, [&](size_t i) {
+          sum.fetch_add(static_cast<int64_t>(i));
+        });
+        if (sum.load() != int64_t{kN} * (kN - 1) / 2) failures.fetch_add(1);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+TEST(SchedulerDeathTest, ResetWhileArenaLiveDies) {
+  // Scheduler::Reset used to destroy the singleton out from under any
+  // in-flight parallel work; it must now refuse with a clear error.
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        TaskArena arena(2);
+        SetNumWorkers(2);
+      },
+      "TaskArena");
+}
+
+TEST(SchedulerDeathTest, ResetWhileExecuteInFlightDies) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        TaskArena arena(2);
+        arena.Execute([] { SetNumWorkers(2); });
+      },
+      "in flight");
+}
+
 TEST(Primitives, TabulateIdentity) {
   auto v = Tabulate(1000, [](size_t i) { return i * i; });
   for (size_t i = 0; i < 1000; ++i) ASSERT_EQ(v[i], i * i);
