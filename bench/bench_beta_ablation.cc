@@ -36,15 +36,17 @@ void RegisterAll() {
           [=](benchmark::State& st) {
             DispatchDataset(ds, n, [&](const auto& pts) {
               SetNumWorkers(maxt);
+              AlgoCounterSnapshot last;
               for (auto _ : st) {
-                Stats::Get().Reset();
+                StatsEpoch epoch;
                 benchmark::DoNotOptimize(
                     EmstMemoGfk(pts, nullptr, g.opts).data());
+                last = epoch.Delta();
               }
-              st.counters["pairs_visited"] = static_cast<double>(
-                  Stats::Get().wspd_pairs_visited.load());
+              st.counters["pairs_visited"] =
+                  static_cast<double>(last.wspd_pairs_visited);
               st.counters["bccp_calls"] =
-                  static_cast<double>(Stats::Get().bccp_computed.load());
+                  static_cast<double>(last.bccp_computed);
             });
           })
           ->Unit(benchmark::kMillisecond)

@@ -50,13 +50,13 @@ void RegisterAll() {
             [=, v = v](benchmark::State& st) {
               DispatchDataset(ds, n, [&](const auto& pts) {
                 SetNumWorkers(threads);
-                Stats::Get().Reset();
+                StatsEpoch epoch;
                 for (auto _ : st) {
                   auto r = HdbscanMst(pts, kMinPts, v);
                   benchmark::DoNotOptimize(r.mst.data());
                 }
                 st.counters["pairs"] = static_cast<double>(
-                    Stats::Get().wspd_pairs_materialized.load());
+                    epoch.Delta().wspd_pairs_materialized);
               });
             })
             ->Unit(benchmark::kMillisecond)

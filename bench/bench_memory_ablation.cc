@@ -22,17 +22,20 @@ void RegisterAll() {
           [=](benchmark::State& st) {
             DispatchDataset(ds, n, [&](const auto& pts) {
               SetNumWorkers(maxt);
+              AlgoCounterSnapshot last;
               for (auto _ : st) {
-                Stats::Get().Reset();
+                // Per-iteration epoch: the table reports one run's counts
+                // (kResetPeak is safe — the bench owns the process).
+                StatsEpoch epoch(StatsEpoch::kResetPeak);
                 benchmark::DoNotOptimize(RunEmst(pts, m.algo).data());
+                last = epoch.Delta();
               }
-              auto& s = Stats::Get();
               st.counters["pairs_total"] =
-                  static_cast<double>(s.wspd_pairs_materialized.load());
+                  static_cast<double>(last.wspd_pairs_materialized);
               st.counters["pairs_peak"] =
-                  static_cast<double>(s.wspd_pairs_peak.load());
+                  static_cast<double>(last.wspd_pairs_peak);
               st.counters["bccp_calls"] =
-                  static_cast<double>(s.bccp_computed.load());
+                  static_cast<double>(last.bccp_computed);
             });
           })
           ->Unit(benchmark::kMillisecond)
@@ -47,16 +50,17 @@ void RegisterAll() {
           [=, v = v](benchmark::State& st) {
             DispatchDataset(ds, n, [&](const auto& pts) {
               SetNumWorkers(maxt);
+              AlgoCounterSnapshot last;
               for (auto _ : st) {
-                Stats::Get().Reset();
+                StatsEpoch epoch(StatsEpoch::kResetPeak);
                 auto r = HdbscanMst(pts, 10, v);
                 benchmark::DoNotOptimize(r.mst.data());
+                last = epoch.Delta();
               }
-              auto& s = Stats::Get();
               st.counters["pairs_total"] =
-                  static_cast<double>(s.wspd_pairs_materialized.load());
+                  static_cast<double>(last.wspd_pairs_materialized);
               st.counters["pairs_peak"] =
-                  static_cast<double>(s.wspd_pairs_peak.load());
+                  static_cast<double>(last.wspd_pairs_peak);
             });
           })
           ->Unit(benchmark::kMillisecond)

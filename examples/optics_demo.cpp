@@ -29,7 +29,6 @@ int main(int argc, char** argv) {
               w_exact);
 
   for (double rho : {2.0, 0.5, 0.125}) {
-    Stats::Get().Reset();
     t.Reset();
     OpticsApproxResult a = OpticsApproxMst(pts, min_pts, rho);
     double secs = t.Seconds();

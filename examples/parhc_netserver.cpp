@@ -18,6 +18,9 @@
 //   --idle-ms N     idle connection timeout, <=0 disables (300000)
 //   --poll          force the poll(2) backend instead of epoll
 //   --no-timing     omit the secs= field from query responses
+//   --slow-us N     slow-query log threshold in microseconds (10000)
+//   --trace         enable request tracing at startup (`trace on` wire
+//                   verb does the same at runtime)
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -61,6 +64,11 @@ int main(int argc, char** argv) {
       opts.use_poll = true;
     } else if (arg == "--no-timing") {
       opts.show_timing = false;
+    } else if (arg == "--slow-us") {
+      opts.slow_query_us =
+          static_cast<uint64_t>(std::atoll(next("--slow-us")));
+    } else if (arg == "--trace") {
+      opts.trace = true;
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
       return 2;

@@ -25,6 +25,7 @@
 
 #include "net/frame.h"
 #include "net/protocol.h"
+#include "obs/sources.h"
 #include "parhc.h"
 
 int main(int argc, char** argv) {
@@ -42,7 +43,17 @@ int main(int argc, char** argv) {
     }
   }
   ClusteringEngine engine;
-  net::ProtocolSession session(engine);
+  // REPL observability: engine/algorithm metrics behind the `metrics`
+  // verb and a slow-query/build log behind `slowlog` (no server counters
+  // here — there is no TCP front-end).
+  obs::Observability observability;
+  obs::RegisterEngineMetrics(observability.metrics, engine);
+  obs::RegisterAlgorithmMetrics(observability.metrics);
+  obs::RegisterObsMetrics(observability.metrics, observability.slowlog);
+  engine.set_slowlog(&observability.slowlog);
+  net::ProtocolOptions popts;
+  popts.obs = &observability;
+  net::ProtocolSession session(engine, popts);
   // Text-only splitting on stdin: a 0x01 byte is line data, not a binary
   // frame (binary frames are a TCP-transport feature), and lines may be
   // arbitrarily long (the 1 MiB cap protects the TCP server from remote

@@ -29,7 +29,7 @@ int main(int argc, char** argv) {
   };
   double first_weight = -1;
   for (const Method& m : methods) {
-    Stats::Get().Reset();
+    StatsEpoch epoch(StatsEpoch::kResetPeak);
     Timer t;
     std::vector<WeightedEdge> mst = Emst(pts, m.algo);
     double secs = t.Seconds();
@@ -39,7 +39,7 @@ int main(int argc, char** argv) {
     std::printf("%-14s %8.3fs  weight %.4e  pairs materialized %8llu  %s\n",
                 m.name, secs, w,
                 static_cast<unsigned long long>(
-                    Stats::Get().wspd_pairs_materialized.load()),
+                    epoch.Delta().wspd_pairs_materialized),
                 std::abs(w - first_weight) < 1e-6 * first_weight
                     ? "(agrees)"
                     : "(MISMATCH!)");

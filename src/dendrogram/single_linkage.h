@@ -32,14 +32,16 @@ SingleLinkageResult SingleLinkage(const std::vector<Point<D>>& pts,
                                   uint32_t source = 0) {
   std::vector<WeightedEdge> mst = Emst(pts, algo, phases);
   Timer t;
-  Dendrogram dendro = pts.size() == 1
-                          ? Dendrogram(1)
-                          : BuildDendrogramParallel(pts.size(), mst, source);
-  if (pts.size() == 1) dendro.set_root(0);
-  if (phases) {
-    phases->dendrogram += t.Seconds();
-    phases->total += t.Seconds();
+  Dendrogram dendro(1);
+  {
+    PhaseTimer phase(phases, &PhaseBreakdown::dendrogram, "phase:dendrogram");
+    if (pts.size() == 1) {
+      dendro.set_root(0);
+    } else {
+      dendro = BuildDendrogramParallel(pts.size(), mst, source);
+    }
   }
+  if (phases) phases->total += t.Seconds();
   return SingleLinkageResult{std::move(mst), std::move(dendro)};
 }
 

@@ -79,6 +79,7 @@ class DynamicArtifacts {
  public:
   size_t num_points() const { return forest_.live_count(); }
   size_t num_shards() const { return forest_.num_shards(); }
+  size_t num_tombstones() const { return forest_.dead_count(); }
   size_t knn_k() const { return knn_valid_ ? knn_k_ : 0; }
   size_t num_cached_clusterings() const { return hdbscan_.size(); }
   uint32_t next_gid() const { return forest_.next_gid(); }

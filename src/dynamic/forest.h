@@ -47,6 +47,12 @@ class ShardForest {
  public:
   size_t live_count() const { return live_count_; }
   size_t num_shards() const { return shards_.size(); }
+  /// Tombstoned (deleted but not yet compacted) points across all shards.
+  size_t dead_count() const {
+    size_t n = 0;
+    for (const auto& s : shards_) n += s->dead_count();
+    return n;
+  }
   /// Mutation counter: bumped by every effective InsertBatch / DeleteBatch.
   uint64_t epoch() const { return epoch_; }
   /// One past the largest assigned gid.

@@ -8,6 +8,7 @@
 // outgoing edge per component, and merges. O(log n) rounds.
 #pragma once
 
+#include <optional>
 #include <unordered_map>
 #include <vector>
 
@@ -64,11 +65,14 @@ std::vector<WeightedEdge> EmstBoruvka(const std::vector<Point<D>>& pts,
                                       PhaseBreakdown* phases = nullptr) {
   size_t n = pts.size();
   Timer total;
-  Timer t;
-  KdTree<D> tree(pts, /*leaf_size=*/8);
-  if (phases) phases->build_tree += t.Seconds();
+  std::optional<KdTree<D>> tree_storage;
+  {
+    PhaseTimer phase(phases, &PhaseBreakdown::build_tree, "phase:build_tree");
+    tree_storage.emplace(pts, /*leaf_size=*/8);
+  }
+  KdTree<D>& tree = *tree_storage;
 
-  t.Reset();
+  PhaseTimer boruvka_phase(phases, &PhaseBreakdown::kruskal, "phase:kruskal");
   UnionFind uf(n);
   std::vector<WeightedEdge> out;
   out.reserve(n - 1);
@@ -103,10 +107,8 @@ std::vector<WeightedEdge> EmstBoruvka(const std::vector<Point<D>>& pts,
       }
     }
   }
-  if (phases) {
-    phases->kruskal += t.Seconds();
-    phases->total += total.Seconds();
-  }
+  boruvka_phase.Stop();
+  if (phases) phases->total += total.Seconds();
   PARHC_CHECK_MSG(out.size() + 1 == n, "Boruvka did not span all points");
   return out;
 }

@@ -19,7 +19,8 @@ inline std::vector<WeightedEdge> EmstDelaunay(const std::vector<Point<2>>& pts,
   size_t n = pts.size();
   if (n <= 1) return {};
   Timer total;
-  Timer t;
+  PhaseTimer delaunay_phase(phases, &PhaseBreakdown::delaunay,
+                            "phase:delaunay");
   // The triangulation requires distinct sites: dedupe, triangulate the
   // unique sites, and chain duplicates to their representative at weight 0.
   std::vector<uint32_t> order(n);
@@ -46,23 +47,24 @@ inline std::vector<WeightedEdge> EmstDelaunay(const std::vector<Point<2>>& pts,
   }
 
   if (sites.size() == 1) {
+    delaunay_phase.Stop();
     if (phases) phases->total += total.Seconds();
     return KruskalMst(n, std::move(edges));
   }
   Triangulation tri = DelaunayTriangulate(sites);
-  if (phases) phases->delaunay += t.Seconds();
+  delaunay_phase.Stop();
 
-  t.Reset();
-  edges.reserve(edges.size() + tri.edges.size());
-  for (auto [a, b] : tri.edges) {
-    uint32_t u = site_id[a], v = site_id[b];
-    edges.push_back({u, v, Distance(pts[u], pts[v])});
+  std::vector<WeightedEdge> mst;
+  {
+    PhaseTimer phase(phases, &PhaseBreakdown::kruskal, "phase:kruskal");
+    edges.reserve(edges.size() + tri.edges.size());
+    for (auto [a, b] : tri.edges) {
+      uint32_t u = site_id[a], v = site_id[b];
+      edges.push_back({u, v, Distance(pts[u], pts[v])});
+    }
+    mst = KruskalMst(n, std::move(edges));
   }
-  std::vector<WeightedEdge> mst = KruskalMst(n, std::move(edges));
-  if (phases) {
-    phases->kruskal += t.Seconds();
-    phases->total += total.Seconds();
-  }
+  if (phases) phases->total += total.Seconds();
   return mst;
 }
 

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <limits>
+#include <optional>
 #include <vector>
 
 #include "emst/duplicates.h"
@@ -44,29 +45,32 @@ std::vector<WeightedEdge> EmstGfk(const std::vector<Point<D>>& pts,
   using Pair = internal::GfkPair;
   size_t n = pts.size();
   Timer total;
-  Timer t;
-  KdTree<D> tree(pts, /*leaf_size=*/1);
-  if (phases) phases->build_tree += t.Seconds();
-
-  t.Reset();
-  GeometricSeparation<D> sep{2.0};
-  std::vector<std::vector<Pair>> local(NumWorkers());
-  WspdTraverse(tree, sep, [&](uint32_t a, uint32_t b) {
-    double nd =
-        std::sqrt(tree.NodeBox(a).MinSquaredDistance(tree.NodeBox(b)));
-    local[Scheduler::Get().MyId()].push_back(
-        Pair{a, b, nd, -1, 0, 0, tree.NodeSize(a) + tree.NodeSize(b)});
-  });
-  std::vector<Pair> s = Flatten(local);
+  std::optional<KdTree<D>> tree_storage;
   {
+    PhaseTimer phase(phases, &PhaseBreakdown::build_tree, "phase:build_tree");
+    tree_storage.emplace(pts, /*leaf_size=*/1);
+  }
+  KdTree<D>& tree = *tree_storage;
+
+  std::vector<Pair> s;
+  {
+    PhaseTimer phase(phases, &PhaseBreakdown::wspd, "phase:wspd");
+    GeometricSeparation<D> sep{2.0};
+    std::vector<std::vector<Pair>> local(NumWorkers());
+    WspdTraverse(tree, sep, [&](uint32_t a, uint32_t b) {
+      double nd =
+          std::sqrt(tree.NodeBox(a).MinSquaredDistance(tree.NodeBox(b)));
+      local[Scheduler::Get().MyId()].push_back(
+          Pair{a, b, nd, -1, 0, 0, tree.NodeSize(a) + tree.NodeSize(b)});
+    });
+    s = Flatten(local);
     auto& stats = Stats::Get();
     stats.wspd_pairs_materialized.fetch_add(s.size(),
                                             std::memory_order_relaxed);
     WriteMax(&stats.wspd_pairs_peak, static_cast<uint64_t>(s.size()));
   }
-  if (phases) phases->wspd += t.Seconds();
 
-  t.Reset();
+  PhaseTimer kruskal_phase(phases, &PhaseBreakdown::kruskal, "phase:kruskal");
   UnionFind uf(n);
   std::vector<WeightedEdge> out;
   out.reserve(n - 1);
@@ -114,10 +118,8 @@ std::vector<WeightedEdge> EmstGfk(const std::vector<Point<D>>& pts,
     });
     beta *= 2;
   }
-  if (phases) {
-    phases->kruskal += t.Seconds();
-    phases->total += total.Seconds();
-  }
+  kruskal_phase.Stop();
+  if (phases) phases->total += total.Seconds();
   PARHC_CHECK_MSG(out.size() + 1 == n, "EMST-GFK did not span all points");
   return out;
 }

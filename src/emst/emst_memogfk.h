@@ -2,6 +2,7 @@
 // optimization — the paper's fastest EMST method.
 #pragma once
 
+#include <optional>
 #include <vector>
 
 #include "emst/duplicates.h"
@@ -37,10 +38,12 @@ std::vector<WeightedEdge> EmstMemoGfk(const std::vector<Point<D>>& pts,
                                       PhaseBreakdown* phases = nullptr,
                                       const MemoGfkOptions& opts = {}) {
   Timer total;
-  Timer t;
-  KdTree<D> tree(pts, /*leaf_size=*/1);
-  if (phases) phases->build_tree += t.Seconds();
-  std::vector<WeightedEdge> mst = EmstMemoGfkOnTree(tree, phases, opts);
+  std::optional<KdTree<D>> tree;
+  {
+    PhaseTimer phase(phases, &PhaseBreakdown::build_tree, "phase:build_tree");
+    tree.emplace(pts, /*leaf_size=*/1);
+  }
+  std::vector<WeightedEdge> mst = EmstMemoGfkOnTree(*tree, phases, opts);
   if (phases) phases->total += total.Seconds();
   return mst;
 }

@@ -2,6 +2,7 @@
 // the BCCP edge of every pair, and run one MST pass over all edges.
 #pragma once
 
+#include <optional>
 #include <vector>
 
 #include "emst/duplicates.h"
@@ -19,29 +20,33 @@ template <int D>
 std::vector<WeightedEdge> EmstNaive(const std::vector<Point<D>>& pts,
                                     PhaseBreakdown* phases = nullptr) {
   Timer total;
-  Timer t;
-  KdTree<D> tree(pts, /*leaf_size=*/1);
-  if (phases) phases->build_tree += t.Seconds();
-
-  t.Reset();
-  GeometricSeparation<D> sep{2.0};
-  std::vector<WspdPair> pairs = MaterializeWspd(tree, sep);
-  if (phases) phases->wspd += t.Seconds();
-
-  t.Reset();
-  std::vector<WeightedEdge> edges(pairs.size());
-  ParallelFor(0, pairs.size(), [&](size_t i) {
-    ClosestPair cp = Bccp(tree, pairs[i].a, pairs[i].b);
-    edges[i] = {cp.u, cp.v, cp.dist};
-  });
-  std::vector<WeightedEdge> dup =
-      internal::DuplicateLeafEdges(tree, /*use_core_dist=*/false);
-  edges.insert(edges.end(), dup.begin(), dup.end());
-  std::vector<WeightedEdge> mst = KruskalMst(pts.size(), std::move(edges));
-  if (phases) {
-    phases->kruskal += t.Seconds();
-    phases->total += total.Seconds();
+  std::optional<KdTree<D>> tree;
+  {
+    PhaseTimer phase(phases, &PhaseBreakdown::build_tree, "phase:build_tree");
+    tree.emplace(pts, /*leaf_size=*/1);
   }
+
+  std::vector<WspdPair> pairs;
+  {
+    PhaseTimer phase(phases, &PhaseBreakdown::wspd, "phase:wspd");
+    GeometricSeparation<D> sep{2.0};
+    pairs = MaterializeWspd(*tree, sep);
+  }
+
+  std::vector<WeightedEdge> mst;
+  {
+    PhaseTimer phase(phases, &PhaseBreakdown::kruskal, "phase:kruskal");
+    std::vector<WeightedEdge> edges(pairs.size());
+    ParallelFor(0, pairs.size(), [&](size_t i) {
+      ClosestPair cp = Bccp(*tree, pairs[i].a, pairs[i].b);
+      edges[i] = {cp.u, cp.v, cp.dist};
+    });
+    std::vector<WeightedEdge> dup =
+        internal::DuplicateLeafEdges(*tree, /*use_core_dist=*/false);
+    edges.insert(edges.end(), dup.begin(), dup.end());
+    mst = KruskalMst(pts.size(), std::move(edges));
+  }
+  if (phases) phases->total += total.Seconds();
   return mst;
 }
 

@@ -111,37 +111,38 @@ std::vector<WeightedEdge> MemoGfkMst(KdTree<D>& tree, const Sep& sep,
 
   uint32_t beta = 2;
   double rho_lo = 0;
-  Timer t;
   while (out.size() + 1 < n) {
-    t.Reset();
-    tree.RefreshComponents([&](uint32_t id) { return uf.Find(id); });
-    // GetRho: rho_hi = min lower bound over separated pairs with |A|+|B|
-    // > beta that are not yet connected (Algorithm 3 line 4).
-    std::atomic<double> rho{kInf};
-    GetRho(tree, sep, lb, beta, rho);
-    // Remaining edges are all >= rho_lo by the round invariant, so the
-    // window stays well-formed even if the bound dips below rho_lo.
-    double rho_hi = std::max(rho.load(), rho_lo);
-
-    // GetPairs: materialize only the pairs whose value lies in
-    // [rho_lo, rho_hi) (Algorithm 3 line 5).
-    std::vector<std::vector<WeightedEdge>> local(NumWorkers());
-    auto emit = [&](const ClosestPair& cp) {
-      local[Scheduler::Get().MyId()].push_back({cp.u, cp.v, cp.dist});
-    };
-    GetPairs(tree, sep, lb, ub, bccp, rho_lo, rho_hi, emit);
-    std::vector<WeightedEdge> batch = Flatten(local);
+    double rho_hi;
+    std::vector<WeightedEdge> batch;
     {
+      PhaseTimer phase(phases, &PhaseBreakdown::wspd, "phase:wspd");
+      tree.RefreshComponents([&](uint32_t id) { return uf.Find(id); });
+      // GetRho: rho_hi = min lower bound over separated pairs with |A|+|B|
+      // > beta that are not yet connected (Algorithm 3 line 4).
+      std::atomic<double> rho{kInf};
+      GetRho(tree, sep, lb, beta, rho);
+      // Remaining edges are all >= rho_lo by the round invariant, so the
+      // window stays well-formed even if the bound dips below rho_lo.
+      rho_hi = std::max(rho.load(), rho_lo);
+
+      // GetPairs: materialize only the pairs whose value lies in
+      // [rho_lo, rho_hi) (Algorithm 3 line 5).
+      std::vector<std::vector<WeightedEdge>> local(NumWorkers());
+      auto emit = [&](const ClosestPair& cp) {
+        local[Scheduler::Get().MyId()].push_back({cp.u, cp.v, cp.dist});
+      };
+      GetPairs(tree, sep, lb, ub, bccp, rho_lo, rho_hi, emit);
+      batch = Flatten(local);
       auto& stats = Stats::Get();
       stats.wspd_pairs_materialized.fetch_add(batch.size(),
                                               std::memory_order_relaxed);
       WriteMax(&stats.wspd_pairs_peak, static_cast<uint64_t>(batch.size()));
     }
-    if (phases) phases->wspd += t.Seconds();
 
-    t.Reset();
-    KruskalBatch(batch, uf, out);
-    if (phases) phases->kruskal += t.Seconds();
+    {
+      PhaseTimer phase(phases, &PhaseBreakdown::kruskal, "phase:kruskal");
+      KruskalBatch(batch, uf, out);
+    }
 
     if (opts.beta_add > 0) {
       beta += opts.beta_add;

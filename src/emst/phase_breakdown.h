@@ -1,5 +1,11 @@
-// Per-phase timing breakdown (Figure 8 of the paper).
+// Per-phase timing breakdown (Figure 8 of the paper), with trace-span
+// emission: every timed phase is also an obs::Span, so a traced request's
+// dump shows phase:wspd / phase:kruskal / ... nested under the artifact
+// build that ran them (see obs/trace.h for the hierarchy).
 #pragma once
+
+#include "obs/trace.h"
+#include "util/timer.h"
 
 namespace parhc {
 
@@ -24,6 +30,38 @@ struct PhaseBreakdown {
     total += o.total;
     return *this;
   }
+};
+
+/// RAII phase measurement: times its scope into `phases->*field` (no-op
+/// accumulation when `phases` is null) and emits `span_name` as a trace
+/// span either way. This replaces the old Timer-and-manual-add pattern so
+/// a phase cannot be timed without also being traceable; when tracing is
+/// off the span costs one relaxed load (obs/trace.h).
+class PhaseTimer {
+ public:
+  PhaseTimer(PhaseBreakdown* phases, double PhaseBreakdown::*field,
+             const char* span_name)
+      : phases_(phases), field_(field), span_(span_name, "algo") {}
+  ~PhaseTimer() { Stop(); }
+
+  /// Ends the phase now (idempotent): accumulates the elapsed time and
+  /// closes the span, for phases whose scope outlives the timed work.
+  void Stop() {
+    if (stopped_) return;
+    stopped_ = true;
+    if (phases_ != nullptr) phases_->*field_ += timer_.Seconds();
+    span_.End();
+  }
+
+  PhaseTimer(const PhaseTimer&) = delete;
+  PhaseTimer& operator=(const PhaseTimer&) = delete;
+
+ private:
+  PhaseBreakdown* phases_;
+  double PhaseBreakdown::*field_;
+  obs::Span span_;
+  Timer timer_;
+  bool stopped_ = false;
 };
 
 }  // namespace parhc

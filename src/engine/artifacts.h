@@ -84,6 +84,7 @@
 #include "engine/request.h"
 #include "hdbscan/hdbscan_mst.h"
 #include "hdbscan/stability.h"
+#include "obs/trace.h"
 #include "spatial/knn.h"
 #include "store/artifact_io.h"
 #include "store/manifest.h"
@@ -325,6 +326,14 @@ class DatasetArtifacts {
     TraceArtifact(out, built, key);
   }
 
+  /// Interned span name for a cold build of artifact `key` (nullptr when
+  /// tracing is off, which makes the obs::Span a no-op). Builds are rare,
+  /// so the intern mutex never touches the request fast path.
+  static const char* BuildSpanName(const std::string& key) {
+    if (!obs::Tracer::Get().enabled()) return nullptr;
+    return obs::Tracer::Get().Intern("build:" + key);
+  }
+
   static double TotalWeight(const std::vector<WeightedEdge>& edges) {
     return TotalEdgeWeight(edges);
   }
@@ -353,6 +362,7 @@ class DatasetArtifacts {
       tree_building_ = false;
       state_cv_.notify_all();
     });
+    obs::Span span("build:tree", "engine");
     auto t = std::make_shared<KdTree<D>>(pts_, /*leaf_size=*/1);
     {
       std::lock_guard<std::mutex> lk(state_mu_);
@@ -387,6 +397,7 @@ class DatasetArtifacts {
       knn_building_k_ = 0;
       state_cv_.notify_all();
     });
+    obs::Span span(BuildSpanName("knn@" + std::to_string(k)), "engine");
     std::shared_ptr<KdTree<D>> tree = Tree(allow_build, out);
     auto mat = std::make_shared<KnnMatrix>();
     mat->data = AllKnnDistances(*tree, k);
@@ -423,6 +434,7 @@ class DatasetArtifacts {
       core_building_.erase(min_pts);
       state_cv_.notify_all();
     });
+    obs::Span span(BuildSpanName(key), "engine");
     std::shared_ptr<const KnnMatrix> prefix =
         Prefixes(static_cast<size_t>(min_pts), allow_build, out);
     size_t n = pts_.size();
@@ -468,6 +480,7 @@ class DatasetArtifacts {
         mst_building_.erase(min_pts);
         state_cv_.notify_all();
       });
+      obs::Span span(BuildSpanName("mst" + suffix), "engine");
       auto cd = CoreDist(min_pts, allow_build, out);
       std::shared_ptr<KdTree<D>> tree = Tree(allow_build, out);
       e = std::make_shared<HdbscanEntry>();
@@ -513,6 +526,7 @@ class DatasetArtifacts {
           dendro_building_.erase(min_pts);
           state_cv_.notify_all();
         });
+        obs::Span span(BuildSpanName("dendro" + suffix), "engine");
         dendro = BuildDendro(*e->mst);
         {
           std::lock_guard<std::mutex> lk(state_mu_);
@@ -548,6 +562,7 @@ class DatasetArtifacts {
           plot_building_.erase(min_pts);
           state_cv_.notify_all();
         });
+        obs::Span span(BuildSpanName("reach" + suffix), "engine");
         std::shared_ptr<const Dendrogram> dendro;
         {
           std::lock_guard<std::mutex> lk(state_mu_);
@@ -627,6 +642,7 @@ class DatasetArtifacts {
         emst_building_ = false;
         state_cv_.notify_all();
       });
+      obs::Span span("build:emst", "engine");
       std::shared_ptr<KdTree<D>> tree = Tree(allow_build, out);
       {
         // EMST builds rewrite the shared tree's annotation arrays.
@@ -668,6 +684,7 @@ class DatasetArtifacts {
           sl_building_ = false;
           state_cv_.notify_all();
         });
+        obs::Span span("build:sl-dendro", "engine");
         dendro = BuildDendro(*mst);
         {
           std::lock_guard<std::mutex> lk(state_mu_);

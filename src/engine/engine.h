@@ -36,7 +36,9 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
+#include <filesystem>
 #include <mutex>
 #include <shared_mutex>
 #include <string>
@@ -45,6 +47,8 @@
 #include "engine/executor.h"
 #include "engine/registry.h"
 #include "engine/request.h"
+#include "obs/slowlog.h"
+#include "obs/trace.h"
 #include "store/errors.h"
 #include "util/timer.h"
 
@@ -124,15 +128,18 @@ class ClusteringEngine {
     // InsertBatch/DeleteBatch. Either way, re-answer from scratch: another
     // thread may have built the missing artifacts while we waited.
     out = EngineResponse();
-    executor_.RunBuild([&] {
-      if (entry->is_dynamic()) {
-        std::unique_lock<std::shared_mutex> write(entry->mu);
-        entry->Answer(req, /*allow_build=*/true, &out);
-      } else {
-        std::shared_lock<std::shared_mutex> read(entry->mu);
-        entry->Answer(req, /*allow_build=*/true, &out);
-      }
-    });
+    BuildAdmission adm;
+    executor_.RunBuild(
+        [&] {
+          if (entry->is_dynamic()) {
+            std::unique_lock<std::shared_mutex> write(entry->mu);
+            entry->Answer(req, /*allow_build=*/true, &out);
+          } else {
+            std::shared_lock<std::shared_mutex> read(entry->mu);
+            entry->Answer(req, /*allow_build=*/true, &out);
+          }
+        },
+        &adm);
     out.seconds = timer.Seconds();
     counters_.queries.fetch_add(1, std::memory_order_relaxed);
     if (out.built.empty()) {
@@ -141,6 +148,7 @@ class ClusteringEngine {
       counters_.cache_hits.fetch_add(1, std::memory_order_relaxed);
     } else {
       counters_.builds.fetch_add(1, std::memory_order_relaxed);
+      RecordBuildProfile(req, out, adm);
     }
     if (!out.ok) counters_.errors.fetch_add(1, std::memory_order_relaxed);
     return out;
@@ -238,7 +246,7 @@ class ClusteringEngine {
   std::string SaveDataset(const std::string& name, const std::string& dir) {
     std::shared_ptr<DatasetEntryBase> entry = registry_.Find(name);
     if (!entry) return "unknown dataset: " + name;
-    return executor_.RunBuild([&]() -> std::string {
+    std::string err = executor_.RunBuild([&]() -> std::string {
       std::shared_lock<std::shared_mutex> read(entry->mu);
       try {
         entry->SaveTo(dir);
@@ -247,6 +255,8 @@ class ClusteringEngine {
       }
       return "";
     });
+    if (err.empty()) StampSnapshot(*entry, dir);
+    return err;
   }
 
   /// Warm-starts dataset `name` from a snapshot directory written by
@@ -260,11 +270,89 @@ class ClusteringEngine {
   /// the old entry. Runs as an executor task because restoring derived
   /// artifacts issues parallel work.
   std::string LoadDataset(const std::string& name, const std::string& dir) {
-    return executor_.RunBuild(
+    std::string err = executor_.RunBuild(
         [&] { return registry_.TryLoadSnapshot(name, dir); });
+    if (err.empty()) {
+      if (std::shared_ptr<DatasetEntryBase> entry = registry_.Find(name)) {
+        StampSnapshot(*entry, dir);
+      }
+    }
+    return err;
   }
 
+  /// Wires the slow-query log that receives one build-profiler record per
+  /// cold artifact build (obs/slowlog.h). Call before serving starts; the
+  /// engine never owns the log.
+  void set_slowlog(obs::SlowLog* slowlog) { slowlog_ = slowlog; }
+
  private:
+  /// Wire verb naming a query type in slow-log records; matches the
+  /// protocol verbs of src/net/protocol.h.
+  static const char* VerbName(QueryType type) {
+    switch (type) {
+      case QueryType::kEmst:
+        return "emst";
+      case QueryType::kSingleLinkage:
+        return "slink";
+      case QueryType::kHdbscan:
+        return "hdbscan";
+      case QueryType::kDbscanStarAt:
+        return "dbscan";
+      case QueryType::kReachability:
+        return "reach";
+      case QueryType::kStableClusters:
+        return "clusters";
+    }
+    return "other";
+  }
+
+  void RecordBuildProfile(const EngineRequest& req, const EngineResponse& out,
+                          const BuildAdmission& adm) {
+    obs::SlowLog* log = slowlog_;
+    if (log == nullptr) return;
+    obs::SlowLogRecord rec;
+    rec.kind = obs::SlowLogRecord::Kind::kBuild;
+    rec.verb = VerbName(req.type);
+    rec.dataset = req.dataset;
+    for (const std::string& key : out.built) {
+      if (!rec.artifact.empty()) rec.artifact += ',';
+      rec.artifact += key;
+    }
+    rec.queue_us = adm.wait_us;
+    rec.total_us = static_cast<uint64_t>(out.seconds * 1e6);
+    rec.build_us =
+        rec.total_us > rec.queue_us ? rec.total_us - rec.queue_us : 0;
+    rec.group = adm.group;
+    rec.cache_hit = false;
+    rec.trace_id = obs::CurrentTraceId();
+    log->RecordBuild(rec);
+  }
+
+  /// Records the on-disk size and wall-clock timestamp of the snapshot a
+  /// dataset was just saved to (or loaded from) — the per-dataset
+  /// snapshot_bytes / snapshot_age metrics read these.
+  static void StampSnapshot(DatasetEntryBase& entry, const std::string& dir) {
+    uint64_t bytes = 0;
+    std::error_code ec;
+    std::filesystem::recursive_directory_iterator it(dir, ec), end;
+    if (!ec) {
+      for (; it != end; it.increment(ec)) {
+        if (ec) break;
+        std::error_code fec;
+        if (it->is_regular_file(fec) && !fec) {
+          uintmax_t sz = it->file_size(fec);
+          if (!fec) bytes += static_cast<uint64_t>(sz);
+        }
+      }
+    }
+    entry.snapshot_bytes.store(bytes, std::memory_order_relaxed);
+    entry.snapshot_unix_ms.store(
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::system_clock::now().time_since_epoch())
+            .count(),
+        std::memory_order_relaxed);
+  }
+
   void CountMutation(const std::string& err) {
     if (err.empty()) {
       counters_.mutations.fetch_add(1, std::memory_order_relaxed);
@@ -284,6 +372,7 @@ class ClusteringEngine {
   DatasetRegistry registry_;
   mutable BuildExecutor executor_;
   Counters counters_;
+  obs::SlowLog* slowlog_ = nullptr;
 };
 
 }  // namespace parhc

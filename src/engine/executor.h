@@ -17,6 +17,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <mutex>
@@ -25,9 +26,18 @@
 #include <type_traits>
 #include <utility>
 
+#include "obs/trace.h"
 #include "parallel/scheduler.h"
 
 namespace parhc {
+
+/// What one RunBuild call observed at admission: how long it waited for a
+/// build slot and the worker-group size it was granted. Feeds the
+/// slow-query log's build-profiler records (obs/slowlog.h).
+struct BuildAdmission {
+  uint64_t wait_us = 0;
+  int group = 0;
+};
 
 /// Point-in-time copy of the executor's gauges and counters. Gauges
 /// (active/queued) are instantaneous; counters are cumulative.
@@ -63,13 +73,20 @@ class BuildExecutor {
  public:
   /// Runs `fn` inside a worker group and returns its result. Blocks for
   /// admission while max-concurrency is reached; exceptions propagate to
-  /// the caller (the slot is released either way).
+  /// the caller (the slot is released either way). When `admission` is
+  /// non-null it receives the observed admission wait and group size
+  /// (build-profiler input). `fn` executes on the *calling* thread inside
+  /// the arena, so the caller's thread-local trace context propagates into
+  /// the build's spans.
   template <typename F>
-  auto RunBuild(F&& fn) -> decltype(fn()) {
+  auto RunBuild(F&& fn, BuildAdmission* admission = nullptr)
+      -> decltype(fn()) {
     int total = Scheduler::Get().total_workers();
     int max_concurrent = std::max(2, total);
     int group;
     {
+      obs::Span admit_span("executor:admit", "engine");
+      auto wait_begin = std::chrono::steady_clock::now();
       std::unique_lock<std::mutex> lk(mu_);
       ++queued_;
       cv_.wait(lk, [&] { return active_ < max_concurrent; });
@@ -81,6 +98,13 @@ class BuildExecutor {
       // build gets every worker.
       group = std::clamp(total / active_, 1, total);
       last_group_ = group;
+      if (admission != nullptr) {
+        admission->wait_us = static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                std::chrono::steady_clock::now() - wait_begin)
+                .count());
+        admission->group = group;
+      }
     }
     struct Release {
       BuildExecutor* e;
@@ -92,6 +116,7 @@ class BuildExecutor {
         e->cv_.notify_one();
       }
     } release{this};
+    obs::Span run_span("executor:run", "engine");
     TaskArena arena(group);
     using R = decltype(fn());
     if constexpr (std::is_void_v<R>) {

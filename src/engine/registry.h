@@ -24,6 +24,7 @@
 // Regression-tested by EngineConcurrency.RemoveWhileQueriesInFlight.
 #pragma once
 
+#include <atomic>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -64,6 +65,8 @@ class DatasetEntryBase {
   // Batch-dynamic interface; the immutable backend rejects mutations.
   virtual bool is_dynamic() const { return false; }
   virtual size_t num_shards() const { return 1; }
+  /// Tombstoned points (dynamic backend only; 0 for immutable datasets).
+  virtual size_t num_tombstones() const { return 0; }
   /// Inserts one batch; on success returns "" and sets *first_gid to the
   /// first assigned global id (the batch gets [first, first + n)).
   virtual std::string InsertRows(
@@ -77,6 +80,13 @@ class DatasetEntryBase {
                                 size_t* /*deleted*/) {
     return "dataset is immutable (create with AddDynamic for ingestion)";
   }
+
+  // Snapshot bookkeeping, written by the engine's save/load paths and
+  // exported as per-dataset gauges (obs/sources.h). `snapshot_unix_ms` is
+  // the wall-clock time of the last successful save or warm-start load
+  // (-1 = never); `snapshot_bytes` the on-disk size of that snapshot.
+  std::atomic<uint64_t> snapshot_bytes{0};
+  std::atomic<int64_t> snapshot_unix_ms{-1};
 
   std::shared_mutex mu;
 };
@@ -135,6 +145,9 @@ class DynamicDatasetEntry final : public DatasetEntryBase {
 
   bool is_dynamic() const override { return true; }
   size_t num_shards() const override { return artifacts_.num_shards(); }
+  size_t num_tombstones() const override {
+    return artifacts_.num_tombstones();
+  }
 
   std::string InsertRows(const std::vector<std::vector<double>>& rows,
                          uint32_t* first_gid) override {
@@ -175,6 +188,9 @@ struct DatasetInfo {
   size_t cached_clusterings = 0;    ///< per-minPts entries currently held
   bool dynamic = false;             ///< batch-dynamic (shard forest) backend
   size_t num_shards = 1;            ///< shard count (1 for immutable)
+  size_t tombstones = 0;            ///< deleted-but-uncompacted points
+  uint64_t snapshot_bytes = 0;      ///< last snapshot size (0 = never)
+  int64_t snapshot_unix_ms = -1;    ///< last snapshot save/load wall time
 };
 
 class DatasetRegistry {
@@ -357,7 +373,9 @@ class DatasetRegistry {
       std::shared_lock<std::shared_mutex> read(entry->mu);
       out.push_back({name, entry->dim(), entry->num_points(), entry->knn_k(),
                      entry->num_cached_clusterings(), entry->is_dynamic(),
-                     entry->num_shards()});
+                     entry->num_shards(), entry->num_tombstones(),
+                     entry->snapshot_bytes.load(std::memory_order_relaxed),
+                     entry->snapshot_unix_ms.load(std::memory_order_relaxed)});
     }
     return out;
   }

@@ -33,15 +33,16 @@ HdbscanResult Hdbscan(const std::vector<Point<D>>& pts, int min_pts,
                       PhaseBreakdown* phases = nullptr, uint32_t source = 0) {
   HdbscanMstResult mst = HdbscanMst(pts, min_pts, variant, phases);
   Timer t;
-  Dendrogram dendro =
-      pts.size() == 1
-          ? Dendrogram(1)
-          : BuildDendrogramParallel(pts.size(), mst.mst, source);
-  if (pts.size() == 1) dendro.set_root(0);
-  if (phases) {
-    phases->dendrogram += t.Seconds();
-    phases->total += t.Seconds();
+  Dendrogram dendro(1);
+  {
+    PhaseTimer phase(phases, &PhaseBreakdown::dendrogram, "phase:dendrogram");
+    if (pts.size() == 1) {
+      dendro.set_root(0);
+    } else {
+      dendro = BuildDendrogramParallel(pts.size(), mst.mst, source);
+    }
   }
+  if (phases) phases->total += t.Seconds();
   return HdbscanResult{std::move(mst.mst), std::move(mst.core_dist),
                        std::move(dendro)};
 }

@@ -11,6 +11,7 @@
 //    O(n*minPts) space).
 #pragma once
 
+#include <optional>
 #include <vector>
 
 #include "emst/duplicates.h"
@@ -45,9 +46,10 @@ std::vector<WeightedEdge> HdbscanMstOnTree(
     KdTree<D>& tree, const std::vector<double>& core_dist,
     HdbscanVariant variant = HdbscanVariant::kMemoGfk,
     PhaseBreakdown* phases = nullptr) {
-  Timer t;
-  tree.AnnotateCoreDistances(core_dist);
-  if (phases) phases->core_dist += t.Seconds();
+  {
+    PhaseTimer phase(phases, &PhaseBreakdown::core_dist, "phase:core_dist");
+    tree.AnnotateCoreDistances(core_dist);
+  }
 
   auto lb = [&tree](uint32_t a, uint32_t b) {
     return std::max(
@@ -84,15 +86,17 @@ HdbscanMstResult HdbscanMst(const std::vector<Point<D>>& pts, int min_pts,
   PARHC_CHECK_MSG(static_cast<size_t>(min_pts) <= pts.size(),
                   "minPts exceeds number of points");
   Timer total;
-  Timer t;
-  KdTree<D> tree(pts, /*leaf_size=*/1);
-  if (phases) phases->build_tree += t.Seconds();
-
-  t.Reset();
+  std::optional<KdTree<D>> tree;
+  {
+    PhaseTimer phase(phases, &PhaseBreakdown::build_tree, "phase:build_tree");
+    tree.emplace(pts, /*leaf_size=*/1);
+  }
   HdbscanMstResult result;
-  result.core_dist = CoreDistances(tree, min_pts);
-  if (phases) phases->core_dist += t.Seconds();
-  result.mst = HdbscanMstOnTree(tree, result.core_dist, variant, phases);
+  {
+    PhaseTimer phase(phases, &PhaseBreakdown::core_dist, "phase:core_dist");
+    result.core_dist = CoreDistances(*tree, min_pts);
+  }
+  result.mst = HdbscanMstOnTree(*tree, result.core_dist, variant, phases);
   if (phases) phases->total += total.Seconds();
   return result;
 }

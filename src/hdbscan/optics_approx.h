@@ -10,6 +10,7 @@
 // (pseudo-random) member point.
 #pragma once
 
+#include <optional>
 #include <vector>
 
 #include "emst/duplicates.h"
@@ -37,17 +38,21 @@ OpticsApproxResult OpticsApproxMst(const std::vector<Point<D>>& pts,
   PARHC_CHECK(rho > 0);
   size_t n = pts.size();
   Timer total;
-  Timer t;
-  KdTree<D> tree(pts, /*leaf_size=*/1);
-  if (phases) phases->build_tree += t.Seconds();
+  std::optional<KdTree<D>> tree_storage;
+  {
+    PhaseTimer phase(phases, &PhaseBreakdown::build_tree, "phase:build_tree");
+    tree_storage.emplace(pts, /*leaf_size=*/1);
+  }
+  KdTree<D>& tree = *tree_storage;
 
-  t.Reset();
   OpticsApproxResult result;
-  result.core_dist = CoreDistances(tree, min_pts);
-  tree.AnnotateCoreDistances(result.core_dist);
-  if (phases) phases->core_dist += t.Seconds();
+  {
+    PhaseTimer phase(phases, &PhaseBreakdown::core_dist, "phase:core_dist");
+    result.core_dist = CoreDistances(tree, min_pts);
+    tree.AnnotateCoreDistances(result.core_dist);
+  }
 
-  t.Reset();
+  PhaseTimer wspd_phase(phases, &PhaseBreakdown::wspd, "phase:wspd");
   const double s = std::sqrt(8.0 / rho);
   GeometricSeparation<D> sep{s};
   const auto& cd = result.core_dist;
@@ -104,14 +109,13 @@ OpticsApproxResult OpticsApproxMst(const std::vector<Point<D>>& pts,
   std::vector<WeightedEdge> dup =
       internal::DuplicateLeafEdges(tree, /*use_core_dist=*/true);
   edges.insert(edges.end(), dup.begin(), dup.end());
-  if (phases) phases->wspd += t.Seconds();
+  wspd_phase.Stop();
 
-  t.Reset();
-  result.mst = KruskalMst(n, std::move(edges));
-  if (phases) {
-    phases->kruskal += t.Seconds();
-    phases->total += total.Seconds();
+  {
+    PhaseTimer phase(phases, &PhaseBreakdown::kruskal, "phase:kruskal");
+    result.mst = KruskalMst(n, std::move(edges));
   }
+  if (phases) phases->total += total.Seconds();
   PARHC_CHECK_MSG(result.mst.size() + 1 == n,
                   "approximate OPTICS base graph is disconnected");
   return result;

@@ -18,6 +18,8 @@
 
 #include "data/generators.h"
 #include "data/io.h"
+#include "obs/trace.h"
+#include "obs/verb_counters.h"
 
 namespace parhc {
 namespace net {
@@ -295,6 +297,29 @@ std::string VerbOf(const WireMessage& msg) {
 }
 
 ProtocolResult ProtocolSession::HandleLine(const std::string& line) {
+  // Standalone front-ends (the REPL, direct test drivers) have no
+  // scheduler minting trace ids; give each request its own id and
+  // `request:<verb>` span here. TCP workers arrive with an id already
+  // installed (scheduler.cc), so this is one relaxed load on that path.
+  obs::Tracer& tracer = obs::Tracer::Get();
+  if (tracer.enabled() && obs::CurrentTraceId() == 0) {
+    obs::TraceContext ctx(tracer.MintTraceId());
+    size_t b = line.find_first_not_of(" \t");
+    size_t e = line.find_first_of(" \t", b);
+    std::string_view verb =
+        b == std::string::npos
+            ? std::string_view()
+            : std::string_view(line.data() + b,
+                               (e == std::string::npos ? line.size() : e) - b);
+    obs::Span span(
+        obs::VerbCounters::kRequestSpanNames[obs::VerbCounters::IndexOf(verb)],
+        "net");
+    return DispatchLine(line);
+  }
+  return DispatchLine(line);
+}
+
+ProtocolResult ProtocolSession::DispatchLine(const std::string& line) {
   ProtocolResult res;
   if (line.empty() || line[0] == '#') return res;
   std::istringstream ss(line);
@@ -529,6 +554,86 @@ ProtocolResult ProtocolSession::HandleLine(const std::string& line) {
       }
       res.out = FormatResponse(cmd, req.dataset, engine_.Run(req),
                                opts_.show_timing);
+    } else if (cmd == "metrics") {
+      std::string mode;
+      ss >> mode;
+      if (opts_.obs == nullptr) {
+        res.out = "err metrics: no metrics registry in this front-end\n";
+      } else if (mode == "json") {
+        res.out = opts_.obs->metrics.Json();
+        res.out += '\n';
+      } else if (!mode.empty()) {
+        res.out = "err metrics: usage: metrics [json]\n";
+      } else {
+        res.out = opts_.obs->metrics.PrometheusText();
+        res.out += "ok metrics\n";
+      }
+    } else if (cmd == "trace") {
+      std::string sub;
+      ss >> sub;
+      obs::Tracer& tracer = obs::Tracer::Get();
+      if (sub == "on") {
+        tracer.Enable();
+        res.out = "ok trace on\n";
+      } else if (sub == "off") {
+        tracer.Disable();
+        res.out = "ok trace off\n";
+      } else if (sub == "status") {
+        res.out = StrPrintf(
+            "ok trace status enabled=%d spans=%llu dropped=%llu\n",
+            tracer.enabled() ? 1 : 0,
+            static_cast<unsigned long long>(tracer.spans_recorded()),
+            static_cast<unsigned long long>(tracer.spans_dropped()));
+      } else if (sub == "clear") {
+        tracer.Clear();
+        res.out = "ok trace clear\n";
+      } else if (sub == "dump") {
+        std::string path;
+        ss >> path;
+        if (path.empty()) {
+          res.out = "err trace: usage: trace dump <file>\n";
+        } else {
+          size_t spans = 0;
+          if (tracer.DumpJsonToFile(path, &spans)) {
+            res.out = StrPrintf("ok trace dump %s spans=%zu\n", path.c_str(),
+                                spans);
+          } else {
+            res.out = StrPrintf("err trace dump %s: cannot write\n",
+                                path.c_str());
+          }
+        }
+      } else {
+        res.out = "err trace: usage: trace on|off|status|clear|dump <file>\n";
+      }
+    } else if (cmd == "slowlog") {
+      std::string sub;
+      ss >> sub;
+      if (opts_.obs == nullptr) {
+        res.out = "err slowlog: no slow-query log in this front-end\n";
+      } else if (sub == "clear") {
+        opts_.obs->slowlog.Clear();
+        res.out = "ok slowlog clear\n";
+      } else if (sub == "threshold") {
+        uint64_t us = 0;
+        if (!(ss >> us)) {
+          res.out = "err slowlog: usage: slowlog threshold <us>\n";
+        } else {
+          opts_.obs->slowlog.set_threshold_us(us);
+          res.out = StrPrintf("ok slowlog threshold_us=%llu\n",
+                              static_cast<unsigned long long>(us));
+        }
+      } else if (!sub.empty()) {
+        res.out = "err slowlog: usage: slowlog [clear|threshold <us>]\n";
+      } else {
+        std::vector<obs::SlowLogRecord> entries = opts_.obs->slowlog.Entries();
+        for (const obs::SlowLogRecord& e : entries) {
+          res.out += e.Format();
+          res.out += '\n';
+        }
+        res.out += StrPrintf(
+            "ok slowlog n=%zu threshold_us=%llu\n", entries.size(),
+            static_cast<unsigned long long>(opts_.obs->slowlog.threshold_us()));
+      }
     } else {
       res.out = StrPrintf("err unknown command: %s (try help)\n", cmd.c_str());
     }

@@ -21,6 +21,20 @@
 //   clusters <name> <minPts> <minClusterSize>
 //   stats | help | quit
 //
+// Observability verbs (require ProtocolOptions::obs except `trace`, which
+// drives the process-wide tracer; none appear in `help`, whose output is
+// golden-pinned):
+//   metrics        -> Prometheus text exposition lines, then "ok metrics"
+//   metrics json   -> one JSON line: {"metrics":[...]}
+//   trace on|off|status|clear
+//   trace dump <file>  -> writes Chrome trace_event JSON (chrome://tracing
+//                         or Perfetto), replies "ok trace dump <file>
+//                         spans=<n>"
+//   slowlog        -> one "slow kind=... verb=... queue_us=..." line per
+//                     record (oldest first), then "ok slowlog n=<k>
+//                     threshold_us=<t>"
+//   slowlog clear | slowlog threshold <us>
+//
 // Binary requests (TCP only; see frame.h for the frame layout) reuse the
 // same execution paths: kOpInsertPoints answers with the text `insert`
 // verb's line, kOpGetLabels answers with a kOpLabelsReply frame.
@@ -42,6 +56,7 @@
 #include "engine/engine.h"
 #include "net/frame.h"
 #include "net/stats.h"
+#include "obs/observability.h"
 
 namespace parhc {
 namespace net {
@@ -53,6 +68,9 @@ struct ProtocolOptions {
   /// Server counters for the `stats` verb; null (the REPL) reports engine
   /// counters only.
   const ServerStatsSource* stats_source = nullptr;
+  /// Metrics registry + slow-query log behind the `metrics` and `slowlog`
+  /// verbs; null front-ends answer those verbs with an err line. Not owned.
+  obs::Observability* obs = nullptr;
 };
 
 /// Result of executing one request: the exact bytes to write back (every
@@ -94,6 +112,10 @@ class ProtocolSession {
   }
 
  private:
+  /// HandleLine's body; HandleLine itself only adds trace bookkeeping for
+  /// standalone front-ends (REPL/tests) that have no scheduler minting ids.
+  ProtocolResult DispatchLine(const std::string& line);
+
   /// Shared tail of the text and binary insert paths; returns the reply
   /// line.
   std::string DoInsert(const std::string& name,

@@ -18,7 +18,8 @@ QueryScheduler::QueryScheduler(const Options& opts, Completion completion)
 QueryScheduler::~QueryScheduler() { Stop(); }
 
 size_t QueryScheduler::Submit(uint64_t conn_id, std::string busy_reply,
-                              std::function<std::string()> work) {
+                              std::function<std::string()> work,
+                              RequestTag tag) {
   std::lock_guard<std::mutex> lock(mu_);
   ConnQueue& cq = conns_[conn_id];
   if (cq.closed) return 0;
@@ -28,6 +29,7 @@ size_t QueryScheduler::Submit(uint64_t conn_id, std::string busy_reply,
   item.busy_reply = std::move(busy_reply);
   item.work = std::move(work);
   item.enqueued = std::chrono::steady_clock::now();
+  item.tag = std::move(tag);
   if (!item.shed) ++queued_live_;
   ++queued_total_;
   cq.q.push_back(std::move(item));
@@ -119,16 +121,52 @@ void QueryScheduler::WorkerLoop() {
     ++inflight_;
     lock.unlock();
 
-    std::string bytes = item.shed ? std::move(item.busy_reply) : item.work();
+    std::string bytes;
+    std::chrono::steady_clock::time_point started;
+    if (item.shed) {
+      bytes = std::move(item.busy_reply);
+    } else {
+      // Install the request's trace id for the work's duration: every span
+      // below (executor, builds, algorithm phases) inherits it.
+      obs::TraceContext trace_ctx(item.tag.trace_id);
+      started = std::chrono::steady_clock::now();
+      bytes = item.work();
+    }
     auto now = std::chrono::steady_clock::now();
-    latency_.Record(static_cast<uint64_t>(
+    uint64_t total_us = static_cast<uint64_t>(
         std::chrono::duration_cast<std::chrono::microseconds>(now -
                                                               item.enqueued)
-            .count()));
+            .count());
+    latency_.Record(total_us);
     if (item.shed) {
       shed_.fetch_add(1, std::memory_order_relaxed);
     } else {
       served_.fetch_add(1, std::memory_order_relaxed);
+      if (obs::Tracer::Get().enabled()) {
+        // Emit the queue-wait and whole-request spans from the timestamps
+        // the latency measurement already took (no extra clock reads).
+        uint64_t enq_ns = obs::ToTraceNs(item.enqueued);
+        obs::Tracer& tracer = obs::Tracer::Get();
+        tracer.RecordSpan("queue", "net", item.tag.trace_id, enq_ns,
+                          obs::ToTraceNs(started));
+        tracer.RecordSpan(
+            obs::VerbCounters::kRequestSpanNames[item.tag.verb], "net",
+            item.tag.trace_id, enq_ns, obs::ToTraceNs(now));
+      }
+      obs::SlowLog* log = opts_.slowlog;
+      if (log != nullptr && total_us >= log->threshold_us()) {
+        obs::SlowLogRecord rec;
+        rec.verb = obs::VerbCounters::kVerbs[item.tag.verb];
+        rec.dataset = item.tag.dataset;
+        rec.queue_us = static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                started - item.enqueued)
+                .count());
+        rec.build_us = total_us - rec.queue_us;
+        rec.total_us = total_us;
+        rec.trace_id = item.tag.trace_id;
+        log->RecordQuery(std::move(rec));
+      }
     }
     // Deliver outside the lock: the completion may call back into
     // PendingFor or enqueue writes on the event loop.

@@ -41,15 +41,31 @@
 #include <vector>
 
 #include "net/stats.h"
+#include "obs/slowlog.h"
+#include "obs/trace.h"
+#include "obs/verb_counters.h"
 
 namespace parhc {
 namespace net {
+
+/// What the front-end knows about a request when it submits it: enough to
+/// label the request's trace spans (`request:<verb>`, `queue`) and its
+/// slow-query record, and the trace id workers install before running the
+/// work so every span below inherits it.
+struct RequestTag {
+  int verb = obs::VerbCounters::kOther;  ///< VerbCounters::IndexOf result
+  std::string dataset;                   ///< "" when the verb has none
+  uint64_t trace_id = 0;                 ///< 0 = tracing off at parse time
+};
 
 class QueryScheduler {
  public:
   struct Options {
     int workers = 4;
     size_t max_queued = 256;  ///< global waiting-request bound (load-shed)
+    /// When set, workers append slow-query records for requests whose
+    /// total latency crosses the log's threshold. Not owned.
+    obs::SlowLog* slowlog = nullptr;
   };
 
   /// Called once per request, in per-connection request order, on a worker
@@ -66,11 +82,14 @@ class QueryScheduler {
 
   /// Enqueues one request for `conn_id`. `work` produces the response
   /// bytes; `busy_reply` is delivered instead if the global bound sheds
-  /// this request. Never blocks. Returns the connection's pending count
-  /// (queued + in flight) after the enqueue — the flow-control signal,
-  /// returned here so the hot path pays no second lock via PendingFor.
+  /// this request. `tag` labels the request's trace spans and slow-query
+  /// record (the default tag is fine for untagged callers — spans land on
+  /// "request:other" with no dataset). Never blocks. Returns the
+  /// connection's pending count (queued + in flight) after the enqueue —
+  /// the flow-control signal, returned here so the hot path pays no second
+  /// lock via PendingFor.
   size_t Submit(uint64_t conn_id, std::string busy_reply,
-                std::function<std::string()> work);
+                std::function<std::string()> work, RequestTag tag = {});
 
   /// Requests of `conn_id` still queued or running (the server's
   /// per-connection flow-control signal).
@@ -106,6 +125,7 @@ class QueryScheduler {
     std::string busy_reply;
     std::function<std::string()> work;
     std::chrono::steady_clock::time_point enqueued;
+    RequestTag tag;
   };
 
   struct ConnQueue {

@@ -15,6 +15,7 @@
 #include <cstring>
 #include <deque>
 #include <mutex>
+#include <string_view>
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -23,6 +24,8 @@
 #include "net/poller.h"
 #include "net/protocol.h"
 #include "net/scheduler.h"
+#include "obs/sources.h"
+#include "obs/trace.h"
 
 namespace parhc {
 namespace net {
@@ -49,6 +52,29 @@ void OnStopSignal(int) {
     char b = 's';
     [[maybe_unused]] ssize_t ignored = ::write(fd, &b, 1);
   }
+}
+
+/// Second whitespace-delimited token of a text request — the dataset
+/// argument for every verb that takes one; "" for binary frames, unknown
+/// commands, and the dataset-less verbs (help/list/stats/metrics/trace/
+/// slowlog).
+std::string DatasetOf(const WireMessage& msg, int verb_idx) {
+  using VC = obs::VerbCounters;
+  if (msg.binary || verb_idx == VC::kOther) return "";
+  std::string_view verb = VC::kVerbs[verb_idx];
+  if (verb == "help" || verb == "list" || verb == "stats" ||
+      verb == "metrics" || verb == "trace" || verb == "slowlog") {
+    return "";
+  }
+  const std::string& text = msg.text;
+  size_t b = text.find_first_not_of(" \t");
+  if (b == std::string::npos) return "";
+  size_t e = text.find_first_of(" \t", b);
+  if (e == std::string::npos) return "";
+  b = text.find_first_not_of(" \t", e);
+  if (b == std::string::npos) return "";
+  e = text.find_first_of(" \t\n\v\f\r", b);
+  return text.substr(b, e == std::string::npos ? std::string::npos : e - b);
 }
 
 }  // namespace
@@ -98,6 +124,9 @@ struct NetServer::Impl {
 
   std::mutex comp_mu;
   std::vector<std::pair<uint64_t, std::string>> completions;
+
+  obs::Observability obs;     ///< metrics registry + slow-query log
+  obs::VerbCounters verbs;    ///< per-verb request counters
 
   std::atomic<uint64_t> inline_served{0};
   std::atomic<uint64_t> conns_now{0};
@@ -162,6 +191,7 @@ struct NetServer::Impl {
       ProtocolOptions popts;
       popts.show_timing = opts.show_timing;
       popts.stats_source = owner;
+      popts.obs = &obs;
       conn->session = std::make_shared<ProtocolSession>(engine, popts);
       conn->last_active = Clock::now();
       by_id[conn->id] = conn.get();
@@ -214,11 +244,31 @@ struct NetServer::Impl {
         if (c->session->TryHandleCachedQuery(msg.text, &reply)) {
           --inline_budget;
           inline_served.fetch_add(1, std::memory_order_relaxed);
-          sched->RecordLatency(static_cast<uint64_t>(
-              std::chrono::duration_cast<std::chrono::microseconds>(
-                  Clock::now() - t0)
-                  .count()));
-          c->last_active = Clock::now();
+          auto t1 = Clock::now();
+          uint64_t us = static_cast<uint64_t>(
+              std::chrono::duration_cast<std::chrono::microseconds>(t1 - t0)
+                  .count());
+          sched->RecordLatency(us);
+          int vi = obs::VerbCounters::IndexOf(VerbOf(msg));
+          verbs.BumpIndex(vi);
+          obs::Tracer& tracer = obs::Tracer::Get();
+          if (tracer.enabled()) {
+            // No queue, no workers: the whole request is one span, reusing
+            // the latency measurement's timestamps.
+            tracer.RecordSpan(obs::VerbCounters::kRequestSpanNames[vi],
+                              "net", tracer.MintTraceId(),
+                              obs::ToTraceNs(t0), obs::ToTraceNs(t1));
+          }
+          if (us >= obs.slowlog.threshold_us()) {
+            obs::SlowLogRecord rec;
+            rec.verb = obs::VerbCounters::kVerbs[vi];
+            rec.dataset = DatasetOf(msg, vi);
+            rec.build_us = us;
+            rec.total_us = us;
+            rec.cache_hit = true;
+            obs.slowlog.RecordQuery(std::move(rec));
+          }
+          c->last_active = t1;
           c->out += reply;
           continue;
         }
@@ -233,9 +283,23 @@ struct NetServer::Impl {
       auto session = c->session;  // keeps the session alive for the job
       auto m = std::make_shared<WireMessage>(std::move(msg));
       ++c->submitted;
-      size_t pending =
-          sched->Submit(c->id, "err busy " + verb + "\n",
-                        [session, m] { return session->Handle(*m).out; });
+      RequestTag tag;
+      tag.verb = obs::VerbCounters::IndexOf(verb);
+      tag.dataset = DatasetOf(*m, tag.verb);
+      obs::Tracer& tracer = obs::Tracer::Get();
+      if (tracer.enabled()) tag.trace_id = tracer.MintTraceId();
+      int verb_idx = tag.verb;
+      size_t pending = sched->Submit(
+          c->id, "err busy " + verb + "\n",
+          [session, m, this, verb_idx] {
+            std::string out = session->Handle(*m).out;
+            // Bumped after the response exists so sum(per-verb) == served
+            // at quiescence (asserted by ci/check_metrics.py); shed busy
+            // replies never run this job and are counted by `shed` alone.
+            verbs.BumpIndex(verb_idx);
+            return out;
+          },
+          std::move(tag));
       if (pending >= opts.max_pipelined) c->read_paused = true;
     }
     if (!c->in.error().empty() && !c->stop_parsing) {
@@ -467,6 +531,7 @@ std::string NetServer::Start() {
   QueryScheduler::Options sopts;
   sopts.workers = im.opts.workers;
   sopts.max_queued = im.opts.max_queued;
+  sopts.slowlog = &im.obs.slowlog;
   Impl* imp = impl_.get();
   im.sched = std::make_unique<QueryScheduler>(
       sopts, [imp](uint64_t conn_id, uint64_t /*seq*/, std::string bytes,
@@ -484,6 +549,18 @@ std::string NetServer::Start() {
         }
         if (wake) imp->WakeLoop();
       });
+
+  // Observability wiring: threshold + tracer per options, the engine's
+  // build profiler, and the metrics sources (all close over members of
+  // Impl / the engine, which outlive every scrape).
+  im.obs.slowlog.set_threshold_us(im.opts.slow_query_us);
+  if (im.opts.trace) obs::Tracer::Get().Enable();
+  im.engine.set_slowlog(&im.obs.slowlog);
+  obs::RegisterServerMetrics(im.obs.metrics, *this, &im.sched->latency(),
+                             &im.verbs);
+  obs::RegisterEngineMetrics(im.obs.metrics, im.engine);
+  obs::RegisterAlgorithmMetrics(im.obs.metrics);
+  obs::RegisterObsMetrics(im.obs.metrics, im.obs.slowlog);
 
   if (im.opts.install_signal_handlers) {
     g_signal_wake_fd.store(im.wake_w, std::memory_order_relaxed);
@@ -572,6 +649,12 @@ void NetServer::Run() {
 void NetServer::Shutdown() {
   impl_->stop_requested.store(true, std::memory_order_relaxed);
   impl_->WakeLoop();
+}
+
+obs::Observability& NetServer::observability() { return impl_->obs; }
+
+const obs::VerbCounters& NetServer::verb_counters() const {
+  return impl_->verbs;
 }
 
 ServerStatsSnapshot NetServer::Stats() const {

@@ -49,6 +49,8 @@
 
 #include "engine/engine.h"
 #include "net/stats.h"
+#include "obs/observability.h"
+#include "obs/verb_counters.h"
 
 namespace parhc {
 namespace net {
@@ -65,6 +67,8 @@ struct NetServerOptions {
   bool use_poll = false;         ///< force the poll(2) backend
   bool show_timing = true;       ///< secs= field on query responses
   bool install_signal_handlers = false;  ///< SIGINT/SIGTERM → Shutdown()
+  uint64_t slow_query_us = 10000;  ///< slow-query log threshold
+  bool trace = false;              ///< enable request tracing at Start()
 };
 
 class NetServer final : public ServerStatsSource {
@@ -93,6 +97,14 @@ class NetServer final : public ServerStatsSource {
 
   /// Server counters for the `stats` verb (ServerStatsSource).
   ServerStatsSnapshot Stats() const override;
+
+  /// The server's metrics registry + slow-query log (behind the `metrics`
+  /// and `slowlog` verbs). Sources are registered during Start(); valid
+  /// for the server's lifetime.
+  obs::Observability& observability();
+
+  /// Per-verb request counters (sum equals served at quiescence).
+  const obs::VerbCounters& verb_counters() const;
 
  private:
   struct Impl;

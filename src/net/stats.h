@@ -9,6 +9,7 @@
 #pragma once
 
 #include <atomic>
+#include <cmath>
 #include <cstdint>
 #include <string>
 
@@ -17,43 +18,94 @@ namespace net {
 
 /// Log2-bucketed latency histogram over microseconds. Bucket b holds
 /// samples with bit_width(us) == b, i.e. us in [2^(b-1), 2^b); quantiles
-/// report the bucket's upper bound, so they overestimate by at most 2x —
-/// plenty for p50/p99 monitoring, at the cost of one relaxed increment
-/// per sample.
+/// interpolate linearly inside the bucket (exact at bucket boundaries,
+/// within one bucket's width everywhere — the reference-quantile unit
+/// test in tests/obs_test.cc pins both properties), at the cost of two
+/// relaxed increments and one relaxed add per sample.
+///
+/// The exact count/sum accessors, the per-bucket reads, and MergeFrom
+/// exist for the metrics registry: obs/sources.h exports this as a
+/// Prometheus histogram (cumulative le-buckets + _sum + _count).
 class LatencyHistogram {
  public:
   static constexpr int kBuckets = 48;
 
   void Record(uint64_t us) {
     int b = 0;
-    while (us > 0 && b < kBuckets - 1) {
-      us >>= 1;
+    uint64_t v = us;
+    while (v > 0 && b < kBuckets - 1) {
+      v >>= 1;
       ++b;
     }
     buckets_[b].fetch_add(1, std::memory_order_relaxed);
     count_.fetch_add(1, std::memory_order_relaxed);
+    sum_us_.fetch_add(us, std::memory_order_relaxed);
   }
 
   uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  uint64_t sum_us() const { return sum_us_.load(std::memory_order_relaxed); }
+  uint64_t bucket_count(int b) const {
+    return buckets_[b].load(std::memory_order_relaxed);
+  }
 
-  /// Upper bound (µs) of the bucket containing quantile q in [0, 1];
-  /// 0 when empty.
-  uint64_t QuantileUs(double q) const {
-    uint64_t total = count();
-    if (total == 0) return 0;
-    uint64_t rank = static_cast<uint64_t>(q * static_cast<double>(total));
-    if (rank >= total) rank = total - 1;
-    uint64_t seen = 0;
+  /// Inclusive upper bound (µs) of bucket b: 0, 1, 3, 7, ..., 2^b - 1.
+  static uint64_t BucketUpperUs(int b) {
+    return b == 0 ? 0 : (uint64_t{1} << b) - 1;
+  }
+  /// Inclusive lower bound (µs) of bucket b: 0, 1, 2, 4, ..., 2^(b-1).
+  static uint64_t BucketLowerUs(int b) {
+    return b == 0 ? 0 : uint64_t{1} << (b - 1);
+  }
+
+  /// Folds another histogram's samples into this one (registry snapshots
+  /// merge per-subsystem histograms).
+  void MergeFrom(const LatencyHistogram& other) {
     for (int b = 0; b < kBuckets; ++b) {
-      seen += buckets_[b].load(std::memory_order_relaxed);
-      if (seen > rank) return b == 0 ? 0 : (uint64_t{1} << b) - 1;
+      uint64_t n = other.buckets_[b].load(std::memory_order_relaxed);
+      if (n != 0) buckets_[b].fetch_add(n, std::memory_order_relaxed);
     }
-    return (uint64_t{1} << (kBuckets - 1)) - 1;
+    count_.fetch_add(other.count(), std::memory_order_relaxed);
+    sum_us_.fetch_add(other.sum_us(), std::memory_order_relaxed);
+  }
+
+  /// Nearest-rank quantile with linear interpolation inside the bucket:
+  /// for q in [0, 1], finds the sample of rank ceil(q * n) and maps its
+  /// within-bucket position onto [lower, upper]. The last sample of a
+  /// bucket reports exactly the bucket's upper bound (no boundary
+  /// overshoot); 0 when empty. Bucket counts are snapshotted first so the
+  /// rank search is internally consistent under concurrent Records.
+  uint64_t QuantileUs(double q) const {
+    uint64_t counts[kBuckets];
+    uint64_t total = 0;
+    for (int b = 0; b < kBuckets; ++b) {
+      counts[b] = buckets_[b].load(std::memory_order_relaxed);
+      total += counts[b];
+    }
+    if (total == 0) return 0;
+    if (q < 0) q = 0;
+    if (q > 1) q = 1;
+    uint64_t rank =
+        static_cast<uint64_t>(std::ceil(q * static_cast<double>(total)));
+    if (rank < 1) rank = 1;
+    if (rank > total) rank = total;
+    uint64_t cum = 0;
+    for (int b = 0; b < kBuckets; ++b) {
+      if (counts[b] != 0 && cum + counts[b] >= rank) {
+        double lo = static_cast<double>(BucketLowerUs(b));
+        double hi = static_cast<double>(BucketUpperUs(b));
+        double frac = static_cast<double>(rank - cum) /
+                      static_cast<double>(counts[b]);
+        return static_cast<uint64_t>(lo + frac * (hi - lo) + 0.5);
+      }
+      cum += counts[b];
+    }
+    return BucketUpperUs(kBuckets - 1);  // unreachable: total > 0
   }
 
  private:
   std::atomic<uint64_t> buckets_[kBuckets] = {};
   std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_us_{0};
 };
 
 /// What the TCP server knows and the protocol's `stats` verb reports.

@@ -1,0 +1,188 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace parhc {
+namespace obs {
+namespace {
+
+const char* KindName(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kCounter: return "counter";
+    case MetricKind::kGauge: return "gauge";
+    case MetricKind::kHistogram: return "histogram";
+  }
+  return "untyped";
+}
+
+/// Escapes a Prometheus label value / JSON string (same escape set works
+/// for both: backslash, quote, newline).
+std::string EscapeValue(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char ch : s) {
+    if (ch == '\\' || ch == '"') {
+      out += '\\';
+      out += ch;
+    } else if (ch == '\n') {
+      out += "\\n";
+    } else {
+      out += ch;
+    }
+  }
+  return out;
+}
+
+std::string PromLabels(const MetricSample& sample,
+                       const std::string& extra_key = "",
+                       const std::string& extra_val = "") {
+  if (sample.labels.empty() && extra_key.empty()) return "";
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [k, v] : sample.labels) {
+    if (!first) out += ',';
+    first = false;
+    out += k + "=\"" + EscapeValue(v) + "\"";
+  }
+  if (!extra_key.empty()) {
+    if (!first) out += ',';
+    out += extra_key + "=\"" + extra_val + "\"";
+  }
+  out += '}';
+  return out;
+}
+
+}  // namespace
+
+std::string FormatMetricValue(double value) {
+  if (std::isfinite(value) && value == std::floor(value) &&
+      std::fabs(value) < 9.007199254740992e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%lld",
+                  static_cast<long long>(value));
+    return buf;
+  }
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%g", value);
+  return buf;
+}
+
+MetricFamily& MetricsBuilder::FamilyFor(const std::string& name,
+                                        const std::string& help,
+                                        MetricKind kind) {
+  auto [it, inserted] = families_.try_emplace(name);
+  MetricFamily& fam = it->second;
+  if (inserted) {
+    fam.name = name;
+    fam.help = help;
+    fam.kind = kind;
+  }
+  return fam;
+}
+
+void MetricsBuilder::Add(const std::string& name, const std::string& help,
+                         MetricKind kind, double value, Labels labels) {
+  MetricSample sample;
+  sample.labels = std::move(labels);
+  std::sort(sample.labels.begin(), sample.labels.end());
+  sample.value = value;
+  FamilyFor(name, help, kind).samples.push_back(std::move(sample));
+}
+
+void MetricsBuilder::Histogram(
+    const std::string& name, const std::string& help,
+    std::vector<std::pair<double, uint64_t>> cumulative_buckets, double sum,
+    uint64_t count, Labels labels) {
+  MetricSample sample;
+  sample.labels = std::move(labels);
+  std::sort(sample.labels.begin(), sample.labels.end());
+  sample.buckets = std::move(cumulative_buckets);
+  sample.sum = sum;
+  sample.count = count;
+  FamilyFor(name, help, MetricKind::kHistogram)
+      .samples.push_back(std::move(sample));
+}
+
+std::vector<MetricFamily> MetricsBuilder::TakeFamilies() {
+  std::vector<MetricFamily> out;
+  out.reserve(families_.size());
+  for (auto& [name, fam] : families_) out.push_back(std::move(fam));
+  families_.clear();
+  return out;  // std::map iteration order == sorted by name
+}
+
+std::string MetricsRegistry::PrometheusText() const {
+  std::string out;
+  for (const MetricFamily& fam : Collect()) {
+    out += "# HELP " + fam.name + " " + fam.help + "\n";
+    out += "# TYPE " + fam.name + " " + std::string(KindName(fam.kind)) +
+           "\n";
+    for (const MetricSample& s : fam.samples) {
+      if (fam.kind == MetricKind::kHistogram) {
+        for (const auto& [le, cum] : s.buckets) {
+          out += fam.name + "_bucket" +
+                 PromLabels(s, "le", FormatMetricValue(le)) + " " +
+                 std::to_string(cum) + "\n";
+        }
+        out += fam.name + "_bucket" + PromLabels(s, "le", "+Inf") + " " +
+               std::to_string(s.count) + "\n";
+        out += fam.name + "_sum" + PromLabels(s) + " " +
+               FormatMetricValue(s.sum) + "\n";
+        out += fam.name + "_count" + PromLabels(s) + " " +
+               std::to_string(s.count) + "\n";
+      } else {
+        out += fam.name + PromLabels(s) + " " + FormatMetricValue(s.value) +
+               "\n";
+      }
+    }
+  }
+  return out;
+}
+
+std::string MetricsRegistry::Json() const {
+  std::string out = "{\"metrics\":[";
+  bool first_fam = true;
+  for (const MetricFamily& fam : Collect()) {
+    if (!first_fam) out += ',';
+    first_fam = false;
+    out += "{\"name\":\"" + EscapeValue(fam.name) + "\",\"type\":\"" +
+           KindName(fam.kind) + "\",\"help\":\"" + EscapeValue(fam.help) +
+           "\",\"samples\":[";
+    bool first_sample = true;
+    for (const MetricSample& s : fam.samples) {
+      if (!first_sample) out += ',';
+      first_sample = false;
+      out += "{\"labels\":{";
+      bool first_label = true;
+      for (const auto& [k, v] : s.labels) {
+        if (!first_label) out += ',';
+        first_label = false;
+        out += "\"" + EscapeValue(k) + "\":\"" + EscapeValue(v) + "\"";
+      }
+      out += "}";
+      if (fam.kind == MetricKind::kHistogram) {
+        out += ",\"buckets\":[";
+        bool first_bucket = true;
+        for (const auto& [le, cum] : s.buckets) {
+          if (!first_bucket) out += ',';
+          first_bucket = false;
+          out += "{\"le\":" + FormatMetricValue(le) +
+                 ",\"count\":" + std::to_string(cum) + "}";
+        }
+        out += "],\"sum\":" + FormatMetricValue(s.sum) +
+               ",\"count\":" + std::to_string(s.count);
+      } else {
+        out += ",\"value\":" + FormatMetricValue(s.value);
+      }
+      out += "}";
+    }
+    out += "]}";
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace obs
+}  // namespace parhc

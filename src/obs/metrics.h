@@ -1,0 +1,120 @@
+// Metrics registry: one scrapeable surface over the serving stack's
+// lock-free counters, gauges, and histograms.
+//
+// The underlying instruments stay where they live today — relaxed atomics
+// in the server, scheduler, executor, engine, and algorithm layers — so
+// the request path pays nothing new. What the registry adds is the *read*
+// side: each subsystem registers a collection source once at startup (see
+// obs/sources.h), and Collect() runs every source in one pass to produce a
+// single consistent snapshot, rendered as Prometheus text exposition
+// (PrometheusText) or JSON (Json) by the `metrics` protocol verb.
+//
+// Conventions (documented in README "Observability"):
+//  * every metric name is prefixed `parhc_`; counters end in `_total`;
+//  * labels are sorted into the sample at registration time;
+//  * families render sorted by name, samples in registration order, so the
+//    exposition layout is deterministic and golden-pinnable;
+//  * histograms render with cumulative `le` buckets, `+Inf`, `_sum`, and
+//    `_count`, matching the Prometheus histogram convention.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace parhc {
+namespace obs {
+
+enum class MetricKind { kCounter, kGauge, kHistogram };
+
+/// One labeled sample of a family. For histograms, `buckets` holds
+/// (upper_bound_us, cumulative_count) pairs in increasing bound order and
+/// `value` is unused.
+struct MetricSample {
+  std::vector<std::pair<std::string, std::string>> labels;
+  double value = 0;
+  std::vector<std::pair<double, uint64_t>> buckets;
+  double sum = 0;
+  uint64_t count = 0;
+};
+
+struct MetricFamily {
+  std::string name;
+  std::string help;
+  MetricKind kind = MetricKind::kGauge;
+  std::vector<MetricSample> samples;
+};
+
+/// Passed to each source during Collect; merges same-name samples into one
+/// family (several sources may contribute samples to one family, e.g. the
+/// per-dataset gauges).
+class MetricsBuilder {
+ public:
+  using Labels = std::vector<std::pair<std::string, std::string>>;
+
+  void Counter(const std::string& name, const std::string& help,
+               double value, Labels labels = {}) {
+    Add(name, help, MetricKind::kCounter, value, std::move(labels));
+  }
+  void Gauge(const std::string& name, const std::string& help, double value,
+             Labels labels = {}) {
+    Add(name, help, MetricKind::kGauge, value, std::move(labels));
+  }
+  void Histogram(const std::string& name, const std::string& help,
+                 std::vector<std::pair<double, uint64_t>> cumulative_buckets,
+                 double sum, uint64_t count, Labels labels = {});
+
+  /// Families sorted by name (moves them out of the builder).
+  std::vector<MetricFamily> TakeFamilies();
+
+ private:
+  void Add(const std::string& name, const std::string& help, MetricKind kind,
+           double value, Labels labels);
+  MetricFamily& FamilyFor(const std::string& name, const std::string& help,
+                          MetricKind kind);
+
+  std::map<std::string, MetricFamily> families_;
+};
+
+/// Source registry + snapshot renderer. AddSource is called once per
+/// subsystem at startup; Collect may be called concurrently from any
+/// thread (the verb runs on scheduler workers).
+class MetricsRegistry {
+ public:
+  using Source = std::function<void(MetricsBuilder&)>;
+
+  void AddSource(Source source) {
+    std::lock_guard<std::mutex> lock(mu_);
+    sources_.push_back(std::move(source));
+  }
+
+  /// Runs every source once; one consistent snapshot.
+  std::vector<MetricFamily> Collect() const {
+    MetricsBuilder b;
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const Source& s : sources_) s(b);
+    return b.TakeFamilies();
+  }
+
+  /// Prometheus text exposition ('\n'-terminated lines, trailing newline).
+  std::string PrometheusText() const;
+
+  /// One-line JSON rendering:
+  /// {"metrics":[{"name":...,"type":...,"help":...,"samples":[...]}]}
+  std::string Json() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<Source> sources_;
+};
+
+/// Renders `value` the way both exporters print sample values: integers
+/// without a decimal point, everything else with %g.
+std::string FormatMetricValue(double value);
+
+}  // namespace obs
+}  // namespace parhc

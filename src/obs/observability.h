@@ -1,0 +1,24 @@
+// The observability bundle a serving front-end owns: metrics registry +
+// slow-query log. (The span tracer is process-global — see obs/trace.h —
+// because trace IDs cross thread and subsystem boundaries.)
+//
+// The TCP server (net/server.cc) owns one per server; the stdin REPL
+// (examples/parhc_server.cpp) owns one per process. The protocol core
+// receives a pointer through ProtocolOptions and answers the `metrics` and
+// `slowlog` verbs from it.
+#pragma once
+
+#include "obs/metrics.h"
+#include "obs/slowlog.h"
+#include "obs/trace.h"
+
+namespace parhc {
+namespace obs {
+
+struct Observability {
+  MetricsRegistry metrics;
+  SlowLog slowlog;
+};
+
+}  // namespace obs
+}  // namespace parhc

@@ -1,0 +1,125 @@
+// Slow-query log and build profiler: a bounded in-memory ring of
+// structured one-line records, readable via the `slowlog` protocol verb.
+//
+// Two record kinds share the ring:
+//  * kQuery — a request whose total latency (queue wait + execution)
+//    crossed the configurable threshold (`slowlog threshold <us>`, or
+//    NetServerOptions::slow_query_us). Recorded by the scheduler worker
+//    (and by the server's inline fast path, where cache_hit is true).
+//  * kBuild — every cold artifact build the engine runs, regardless of
+//    threshold (the build profiler half): dataset, the artifact keys
+//    built, executor admission wait, build time, and the worker-group
+//    size the executor granted.
+//
+// The ring is mutex-protected: records are rare by construction (slow
+// requests and cold builds), so a lock here never touches the hot path —
+// the *decision* to record is a relaxed threshold load.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace parhc {
+namespace obs {
+
+struct SlowLogRecord {
+  enum class Kind { kQuery, kBuild };
+  Kind kind = Kind::kQuery;
+  std::string verb;      ///< request verb ("hdbscan", "insert", ...)
+  std::string dataset;   ///< dataset name ("" when unknown, e.g. frames)
+  std::string artifact;  ///< built artifact keys, comma-joined (builds only)
+  uint64_t queue_us = 0;  ///< scheduler queue / executor admission wait
+  uint64_t build_us = 0;  ///< execution (build) time
+  uint64_t total_us = 0;  ///< queue_us + build_us
+  int group = 0;          ///< executor worker-group size (builds only)
+  bool cache_hit = false;
+  uint64_t trace_id = 0;  ///< 0 when tracing was off
+
+  /// The one-line rendering the `slowlog` verb prints.
+  std::string Format() const {
+    std::string s = "slow kind=";
+    s += kind == Kind::kQuery ? "query" : "build";
+    s += " verb=" + (verb.empty() ? "-" : verb);
+    s += " dataset=" + (dataset.empty() ? "-" : dataset);
+    s += " artifact=" + (artifact.empty() ? "-" : artifact);
+    s += " queue_us=" + std::to_string(queue_us);
+    s += " build_us=" + std::to_string(build_us);
+    s += " total_us=" + std::to_string(total_us);
+    s += " group=" + std::to_string(group);
+    s += " cache_hit=" + std::to_string(cache_hit ? 1 : 0);
+    s += " trace=" + std::to_string(trace_id);
+    return s;
+  }
+};
+
+class SlowLog {
+ public:
+  static constexpr size_t kDefaultCapacity = 128;
+
+  explicit SlowLog(size_t capacity = kDefaultCapacity,
+                   uint64_t threshold_us = 10000)
+      : capacity_(capacity == 0 ? 1 : capacity), threshold_us_(threshold_us) {}
+
+  uint64_t threshold_us() const {
+    return threshold_us_.load(std::memory_order_relaxed);
+  }
+  void set_threshold_us(uint64_t us) {
+    threshold_us_.store(us, std::memory_order_relaxed);
+  }
+
+  /// Appends a query record iff it crossed the threshold. The cheap
+  /// no-record path is one relaxed load and a compare.
+  void RecordQuery(SlowLogRecord rec) {
+    if (rec.total_us < threshold_us()) return;
+    rec.kind = SlowLogRecord::Kind::kQuery;
+    Push(std::move(rec));
+  }
+
+  /// Appends a build-profile record unconditionally.
+  void RecordBuild(SlowLogRecord rec) {
+    rec.kind = SlowLogRecord::Kind::kBuild;
+    Push(std::move(rec));
+  }
+
+  /// Buffered records, oldest first.
+  std::vector<SlowLogRecord> Entries() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return std::vector<SlowLogRecord>(ring_.begin(), ring_.end());
+  }
+
+  void Clear() {
+    std::lock_guard<std::mutex> lock(mu_);
+    ring_.clear();
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return ring_.size();
+  }
+
+  /// Records ever appended (monotone; survives ring eviction and Clear).
+  uint64_t total_recorded() const {
+    return total_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void Push(SlowLogRecord rec) {
+    total_.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(mu_);
+    if (ring_.size() >= capacity_) ring_.pop_front();
+    ring_.push_back(std::move(rec));
+  }
+
+  const size_t capacity_;
+  std::atomic<uint64_t> threshold_us_;
+  std::atomic<uint64_t> total_{0};
+  mutable std::mutex mu_;
+  std::deque<SlowLogRecord> ring_;
+};
+
+}  // namespace obs
+}  // namespace parhc

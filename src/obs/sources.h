@@ -1,0 +1,241 @@
+// Metric sources: the glue that registers every subsystem's counters with
+// a MetricsRegistry (obs/metrics.h).
+//
+// This is a leaf header — it includes the engine and the net-layer stats
+// types, so only composition roots (the TCP server, the REPL mains, tests)
+// include it; the instrumented subsystems themselves depend only on the
+// small obs headers. Each Register* function adds one collection source
+// closing over a reference the caller guarantees outlives the registry.
+//
+// Exported families (all `parhc_`-prefixed; counters end `_total`):
+//   server     parhc_server_connections / _connections_total / _served_total
+//              / _inline_hits_total / _shed_total / _dropped_total
+//              / _protocol_errors_total / _idle_closed_total / _queued
+//              / _inflight / _bytes_total{dir} / _request_latency_us (hist)
+//              / _requests_total{verb}
+//   engine     parhc_engine_{queries,cache_hits,builds,mutations,errors}_total
+//   executor   parhc_executor_workers / _builds_active / _build_queue_depth
+//              / _builds_total / _peak_builds / _last_group_size
+//   dataset    parhc_dataset_{points,knn_width,cached_clusterings,dynamic,
+//              shards,tombstone_ratio,snapshot_bytes,snapshot_age_seconds}
+//              all labeled {dataset="<name>"}
+//   algorithm  parhc_algo_{wspd_pairs_materialized,wspd_pairs_visited,
+//              bccp_computed,bccp_point_distances}_total
+//              + parhc_algo_wspd_pairs_peak
+//   obs        parhc_trace_enabled / _trace_spans_total
+//              / _trace_spans_dropped_total / parhc_slowlog_entries
+//              / _slowlog_records_total / _slowlog_threshold_us
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "engine/engine.h"
+#include "net/stats.h"
+#include "obs/metrics.h"
+#include "obs/slowlog.h"
+#include "obs/trace.h"
+#include "obs/verb_counters.h"
+#include "util/stats.h"
+
+namespace parhc {
+namespace obs {
+
+/// Engine counters, executor gauges, and one gauge set per registered
+/// dataset. `engine` must outlive the registry.
+inline void RegisterEngineMetrics(MetricsRegistry& registry,
+                                  const ClusteringEngine& engine) {
+  registry.AddSource([&engine](MetricsBuilder& b) {
+    EngineCounterSnapshot c = engine.counters();
+    b.Counter("parhc_engine_queries_total", "Engine Run() calls.",
+              static_cast<double>(c.queries));
+    b.Counter("parhc_engine_cache_hits_total",
+              "Queries answered entirely from cached artifacts.",
+              static_cast<double>(c.cache_hits));
+    b.Counter("parhc_engine_builds_total",
+              "Queries that built at least one artifact.",
+              static_cast<double>(c.builds));
+    b.Counter("parhc_engine_mutations_total",
+              "Successful insert/delete batches.",
+              static_cast<double>(c.mutations));
+    b.Counter("parhc_engine_errors_total",
+              "Failed queries plus failed mutations.",
+              static_cast<double>(c.errors));
+
+    ExecutorStatsSnapshot e = engine.executor().stats();
+    b.Gauge("parhc_executor_workers", "Scheduler pool size.",
+            static_cast<double>(e.workers));
+    b.Gauge("parhc_executor_builds_active", "Builds running right now.",
+            static_cast<double>(e.concurrent_builds));
+    b.Gauge("parhc_executor_build_queue_depth",
+            "Builds waiting for admission.",
+            static_cast<double>(e.build_queue_depth));
+    b.Counter("parhc_executor_builds_total", "Builds admitted so far.",
+              static_cast<double>(e.builds_total));
+    b.Gauge("parhc_executor_peak_builds",
+            "Max concurrent builds ever observed.",
+            static_cast<double>(e.peak_concurrent));
+    b.Gauge("parhc_executor_last_group_size",
+            "Worker-group size of the most recent build.",
+            static_cast<double>(e.last_group_size));
+
+    for (const DatasetInfo& d : engine.registry().List()) {
+      MetricsBuilder::Labels ds{{"dataset", d.name}};
+      b.Gauge("parhc_dataset_points", "Live points in the dataset.",
+              static_cast<double>(d.num_points), ds);
+      b.Gauge("parhc_dataset_knn_width",
+              "Cached kNN prefix width (0 = none).",
+              static_cast<double>(d.knn_k), ds);
+      b.Gauge("parhc_dataset_cached_clusterings",
+              "Per-minPts clustering entries currently cached.",
+              static_cast<double>(d.cached_clusterings), ds);
+      b.Gauge("parhc_dataset_dynamic",
+              "1 for the batch-dynamic backend, 0 for immutable.",
+              d.dynamic ? 1 : 0, ds);
+      b.Gauge("parhc_dataset_shards", "Shard count (1 for immutable).",
+              static_cast<double>(d.num_shards), ds);
+      double denom = static_cast<double>(d.num_points + d.tombstones);
+      b.Gauge("parhc_dataset_tombstone_ratio",
+              "Deleted-but-uncompacted fraction of stored points.",
+              denom > 0 ? static_cast<double>(d.tombstones) / denom : 0, ds);
+      b.Gauge("parhc_dataset_snapshot_bytes",
+              "On-disk size of the last snapshot (0 = never saved).",
+              static_cast<double>(d.snapshot_bytes), ds);
+      double age = -1;
+      if (d.snapshot_unix_ms >= 0) {
+        int64_t now_ms =
+            std::chrono::duration_cast<std::chrono::milliseconds>(
+                std::chrono::system_clock::now().time_since_epoch())
+                .count();
+        age = static_cast<double>(now_ms - d.snapshot_unix_ms) / 1e3;
+        if (age < 0) age = 0;
+      }
+      b.Gauge("parhc_dataset_snapshot_age_seconds",
+              "Seconds since the last snapshot save/load (-1 = never).", age,
+              ds);
+    }
+  });
+}
+
+/// TCP-server counters, the request-latency histogram, and per-verb
+/// request counts. `latency` and `verbs` may be null (REPL front-end);
+/// non-null arguments must outlive the registry. The histogram always
+/// exports all 48 log2 buckets so the exposition line count is fixed
+/// (golden-pinnable); the verb family only emits verbs seen at least once.
+inline void RegisterServerMetrics(MetricsRegistry& registry,
+                                  const net::ServerStatsSource& stats,
+                                  const net::LatencyHistogram* latency,
+                                  const VerbCounters* verbs) {
+  registry.AddSource([&stats, latency, verbs](MetricsBuilder& b) {
+    net::ServerStatsSnapshot s = stats.Stats();
+    b.Gauge("parhc_server_connections", "Open client connections.",
+            static_cast<double>(s.connections_now));
+    b.Counter("parhc_server_connections_total",
+              "Connections accepted since start.",
+              static_cast<double>(s.connections_total));
+    b.Counter("parhc_server_served_total",
+              "Responses delivered (excluding load-shed busy replies).",
+              static_cast<double>(s.served));
+    b.Counter("parhc_server_inline_hits_total",
+              "Responses answered on the event loop's inline cache path.",
+              static_cast<double>(s.inline_hits));
+    b.Counter("parhc_server_shed_total",
+              "Requests answered 'err busy' by load shedding.",
+              static_cast<double>(s.shed));
+    b.Counter("parhc_server_dropped_total",
+              "Responses whose connection died before delivery.",
+              static_cast<double>(s.dropped));
+    b.Counter("parhc_server_protocol_errors_total",
+              "Lines rejected by the protocol parser.",
+              static_cast<double>(s.protocol_errors));
+    b.Counter("parhc_server_idle_closed_total",
+              "Connections closed by the idle timeout.",
+              static_cast<double>(s.idle_closed));
+    b.Gauge("parhc_server_queued", "Requests waiting in the scheduler.",
+            static_cast<double>(s.queued_now));
+    b.Gauge("parhc_server_inflight", "Requests running on a worker.",
+            static_cast<double>(s.inflight_now));
+    b.Counter("parhc_server_bytes_total", "Bytes moved on client sockets.",
+              static_cast<double>(s.bytes_in), {{"dir", "in"}});
+    b.Counter("parhc_server_bytes_total", "Bytes moved on client sockets.",
+              static_cast<double>(s.bytes_out), {{"dir", "out"}});
+    if (latency != nullptr) {
+      std::vector<std::pair<double, uint64_t>> buckets;
+      buckets.reserve(net::LatencyHistogram::kBuckets);
+      uint64_t cum = 0;
+      for (int i = 0; i < net::LatencyHistogram::kBuckets; ++i) {
+        cum += latency->bucket_count(i);
+        buckets.emplace_back(
+            static_cast<double>(net::LatencyHistogram::BucketUpperUs(i)),
+            cum);
+      }
+      b.Histogram("parhc_server_request_latency_us",
+                  "Scheduler-measured request latency (enqueue to done).",
+                  std::move(buckets), static_cast<double>(latency->sum_us()),
+                  latency->count());
+    }
+    if (verbs != nullptr) {
+      for (int i = 0; i < VerbCounters::kNumVerbs; ++i) {
+        uint64_t n = verbs->Count(i);
+        if (n == 0) continue;
+        b.Counter("parhc_server_requests_total",
+                  "Responses delivered, by protocol verb.",
+                  static_cast<double>(n),
+                  {{"verb", VerbCounters::kVerbs[i]}});
+      }
+    }
+  });
+}
+
+/// Process-global algorithm work counters (util/stats.h) — WSPD pair and
+/// BCCP distance totals across every EMST/HDBSCAN* build in the process.
+inline void RegisterAlgorithmMetrics(MetricsRegistry& registry) {
+  registry.AddSource([](MetricsBuilder& b) {
+    AlgoCounterSnapshot s = Stats::Get().Snapshot();
+    b.Counter("parhc_algo_wspd_pairs_materialized_total",
+              "WSPD pairs materialized across all builds.",
+              static_cast<double>(s.wspd_pairs_materialized));
+    b.Counter("parhc_algo_wspd_pairs_visited_total",
+              "WSPD pairs visited across all builds.",
+              static_cast<double>(s.wspd_pairs_visited));
+    b.Counter("parhc_algo_bccp_computed_total",
+              "Bichromatic closest-pair computations across all builds.",
+              static_cast<double>(s.bccp_computed));
+    b.Counter("parhc_algo_bccp_point_distances_total",
+              "Point-distance evaluations inside BCCP across all builds.",
+              static_cast<double>(s.bccp_point_distances));
+    b.Gauge("parhc_algo_wspd_pairs_peak",
+            "High-water mark of simultaneously materialized WSPD pairs.",
+            static_cast<double>(s.wspd_pairs_peak));
+  });
+}
+
+/// The observability layer's own health: tracer state and slow-log fill.
+/// `slowlog` must outlive the registry.
+inline void RegisterObsMetrics(MetricsRegistry& registry,
+                               const SlowLog& slowlog) {
+  registry.AddSource([&slowlog](MetricsBuilder& b) {
+    Tracer& t = Tracer::Get();
+    b.Gauge("parhc_trace_enabled", "1 while span recording is on.",
+            t.enabled() ? 1 : 0);
+    b.Counter("parhc_trace_spans_total", "Spans recorded since start.",
+              static_cast<double>(t.spans_recorded()));
+    b.Counter("parhc_trace_spans_dropped_total",
+              "Spans overwritten by ring wrap before any dump.",
+              static_cast<double>(t.spans_dropped()));
+    b.Gauge("parhc_slowlog_entries", "Records currently held in the ring.",
+            static_cast<double>(slowlog.size()));
+    b.Counter("parhc_slowlog_records_total",
+              "Slow-query and build records ever accepted.",
+              static_cast<double>(slowlog.total_recorded()));
+    b.Gauge("parhc_slowlog_threshold_us",
+            "Slow-query latency threshold in microseconds.",
+            static_cast<double>(slowlog.threshold_us()));
+  });
+}
+
+}  // namespace obs
+}  // namespace parhc

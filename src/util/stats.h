@@ -2,7 +2,22 @@
 //
 // Used to reproduce the paper's memory claims (Section 5, "MemoGFK Memory
 // Usage": up to 10x fewer materialized WSPD pairs) without relying on OS
-// RSS, which is noisy. Counters are atomics; Reset() between runs.
+// RSS, which is noisy.
+//
+// Concurrency contract: every counter is a *monotone* relaxed atomic —
+// there is deliberately no Reset(). Concurrent artifact builds under the
+// engine's BuildExecutor all increment the same counters, so a global
+// zeroing from one bench/test would race with (and corrupt) another
+// build's accounting. Scoped measurement uses StatsEpoch instead: capture
+// a baseline, run, read Delta(). The metrics registry (obs/sources.h)
+// exports the raw monotone values, which Prometheus-style scrapers rate()
+// over.
+//
+// The one non-monotone field is wspd_pairs_peak, a global high-water mark
+// (deltas are meaningless for a max). StatsEpoch(kResetPeak) zeroes just
+// that field for callers that own the whole process — the single-threaded
+// bench tables and examples — and documents the exclusivity requirement;
+// the serving stack never resets anything.
 #pragma once
 
 #include <atomic>
@@ -10,11 +25,21 @@
 
 namespace parhc {
 
-/// Library-wide counters (all monotone within a run).
+/// Point-in-time copy of the counters (see StatsEpoch for scoped deltas).
+struct AlgoCounterSnapshot {
+  uint64_t wspd_pairs_materialized = 0;
+  uint64_t wspd_pairs_peak = 0;
+  uint64_t wspd_pairs_visited = 0;
+  uint64_t bccp_computed = 0;
+  uint64_t bccp_point_distances = 0;
+};
+
+/// Library-wide counters (all monotone; wspd_pairs_peak is a high-water
+/// mark).
 struct Stats {
   /// WSPD pairs actually materialized (stored in memory at once, peak).
   std::atomic<uint64_t> wspd_pairs_materialized{0};
-  /// Peak simultaneously-live materialized pairs.
+  /// Peak simultaneously-live materialized pairs (global high-water).
   std::atomic<uint64_t> wspd_pairs_peak{0};
   /// Node pairs visited during WSPD / MemoGFK tree traversals.
   std::atomic<uint64_t> wspd_pairs_visited{0};
@@ -25,13 +50,56 @@ struct Stats {
 
   static Stats& Get();
 
-  void Reset() {
-    wspd_pairs_materialized.store(0);
-    wspd_pairs_peak.store(0);
-    wspd_pairs_visited.store(0);
-    bccp_computed.store(0);
-    bccp_point_distances.store(0);
+  AlgoCounterSnapshot Snapshot() const {
+    AlgoCounterSnapshot s;
+    s.wspd_pairs_materialized =
+        wspd_pairs_materialized.load(std::memory_order_relaxed);
+    s.wspd_pairs_peak = wspd_pairs_peak.load(std::memory_order_relaxed);
+    s.wspd_pairs_visited =
+        wspd_pairs_visited.load(std::memory_order_relaxed);
+    s.bccp_computed = bccp_computed.load(std::memory_order_relaxed);
+    s.bccp_point_distances =
+        bccp_point_distances.load(std::memory_order_relaxed);
+    return s;
   }
+};
+
+/// RAII measurement epoch over the global counters: captures a baseline at
+/// construction; Delta() is "what this scope's work added" for the
+/// monotone counters. Safe under concurrent builds — nothing is zeroed.
+///
+/// wspd_pairs_peak cannot be scoped by subtraction; Delta() reports the
+/// current global high-water. Callers that own the whole process (bench
+/// tables, examples) pass kResetPeak to zero the mark at epoch start so
+/// the reported peak is theirs alone — never do this while other builds
+/// may run.
+class StatsEpoch {
+ public:
+  enum Peak { kKeepPeak, kResetPeak };
+
+  explicit StatsEpoch(Peak peak = kKeepPeak) {
+    if (peak == kResetPeak) {
+      Stats::Get().wspd_pairs_peak.store(0, std::memory_order_relaxed);
+    }
+    base_ = Stats::Get().Snapshot();
+  }
+
+  AlgoCounterSnapshot Delta() const {
+    AlgoCounterSnapshot now = Stats::Get().Snapshot();
+    AlgoCounterSnapshot d;
+    d.wspd_pairs_materialized =
+        now.wspd_pairs_materialized - base_.wspd_pairs_materialized;
+    d.wspd_pairs_peak = now.wspd_pairs_peak;  // high-water, not a delta
+    d.wspd_pairs_visited =
+        now.wspd_pairs_visited - base_.wspd_pairs_visited;
+    d.bccp_computed = now.bccp_computed - base_.bccp_computed;
+    d.bccp_point_distances =
+        now.bccp_point_distances - base_.bccp_point_distances;
+    return d;
+  }
+
+ private:
+  AlgoCounterSnapshot base_;
 };
 
 }  // namespace parhc

@@ -152,16 +152,16 @@ TEST(Integration, MemoGfkBetaGrowthVariantsAgree) {
 
 TEST(Integration, StatsCountersMoveSensibly) {
   auto pts = UniformFill<2>(4000, 13);
-  auto& s = Stats::Get();
-  s.Reset();
+  StatsEpoch naive_epoch(StatsEpoch::kResetPeak);
   EmstNaive(pts);
-  uint64_t naive_pairs = s.wspd_pairs_materialized.load();
-  uint64_t naive_bccp = s.bccp_computed.load();
-  EXPECT_GT(naive_pairs, pts.size() / 2);  // WSPD produces O(n) pairs
-  EXPECT_GE(naive_bccp, naive_pairs);      // one BCCP per pair
-  s.Reset();
+  AlgoCounterSnapshot naive = naive_epoch.Delta();
+  EXPECT_GT(naive.wspd_pairs_materialized, pts.size() / 2)
+      << "WSPD produces O(n) pairs";
+  EXPECT_GE(naive.bccp_computed, naive.wspd_pairs_materialized)
+      << "one BCCP per pair";
+  StatsEpoch memo_epoch(StatsEpoch::kResetPeak);
   EmstMemoGfk(pts);
-  EXPECT_LT(s.wspd_pairs_peak.load(), naive_pairs)
+  EXPECT_LT(memo_epoch.Delta().wspd_pairs_peak, naive.wspd_pairs_materialized)
       << "MemoGFK must materialize fewer pairs at once";
 }
 

@@ -290,13 +290,12 @@ TEST(Hdbscan, FewerPairsMaterializedThanGanTao) {
   // The headline claim of Section 3.2.2: the new well-separation
   // materializes fewer pairs.
   auto pts = SeedSpreaderVarden<3>(3000, 77, 5);
-  auto& stats = Stats::Get();
-  stats.Reset();
+  StatsEpoch gan_epoch;
   HdbscanMst(pts, 10, HdbscanVariant::kGanTao);
-  uint64_t gan_pairs = stats.wspd_pairs_materialized.load();
-  stats.Reset();
+  uint64_t gan_pairs = gan_epoch.Delta().wspd_pairs_materialized;
+  StatsEpoch memo_epoch;
   HdbscanMst(pts, 10, HdbscanVariant::kMemoGfk);
-  uint64_t memo_pairs = stats.wspd_pairs_materialized.load();
+  uint64_t memo_pairs = memo_epoch.Delta().wspd_pairs_materialized;
   EXPECT_LT(memo_pairs, gan_pairs);
 }
 

@@ -16,10 +16,14 @@
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
+#include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <future>
 #include <limits>
+#include <map>
 #include <mutex>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -29,6 +33,7 @@
 #include "net/scheduler.h"
 #include "net/server.h"
 #include "net/stats.h"
+#include "obs/trace.h"
 #include "parhc.h"
 
 namespace parhc {
@@ -159,13 +164,16 @@ TEST(PayloadReader, BoundsCheckedReads) {
   EXPECT_FALSE(rd.ok());
 }
 
-TEST(LatencyHistogram, QuantilesAreBucketUpperBounds) {
+TEST(LatencyHistogram, QuantilesInterpolateWithinBuckets) {
   net::LatencyHistogram h;
   for (int i = 0; i < 99; ++i) h.Record(3);   // bucket [2,4) → bound 3
   h.Record(1000);                             // bucket [512,1024) → 1023
   EXPECT_EQ(h.count(), 100u);
   EXPECT_EQ(h.QuantileUs(0.5), 3u);
-  EXPECT_EQ(h.QuantileUs(0.99), 1023u);
+  // Rank 99 is still in the 3µs bucket; only the very last sample (the
+  // 1000µs outlier) reports its bucket's upper bound.
+  EXPECT_EQ(h.QuantileUs(0.99), 3u);
+  EXPECT_EQ(h.QuantileUs(1.0), 1023u);
 }
 
 // ---------------------------------------------------------------------------
@@ -660,6 +668,204 @@ TEST(NetServer, StatsVerbReportsServerAndEngineCounters) {
   EXPECT_NE(stats.find("builds_total="), std::string::npos) << stats;
   EXPECT_NE(stats.find("concurrent_builds=0"), std::string::npos) << stats;
   EXPECT_NE(stats.find("peak_builds="), std::string::npos) << stats;
+}
+
+// Reads one `metrics` reply: exposition lines up to the trailing
+// "ok metrics" marker, returned as one string (marker excluded).
+std::string ReadMetricsReply(TestClient& client) {
+  std::string body;
+  for (;;) {
+    std::string line = client.ReadLine();
+    if (line.empty() || line == "ok metrics\n") break;
+    body += line;
+  }
+  return body;
+}
+
+// Scraping the metrics verb while other clients keep the serving path hot
+// must be data-race-free (this test is in the TSan CI job's target list)
+// and every scrape must be a complete, well-formed exposition.
+TEST(NetServer, MetricsScrapeWhileServingIsRaceFree) {
+  ServerFixture fx;
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> load;
+  for (int t = 0; t < 2; ++t) {
+    load.emplace_back([&fx, &stop, t] {
+      TestClient client(fx.server->port());
+      ASSERT_TRUE(client.connected());
+      std::string d = "m" + std::to_string(t);
+      client.Send("gen " + d + " 2 uniform 300 " + std::to_string(t + 1) +
+                  "\n");
+      client.ReadLine();
+      int m = 4;
+      while (!stop.load(std::memory_order_relaxed)) {
+        client.Send("hdbscan " + d + " " + std::to_string(4 + (m++ % 8)) +
+                    "\n");
+        ASSERT_NE(client.ReadLine().find("ok hdbscan"), std::string::npos);
+      }
+    });
+  }
+  std::vector<std::thread> scrapers;
+  for (int t = 0; t < 2; ++t) {
+    scrapers.emplace_back([&fx] {
+      TestClient client(fx.server->port());
+      ASSERT_TRUE(client.connected());
+      for (int i = 0; i < 25; ++i) {
+        client.Send("metrics\n");
+        std::string body = ReadMetricsReply(client);
+        EXPECT_NE(body.find("# TYPE parhc_server_served_total counter"),
+                  std::string::npos);
+        EXPECT_NE(body.find("parhc_engine_queries_total"),
+                  std::string::npos);
+        EXPECT_NE(body.find("parhc_server_request_latency_us_bucket"),
+                  std::string::npos);
+        // JSON mode is a single line ending in the closing brace.
+        client.Send("metrics json\n");
+        std::string json = client.ReadLine();
+        EXPECT_EQ(json.rfind("{\"metrics\":[", 0), 0u) << json;
+        EXPECT_EQ(json.substr(json.size() - 3), "]}\n");
+      }
+    });
+  }
+  for (auto& t : scrapers) t.join();
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& t : load) t.join();
+
+  // Quiesced: the per-verb counters must account for every served
+  // response (the invariant ci/check_metrics.py asserts over the wire).
+  TestClient client(fx.server->port());
+  ASSERT_TRUE(client.connected());
+  client.Send("metrics\n");
+  std::string body = ReadMetricsReply(client);
+  uint64_t served = 0, by_verb = 0;
+  std::istringstream lines(body);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.rfind("parhc_server_served_total ", 0) == 0) {
+      served = std::stoull(line.substr(line.rfind(' ') + 1));
+    } else if (line.rfind("parhc_server_requests_total{", 0) == 0) {
+      by_verb += std::stoull(line.substr(line.rfind(' ') + 1));
+    }
+  }
+  // The final scrape itself was served but counted after the reply was
+  // rendered, so allow the snapshot to trail by that one in-flight verb.
+  EXPECT_GE(by_verb + 1, served);
+  EXPECT_LE(by_verb, served);
+  EXPECT_GT(served, 0u);
+}
+
+// --- Trace dump schema + nesting -----------------------------------------
+
+struct TraceEvent {
+  std::string name;
+  std::string cat;
+  double ts = 0;   // µs
+  double dur = 0;  // µs
+  int pid = 0;
+  int tid = 0;
+  unsigned long long trace = 0;
+};
+
+/// Minimal parser for the exact Chrome trace_event JSON the tracer emits
+/// (schema validation: any drift in the field layout fails the sscanf).
+std::vector<TraceEvent> ParseTraceDump(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  EXPECT_TRUE(f.good()) << path;
+  std::string json((std::istreambuf_iterator<char>(f)),
+                   std::istreambuf_iterator<char>());
+  EXPECT_EQ(json.rfind("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[", 0),
+            0u);
+  std::vector<TraceEvent> events;
+  size_t pos = 0;
+  const std::string kName = "{\"name\":\"";
+  while ((pos = json.find(kName, pos)) != std::string::npos) {
+    TraceEvent e;
+    size_t name_begin = pos + kName.size();
+    size_t name_end = json.find("\",\"cat\":\"", name_begin);
+    EXPECT_NE(name_end, std::string::npos);
+    e.name = json.substr(name_begin, name_end - name_begin);
+    size_t cat_begin = name_end + 9;
+    size_t cat_end = json.find("\",\"ph\":\"X\",", cat_begin);
+    EXPECT_NE(cat_end, std::string::npos);
+    e.cat = json.substr(cat_begin, cat_end - cat_begin);
+    int matched = std::sscanf(
+        json.c_str() + cat_end,
+        "\",\"ph\":\"X\",\"ts\":%lf,\"dur\":%lf,\"pid\":%d,\"tid\":%d,"
+        "\"args\":{\"trace\":%llu}}",
+        &e.ts, &e.dur, &e.pid, &e.tid, &e.trace);
+    EXPECT_EQ(matched, 5) << e.name;
+    events.push_back(std::move(e));
+    pos = name_end;
+  }
+  return events;
+}
+
+// End-to-end tracing over TCP: `--trace`-style startup, a few traced
+// requests, `trace dump`, then automated validation that every span
+// carries the schema fields and that each request's `queue` span nests
+// (by time containment) inside its `request:<verb>` span.
+TEST(NetServer, TraceDumpSpansNestByTimeContainment) {
+  auto opts = ServerFixture::DefaultOpts();
+  opts.trace = true;
+  ServerFixture fx(opts);
+  obs::Tracer::Get().Clear();  // drop spans from earlier tests
+
+  TestClient client(fx.server->port());
+  ASSERT_TRUE(client.connected());
+  client.Send("gen tr 2 uniform 400 7\n");
+  ASSERT_NE(client.ReadLine().find("ok gen tr"), std::string::npos);
+  client.Send("emst tr\nhdbscan tr 8\nemst tr\n");
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_NE(client.ReadLine().find("ok "), std::string::npos);
+  }
+  std::string path = ::testing::TempDir() + "/net_trace_dump.json";
+  client.Send("trace dump " + path + "\n");
+  std::string reply = client.ReadLine();
+  ASSERT_EQ(reply.rfind("ok trace dump ", 0), 0u) << reply;
+
+  std::vector<TraceEvent> events = ParseTraceDump(path);
+  std::remove(path.c_str());
+  ASSERT_GE(events.size(), 8u);  // 4 requests × (request + queue) minimum
+
+  std::map<unsigned long long, std::vector<const TraceEvent*>> by_trace;
+  for (const TraceEvent& e : events) {
+    EXPECT_FALSE(e.name.empty());
+    EXPECT_TRUE(e.cat == "net" || e.cat == "engine" || e.cat == "algo")
+        << e.name << " cat=" << e.cat;
+    EXPECT_EQ(e.pid, 1);
+    EXPECT_GE(e.tid, 1);
+    EXPECT_GE(e.dur, 0.0);
+    if (e.trace != 0) by_trace[e.trace].push_back(&e);
+  }
+
+  // Every traced request: exactly one request:<verb> root, and every
+  // other span of that trace fits inside it on the shared clock.
+  constexpr double kEpsUs = 0.002;  // dump truncates ns to fixed point
+  int requests_seen = 0, children_checked = 0;
+  for (const auto& [trace_id, spans] : by_trace) {
+    const TraceEvent* root = nullptr;
+    for (const TraceEvent* e : spans) {
+      if (e->name.rfind("request:", 0) == 0) {
+        EXPECT_EQ(root, nullptr) << "two roots for trace " << trace_id;
+        root = e;
+      }
+    }
+    ASSERT_NE(root, nullptr) << "orphan spans for trace " << trace_id;
+    ++requests_seen;
+    for (const TraceEvent* e : spans) {
+      if (e == root) continue;
+      EXPECT_GE(e->ts + kEpsUs, root->ts)
+          << e->name << " starts before its " << root->name;
+      EXPECT_LE(e->ts + e->dur, root->ts + root->dur + kEpsUs)
+          << e->name << " ends after its " << root->name;
+      ++children_checked;
+    }
+  }
+  EXPECT_GE(requests_seen, 4);
+  EXPECT_GE(children_checked, 4);  // at least the queue spans
+
+  obs::Tracer::Get().Disable();
+  obs::Tracer::Get().Clear();
 }
 
 TEST(NetServer, IdleConnectionsAreClosed) {

@@ -96,10 +96,9 @@ TEST(OpticsApprox, HigherSeparationMeansMoreEdgesThanExactPairs) {
   // separation constant, producing far more base-graph edges than the
   // exact method materializes pairs.
   auto pts = SeedSpreaderVarden<2>(2000, 5, 4);
-  auto& stats = Stats::Get();
-  stats.Reset();
+  StatsEpoch epoch;
   HdbscanMst(pts, 10, HdbscanVariant::kMemoGfk);
-  uint64_t exact_pairs = stats.wspd_pairs_materialized.load();
+  uint64_t exact_pairs = epoch.Delta().wspd_pairs_materialized;
   auto approx = OpticsApproxMst(pts, 10, 0.125);
   EXPECT_GT(approx.base_graph_edges, exact_pairs);
 }

@@ -17,6 +17,7 @@
 // a fixed worker count, so the test pins the worker count too.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <fstream>
 #include <regex>
 #include <sstream>
@@ -24,6 +25,9 @@
 
 #include "net/frame.h"
 #include "net/protocol.h"
+#include "net/stats.h"
+#include "obs/observability.h"
+#include "obs/sources.h"
 #include "parhc.h"
 
 namespace parhc {
@@ -83,6 +87,89 @@ TEST(ProtocolGolden, FinalLineWithoutNewlineIsAnswered) {
   while (splitter.Next(&msg)) transcript += session.Handle(msg).out;
   EXPECT_NE(transcript.find("ok gen g"), std::string::npos);
   EXPECT_NE(transcript.find("ok emst g mst_edges=49"), std::string::npos);
+}
+
+// --- Metrics exposition golden -------------------------------------------
+
+/// Masks the sample value (the text after the last space) on every
+/// non-comment exposition line: counters move with library internals, but
+/// the family names, help text, types, label sets, bucket bounds, and
+/// ordering are the API this golden pins.
+std::string MaskSampleValues(const std::string& exposition) {
+  std::istringstream in(exposition);
+  std::string out, line;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line[0] != '#') {
+      size_t sp = line.rfind(' ');
+      if (sp != std::string::npos) line = line.substr(0, sp) + " X";
+    }
+    out += line;
+    out += '\n';
+  }
+  return out;
+}
+
+// The full `metrics` verb output — every family each Register* source
+// exports, through the same protocol core both front-ends use — must
+// match tests/golden/metrics_golden.txt line for line (values masked).
+// Regenerate with PARHC_UPDATE_GOLDEN=1 after intentionally adding or
+// renaming a metric.
+TEST(ProtocolGolden, MetricsExpositionMatchesGolden) {
+  SetNumWorkers(1);
+  ClusteringEngine engine;
+  obs::Observability ob;
+
+  // Deterministic server-side instruments: a fixed stats snapshot, a
+  // latency histogram with three known samples, two verbs bumped.
+  struct FixedStats : net::ServerStatsSource {
+    net::ServerStatsSnapshot Stats() const override {
+      net::ServerStatsSnapshot s;
+      s.connections_now = 3;
+      s.served = 41;
+      s.bytes_in = 1000;
+      s.bytes_out = 2000;
+      return s;
+    }
+  } fixed;
+  net::LatencyHistogram latency;
+  latency.Record(3);
+  latency.Record(100);
+  latency.Record(100000);
+  obs::VerbCounters verbs;
+  verbs.Bump("emst");
+  verbs.Bump("emst");
+  verbs.Bump("stats");
+
+  obs::RegisterServerMetrics(ob.metrics, fixed, &latency, &verbs);
+  obs::RegisterEngineMetrics(ob.metrics, engine);
+  obs::RegisterAlgorithmMetrics(ob.metrics);
+  obs::RegisterObsMetrics(ob.metrics, ob.slowlog);
+
+  net::ProtocolOptions popts;
+  popts.show_timing = false;
+  popts.obs = &ob;
+  net::ProtocolSession session(engine, popts);
+  // One dataset so the per-dataset gauge block (and its labels) is pinned.
+  EXPECT_EQ(session.HandleLine("gen gm 2 uniform 100 1").out,
+            "ok gen gm dim=2 n=100 kind=uniform\n");
+  EXPECT_NE(session.HandleLine("emst gm").out.find("ok emst gm"),
+            std::string::npos);
+
+  std::string out = session.HandleLine("metrics").out;
+  const std::string kMarker = "ok metrics\n";
+  ASSERT_GE(out.size(), kMarker.size());
+  EXPECT_EQ(out.substr(out.size() - kMarker.size()), kMarker);
+  std::string masked = MaskSampleValues(out.substr(0, out.size() - kMarker.size()));
+
+  const std::string path =
+      std::string(PARHC_SOURCE_DIR) + "/tests/golden/metrics_golden.txt";
+  if (std::getenv("PARHC_UPDATE_GOLDEN") != nullptr) {
+    std::ofstream f(path, std::ios::binary | std::ios::trunc);
+    f << masked;
+    ASSERT_TRUE(f.good());
+    GTEST_SKIP() << "regenerated " << path;
+  }
+  EXPECT_EQ(masked, ReadFileOrDie(path));
 }
 
 }  // namespace
