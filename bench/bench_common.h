@@ -61,6 +61,26 @@ inline int EnvIters() {
   return s ? std::max(1, std::atoi(s)) : 1;
 }
 
+/// ISA capability of this process's distance kernels (geometry/distance.h):
+/// 1 when the AVX2+FMA kernels are active, 0 for the scalar fallback (no
+/// AVX2, -DPARHC_SIMD=OFF, or PARHC_FORCE_SCALAR=1). Emitted into every
+/// BENCH_*.json — as file context by AddMachineContext and as a per-row
+/// counter where a gate depends on it — so gate.json bounds can declare
+/// "requires_cpu_features": N and be skipped on machines below that level
+/// instead of failing (ci/check_bench_regression.py).
+inline double CpuFeaturesCounter() {
+  return simd::ActiveLevel() == simd::IsaLevel::kAvx2Fma ? 1.0 : 0.0;
+}
+
+/// Stamps machine capability into the emitted JSON's context block; every
+/// bench main calls this right after benchmark::Initialize.
+inline void AddMachineContext() {
+  benchmark::AddCustomContext("cpu_features",
+                              CpuFeaturesCounter() >= 1.0 ? "1" : "0");
+  benchmark::AddCustomContext("simd_level",
+                              simd::LevelName(simd::ActiveLevel()));
+}
+
 /// Threads for the scaling figures: 1, 2, 4, ..., maxt.
 inline std::vector<int> ThreadSweep() {
   std::vector<int> out;

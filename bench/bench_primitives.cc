@@ -98,4 +98,10 @@ BENCHMARK(BM_Knn10)->Arg(1 << 16)->Unit(benchmark::kMillisecond);
 }  // namespace
 }  // namespace parhc_bench
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  parhc_bench::AddMachineContext();
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -501,6 +501,7 @@ void RegisterAll() {
 int main(int argc, char** argv) {
   parhc_bench::RegisterAll();
   benchmark::Initialize(&argc, argv);
+  parhc_bench::AddMachineContext();
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();
   return 0;

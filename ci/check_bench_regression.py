@@ -23,10 +23,22 @@ gate.json schema (all fields optional):
       "benchmarks": {
         "Bench/Name": {
           "time_tolerance": 0.5,           # per-benchmark override
+          # Skip the real_time check entirely when the measuring machine's
+          # cpu_features level is < N — for rows whose baseline wall time
+          # was captured with SIMD kernels that a scalar-fallback leg
+          # cannot match (the counter gates still document the ISA floor
+          # via requires_cpu_features below).
+          "time_requires_cpu_features": 1,
           "counters": {
             "speedup":   {"min": 1.5},     # lower bound (higher = better)
             "identical": {"equals": 1.0},  # exact gate
-            "warm_secs": {"max": 2.0}      # upper bound (lower = better)
+            "warm_secs": {"max": 2.0},     # upper bound (lower = better)
+            # A bound with requires_cpu_features: N only applies when the
+            # measuring machine's cpu_features level (the row's counter,
+            # falling back to the file's context block — benches emit
+            # both) is >= N; below that the bound is skipped with a note,
+            # so ISA-dependent floors don't fail scalar-fallback CI legs.
+            "simd_speedup": {"min": 3.0, "requires_cpu_features": 1}
           }
         }
       },
@@ -64,7 +76,8 @@ import sys
 
 
 def load_benchmarks(path):
-    """name -> benchmark record from a google-benchmark JSON file."""
+    """(name -> benchmark record, context dict) from a google-benchmark
+    JSON file."""
     with open(path) as f:
         data = json.load(f)
     out = {}
@@ -72,7 +85,21 @@ def load_benchmarks(path):
         if bench.get("run_type") == "aggregate":
             continue
         out[bench["name"]] = bench
-    return out
+    return out, data.get("context", {})
+
+
+def machine_cpu_features(bench, context):
+    """The measuring machine's cpu_features level for one result row: the
+    per-row counter when the bench emits it, else the file-wide context
+    value AddMachineContext stamps, else 0 (assume the least capable
+    machine rather than failing an inapplicable gate)."""
+    val = bench.get("cpu_features")
+    if val is None:
+        val = context.get("cpu_features", 0)
+    try:
+        return float(val)
+    except (TypeError, ValueError):
+        return 0.0
 
 
 def fmt_time(value, unit):
@@ -82,8 +109,8 @@ def fmt_time(value, unit):
 def check_file(name, result_path, baseline_path, default_tol, gate):
     """Returns a list of failure strings for one BENCH_*.json pair."""
     failures = []
-    results = load_benchmarks(result_path)
-    baselines = load_benchmarks(baseline_path)
+    results, result_ctx = load_benchmarks(result_path)
+    baselines, _ = load_benchmarks(baseline_path)
     file_gate = gate.get(name, {})
     file_tol = file_gate.get("time_tolerance", default_tol)
 
@@ -102,7 +129,13 @@ def check_file(name, result_path, baseline_path, default_tol, gate):
             failures.append(f"{name}/{bench_name}: time unit changed "
                             f"({unit} -> {cur.get('time_unit')})")
             continue
-        if base_t > 0 and cur_t > base_t * (1.0 + tol):
+        time_required = bench_gate.get("time_requires_cpu_features")
+        if (time_required is not None
+                and machine_cpu_features(cur, result_ctx) < time_required):
+            print(f"note: {name}/{bench_name}: skipping real_time check "
+                  f"(requires cpu_features>={time_required}, machine has "
+                  f"{machine_cpu_features(cur, result_ctx):g})")
+        elif base_t > 0 and cur_t > base_t * (1.0 + tol):
             failures.append(
                 f"{name}/{bench_name}: real_time {fmt_time(cur_t, unit)} "
                 f"regressed past baseline {fmt_time(base_t, unit)} "
@@ -115,6 +148,14 @@ def check_file(name, result_path, baseline_path, default_tol, gate):
                     f"{name}/{bench_name}: gated counter '{counter}' "
                     "missing from results")
                 continue
+            required = bounds.get("requires_cpu_features")
+            if required is not None:
+                have = machine_cpu_features(cur, result_ctx)
+                if have < required:
+                    print(f"note: {name}/{bench_name}: skipping "
+                          f"'{counter}' gate (requires cpu_features>="
+                          f"{required}, machine has {have:g})")
+                    continue
             if "min" in bounds and val < bounds["min"]:
                 failures.append(
                     f"{name}/{bench_name}: counter {counter}={val:.4g} "

@@ -26,6 +26,17 @@ inline double U01(uint64_t seed, uint64_t idx, uint64_t dim) {
   uint64_t h = HashU64(seed ^ HashU64(idx * 0x51ul + dim + 1));
   return static_cast<double>(h >> 11) * 0x1.0p-53;
 }
+
+// Deterministic per-index standard normal (Box-Muller over the counter
+// RNG): parallel-friendly like U01, used by the high-dim embedding
+// generator where sequential mt19937 would serialize n*d draws.
+inline double Gauss01(uint64_t seed, uint64_t idx, uint64_t dim) {
+  double u1 = U01(seed, idx, 2 * dim);
+  double u2 = U01(seed, idx, 2 * dim + 1);
+  if (u1 < 1e-300) u1 = 1e-300;
+  return std::sqrt(-2.0 * std::log(u1)) *
+         std::cos(2.0 * 3.141592653589793 * u2);
+}
 }  // namespace internal
 
 /// n points uniformly distributed in [0, sqrt(n))^D (paper's UniformFill).
@@ -135,6 +146,37 @@ std::vector<Point<D>> ClusteredGaussians(size_t n, uint64_t seed = 1,
       for (int d = 0; d < D; ++d) pts[i][d] = c[d] + 10.0 * gauss(rng);
     }
   }
+  return pts;
+}
+
+/// Gaussian-mixture embeddings: the high-dimensional ML-embedding workload
+/// (d = 64..768). `clusters` centers drawn from N(0,1)^D (concentrating
+/// near the sqrt(D)-radius shell like real normalized embeddings), each
+/// point a center plus N(0, sigma^2) noise, cluster picked by a hash of
+/// the index. Fully counter-RNG driven, so generation parallelizes over
+/// points and is deterministic for a given (n, seed) at any worker count.
+template <int D>
+std::vector<Point<D>> GaussianEmbeddings(size_t n, uint64_t seed = 1,
+                                         int clusters = 20,
+                                         double sigma = 0.2) {
+  std::vector<Point<D>> centers(clusters);
+  for (int c = 0; c < clusters; ++c) {
+    for (int d = 0; d < D; ++d) {
+      centers[c][d] = internal::Gauss01(seed ^ 0x9e3779b97f4a7c15ull,
+                                        static_cast<uint64_t>(c),
+                                        static_cast<uint64_t>(d));
+    }
+  }
+  std::vector<Point<D>> pts(n);
+  ParallelFor(0, n, [&](size_t i) {
+    const Point<D>& c =
+        centers[HashU64(seed ^ (i * 0x9ddfea08eb382d69ull)) %
+                static_cast<uint64_t>(clusters)];
+    for (int d = 0; d < D; ++d) {
+      pts[i][d] = c[d] + sigma * internal::Gauss01(seed + 1, i,
+                                                   static_cast<uint64_t>(d));
+    }
+  });
   return pts;
 }
 

@@ -492,6 +492,13 @@ class DynamicArtifacts {
 
   bool AnswerEmstFamily(const EngineRequest& req, bool allow_build,
                         EngineResponse* out) {
+    if (req.type == QueryType::kEmst && req.emst_eps >= 0) {
+      // The eps path builds private k-means partition trees over an
+      // immutable point set; the shard forest already maintains its own
+      // incremental decomposition, so the knob applies to static datasets.
+      out->error = "eps EMST is supported on static datasets only";
+      return true;
+    }
     bool need_dendro = req.type == QueryType::kSingleLinkage;
     if (need_dendro && (req.k < 1 || req.k > forest_.live_count())) {
       out->error = "k must be in [1, n]";

@@ -68,6 +68,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <cstdio>
 #include <limits>
 #include <map>
 #include <memory>
@@ -79,6 +80,7 @@
 
 #include "dendrogram/cluster_extraction.h"
 #include "dendrogram/reachability.h"
+#include "emst/emst_highdim.h"
 #include "emst/emst_memogfk.h"
 #include "engine/artifact_util.h"
 #include "engine/request.h"
@@ -296,6 +298,15 @@ class DatasetArtifacts {
     std::shared_ptr<const std::vector<WeightedEdge>> mst;
     double mst_weight = 0;
     std::shared_ptr<const Dendrogram> dendrogram;  ///< single-linkage
+  };
+
+  /// One high-dimensional (partitioned) EMST build, keyed by its eps
+  /// bound. Immutable once published; rebuilt on demand after a snapshot
+  /// warm start (derived cache, deliberately not persisted by SaveTo).
+  struct HighDimEntry {
+    std::shared_ptr<const std::vector<WeightedEdge>> mst;
+    double mst_weight = 0;
+    HighDimEmstInfo info;
   };
 
   /// Consistent copy of one clustering's shared_ptrs, taken under
@@ -700,8 +711,72 @@ class DatasetArtifacts {
     return true;
   }
 
+  /// Artifact key of the high-dim EMST at `eps` (e.g. "emst-hd@0.1").
+  static std::string HighDimKey(double eps) {
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "emst-hd@%g", eps);
+    return buf;
+  }
+
+  /// Partitioned high-dimensional EMST at `eps` (exact decomposition when
+  /// eps == 0; see emst/emst_highdim.h) into *view. Same monitor protocol
+  /// as the other DAG nodes: absent -> building -> ready, waiters block on
+  /// `state_cv_`. Returns false iff missing and !allow_build.
+  bool HighDimEmstAt(double eps, bool allow_build, EngineResponse* out,
+                     std::shared_ptr<const HighDimEntry>* view) {
+    const std::string key = HighDimKey(eps);
+    {
+      std::unique_lock<std::mutex> lk(state_mu_);
+      for (;;) {
+        auto it = highdim_.find(eps);
+        if (it != highdim_.end()) {
+          *view = it->second;
+          lk.unlock();
+          Trace(out, /*built=*/false, key);
+          return true;
+        }
+        if (!allow_build) return false;
+        if (highdim_building_.count(eps) == 0) break;
+        state_cv_.wait(lk);
+      }
+      highdim_building_.insert(eps);
+    }
+    auto done = OnBuildExit([this, eps] {
+      std::lock_guard<std::mutex> lk(state_mu_);
+      highdim_building_.erase(eps);
+      state_cv_.notify_all();
+    });
+    obs::Span span(BuildSpanName(key), "engine");
+    auto entry = std::make_shared<HighDimEntry>();
+    HighDimEmstOptions opts;
+    opts.eps = eps;
+    // Builds private partition trees (never the shared annotated tree_),
+    // so no tree_annot_mu_ — eps builds run concurrently with everything.
+    entry->mst = std::make_shared<const std::vector<WeightedEdge>>(
+        HighDimEmst(pts_, opts, &entry->info));
+    entry->mst_weight = TotalWeight(*entry->mst);
+    {
+      std::lock_guard<std::mutex> lk(state_mu_);
+      highdim_[eps] = entry;
+    }
+    Trace(out, /*built=*/true, key);
+    *view = std::move(entry);
+    return true;
+  }
+
   bool AnswerEmstFamily(const EngineRequest& req, bool allow_build,
                         EngineResponse* out) {
+    if (req.type == QueryType::kEmst && req.emst_eps >= 0) {
+      std::shared_ptr<const HighDimEntry> e;
+      if (!HighDimEmstAt(req.emst_eps, allow_build, out, &e)) return false;
+      out->mst = e->mst;
+      out->mst_weight = e->mst_weight;
+      out->approx_eps = req.emst_eps;
+      out->partitions = e->info.partitions;
+      out->cross_pruned = e->info.cross_pruned;
+      out->ok = true;
+      return true;
+    }
     bool need_dendro = req.type == QueryType::kSingleLinkage;
     if (need_dendro && (req.k < 1 || req.k > pts_.size())) {
       out->error = "k must be in [1, n]";
@@ -781,6 +856,7 @@ class DatasetArtifacts {
   std::map<int, std::shared_ptr<const std::vector<double>>> core_;
   std::map<int, std::shared_ptr<HdbscanEntry>> hdbscan_;
   EmstEntry emst_;
+  std::map<double, std::shared_ptr<const HighDimEntry>> highdim_;
 
   bool tree_building_ = false;
   size_t knn_building_k_ = 0;  ///< 0 = idle, else the width being built
@@ -790,6 +866,7 @@ class DatasetArtifacts {
   std::set<int> plot_building_;
   bool emst_building_ = false;
   bool sl_building_ = false;
+  std::set<double> highdim_building_;
 
   std::atomic<uint64_t> clock_{0};
 };

@@ -6,8 +6,9 @@
 // registered dataset owns a DatasetArtifacts<D> behind a virtual interface
 // (DatasetEntryBase) carrying the per-dataset readers-writer lock that the
 // engine's query path uses. Supported dimensions are the paper's evaluation
-// set {2, 3, 4, 5, 7, 10, 16}; loading another dimension fails with a
-// clear error rather than instantiating unboundedly.
+// set {2, 3, 4, 5, 7, 10, 16} plus the embedding widths {64, 256} served by
+// the high-dimensional EMST path (emst/emst_highdim.h); loading another
+// dimension fails with a clear error rather than instantiating unboundedly.
 //
 // Static datasets are immutable once added; re-adding a name atomically
 // replaces the entry: in-flight queries keep answering from the old
@@ -193,13 +194,21 @@ struct DatasetInfo {
   int64_t snapshot_unix_ms = -1;    ///< last snapshot save/load wall time
 };
 
+/// X-macro over every registry-hosted dimension: each X(D) instantiates the
+/// full engine stack (static + dynamic entries, artifact DAG, snapshot
+/// loaders) at that width. The wide dims (64, 256) serve the
+/// high-dimensional embedding workload (see emst/emst_highdim.h).
+#define PARHC_FOR_EACH_DIM(X) X(2) X(3) X(4) X(5) X(7) X(10) X(16) X(64) X(256)
+
 class DatasetRegistry {
  public:
   /// Dimensions the registry can host (one template instantiation each).
   static bool SupportedDim(int dim) {
     switch (dim) {
-      case 2: case 3: case 4: case 5: case 7: case 10: case 16:
-        return true;
+#define PARHC_DIM_CASE(D) case D:
+      PARHC_FOR_EACH_DIM(PARHC_DIM_CASE)
+#undef PARHC_DIM_CASE
+      return true;
       default:
         return false;
     }
@@ -229,13 +238,12 @@ class DatasetRegistry {
       }
     }
     switch (dim) {
-      case 2: Add(name, RowsToPoints<2>(rows)); break;
-      case 3: Add(name, RowsToPoints<3>(rows)); break;
-      case 4: Add(name, RowsToPoints<4>(rows)); break;
-      case 5: Add(name, RowsToPoints<5>(rows)); break;
-      case 7: Add(name, RowsToPoints<7>(rows)); break;
-      case 10: Add(name, RowsToPoints<10>(rows)); break;
-      case 16: Add(name, RowsToPoints<16>(rows)); break;
+#define PARHC_DIM_CASE(D)              \
+  case D:                              \
+    Add(name, RowsToPoints<D>(rows)); \
+    break;
+      PARHC_FOR_EACH_DIM(PARHC_DIM_CASE)
+#undef PARHC_DIM_CASE
       default: break;  // unreachable: SupportedDim checked above
     }
     return "";
@@ -265,13 +273,12 @@ class DatasetRegistry {
     }
     if (h.count == 0) return "dataset must be non-empty";
     switch (h.dim) {
-      case 2: Add(name, ReadPointsBinAs<2>(path)); break;
-      case 3: Add(name, ReadPointsBinAs<3>(path)); break;
-      case 4: Add(name, ReadPointsBinAs<4>(path)); break;
-      case 5: Add(name, ReadPointsBinAs<5>(path)); break;
-      case 7: Add(name, ReadPointsBinAs<7>(path)); break;
-      case 10: Add(name, ReadPointsBinAs<10>(path)); break;
-      case 16: Add(name, ReadPointsBinAs<16>(path)); break;
+#define PARHC_DIM_CASE(D)                  \
+  case D:                                  \
+    Add(name, ReadPointsBinAs<D>(path)); \
+    break;
+      PARHC_FOR_EACH_DIM(PARHC_DIM_CASE)
+#undef PARHC_DIM_CASE
       default: break;  // unreachable: SupportedDim checked above
     }
     return "";
@@ -290,17 +297,12 @@ class DatasetRegistry {
       return "unsupported dataset dimension " + std::to_string(dim);
     }
     switch (dim) {
-      case 2: Insert(name, std::make_shared<DynamicDatasetEntry<2>>()); break;
-      case 3: Insert(name, std::make_shared<DynamicDatasetEntry<3>>()); break;
-      case 4: Insert(name, std::make_shared<DynamicDatasetEntry<4>>()); break;
-      case 5: Insert(name, std::make_shared<DynamicDatasetEntry<5>>()); break;
-      case 7: Insert(name, std::make_shared<DynamicDatasetEntry<7>>()); break;
-      case 10:
-        Insert(name, std::make_shared<DynamicDatasetEntry<10>>());
-        break;
-      case 16:
-        Insert(name, std::make_shared<DynamicDatasetEntry<16>>());
-        break;
+#define PARHC_DIM_CASE(D)                                       \
+  case D:                                                       \
+    Insert(name, std::make_shared<DynamicDatasetEntry<D>>()); \
+    break;
+      PARHC_FOR_EACH_DIM(PARHC_DIM_CASE)
+#undef PARHC_DIM_CASE
       default: break;  // unreachable: SupportedDim checked above
     }
     return "";
@@ -327,13 +329,12 @@ class DatasetRegistry {
       }
       std::shared_ptr<DatasetEntryBase> entry;
       switch (info.dim) {
-        case 2: entry = LoadEntry<2>(dir, info.dynamic); break;
-        case 3: entry = LoadEntry<3>(dir, info.dynamic); break;
-        case 4: entry = LoadEntry<4>(dir, info.dynamic); break;
-        case 5: entry = LoadEntry<5>(dir, info.dynamic); break;
-        case 7: entry = LoadEntry<7>(dir, info.dynamic); break;
-        case 10: entry = LoadEntry<10>(dir, info.dynamic); break;
-        case 16: entry = LoadEntry<16>(dir, info.dynamic); break;
+#define PARHC_DIM_CASE(D)                        \
+  case D:                                        \
+    entry = LoadEntry<D>(dir, info.dynamic); \
+    break;
+        PARHC_FOR_EACH_DIM(PARHC_DIM_CASE)
+#undef PARHC_DIM_CASE
         default: break;  // unreachable: SupportedDim checked above
       }
       Insert(name, std::move(entry));

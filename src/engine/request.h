@@ -37,6 +37,11 @@ struct EngineRequest {
   double eps = 0;              ///< kDbscanStarAt cut height
   size_t k = 1;                ///< kSingleLinkage cluster count
   size_t min_cluster_size = 5; ///< kStableClusters
+  /// kEmst only: < 0 (default) answers with the classic exact MemoGFK
+  /// path; >= 0 routes to the partitioned high-dimensional path
+  /// (emst/emst_highdim.h) with that (1+eps) pruning bound — eps 0 is the
+  /// exact distance decomposition.
+  double emst_eps = -1;
 };
 
 /// Result of one engine query. Artifact fields are shared immutable
@@ -61,6 +66,14 @@ struct EngineResponse {
   double mst_weight = 0;            ///< kEmst, kHdbscan
   int32_t num_clusters = 0;         ///< label summary
   size_t num_noise = 0;             ///< label summary
+  /// Approximation surface of the high-dimensional EMST path: `approx_eps`
+  /// echoes the request's bound (-1 = classic exact path answered),
+  /// `partitions` the k-means decomposition width, `cross_pruned` how many
+  /// well-separated cross pairs were settled by an eps representative
+  /// instead of an exact BCCP descent (always 0 when approx_eps <= 0).
+  double approx_eps = -1;
+  int partitions = 0;
+  size_t cross_pruned = 0;
 
   /// Artifact keys (e.g. "tree", "knn@50", "cd@10", "mst@10") this query
   /// built versus served from cache, in build/use order.

@@ -1,0 +1,339 @@
+// Kernel bodies and runtime dispatch for geometry/distance.h.
+//
+// The AVX2+FMA bodies are compiled with per-function target attributes, so
+// the translation unit builds under a generic -march and the binary stays
+// runnable on non-AVX2 machines: the dispatcher only ever calls them after
+// __builtin_cpu_supports says the ISA is there.
+
+#include "geometry/distance.h"
+
+#include <cstdlib>
+
+#if defined(__x86_64__) && defined(__GNUC__) && !defined(PARHC_SIMD_OFF)
+#define PARHC_HAVE_AVX2_BODIES 1
+#include <immintrin.h>
+#endif
+
+namespace parhc {
+namespace simd {
+
+namespace {
+
+// ---- scalar reference ---------------------------------------------------
+// Sequential accumulation, bit-identical to the unrolled template loops in
+// point.h/box.h.
+
+double ScalarSquaredDistance(const double* a, const double* b, int d) {
+  double s = 0;
+  for (int i = 0; i < d; ++i) {
+    double t = a[i] - b[i];
+    s += t * t;
+  }
+  return s;
+}
+
+void ScalarBatchSquaredDistances(const double* q, const double* block,
+                                 size_t count, size_t stride, int d,
+                                 double* out) {
+  for (size_t i = 0; i < count; ++i) {
+    out[i] = ScalarSquaredDistance(q, block + i * stride, d);
+  }
+}
+
+double ScalarBoxMinSquaredDistance(const double* lo, const double* hi,
+                                   const double* p, int d) {
+  double s = 0;
+  for (int i = 0; i < d; ++i) {
+    double t = lo[i] - p[i];
+    if (p[i] - hi[i] > t) t = p[i] - hi[i];
+    if (t < 0) t = 0;
+    s += t * t;
+  }
+  return s;
+}
+
+void ScalarBoxExtendBlock(double* lo, double* hi, const double* block,
+                          size_t count, size_t stride, int d) {
+  for (size_t i = 0; i < count; ++i) {
+    const double* p = block + i * stride;
+    for (int j = 0; j < d; ++j) {
+      if (p[j] < lo[j]) lo[j] = p[j];
+      if (p[j] > hi[j]) hi[j] = p[j];
+    }
+  }
+}
+
+// ---- AVX2+FMA -----------------------------------------------------------
+
+#ifdef PARHC_HAVE_AVX2_BODIES
+
+// always_inline: gcc leaves calls between same-target functions
+// out-of-line, and a per-row call in the batch kernel costs ~25 cycles —
+// a third of the whole d=256 row. Sharing one body also keeps the batch
+// and pairwise kernels bit-identical by construction
+// (tests/simd_dispatch_test.cc pins that).
+__attribute__((target("avx2,fma"), always_inline)) inline double
+Avx2SquaredDistanceBody(const double* a, const double* b, int d) {
+  __m256d acc0 = _mm256_setzero_pd();
+  __m256d acc1 = _mm256_setzero_pd();
+  int i = 0;
+  for (; i + 8 <= d; i += 8) {
+    __m256d d0 = _mm256_sub_pd(_mm256_loadu_pd(a + i), _mm256_loadu_pd(b + i));
+    __m256d d1 = _mm256_sub_pd(_mm256_loadu_pd(a + i + 4),
+                               _mm256_loadu_pd(b + i + 4));
+    acc0 = _mm256_fmadd_pd(d0, d0, acc0);
+    acc1 = _mm256_fmadd_pd(d1, d1, acc1);
+  }
+  if (i + 4 <= d) {
+    __m256d d0 = _mm256_sub_pd(_mm256_loadu_pd(a + i), _mm256_loadu_pd(b + i));
+    acc0 = _mm256_fmadd_pd(d0, d0, acc0);
+    i += 4;
+  }
+  double tail = 0;
+  for (; i < d; ++i) {
+    double t = a[i] - b[i];
+    tail += t * t;
+  }
+  acc0 = _mm256_add_pd(acc0, acc1);
+  __m128d lo = _mm256_castpd256_pd128(acc0);
+  __m128d hi = _mm256_extractf128_pd(acc0, 1);
+  lo = _mm_add_pd(lo, hi);
+  return _mm_cvtsd_f64(lo) + _mm_cvtsd_f64(_mm_unpackhi_pd(lo, lo)) + tail;
+}
+
+__attribute__((target("avx2,fma"))) double Avx2SquaredDistance(
+    const double* a, const double* b, int d) {
+  return Avx2SquaredDistanceBody(a, b, d);
+}
+
+// Four rows interleaved per iteration: the query vectors are loaded once
+// per 8-lane step instead of once per row, and four independent FMA
+// chains cover the FMA latency a single row's two accumulators cannot.
+// The floating-point operation order *within* each row is exactly
+// Avx2SquaredDistanceBody's (same 2-accumulator split, same reduction),
+// so results stay bit-identical to the pairwise kernel — interleaving
+// only reorders operations across rows, which never mix.
+__attribute__((target("avx2,fma"))) void Avx2BatchSquaredDistances(
+    const double* q, const double* block, size_t count, size_t stride, int d,
+    double* out) {
+  size_t i = 0;
+  for (; i + 4 <= count; i += 4) {
+    const double* b0 = block + i * stride;
+    const double* b1 = b0 + stride;
+    const double* b2 = b1 + stride;
+    const double* b3 = b2 + stride;
+    __m256d a0 = _mm256_setzero_pd(), s0 = _mm256_setzero_pd();
+    __m256d a1 = _mm256_setzero_pd(), s1 = _mm256_setzero_pd();
+    __m256d a2 = _mm256_setzero_pd(), s2 = _mm256_setzero_pd();
+    __m256d a3 = _mm256_setzero_pd(), s3 = _mm256_setzero_pd();
+    int j = 0;
+    for (; j + 8 <= d; j += 8) {
+      __m256d q0 = _mm256_loadu_pd(q + j);
+      __m256d q1 = _mm256_loadu_pd(q + j + 4);
+      __m256d d0, d1;
+      d0 = _mm256_sub_pd(q0, _mm256_loadu_pd(b0 + j));
+      d1 = _mm256_sub_pd(q1, _mm256_loadu_pd(b0 + j + 4));
+      a0 = _mm256_fmadd_pd(d0, d0, a0);
+      s0 = _mm256_fmadd_pd(d1, d1, s0);
+      d0 = _mm256_sub_pd(q0, _mm256_loadu_pd(b1 + j));
+      d1 = _mm256_sub_pd(q1, _mm256_loadu_pd(b1 + j + 4));
+      a1 = _mm256_fmadd_pd(d0, d0, a1);
+      s1 = _mm256_fmadd_pd(d1, d1, s1);
+      d0 = _mm256_sub_pd(q0, _mm256_loadu_pd(b2 + j));
+      d1 = _mm256_sub_pd(q1, _mm256_loadu_pd(b2 + j + 4));
+      a2 = _mm256_fmadd_pd(d0, d0, a2);
+      s2 = _mm256_fmadd_pd(d1, d1, s2);
+      d0 = _mm256_sub_pd(q0, _mm256_loadu_pd(b3 + j));
+      d1 = _mm256_sub_pd(q1, _mm256_loadu_pd(b3 + j + 4));
+      a3 = _mm256_fmadd_pd(d0, d0, a3);
+      s3 = _mm256_fmadd_pd(d1, d1, s3);
+    }
+    if (j + 4 <= d) {
+      __m256d q0 = _mm256_loadu_pd(q + j);
+      __m256d d0;
+      d0 = _mm256_sub_pd(q0, _mm256_loadu_pd(b0 + j));
+      a0 = _mm256_fmadd_pd(d0, d0, a0);
+      d0 = _mm256_sub_pd(q0, _mm256_loadu_pd(b1 + j));
+      a1 = _mm256_fmadd_pd(d0, d0, a1);
+      d0 = _mm256_sub_pd(q0, _mm256_loadu_pd(b2 + j));
+      a2 = _mm256_fmadd_pd(d0, d0, a2);
+      d0 = _mm256_sub_pd(q0, _mm256_loadu_pd(b3 + j));
+      a3 = _mm256_fmadd_pd(d0, d0, a3);
+      j += 4;
+    }
+    double t0 = 0, t1 = 0, t2 = 0, t3 = 0;
+    for (; j < d; ++j) {
+      double u;
+      u = q[j] - b0[j];
+      t0 += u * u;
+      u = q[j] - b1[j];
+      t1 += u * u;
+      u = q[j] - b2[j];
+      t2 += u * u;
+      u = q[j] - b3[j];
+      t3 += u * u;
+    }
+    a0 = _mm256_add_pd(a0, s0);
+    a1 = _mm256_add_pd(a1, s1);
+    a2 = _mm256_add_pd(a2, s2);
+    a3 = _mm256_add_pd(a3, s3);
+    __m128d l;
+    l = _mm_add_pd(_mm256_castpd256_pd128(a0), _mm256_extractf128_pd(a0, 1));
+    out[i] = _mm_cvtsd_f64(l) + _mm_cvtsd_f64(_mm_unpackhi_pd(l, l)) + t0;
+    l = _mm_add_pd(_mm256_castpd256_pd128(a1), _mm256_extractf128_pd(a1, 1));
+    out[i + 1] = _mm_cvtsd_f64(l) + _mm_cvtsd_f64(_mm_unpackhi_pd(l, l)) + t1;
+    l = _mm_add_pd(_mm256_castpd256_pd128(a2), _mm256_extractf128_pd(a2, 1));
+    out[i + 2] = _mm_cvtsd_f64(l) + _mm_cvtsd_f64(_mm_unpackhi_pd(l, l)) + t2;
+    l = _mm_add_pd(_mm256_castpd256_pd128(a3), _mm256_extractf128_pd(a3, 1));
+    out[i + 3] = _mm_cvtsd_f64(l) + _mm_cvtsd_f64(_mm_unpackhi_pd(l, l)) + t3;
+  }
+  for (; i < count; ++i) {
+    out[i] = Avx2SquaredDistanceBody(q, block + i * stride, d);
+  }
+}
+
+__attribute__((target("avx2,fma"))) double Avx2BoxMinSquaredDistance(
+    const double* lo, const double* hi, const double* p, int d) {
+  __m256d acc = _mm256_setzero_pd();
+  __m256d zero = _mm256_setzero_pd();
+  int i = 0;
+  for (; i + 4 <= d; i += 4) {
+    __m256d pv = _mm256_loadu_pd(p + i);
+    __m256d below = _mm256_sub_pd(_mm256_loadu_pd(lo + i), pv);
+    __m256d above = _mm256_sub_pd(pv, _mm256_loadu_pd(hi + i));
+    __m256d t = _mm256_max_pd(_mm256_max_pd(below, above), zero);
+    acc = _mm256_fmadd_pd(t, t, acc);
+  }
+  double tail = 0;
+  for (; i < d; ++i) {
+    double t = lo[i] - p[i];
+    if (p[i] - hi[i] > t) t = p[i] - hi[i];
+    if (t < 0) t = 0;
+    tail += t * t;
+  }
+  __m128d l = _mm256_castpd256_pd128(acc);
+  __m128d h = _mm256_extractf128_pd(acc, 1);
+  l = _mm_add_pd(l, h);
+  return _mm_cvtsd_f64(l) + _mm_cvtsd_f64(_mm_unpackhi_pd(l, l)) + tail;
+}
+
+__attribute__((target("avx2,fma"))) void Avx2BoxExtendBlock(
+    double* lo, double* hi, const double* block, size_t count, size_t stride,
+    int d) {
+  int j = 0;
+  for (; j + 4 <= d; j += 4) {
+    __m256d lov = _mm256_loadu_pd(lo + j);
+    __m256d hiv = _mm256_loadu_pd(hi + j);
+    for (size_t i = 0; i < count; ++i) {
+      __m256d pv = _mm256_loadu_pd(block + i * stride + j);
+      lov = _mm256_min_pd(lov, pv);
+      hiv = _mm256_max_pd(hiv, pv);
+    }
+    _mm256_storeu_pd(lo + j, lov);
+    _mm256_storeu_pd(hi + j, hiv);
+  }
+  for (; j < d; ++j) {
+    for (size_t i = 0; i < count; ++i) {
+      double v = block[i * stride + j];
+      if (v < lo[j]) lo[j] = v;
+      if (v > hi[j]) hi[j] = v;
+    }
+  }
+}
+
+#endif  // PARHC_HAVE_AVX2_BODIES
+
+}  // namespace
+
+const char* LevelName(IsaLevel level) {
+  return level == IsaLevel::kAvx2Fma ? "avx2+fma" : "scalar";
+}
+
+bool CpuSupportsAvx2Fma() {
+#ifdef PARHC_HAVE_AVX2_BODIES
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+#else
+  return false;
+#endif
+}
+
+IsaLevel DetectLevel(bool force_scalar) {
+  if (force_scalar) return IsaLevel::kScalar;
+  return CpuSupportsAvx2Fma() ? IsaLevel::kAvx2Fma : IsaLevel::kScalar;
+}
+
+IsaLevel ActiveLevel() {
+  static const IsaLevel level = [] {
+    const char* env = std::getenv("PARHC_FORCE_SCALAR");
+    return DetectLevel(env != nullptr && env[0] == '1');
+  }();
+  return level;
+}
+
+double SquaredDistanceAt(IsaLevel level, const double* a, const double* b,
+                         int d) {
+#ifdef PARHC_HAVE_AVX2_BODIES
+  if (level == IsaLevel::kAvx2Fma) return Avx2SquaredDistance(a, b, d);
+#endif
+  (void)level;
+  return ScalarSquaredDistance(a, b, d);
+}
+
+void BatchSquaredDistancesAt(IsaLevel level, const double* q,
+                             const double* block, size_t count, size_t stride,
+                             int d, double* out) {
+#ifdef PARHC_HAVE_AVX2_BODIES
+  if (level == IsaLevel::kAvx2Fma) {
+    Avx2BatchSquaredDistances(q, block, count, stride, d, out);
+    return;
+  }
+#endif
+  (void)level;
+  ScalarBatchSquaredDistances(q, block, count, stride, d, out);
+}
+
+double BoxMinSquaredDistanceAt(IsaLevel level, const double* lo,
+                               const double* hi, const double* p, int d) {
+#ifdef PARHC_HAVE_AVX2_BODIES
+  if (level == IsaLevel::kAvx2Fma) {
+    return Avx2BoxMinSquaredDistance(lo, hi, p, d);
+  }
+#endif
+  (void)level;
+  return ScalarBoxMinSquaredDistance(lo, hi, p, d);
+}
+
+void BoxExtendBlockAt(IsaLevel level, double* lo, double* hi,
+                      const double* block, size_t count, size_t stride,
+                      int d) {
+#ifdef PARHC_HAVE_AVX2_BODIES
+  if (level == IsaLevel::kAvx2Fma) {
+    Avx2BoxExtendBlock(lo, hi, block, count, stride, d);
+    return;
+  }
+#endif
+  (void)level;
+  ScalarBoxExtendBlock(lo, hi, block, count, stride, d);
+}
+
+double SquaredDistanceN(const double* a, const double* b, int d) {
+  return SquaredDistanceAt(ActiveLevel(), a, b, d);
+}
+
+void BatchSquaredDistancesN(const double* q, const double* block,
+                            size_t count, size_t stride, int d, double* out) {
+  BatchSquaredDistancesAt(ActiveLevel(), q, block, count, stride, d, out);
+}
+
+double BoxMinSquaredDistanceN(const double* lo, const double* hi,
+                              const double* p, int d) {
+  return BoxMinSquaredDistanceAt(ActiveLevel(), lo, hi, p, d);
+}
+
+void BoxExtendBlockN(double* lo, double* hi, const double* block,
+                     size_t count, size_t stride, int d) {
+  BoxExtendBlockAt(ActiveLevel(), lo, hi, block, count, stride, d);
+}
+
+}  // namespace simd
+}  // namespace parhc

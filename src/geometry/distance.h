@@ -1,0 +1,169 @@
+// Runtime-dispatched SIMD distance kernels (high-dimensional serving path).
+//
+// The low-dimensional traversals (d = 2..7) spend their time in tree
+// descent, where the compile-time-unrolled loops of point.h/box.h are
+// already optimal. At embedding dimensions (d = 64..768) the cost profile
+// inverts: distance evaluation dominates every traversal, so the hot
+// callers (kNN leaf scans, BCCP leaf scans, k-means assignment, the build's
+// bounding-box sweep) route through the kernels below, which dispatch at
+// runtime between a scalar reference and an AVX2+FMA implementation.
+//
+// Dispatch contract:
+//  * Detection happens once (cpuid via __builtin_cpu_supports); setting
+//    PARHC_FORCE_SCALAR=1 in the environment pins the scalar fallback.
+//  * The scalar kernels accumulate sequentially — bit-identical to the
+//    template loops in point.h/box.h, so a forced-scalar (or non-AVX2)
+//    run reproduces pre-kernel results exactly.
+//  * The AVX2 kernels use 4-lane FMA accumulation; reassociation and fused
+//    rounding mean results agree with scalar only to relative O(d * eps),
+//    not bitwise. All distances inside one process go through the same
+//    dispatched kernel, so every internal exactness invariant (tie-breaks,
+//    cached-vs-recomputed comparisons, snapshot round-trips) still holds
+//    bit-for-bit within a run.
+//  * Min/max-only kernels (box extend) never round, so they are bitwise
+//    identical across ISA levels.
+//
+// Dimensions below kSimdMinDim bypass dispatch entirely and keep the
+// unrolled scalar templates: low-dim results are bit-stable across this
+// refactor by construction.
+//
+// Building with -DPARHC_SIMD=OFF compiles the AVX2 bodies out (the
+// generic-ISA CI leg); dispatch then always resolves to scalar.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "geometry/box.h"
+#include "geometry/point.h"
+
+namespace parhc {
+
+namespace simd {
+
+/// Instruction-set level resolved by runtime dispatch.
+enum class IsaLevel : int {
+  kScalar = 0,
+  kAvx2Fma = 1,
+};
+
+/// Human-readable name ("scalar" / "avx2+fma").
+const char* LevelName(IsaLevel level);
+
+/// True when the CPU supports AVX2+FMA *and* the AVX2 bodies were compiled
+/// in (PARHC_SIMD=ON).
+bool CpuSupportsAvx2Fma();
+
+/// The level every dispatched kernel runs at: cached on first call;
+/// PARHC_FORCE_SCALAR=1 in the environment forces kScalar.
+IsaLevel ActiveLevel();
+
+/// Pure detection (no caching): what ActiveLevel() would return given the
+/// forced-scalar flag. Exposed for the dispatch test.
+IsaLevel DetectLevel(bool force_scalar);
+
+// ---- dispatched kernels (runtime length) --------------------------------
+// `d` is the dimension; all pointers address unaligned double storage.
+
+/// Squared Euclidean distance between two d-vectors.
+double SquaredDistanceN(const double* a, const double* b, int d);
+
+/// Squared distances from `q` to `count` points stored row-major at
+/// `block` with `stride` doubles per row: out[i] = |q - block[i*stride]|^2.
+void BatchSquaredDistancesN(const double* q, const double* block,
+                            size_t count, size_t stride, int d, double* out);
+
+/// Minimum squared distance from point `p` to the box [lo, hi].
+double BoxMinSquaredDistanceN(const double* lo, const double* hi,
+                              const double* p, int d);
+
+/// Extends [lo, hi] by `count` row-major points (min/max only — bitwise
+/// identical across ISA levels).
+void BoxExtendBlockN(double* lo, double* hi, const double* block,
+                     size_t count, size_t stride, int d);
+
+// ---- fixed-level kernels (dispatch test / microbenchmarks) --------------
+// Run a specific implementation regardless of ActiveLevel(). Calling the
+// kAvx2Fma variants requires CpuSupportsAvx2Fma().
+
+double SquaredDistanceAt(IsaLevel level, const double* a, const double* b,
+                         int d);
+void BatchSquaredDistancesAt(IsaLevel level, const double* q,
+                             const double* block, size_t count, size_t stride,
+                             int d, double* out);
+double BoxMinSquaredDistanceAt(IsaLevel level, const double* lo,
+                               const double* hi, const double* p, int d);
+void BoxExtendBlockAt(IsaLevel level, double* lo, double* hi,
+                      const double* block, size_t count, size_t stride, int d);
+
+}  // namespace simd
+
+/// Dimensions at or above this go through the dispatched kernels; below it
+/// the unrolled templates in point.h/box.h win and stay bit-stable.
+inline constexpr int kSimdMinDim = 8;
+
+/// Batch size used by leaf scans that stage distances through a stack
+/// buffer (duplicate leaves can exceed leaf_size, so scans chunk).
+inline constexpr size_t kDistanceBatch = 64;
+
+// Points are tightly packed rows: leaf scans hand Point arrays to the
+// batched kernels as row-major blocks with stride D.
+static_assert(sizeof(Point<8>) == 8 * sizeof(double),
+              "Point<D> must be a packed double row");
+
+/// Squared distance through the dispatched kernel (>= kSimdMinDim) or the
+/// unrolled template (below it).
+template <int D>
+inline double SquaredDistanceDispatch(const Point<D>& a, const Point<D>& b) {
+  if constexpr (D >= kSimdMinDim) {
+    return simd::SquaredDistanceN(a.x.data(), b.x.data(), D);
+  } else {
+    return SquaredDistance(a, b);
+  }
+}
+
+/// Distance through the dispatched kernel.
+template <int D>
+inline double DistanceDispatch(const Point<D>& a, const Point<D>& b) {
+  return std::sqrt(SquaredDistanceDispatch(a, b));
+}
+
+/// Batched point-to-block squared distances over a packed Point row block.
+template <int D>
+inline void BatchSquaredDistances(const Point<D>& q, const Point<D>* block,
+                                  size_t count, double* out) {
+  if (count == 0) return;
+  if constexpr (D >= kSimdMinDim) {
+    simd::BatchSquaredDistancesN(q.x.data(), block->x.data(), count, D, D,
+                                 out);
+  } else {
+    for (size_t i = 0; i < count; ++i) out[i] = SquaredDistance(q, block[i]);
+  }
+}
+
+/// Point-to-box minimum squared distance through the dispatched kernel.
+template <int D>
+inline double BoxMinSquaredDistanceDispatch(const Box<D>& box,
+                                            const Point<D>& p) {
+  if constexpr (D >= kSimdMinDim) {
+    return simd::BoxMinSquaredDistanceN(box.lo.x.data(), box.hi.x.data(),
+                                        p.x.data(), D);
+  } else {
+    return box.MinSquaredDistance(p);
+  }
+}
+
+/// Extends `box` by a packed block of points through the dispatched kernel
+/// (bitwise identical to per-point Extend at every ISA level).
+template <int D>
+inline void BoxExtendBlock(Box<D>& box, const Point<D>* block, size_t count) {
+  if (count == 0) return;
+  if constexpr (D >= kSimdMinDim) {
+    simd::BoxExtendBlockN(box.lo.x.data(), box.hi.x.data(), block->x.data(),
+                          count, D, D);
+  } else {
+    for (size_t i = 0; i < count; ++i) box.Extend(block[i]);
+  }
+}
+
+}  // namespace parhc

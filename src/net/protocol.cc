@@ -57,6 +57,7 @@ std::vector<Point<D>> GenTyped(const std::string& kind, size_t n,
   if (kind == "varden") return SeedSpreaderVarden<D>(n, seed);
   if (kind == "levy") return SkewedLevy<D>(n, seed);
   if (kind == "gauss") return ClusteredGaussians<D>(n, seed);
+  if (kind == "embed") return GaussianEmbeddings<D>(n, seed);
   return {};
 }
 
@@ -74,13 +75,11 @@ std::vector<std::vector<double>> RowsFrom(const std::vector<Point<D>>& pts) {
 std::vector<std::vector<double>> GenRows(int dim, const std::string& kind,
                                          size_t n, uint64_t seed) {
   switch (dim) {
-    case 2: return RowsFrom(GenTyped<2>(kind, n, seed));
-    case 3: return RowsFrom(GenTyped<3>(kind, n, seed));
-    case 4: return RowsFrom(GenTyped<4>(kind, n, seed));
-    case 5: return RowsFrom(GenTyped<5>(kind, n, seed));
-    case 7: return RowsFrom(GenTyped<7>(kind, n, seed));
-    case 10: return RowsFrom(GenTyped<10>(kind, n, seed));
-    case 16: return RowsFrom(GenTyped<16>(kind, n, seed));
+#define PARHC_GEN_CASE(D) \
+  case D:                 \
+    return RowsFrom(GenTyped<D>(kind, n, seed));
+    PARHC_FOR_EACH_DIM(PARHC_GEN_CASE)
+#undef PARHC_GEN_CASE
     default: return {};
   }
 }
@@ -88,17 +87,16 @@ std::vector<std::vector<double>> GenRows(int dim, const std::string& kind,
 bool Generate(DatasetRegistry& reg, const std::string& name, int dim,
               const std::string& kind, size_t n, uint64_t seed) {
   if (kind != "uniform" && kind != "varden" && kind != "levy" &&
-      kind != "gauss") {
+      kind != "gauss" && kind != "embed") {
     return false;
   }
   switch (dim) {
-    case 2: reg.Add(name, GenTyped<2>(kind, n, seed)); return true;
-    case 3: reg.Add(name, GenTyped<3>(kind, n, seed)); return true;
-    case 4: reg.Add(name, GenTyped<4>(kind, n, seed)); return true;
-    case 5: reg.Add(name, GenTyped<5>(kind, n, seed)); return true;
-    case 7: reg.Add(name, GenTyped<7>(kind, n, seed)); return true;
-    case 10: reg.Add(name, GenTyped<10>(kind, n, seed)); return true;
-    case 16: reg.Add(name, GenTyped<16>(kind, n, seed)); return true;
+#define PARHC_GEN_CASE(D)                    \
+  case D:                                    \
+    reg.Add(name, GenTyped<D>(kind, n, seed)); \
+    return true;
+    PARHC_FOR_EACH_DIM(PARHC_GEN_CASE)
+#undef PARHC_GEN_CASE
     default: return false;
   }
 }
@@ -123,6 +121,12 @@ std::string FormatResponse(const std::string& what, const std::string& name,
   };
   if (r.mst) {
     put(" mst_edges=%zu mst_weight=%.6g", r.mst->size(), r.mst_weight);
+  }
+  if (r.approx_eps >= 0) {
+    // High-dim EMST path: surface the approximation contract (eps bound,
+    // decomposition width, how many cross pairs took the eps shortcut).
+    put(" eps=%.6g partitions=%d cross_pruned=%zu", r.approx_eps,
+        r.partitions, r.cross_pruned);
   }
   if (!r.labels.empty()) {
     put(" clusters=%d noise=%zu", r.num_clusters, r.num_noise);
@@ -149,7 +153,7 @@ std::string FormatResponse(const std::string& what, const std::string& name,
 std::string HelpText() {
   return
       "commands:\n"
-      "  gen <name> <dim> <uniform|varden|levy|gauss> <n> [seed]\n"
+      "  gen <name> <dim> <uniform|varden|levy|gauss|embed> <n> [seed]\n"
       "  load <name> <csv|bin|snap> <path>\n"
       "  save <name> <dir>\n"
       "  dyn <name> <dim>\n"
@@ -157,7 +161,7 @@ std::string HelpText() {
       "  geninsert <name> <dim> <kind> <n> [seed]\n"
       "  delete <name> <gid> [gid ...]\n"
       "  list | drop <name>\n"
-      "  emst <name>\n"
+      "  emst <name> [eps <e>]\n"
       "  slink <name> <k>\n"
       "  hdbscan <name> <minPts>\n"
       "  dbscan <name> <minPts> <eps>\n"
@@ -237,6 +241,15 @@ bool FastParseQuery(const std::string& line, EngineRequest* req) {
   double d = 0;
   if (cmd == "emst") {
     req->type = QueryType::kEmst;
+    if (nt > 2) {
+      // `emst <name> eps <e>` is the only 4-token form the slow path
+      // accepts; anything else must fall through so it errs there.
+      if (nt != 4 || t[2] != "eps" || !ParseSimpleDouble(t[3], &d) ||
+          d < 0) {
+        return false;
+      }
+      req->emst_eps = d;
+    }
   } else if (cmd == "slink") {
     if (nt < 3 || !ParseSmallInt(t[2], &a) || a < 0) return false;
     req->type = QueryType::kSingleLinkage;
@@ -528,6 +541,18 @@ ProtocolResult ProtocolSession::DispatchLine(const std::string& line) {
       ss >> req.dataset;
       if (cmd == "emst") {
         req.type = QueryType::kEmst;
+        std::string sub;
+        if (ss >> sub) {
+          // Optional `eps <e>` suffix routes to the partitioned
+          // high-dimensional path (emst/emst_highdim.h); eps 0 is the
+          // exact distance decomposition.
+          if (sub != "eps" || !(ss >> req.emst_eps) || req.emst_eps < 0) {
+            res.out = "err emst: usage: emst <name> [eps <e>]\n";
+            return res;
+          }
+        } else {
+          ss.clear();  // plain `emst <name>`: the suffix is optional
+        }
       } else if (cmd == "slink") {
         req.type = QueryType::kSingleLinkage;
         ss >> req.k;

@@ -8,7 +8,7 @@
 // the loopback integration test holds the TCP path to the same bytes).
 //
 // Text verbs (one request per line; responses are '\n'-terminated lines):
-//   gen <name> <dim> <uniform|varden|levy|gauss> <n> [seed]
+//   gen <name> <dim> <uniform|varden|levy|gauss|embed> <n> [seed]
 //   load <name> <csv|bin|snap> <path>
 //   save <name> <dir>
 //   dyn <name> <dim>
@@ -16,7 +16,10 @@
 //   geninsert <name> <dim> <kind> <n> [seed]
 //   delete <name> <gid> [gid ...]
 //   list | drop <name>
-//   emst <name> | slink <name> <k> | hdbscan <name> <minPts>
+//   emst <name> [eps <e>] | slink <name> <k> | hdbscan <name> <minPts>
+//     (emst eps: partitioned high-dim path with (1+eps) cross-pair
+//      pruning — eps 0 is the exact distance decomposition; the response
+//      carries eps=<e> partitions=<p> cross_pruned=<c>)
 //   dbscan <name> <minPts> <eps> | reach <name> <minPts>
 //   clusters <name> <minPts> <minClusterSize>
 //   stats | help | quit

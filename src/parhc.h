@@ -25,6 +25,7 @@
 #include "dendrogram/single_linkage.h"
 #include "emst/emst.h"
 #include "emst/emst_delaunay.h"
+#include "emst/emst_highdim.h"
 #include "engine/engine.h"
 #include "hdbscan/hdbscan.h"
 #include "hdbscan/optics_approx.h"

@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <limits>
 
+#include "geometry/distance.h"
 #include "spatial/traverse.h"
 #include "util/stats.h"
 
@@ -45,6 +46,36 @@ void BccpLeafScan(const KdTree<D>& tree, uint32_t a, uint32_t b,
   }
 }
 
+/// Batched Euclidean leaf scan: both leaves' points are contiguous in tree
+/// order, so each outer point issues chunked point-to-block kernel calls
+/// (geometry/distance.h). `gida` / `gidb` map the two trees' point indices
+/// to the caller's id space; tie-breaking matches BccpLeafScan on
+/// (dist, min id, max id) in that space. Works for the single-tree case
+/// (ta == tb) and the cross-tree case alike.
+template <int D, typename GidA, typename GidB>
+void EuclideanLeafScanBatched(const KdTree<D>& ta, const KdTree<D>& tb,
+                              uint32_t a, uint32_t b, const GidA& gida,
+                              const GidB& gidb, ClosestPair& best) {
+  double sq[kDistanceBatch];
+  for (uint32_t i = ta.NodeBegin(a); i < ta.NodeEnd(a); ++i) {
+    const Point<D>& p = ta.point(i);
+    for (uint32_t j0 = tb.NodeBegin(b); j0 < tb.NodeEnd(b);
+         j0 += static_cast<uint32_t>(kDistanceBatch)) {
+      size_t cnt = std::min<size_t>(kDistanceBatch, tb.NodeEnd(b) - j0);
+      BatchSquaredDistances(p, &tb.point(j0), cnt, sq);
+      for (size_t c = 0; c < cnt; ++c) {
+        double d = std::sqrt(sq[c]);
+        uint32_t u = gida(i), v = gidb(j0 + static_cast<uint32_t>(c));
+        if (d < best.dist ||
+            (d == best.dist &&
+             std::minmax(u, v) < std::minmax(best.u, best.v))) {
+          best = {u, v, d};
+        }
+      }
+    }
+  }
+}
+
 }  // namespace internal
 
 /// Exact closest pair between the point sets of nodes `a` and `b`.
@@ -61,12 +92,8 @@ ClosestPair Bccp(const KdTree<D>& tree, uint32_t a, uint32_t b) {
       },
       boxdist,
       [&](uint32_t x, uint32_t y) {
-        internal::BccpLeafScan(
-            tree, x, y,
-            [&](uint32_t i, uint32_t j) {
-              return Distance(tree.point(i), tree.point(j));
-            },
-            best);
+        auto gid = [&](uint32_t i) { return tree.id(i); };
+        internal::EuclideanLeafScanBatched(tree, tree, x, y, gid, gid, best);
       });
   Stats::Get().bccp_computed.fetch_add(1, std::memory_order_relaxed);
   return best;
@@ -93,8 +120,9 @@ ClosestPair BccpStar(const KdTree<D>& tree, uint32_t a, uint32_t b) {
         internal::BccpLeafScan(
             tree, x, y,
             [&](uint32_t i, uint32_t j) {
-              return std::max({Distance(tree.point(i), tree.point(j)),
-                               tree.core_dist(i), tree.core_dist(j)});
+              return std::max(
+                  {DistanceDispatch(tree.point(i), tree.point(j)),
+                   tree.core_dist(i), tree.core_dist(j)});
             },
             best);
       });

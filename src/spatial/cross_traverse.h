@@ -152,12 +152,9 @@ ClosestPair CrossBccp(const KdTree<D>& ta, const KdTree<D>& tb, uint32_t a,
       },
       boxdist,
       [&](uint32_t x, uint32_t y) {
-        internal::CrossBccpLeafScan(
-            ta, tb, x, y,
-            [&](uint32_t i, uint32_t j) {
-              return Distance(ta.point(i), tb.point(j));
-            },
-            ida, idb, best);
+        internal::EuclideanLeafScanBatched(
+            ta, tb, x, y, [&](uint32_t i) { return ida(ta.id(i)); },
+            [&](uint32_t j) { return idb(tb.id(j)); }, best);
       });
   Stats::Get().bccp_computed.fetch_add(1, std::memory_order_relaxed);
   return best;
@@ -187,7 +184,7 @@ ClosestPair CrossBccpStar(const KdTree<D>& ta, const KdTree<D>& tb,
         internal::CrossBccpLeafScan(
             ta, tb, x, y,
             [&](uint32_t i, uint32_t j) {
-              return std::max({Distance(ta.point(i), tb.point(j)),
+              return std::max({DistanceDispatch(ta.point(i), tb.point(j)),
                                ta.core_dist(i), tb.core_dist(j)});
             },
             ida, idb, best);

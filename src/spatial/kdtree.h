@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "geometry/box.h"
+#include "geometry/distance.h"
 #include "geometry/point.h"
 #include "parallel/primitives.h"
 #include "parallel/scheduler.h"
@@ -310,10 +311,12 @@ class KdTree {
  private:
   static constexpr uint32_t kSeqBuildCutoff = 2048;
 
+  // The widest-dimension sweep of the build: a min/max block kernel
+  // (geometry/distance.h), bitwise identical across ISA levels.
   Box<D> RangeBox(uint32_t begin, uint32_t end) const {
     Box<D> box = Box<D>::Empty();
     if (end - begin < kSeqBuildCutoff) {
-      for (uint32_t i = begin; i < end; ++i) box.Extend(pts_[i]);
+      BoxExtendBlock(box, &pts_[begin], end - begin);
       return box;
     }
     size_t nb = internal::NumBlocks(end - begin);
@@ -324,7 +327,7 @@ class KdTree {
         [&](size_t b) {
           uint32_t lo = begin + static_cast<uint32_t>(b * block);
           uint32_t hi = std::min<uint32_t>(end, lo + block);
-          for (uint32_t i = lo; i < hi; ++i) boxes[b].Extend(pts_[i]);
+          BoxExtendBlock(boxes[b], &pts_[lo], hi - lo);
         },
         1);
     for (size_t b = 0; b < nb; ++b) box.Extend(boxes[b]);

@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "geometry/distance.h"
 #include "parallel/scheduler.h"
 #include "spatial/traverse.h"
 
@@ -54,11 +55,22 @@ template <int D>
 void KnnQueryInto(const KdTree<D>& tree, const Point<D>& q, KnnHeap& heap) {
   SingleTraverse(
       tree,
-      [&](uint32_t v) { return tree.NodeBox(v).MinSquaredDistance(q); },
+      [&](uint32_t v) {
+        return BoxMinSquaredDistanceDispatch(tree.NodeBox(v), q);
+      },
       [&](uint32_t, double pri) { return pri >= heap.Worst(); },
       [&](uint32_t v) {
-        for (uint32_t i = tree.NodeBegin(v); i < tree.NodeEnd(v); ++i) {
-          heap.Offer(SquaredDistance(q, tree.point(i)), tree.id(i));
+        // Leaf points are contiguous in tree order, so the scan is a
+        // point-to-block kernel call staged through a stack buffer
+        // (chunked: duplicate leaves can exceed leaf_size).
+        double sq[kDistanceBatch];
+        for (uint32_t j0 = tree.NodeBegin(v); j0 < tree.NodeEnd(v);
+             j0 += static_cast<uint32_t>(kDistanceBatch)) {
+          size_t cnt = std::min<size_t>(kDistanceBatch, tree.NodeEnd(v) - j0);
+          BatchSquaredDistances(q, &tree.point(j0), cnt, sq);
+          for (size_t c = 0; c < cnt; ++c) {
+            heap.Offer(sq[c], tree.id(j0 + static_cast<uint32_t>(c)));
+          }
         }
       });
 }

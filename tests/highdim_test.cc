@@ -1,0 +1,333 @@
+// High-dimensional embedding workloads: the partitioned (1+eps) EMST path
+// (emst/emst_highdim.h), its engine routing, and wide-row (d = 64 / 256)
+// coverage of the kNN and snapshot layers.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "data/generators.h"
+#include "emst/emst_highdim.h"
+#include "emst/emst_memogfk.h"
+#include "engine/engine.h"
+#include "spatial/kdtree.h"
+#include "spatial/knn.h"
+#include "test_util.h"
+
+namespace parhc {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Edges normalized (u <= v) and sorted: MST identity comparison that
+/// ignores edge order and endpoint orientation.
+std::vector<WeightedEdge> Normalized(std::vector<WeightedEdge> edges) {
+  for (auto& e : edges) {
+    if (e.u > e.v) std::swap(e.u, e.v);
+  }
+  std::sort(edges.begin(), edges.end());
+  return edges;
+}
+
+// --- HighDimEmst: exactness ----------------------------------------------
+
+TEST(HighDimEmst, ExactDecompositionMatchesMemoGfkAtD64) {
+  auto pts = GaussianEmbeddings<64>(1500, 7);
+  HighDimEmstOptions opts;
+  opts.partitions = 4;  // force the decomposition even at this small n
+  HighDimEmstInfo info;
+  auto decomposed = HighDimEmst(pts, opts, &info);
+  EXPECT_EQ(info.partitions, 4);
+  EXPECT_GT(info.cross_pairs, 0u);
+  EXPECT_EQ(info.cross_pruned, 0u);  // eps = 0: every cross pair exact
+
+  auto classic = EmstMemoGfk(pts);
+  ASSERT_EQ(decomposed.size(), pts.size() - 1);
+  // Random embeddings have distinct pair distances, so the EMST is unique
+  // and both paths (which compute weights through the same dispatched
+  // kernels) must produce the identical edge set.
+  EXPECT_EQ(Normalized(decomposed), Normalized(classic));
+}
+
+TEST(HighDimEmst, TinyInputsMatchBruteForceOracle) {
+  for (size_t n : {size_t{2}, size_t{3}, size_t{17}, size_t{64}}) {
+    auto pts = GaussianEmbeddings<64>(n, 11 + n);
+    HighDimEmstOptions opts;
+    opts.partitions = 3;
+    auto mst = HighDimEmst(pts, opts);
+    ASSERT_EQ(mst.size(), n - 1) << "n=" << n;
+    double brute = test::PrimEmstWeight(pts);
+    EXPECT_NEAR(test::TotalWeight(mst), brute, 1e-9 * (brute + 1.0))
+        << "n=" << n;
+  }
+  EXPECT_TRUE(HighDimEmst(std::vector<Point<64>>{}).empty());
+  EXPECT_TRUE(HighDimEmst(GaussianEmbeddings<64>(1, 5)).empty());
+}
+
+TEST(HighDimEmst, AutoPartitioningStaysExact) {
+  auto pts = GaussianEmbeddings<64>(2600, 3);
+  HighDimEmstInfo info;
+  auto mst = HighDimEmst(pts, {}, &info);
+  EXPECT_GT(info.partitions, 1);
+  auto classic = EmstMemoGfk(pts);
+  EXPECT_EQ(Normalized(mst), Normalized(classic));
+}
+
+// --- HighDimEmst: (1+eps) path -------------------------------------------
+
+TEST(HighDimEmst, EpsWeightWithinBound) {
+  auto pts = GaussianEmbeddings<64>(2000, 13);
+  HighDimEmstOptions exact_opts;
+  exact_opts.partitions = 5;
+  auto exact = HighDimEmst(pts, exact_opts);
+  double exact_w = test::TotalWeight(exact);
+
+  for (double eps : {0.1, 0.5}) {
+    HighDimEmstOptions opts = exact_opts;
+    opts.eps = eps;
+    HighDimEmstInfo info;
+    auto approx = HighDimEmst(pts, opts, &info);
+    ASSERT_EQ(approx.size(), pts.size() - 1);
+    double w = test::TotalWeight(approx);
+    // The eps path replaces cross BCCP descents, never removes candidates:
+    // its output is a real spanning tree measured with true edge weights,
+    // so exact <= w, and every substitution is within (1+eps).
+    EXPECT_GE(w, exact_w * (1.0 - 1e-12)) << "eps=" << eps;
+    EXPECT_LE(w, exact_w * (1.0 + eps) + 1e-9) << "eps=" << eps;
+  }
+
+  // At a generous bound the clustered embedding data must actually prune.
+  HighDimEmstOptions loose = exact_opts;
+  loose.eps = 0.5;
+  HighDimEmstInfo info;
+  HighDimEmst(pts, loose, &info);
+  EXPECT_GT(info.cross_pruned, 0u);
+}
+
+TEST(HighDimEmst, DeterministicAcrossWorkerCounts) {
+  auto pts = GaussianEmbeddings<64>(2000, 17);
+  HighDimEmstOptions opts;
+  opts.partitions = 5;
+  opts.eps = 0.2;
+  SetNumWorkers(1);
+  auto seq = HighDimEmst(pts, opts);
+  SetNumWorkers(4);
+  auto par = HighDimEmst(pts, opts);
+  EXPECT_EQ(Normalized(seq), Normalized(par));
+}
+
+// --- Engine routing -------------------------------------------------------
+
+TEST(HighDimEngine, EpsQueryRoutesToPartitionedPath) {
+  ClusteringEngine engine;
+  engine.registry().Add("emb", GaussianEmbeddings<64>(2200, 19));
+
+  EngineRequest req;
+  req.dataset = "emb";
+  req.type = QueryType::kEmst;
+  EngineResponse classic = engine.Run(req);
+  ASSERT_TRUE(classic.ok) << classic.error;
+  EXPECT_EQ(classic.approx_eps, -1);  // classic path answered
+  EXPECT_EQ(classic.partitions, 0);
+
+  req.emst_eps = 0;
+  EngineResponse exact = engine.Run(req);
+  ASSERT_TRUE(exact.ok) << exact.error;
+  EXPECT_EQ(exact.approx_eps, 0);
+  EXPECT_GT(exact.partitions, 1);
+  EXPECT_EQ(exact.cross_pruned, 0u);
+  ASSERT_NE(exact.mst, nullptr);
+  EXPECT_EQ(exact.mst->size(), 2199u);
+  // Exact decomposition: same weight as the classic MemoGFK artifact.
+  EXPECT_NEAR(exact.mst_weight, classic.mst_weight,
+              1e-9 * (classic.mst_weight + 1.0));
+
+  // Each eps keys its own artifact; repeats are cache hits.
+  EngineResponse again = engine.Run(req);
+  ASSERT_TRUE(again.ok);
+  EXPECT_TRUE(again.from_cache);
+  ASSERT_FALSE(again.reused.empty());
+  EXPECT_EQ(again.reused.back(), "emst-hd@0");
+
+  req.emst_eps = 0.25;
+  EngineResponse approx = engine.Run(req);
+  ASSERT_TRUE(approx.ok) << approx.error;
+  EXPECT_EQ(approx.approx_eps, 0.25);
+  EXPECT_FALSE(approx.from_cache);  // distinct eps -> distinct build
+  EXPECT_GE(approx.mst_weight, exact.mst_weight * (1.0 - 1e-12));
+  EXPECT_LE(approx.mst_weight, exact.mst_weight * 1.25 + 1e-9);
+}
+
+TEST(HighDimEngine, DynamicDatasetsRejectEps) {
+  ClusteringEngine engine;
+  ASSERT_EQ(engine.registry().TryAddDynamic("dyn", 64), "");
+  auto rows = test::RowsFrom(GaussianEmbeddings<64>(600, 23));
+  uint32_t first = 0;
+  ASSERT_EQ(engine.registry().Find("dyn")->InsertRows(rows, &first), "");
+
+  EngineRequest req;
+  req.dataset = "dyn";
+  req.type = QueryType::kEmst;
+  req.emst_eps = 0.1;
+  EngineResponse r = engine.Run(req);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("static"), std::string::npos) << r.error;
+
+  req.emst_eps = -1;  // classic path still serves dynamic datasets
+  EXPECT_TRUE(engine.Run(req).ok);
+}
+
+// --- Wide rows: kNN sorted-prefix exactness ------------------------------
+
+template <int D>
+void CheckKnnSortedPrefixExact(size_t n, size_t k, uint64_t seed) {
+  auto pts = GaussianEmbeddings<D>(n, seed);
+  KdTree<D> tree(pts);
+  for (size_t i = 0; i < n; i += 7) {  // sampled queries keep runtime sane
+    auto got = KnnQuery(tree, pts[i], k);
+    ASSERT_EQ(got.size(), std::min(k, n));
+    std::vector<double> brute(n);
+    for (size_t j = 0; j < n; ++j) brute[j] = Distance(pts[i], pts[j]);
+    std::sort(brute.begin(), brute.end());
+    for (size_t j = 0; j < got.size(); ++j) {
+      // Sorted prefix must match the brute-force order exactly; both sides
+      // are sqrt of the same dispatched squared-distance kernel.
+      EXPECT_DOUBLE_EQ(got[j].first, brute[j])
+          << "D=" << D << " query=" << i << " rank=" << j;
+    }
+  }
+}
+
+TEST(WideRows, KnnSortedPrefixExactD64) {
+  CheckKnnSortedPrefixExact<64>(500, 10, 29);
+}
+
+TEST(WideRows, KnnSortedPrefixExactD256) {
+  CheckKnnSortedPrefixExact<256>(300, 8, 31);
+}
+
+// --- Wide rows: snapshot round trip + corruption -------------------------
+
+struct TempDir {
+  explicit TempDir(const std::string& tag)
+      : path(fs::path(::testing::TempDir()) /
+             ("parhc_highdim_" + tag + "_" +
+              std::to_string(reinterpret_cast<uintptr_t>(this)))) {
+    fs::remove_all(path);
+    fs::create_directories(path);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    fs::remove_all(path, ec);
+  }
+  std::string str() const { return path.string(); }
+  fs::path path;
+};
+
+std::vector<uint8_t> ReadAll(const fs::path& p) {
+  std::ifstream in(p, std::ios::binary | std::ios::ate);
+  EXPECT_TRUE(in.good()) << p;
+  std::vector<uint8_t> bytes(static_cast<size_t>(in.tellg()));
+  in.seekg(0);
+  in.read(reinterpret_cast<char*>(bytes.data()),
+          static_cast<std::streamsize>(bytes.size()));
+  return bytes;
+}
+
+void WriteAll(const fs::path& p, const std::vector<uint8_t>& bytes) {
+  std::ofstream out(p, std::ios::binary | std::ios::trunc);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  ASSERT_TRUE(out.good()) << p;
+}
+
+std::vector<std::string> DirFiles(const fs::path& dir) {
+  std::vector<std::string> names;
+  for (const auto& e : fs::directory_iterator(dir)) {
+    names.push_back(e.path().filename().string());
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+/// Warms tree + kNN + EMST + a clustering so the snapshot carries every
+/// artifact class at the wide dimension.
+void WarmWide(ClusteringEngine& engine, const std::string& name) {
+  EngineRequest req;
+  req.dataset = name;
+  req.type = QueryType::kHdbscan;
+  req.min_pts = 8;
+  ASSERT_TRUE(engine.Run(req).ok);
+  req.type = QueryType::kEmst;
+  ASSERT_TRUE(engine.Run(req).ok);
+}
+
+template <int D>
+void CheckSaveLoadSaveByteIdentical(size_t n, uint64_t seed) {
+  ClusteringEngine cold;
+  cold.registry().Add("emb", GaussianEmbeddings<D>(n, seed));
+  WarmWide(cold, "emb");
+  TempDir first("first");
+  ASSERT_EQ(cold.SaveDataset("emb", first.str()), "");
+
+  ClusteringEngine warm;
+  ASSERT_EQ(warm.LoadDataset("emb", first.str()), "");
+  auto infos = warm.registry().List();
+  ASSERT_EQ(infos.size(), 1u);
+  EXPECT_EQ(infos[0].dim, D);
+  EXPECT_EQ(infos[0].num_points, n);
+
+  TempDir second("second");
+  ASSERT_EQ(warm.SaveDataset("emb", second.str()), "");
+  auto names = DirFiles(first.path);
+  ASSERT_EQ(names, DirFiles(second.path));
+  for (const auto& name : names) {
+    EXPECT_EQ(ReadAll(first.path / name), ReadAll(second.path / name))
+        << "D=" << D << " file=" << name;
+  }
+}
+
+TEST(WideRows, SnapshotSaveLoadSaveByteIdenticalD64) {
+  CheckSaveLoadSaveByteIdentical<64>(400, 37);
+}
+
+TEST(WideRows, SnapshotSaveLoadSaveByteIdenticalD256) {
+  CheckSaveLoadSaveByteIdentical<256>(200, 41);
+}
+
+TEST(WideRows, CorruptAndTruncatedSnapshotsRaiseD64) {
+  TempDir dir("fuzz");
+  {
+    ClusteringEngine engine;
+    engine.registry().Add("emb", GaussianEmbeddings<64>(300, 43));
+    WarmWide(engine, "emb");
+    ASSERT_EQ(engine.SaveDataset("emb", dir.str()), "");
+  }
+  auto expect_load_fails = [&](const std::string& what) {
+    ClusteringEngine engine;
+    EXPECT_NE(engine.LoadDataset("emb", dir.str()), "")
+        << what << ": corrupt snapshot was accepted";
+  };
+  for (const std::string& name : DirFiles(dir.path)) {
+    std::vector<uint8_t> orig = ReadAll(dir.path / name);
+    for (double f : {0.0, 0.4, 0.9}) {
+      size_t cut = static_cast<size_t>(orig.size() * f);
+      WriteAll(dir.path / name, {orig.begin(), orig.begin() + cut});
+      expect_load_fails(name + " truncated to " + std::to_string(cut));
+    }
+    WriteAll(dir.path / name, {orig.begin(), orig.end() - 1});
+    expect_load_fails(name + " missing last byte");
+    WriteAll(dir.path / name, orig);
+  }
+  ClusteringEngine engine;
+  EXPECT_EQ(engine.LoadDataset("emb", dir.str()), "");  // intact again
+}
+
+}  // namespace
+}  // namespace parhc

@@ -1,0 +1,159 @@
+// Dispatch-correctness tests for the SIMD distance kernels
+// (geometry/distance.h): on every supported width the dispatched kernel
+// must equal the scalar reference — exactly where the kernel is
+// bit-reproducible (scalar dispatch, min/max-only kernels), and within a
+// tight relative epsilon where AVX2+FMA reassociation legitimately changes
+// fp64 rounding. Also pins the PARHC_FORCE_SCALAR=1 contract: the CI ISA
+// matrix re-runs this binary under that env and the detection test flips
+// its expectation accordingly.
+
+#include "geometry/distance.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <vector>
+
+#include "data/generators.h"
+
+namespace parhc {
+namespace {
+
+// Every dispatch-relevant width: below/at/above kSimdMinDim, the engine's
+// registry dims, the new embedding dims, plus odd tails for the vector
+// remainder loops.
+const int kWidths[] = {1, 2, 3, 4, 5, 7, 8, 9, 10, 13, 16, 31, 64, 255, 256};
+
+std::vector<double> RandomVec(int n, uint64_t seed) {
+  std::vector<double> v(n);
+  for (int i = 0; i < n; ++i) {
+    v[i] = 200.0 * internal::U01(seed, static_cast<uint64_t>(i), 0) - 100.0;
+  }
+  return v;
+}
+
+bool ForcedScalarEnv() {
+  const char* env = std::getenv("PARHC_FORCE_SCALAR");
+  return env != nullptr && env[0] == '1';
+}
+
+TEST(SimdDispatch, DetectionHonorsEnvAndCpuid) {
+  EXPECT_EQ(simd::DetectLevel(/*force_scalar=*/true),
+            simd::IsaLevel::kScalar);
+  EXPECT_EQ(simd::DetectLevel(/*force_scalar=*/false),
+            simd::CpuSupportsAvx2Fma() ? simd::IsaLevel::kAvx2Fma
+                                       : simd::IsaLevel::kScalar);
+  // The cached process-wide level obeys the environment: the CI matrix
+  // re-runs this test with PARHC_FORCE_SCALAR=1 to pin the fallback.
+  if (ForcedScalarEnv()) {
+    EXPECT_EQ(simd::ActiveLevel(), simd::IsaLevel::kScalar);
+  } else {
+    EXPECT_EQ(simd::ActiveLevel(), simd::DetectLevel(false));
+  }
+}
+
+TEST(SimdDispatch, SquaredDistanceMatchesScalarOnEveryWidth) {
+  for (int d : kWidths) {
+    std::vector<double> a = RandomVec(d, 7), b = RandomVec(d, 13);
+    double ref =
+        simd::SquaredDistanceAt(simd::IsaLevel::kScalar, a.data(), b.data(), d);
+    double got = simd::SquaredDistanceN(a.data(), b.data(), d);
+    if (simd::ActiveLevel() == simd::IsaLevel::kScalar) {
+      EXPECT_EQ(got, ref) << "d=" << d;  // bit-reproducible path
+    } else {
+      EXPECT_NEAR(got, ref, 1e-12 * (std::abs(ref) + 1.0)) << "d=" << d;
+    }
+    if (simd::CpuSupportsAvx2Fma()) {
+      double v = simd::SquaredDistanceAt(simd::IsaLevel::kAvx2Fma, a.data(),
+                                         b.data(), d);
+      EXPECT_NEAR(v, ref, 1e-12 * (std::abs(ref) + 1.0)) << "d=" << d;
+    }
+  }
+}
+
+TEST(SimdDispatch, BatchMatchesPairwiseKernel) {
+  for (int d : kWidths) {
+    const size_t n = 37;  // odd count exercises every chunk remainder
+    std::vector<double> q = RandomVec(d, 3);
+    std::vector<double> block = RandomVec(d * static_cast<int>(n), 5);
+    std::vector<double> out(n);
+    simd::BatchSquaredDistancesN(q.data(), block.data(), n,
+                                 static_cast<size_t>(d), d, out.data());
+    for (size_t i = 0; i < n; ++i) {
+      // The batch kernel must agree with the pairwise kernel of the same
+      // level bit-for-bit: it is the same accumulation, just blocked.
+      EXPECT_EQ(out[i], simd::SquaredDistanceN(
+                            q.data(), block.data() + i * d, d))
+          << "d=" << d << " i=" << i;
+    }
+  }
+}
+
+TEST(SimdDispatch, BoxMinSquaredDistanceMatchesScalar) {
+  for (int d : kWidths) {
+    std::vector<double> lo = RandomVec(d, 11), hi(lo), p = RandomVec(d, 17);
+    for (int i = 0; i < d; ++i) hi[i] = lo[i] + std::abs(p[i]) * 0.5;
+    double ref = simd::BoxMinSquaredDistanceAt(simd::IsaLevel::kScalar,
+                                               lo.data(), hi.data(), p.data(),
+                                               d);
+    double got =
+        simd::BoxMinSquaredDistanceN(lo.data(), hi.data(), p.data(), d);
+    if (simd::ActiveLevel() == simd::IsaLevel::kScalar) {
+      EXPECT_EQ(got, ref) << "d=" << d;
+    } else {
+      EXPECT_NEAR(got, ref, 1e-12 * (std::abs(ref) + 1.0)) << "d=" << d;
+    }
+  }
+}
+
+TEST(SimdDispatch, BoxExtendIsBitwiseIdenticalOnEveryLevel) {
+  for (int d : kWidths) {
+    const size_t n = 29;
+    std::vector<double> block = RandomVec(d * static_cast<int>(n), 23);
+    std::vector<double> lo_ref(d, 1e300), hi_ref(d, -1e300);
+    std::vector<double> lo(lo_ref), hi(hi_ref);
+    simd::BoxExtendBlockAt(simd::IsaLevel::kScalar, lo_ref.data(),
+                           hi_ref.data(), block.data(), n,
+                           static_cast<size_t>(d), d);
+    simd::BoxExtendBlockN(lo.data(), hi.data(), block.data(), n,
+                          static_cast<size_t>(d), d);
+    // min/max never round: every level must agree exactly.
+    EXPECT_EQ(lo, lo_ref) << "d=" << d;
+    EXPECT_EQ(hi, hi_ref) << "d=" << d;
+  }
+}
+
+TEST(SimdDispatch, DimTemplatedWrappersAgreeWithKernels) {
+  auto check = [](auto dim_tag) {
+    constexpr int D = decltype(dim_tag)::value;
+    Point<D> a, b;
+    for (int i = 0; i < D; ++i) {
+      a[i] = internal::U01(41, static_cast<uint64_t>(i), 1);
+      b[i] = internal::U01(43, static_cast<uint64_t>(i), 2);
+    }
+    double got = SquaredDistanceDispatch(a, b);
+    if (D >= kSimdMinDim) {
+      EXPECT_EQ(got, simd::SquaredDistanceN(a.x.data(), b.x.data(), D));
+    } else {
+      EXPECT_EQ(got, SquaredDistance(a, b));  // low dims bypass dispatch
+    }
+    Box<D> box = Box<D>::Empty();
+    box.Extend(a);
+    EXPECT_EQ(BoxMinSquaredDistanceDispatch(box, b),
+              D >= kSimdMinDim
+                  ? simd::BoxMinSquaredDistanceN(box.lo.x.data(),
+                                                 box.hi.x.data(), b.x.data(),
+                                                 D)
+                  : box.MinSquaredDistance(b));
+  };
+  check(std::integral_constant<int, 2>{});
+  check(std::integral_constant<int, 7>{});
+  check(std::integral_constant<int, 10>{});
+  check(std::integral_constant<int, 16>{});
+  check(std::integral_constant<int, 64>{});
+  check(std::integral_constant<int, 256>{});
+}
+
+}  // namespace
+}  // namespace parhc
