@@ -125,12 +125,13 @@ def check_file(name, result_path, baseline_path, default_tol, gate):
 
         base_t, cur_t = base["real_time"], cur["real_time"]
         unit = base.get("time_unit", "ns")
+        time_required = bench_gate.get("time_requires_cpu_features")
         if cur.get("time_unit", "ns") != unit:
+            # Still fall through to the counter gates below: a unit change
+            # must not mask an `identical`/ratio violation in the same row.
             failures.append(f"{name}/{bench_name}: time unit changed "
                             f"({unit} -> {cur.get('time_unit')})")
-            continue
-        time_required = bench_gate.get("time_requires_cpu_features")
-        if (time_required is not None
+        elif (time_required is not None
                 and machine_cpu_features(cur, result_ctx) < time_required):
             print(f"note: {name}/{bench_name}: skipping real_time check "
                   f"(requires cpu_features>={time_required}, machine has "
@@ -240,8 +241,14 @@ def main():
             print(f"warn: no baseline for {name} (new benchmark?); run "
                   f"--update and commit it")
             continue
-        failures += check_file(name, path, baseline_path, args.tolerance,
-                               gate)
+        # One malformed results file must not abort the sweep: report it as
+        # a failure and keep checking the remaining files, so a CI run
+        # surfaces every broken gate at once.
+        try:
+            failures += check_file(name, path, baseline_path, args.tolerance,
+                                   gate)
+        except Exception as e:
+            failures.append(f"{name}: check aborted: {e!r}")
         checked += 1
 
     if checked == 0:

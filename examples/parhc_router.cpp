@@ -1,39 +1,44 @@
-// parhc_netserver: the TCP front-end over the ClusteringEngine.
+// parhc_router: the multi-node serving tier.
 //
-// Serves the same protocol as the stdin REPL (parhc_server) to many
-// concurrent clients: non-blocking epoll (or poll) event loop, bounded
-// fair query scheduler, per-connection response ordering, `err busy`
-// load-shed, idle timeouts, and graceful drain on SIGINT/SIGTERM. See
-// src/net/server.h for the architecture and README "Network serving" for
-// the wire protocol.
+// Fronts N parhc_netserver workers with the same wire protocol the
+// workers speak, so single-node clients work unchanged: replicated
+// datasets (gen/load) fan reads out round-robin for throughput, sharded
+// datasets (dyn/geninsert) run distributed EMST / HDBSCAN* builds whose
+// answers are bit-identical to a single-node engine over the union. See
+// src/cluster/router.h and README "Multi-node serving".
 //
-// Usage: parhc_netserver [options]
-//   --port N        listen port (default 7077; 0 = ephemeral)
+// Usage: parhc_router --upstream HOST:PORT [--upstream HOST:PORT ...]
+//   --port N        listen port (default 7078; 0 = ephemeral)
 //   --bind ADDR     bind address (default 127.0.0.1)
+//   --upstream A    one worker address; repeat per worker (required)
+//   --fanout N      bound on concurrent upstream round trips per fan-out
+//                   (default 0 = all workers at once)
+//   --timeout-ms N  per-round-trip upstream I/O timeout (default 30000)
+//   --health-ms N   health-check interval (default 1000)
 //   --workers N     query worker threads (default 4)
-//   --parallel N    fork-join scheduler pool size (default: all hardware
-//                   threads, or the PARHC_WORKERS environment variable)
 //   --queue N       global queued-request bound before load-shed (1024)
 //   --pipeline N    per-connection pipelining bound (128)
 //   --idle-ms N     idle connection timeout, <=0 disables (300000)
 //   --poll          force the poll(2) backend instead of epoll
 //   --no-timing     omit the secs= field from query responses
 //   --slow-us N     slow-query log threshold in microseconds (10000)
-//   --trace         enable request tracing at startup (`trace on` wire
-//                   verb does the same at runtime)
+//   --trace         enable request tracing at startup
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
 #include <string>
+#include <vector>
 
+#include "cluster/router.h"
 #include "net/server.h"
 #include "parhc.h"
 
 int main(int argc, char** argv) {
   using namespace parhc;
   net::NetServerOptions opts;
-  opts.port = 7077;
+  opts.port = 7078;
   opts.install_signal_handlers = true;
+  cluster::RouterOptions ropts;
+  std::vector<std::string> upstreams;
 
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -48,11 +53,16 @@ int main(int argc, char** argv) {
       opts.port = static_cast<uint16_t>(std::atoi(next("--port")));
     } else if (arg == "--bind") {
       opts.bind_addr = next("--bind");
+    } else if (arg == "--upstream") {
+      upstreams.push_back(next("--upstream"));
+    } else if (arg == "--fanout") {
+      ropts.fanout = static_cast<size_t>(std::atoll(next("--fanout")));
+    } else if (arg == "--timeout-ms") {
+      ropts.upstream_timeout_ms = std::atoi(next("--timeout-ms"));
+    } else if (arg == "--health-ms") {
+      ropts.health_interval_ms = std::atoi(next("--health-ms"));
     } else if (arg == "--workers") {
       opts.workers = std::atoi(next("--workers"));
-    } else if (arg == "--parallel") {
-      int w = std::atoi(next("--parallel"));
-      if (w >= 1) SetNumWorkers(w);
     } else if (arg == "--queue") {
       opts.max_queued = static_cast<size_t>(std::atoll(next("--queue")));
     } else if (arg == "--pipeline") {
@@ -74,20 +84,32 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
+  if (upstreams.empty()) {
+    std::fprintf(stderr,
+                 "parhc_router: need at least one --upstream HOST:PORT\n");
+    return 2;
+  }
 
-  ClusteringEngine engine;
-  net::NetServer server(engine, opts);
-  std::string err = server.Start();
+  cluster::Router router(upstreams, ropts);
+  std::string err = router.Start();
   if (!err.empty()) {
-    std::fprintf(stderr, "parhc_netserver: %s\n", err.c_str());
+    std::fprintf(stderr, "parhc_router: %s\n", err.c_str());
+    return 1;
+  }
+  cluster::RouterSessionFactory factory(router);
+  net::NetServer server(factory, opts);
+  err = server.Start();
+  if (!err.empty()) {
+    std::fprintf(stderr, "parhc_router: %s\n", err.c_str());
     return 1;
   }
   std::printf(
-      "parhc_netserver listening on %s:%u proto=%d workers=%d parallel=%d\n",
+      "parhc_router listening on %s:%u proto=%d upstreams=%zu workers=%d\n",
       opts.bind_addr.c_str(), server.port(), net::kProtocolVersion,
-      opts.workers, NumWorkers());
+      upstreams.size(), opts.workers);
   std::fflush(stdout);
   server.Run();  // returns after SIGINT/SIGTERM graceful drain
-  std::printf("parhc_netserver drained, bye\n");
+  router.Stop();
+  std::printf("parhc_router drained, bye\n");
   return 0;
 }

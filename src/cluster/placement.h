@@ -1,0 +1,105 @@
+// Deterministic shard placement for the router tier (src/cluster/).
+//
+// The router assigns every ingested point a *global* id (its own contiguous
+// watermark, matching the gid sequence a single-node dynamic dataset would
+// hand out) and places it on worker SplitMix64(gid) % W. Placement is pure —
+// any router restarted over the same worker list re-derives the same owner
+// for every gid — but the per-worker *local* gid a worker assigned at insert
+// time is worker state, so the full map is persisted alongside dataset
+// snapshots as a kClusterMap snapshot (store/format.h sections
+// kClusterOwner / kClusterLocal / kClusterDead).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "store/snapshot.h"
+#include "util/check.h"
+
+namespace parhc {
+namespace cluster {
+
+/// SplitMix64 finalizer: the standard 64-bit mix (Steele et al.); full
+/// avalanche, so consecutive gids spread uniformly across workers.
+inline uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+inline size_t OwnerOfGid(uint32_t gid, size_t workers) {
+  PARHC_CHECK(workers > 0);
+  return static_cast<size_t>(SplitMix64(gid) % workers);
+}
+
+/// Router-side placement state for one sharded dataset. Indexed by global
+/// id; `next_gid` is the watermark (gids in [0, next_gid) are allocated,
+/// dead ones tombstoned).
+struct ShardMap {
+  uint32_t next_gid = 0;
+  uint32_t workers = 0;
+  std::vector<uint32_t> owner;  ///< gid -> owning worker index
+  std::vector<uint32_t> local;  ///< gid -> worker-local gid
+  std::vector<uint8_t> dead;    ///< gid -> tombstone
+
+  size_t LiveCount() const {
+    size_t n = 0;
+    for (uint32_t g = 0; g < next_gid; ++g) n += dead[g] ? 0 : 1;
+    return n;
+  }
+
+  /// Allocates `count` fresh gids on the watermark and places each one.
+  /// Returns the first allocated gid.
+  uint32_t Allocate(size_t count) {
+    uint32_t first = next_gid;
+    owner.resize(next_gid + count);
+    local.resize(next_gid + count);
+    dead.resize(next_gid + count, 0);
+    for (size_t i = 0; i < count; ++i) {
+      owner[first + i] =
+          static_cast<uint32_t>(OwnerOfGid(first + static_cast<uint32_t>(i),
+                                           workers));
+    }
+    next_gid += static_cast<uint32_t>(count);
+    return first;
+  }
+};
+
+/// Persists `map` as one kClusterMap snapshot (atomic temp + rename).
+/// Raises SnapshotIoError on filesystem failure.
+inline void SaveShardMap(const std::string& path, uint32_t dim,
+                         const ShardMap& map) {
+  SnapshotWriter w(SnapshotKind::kClusterMap, dim, map.next_gid, map.workers);
+  w.AddSection(SectionId::kClusterOwner, map.owner.data(), map.owner.size());
+  w.AddSection(SectionId::kClusterLocal, map.local.data(), map.local.size());
+  w.AddSection(SectionId::kClusterDead, map.dead.data(), map.dead.size());
+  w.Write(path);
+}
+
+/// Loads a kClusterMap snapshot. Raises the typed store errors on a
+/// missing / corrupt / wrong-kind file. `*dim` receives the dataset
+/// dimensionality recorded at save time.
+inline ShardMap LoadShardMap(const std::string& path, uint32_t* dim) {
+  SnapshotFile f(path);
+  f.ExpectKind(SnapshotKind::kClusterMap);
+  ShardMap map;
+  map.next_gid = static_cast<uint32_t>(f.count());
+  map.workers = static_cast<uint32_t>(f.param());
+  auto owner = f.section<uint32_t>(SectionId::kClusterOwner);
+  auto local = f.section<uint32_t>(SectionId::kClusterLocal);
+  auto dead = f.section<uint8_t>(SectionId::kClusterDead);
+  map.owner.assign(owner.begin(), owner.end());
+  map.local.assign(local.begin(), local.end());
+  map.dead.assign(dead.begin(), dead.end());
+  PARHC_CHECK_MSG(map.owner.size() == map.next_gid &&
+                      map.local.size() == map.next_gid &&
+                      map.dead.size() == map.next_gid,
+                  "cluster map sections do not match gid watermark");
+  if (dim != nullptr) *dim = f.dim();
+  return map;
+}
+
+}  // namespace cluster
+}  // namespace parhc

@@ -110,6 +110,95 @@ class DynamicArtifacts {
     return deleted;
   }
 
+  /// Live points in ascending-gid order — the router tier's export/mirror
+  /// surface (net kOpExportPoints). Lazily builds the gid list; the engine
+  /// calls it under the entry's exclusive lock.
+  void ExportLive(std::vector<uint32_t>* gids, std::vector<Point<D>>* pts) {
+    *gids = forest_.LiveGids();
+    pts->resize(gids->size());
+    for (size_t i = 0; i < gids->size(); ++i) {
+      (*pts)[i] = forest_.PointOf((*gids)[i]);
+    }
+  }
+
+  /// kNN rows of arbitrary query points against the live forest: row i
+  /// holds the sorted squared distances from queries[i] to its k nearest
+  /// live points, +inf-padded past the live count — value-identical to
+  /// the rows EnsureKnn builds for resident points (same heaps, same
+  /// kernels). Issues parallel work; shard tree accessors mutate caches,
+  /// so the engine runs this on the build executor under the exclusive
+  /// lock.
+  std::vector<double> KnnForQueries(const std::vector<Point<D>>& queries,
+                                    size_t k) {
+    std::vector<double> rows(queries.size() * k,
+                             std::numeric_limits<double>::infinity());
+    size_t n = forest_.live_count();
+    if (n == 0 || queries.empty()) return rows;
+    size_t cap = std::min(k, n);
+    for (size_t s = 0; s < forest_.num_shards(); ++s) {
+      forest_.shard(s).tree();  // build outside the parallel loop
+    }
+    std::vector<std::vector<std::pair<double, uint32_t>>> scratch(
+        NumWorkers());
+    ParallelFor(0, queries.size(), [&](size_t i) {
+      auto& buf = scratch[Scheduler::Get().MyId()];
+      if (buf.size() < cap) buf.resize(cap);
+      internal::KnnHeap heap(cap, buf.data());
+      for (size_t s = 0; s < forest_.num_shards(); ++s) {
+        internal::KnnQueryInto(forest_.shard(s).tree(), queries[i], heap);
+      }
+      std::sort(buf.data(), buf.data() + heap.size());
+      double* row = rows.data() + i * k;
+      for (size_t t = 0; t < heap.size(); ++t) row[t] = buf[t].first;
+    });
+    return rows;
+  }
+
+  /// The forest's MR-MST under externally supplied *global* core
+  /// distances (`core[i]` = core distance of the i-th live gid ascending),
+  /// with gid endpoints — the per-worker part of the router's distributed
+  /// HDBSCAN* merge (net kOpShardMrMst). Built exactly like the local
+  /// HDBSCAN* path: per-shard MR-MSTs (annotating each shard tree) plus
+  /// cross BCCP* candidates, Kruskal'd down to live_count - 1 edges.
+  /// Issues parallel work; engine runs it on the build executor under the
+  /// exclusive lock.
+  std::vector<WeightedEdge> MutualReachMst(const std::vector<double>& core) {
+    size_t n = forest_.live_count();
+    if (n < 2) return {};
+    EnsureDense();
+    std::vector<WeightedEdge> candidates;
+    for (size_t i = 0; i < forest_.num_shards(); ++i) {
+      Shard<D>& s = forest_.shard(i);
+      const std::vector<uint32_t>& lg = s.live_gids();
+      std::vector<double> cd_local(lg.size());
+      for (size_t l = 0; l < lg.size(); ++l) {
+        cd_local[l] = core[DenseOf(lg[l])];
+      }
+      std::vector<WeightedEdge> edges = HdbscanMstOnTree(s.tree(), cd_local);
+      for (WeightedEdge& e : edges) {
+        e.u = lg[e.u];
+        e.v = lg[e.v];
+      }
+      candidates.insert(candidates.end(), edges.begin(), edges.end());
+    }
+    for (size_t i = 0; i < forest_.num_shards(); ++i) {
+      for (size_t j = i + 1; j < forest_.num_shards(); ++j) {
+        std::vector<WeightedEdge> edges =
+            CrossHdbscanCandidates(forest_.shard(i), forest_.shard(j));
+        candidates.insert(candidates.end(), edges.begin(), edges.end());
+      }
+    }
+    ToDense(candidates);
+    std::vector<WeightedEdge> mst = KruskalMst(n, std::move(candidates));
+    PARHC_CHECK_MSG(mst.size() + 1 == n,
+                    "shard MR-MST candidates did not span all points");
+    for (WeightedEdge& e : mst) {
+      e.u = (*ids_dense_)[e.u];
+      e.v = (*ids_dense_)[e.v];
+    }
+    return mst;
+  }
+
   /// Same contract as DatasetArtifacts::Answer.
   bool Answer(const EngineRequest& req, bool allow_build,
               EngineResponse* out) {

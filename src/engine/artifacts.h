@@ -105,6 +105,7 @@ class DatasetArtifacts {
   DatasetArtifacts() = default;
 
   size_t num_points() const { return pts_.size(); }
+  const std::vector<Point<D>>& points() const { return pts_; }
   /// K of the cached kNN prefix matrix (0 when no kNN pass has run).
   size_t knn_k() const {
     std::lock_guard<std::mutex> lk(state_mu_);

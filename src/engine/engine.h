@@ -280,6 +280,70 @@ class ClusteringEngine {
     return err;
   }
 
+  /// Exports dataset `name` as flat rows for the router tier: live global
+  /// ids in ascending order plus their coordinates (dim doubles per
+  /// point). Returns "" on success, else an error message. Thread-safe.
+  /// Runs under the *exclusive* lock — the dynamic backend's shard
+  /// accessors lazily rebuild caches while exporting.
+  std::string ExportDataset(const std::string& name, int* dim,
+                            std::vector<uint32_t>* gids,
+                            std::vector<double>* coords) {
+    std::shared_ptr<DatasetEntryBase> entry = registry_.Find(name);
+    if (!entry) return "unknown dataset: " + name;
+    *dim = entry->dim();
+    std::unique_lock<std::shared_mutex> write(entry->mu);
+    entry->ExportLive(gids, coords);
+    return "";
+  }
+
+  /// kNN rows of `count` external query points (flattened coords) against
+  /// dataset `name`'s live points: row i = sorted *squared* distances to
+  /// the k nearest, +inf-padded past the live count. Returns "" on
+  /// success. Thread-safe; runs as an executor task (issues parallel
+  /// scheduler work) under the exclusive lock.
+  std::string KnnForQueries(const std::string& name, size_t k,
+                            const std::vector<double>& coords, size_t count,
+                            std::vector<double>* rows) {
+    std::shared_ptr<DatasetEntryBase> entry = registry_.Find(name);
+    if (!entry) return "unknown dataset: " + name;
+    if (k == 0) return "k must be in [1, n]";
+    if (coords.size() != count * entry->dim()) {
+      return "query coordinate count does not match dim";
+    }
+    return executor_.RunBuild([&]() -> std::string {
+      std::unique_lock<std::shared_mutex> write(entry->mu);
+      try {
+        *rows = entry->KnnForQueries(coords, count, k);
+      } catch (const std::exception& e) {
+        return e.what();
+      }
+      return "";
+    });
+  }
+
+  /// MR-MST of dataset `name`'s live points under externally supplied
+  /// *global* core distances (core[i] pairs with the i-th live gid,
+  /// ascending); edge endpoints are global ids. Returns "" on success.
+  /// Thread-safe; runs as an executor task under the exclusive lock.
+  std::string ShardMrMst(const std::string& name,
+                         const std::vector<double>& core,
+                         std::vector<WeightedEdge>* edges) {
+    std::shared_ptr<DatasetEntryBase> entry = registry_.Find(name);
+    if (!entry) return "unknown dataset: " + name;
+    if (core.size() != entry->num_points()) {
+      return "core distance count does not match live point count";
+    }
+    return executor_.RunBuild([&]() -> std::string {
+      std::unique_lock<std::shared_mutex> write(entry->mu);
+      try {
+        *edges = entry->MutualReachMst(core);
+      } catch (const std::exception& e) {
+        return e.what();
+      }
+      return "";
+    });
+  }
+
   /// Wires the slow-query log that receives one build-profiler record per
   /// cold artifact build (obs/slowlog.h). Call before serving starts; the
   /// engine never owns the log.

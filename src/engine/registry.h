@@ -37,6 +37,7 @@
 #include "data/io.h"
 #include "dynamic/artifacts.h"
 #include "engine/artifacts.h"
+#include "engine/export.h"
 #include "engine/request.h"
 #include "store/errors.h"
 #include "store/manifest.h"
@@ -62,6 +63,30 @@ class DatasetEntryBase {
   /// *shared* lock — snapshots are taken while cache-hit queries keep
   /// serving. Raises SnapshotError subtypes.
   virtual void SaveTo(const std::string& dir) const = 0;
+
+  // Partial-artifact export surface for the router tier (src/cluster/),
+  // behind the kOpExportPoints / kOpKnnQuery / kOpShardMrMst frame verbs.
+  // All three may lazily build caches (the dynamic backend's shard
+  // accessors mutate), so the engine calls them under the *exclusive*
+  // lock; the latter two issue parallel work and run on the build
+  // executor.
+
+  /// Live points in ascending-global-id order: gids[i] and the matching
+  /// dim() doubles at coords[i*dim()]. For immutable datasets gid == point
+  /// index.
+  virtual void ExportLive(std::vector<uint32_t>* gids,
+                          std::vector<double>* coords) = 0;
+
+  /// kNN rows of `count` query points (flattened coords, dim() doubles
+  /// each) against the live points: row i = sorted squared distances to
+  /// the k nearest (self included when resident), +inf-padded.
+  virtual std::vector<double> KnnForQueries(const std::vector<double>& coords,
+                                            size_t count, size_t k) = 0;
+
+  /// MR-MST of the live points under externally supplied global core
+  /// distances (core[i] = i-th live gid ascending), gid endpoints.
+  virtual std::vector<WeightedEdge> MutualReachMst(
+      const std::vector<double>& core) = 0;
 
   // Batch-dynamic interface; the immutable backend rejects mutations.
   virtual bool is_dynamic() const { return false; }
@@ -115,6 +140,26 @@ class DatasetEntry final : public DatasetEntryBase {
   }
   void SaveTo(const std::string& dir) const override {
     artifacts_.SaveTo(dir);
+  }
+
+  void ExportLive(std::vector<uint32_t>* gids,
+                  std::vector<double>* coords) override {
+    size_t n = artifacts_.num_points();
+    gids->resize(n);
+    for (size_t i = 0; i < n; ++i) (*gids)[i] = static_cast<uint32_t>(i);
+    engine_export::FlattenInto<D>(artifacts_.points(), coords);
+  }
+
+  std::vector<double> KnnForQueries(const std::vector<double>& coords,
+                                    size_t count, size_t k) override {
+    return engine_export::KnnRows<D>(
+        artifacts_.points(), engine_export::UnflattenRows<D>(coords, count),
+        k);
+  }
+
+  std::vector<WeightedEdge> MutualReachMst(
+      const std::vector<double>& core) override {
+    return engine_export::MrMst<D>(artifacts_.points(), core);
   }
 
  private:
@@ -174,6 +219,24 @@ class DynamicDatasetEntry final : public DatasetEntryBase {
 
   void SaveTo(const std::string& dir) const override {
     artifacts_.SaveTo(dir);
+  }
+
+  void ExportLive(std::vector<uint32_t>* gids,
+                  std::vector<double>* coords) override {
+    std::vector<Point<D>> pts;
+    artifacts_.ExportLive(gids, &pts);
+    engine_export::FlattenInto<D>(pts, coords);
+  }
+
+  std::vector<double> KnnForQueries(const std::vector<double>& coords,
+                                    size_t count, size_t k) override {
+    return artifacts_.KnnForQueries(
+        engine_export::UnflattenRows<D>(coords, count), k);
+  }
+
+  std::vector<WeightedEdge> MutualReachMst(
+      const std::vector<double>& core) override {
+    return artifacts_.MutualReachMst(core);
   }
 
  private:

@@ -56,10 +56,36 @@ enum FrameOpcode : uint8_t {
   /// Answered with a kOpLabelsReply frame on success, else a text err
   /// line.
   kOpGetLabels = 0x11,
+  /// Partial-artifact export for the router tier (src/cluster/): the
+  /// dataset's live points. Payload: u16 name_len, name bytes. Answered
+  /// with kOpPointsReply.
+  kOpExportPoints = 0x12,
+  /// Per-worker Euclidean MST edges (the distance-decomposition merge
+  /// input). Payload: u16 name_len, name bytes. Answered with
+  /// kOpEdgesReply; edge endpoints are the worker's gids.
+  kOpExportMst = 0x13,
+  /// kNN rows for arbitrary query points against a dataset's live points.
+  /// Payload: u16 name_len, name bytes, u32 k, u16 dim, u32 count,
+  /// count*dim f64 coords. Answered with kOpKnnReply.
+  kOpKnnQuery = 0x14,
+  /// MR-MST under externally supplied (global) core distances. Payload:
+  /// u16 name_len, name bytes, u32 count (= live points), count f64 core
+  /// distances in ascending-gid order. Answered with kOpEdgesReply; edge
+  /// endpoints are the worker's gids.
+  kOpShardMrMst = 0x15,
   /// Labels reply. Payload: u32 count, count * i32 labels in dense point
   /// order (for dynamic datasets dense index i is the i-th live global id
   /// in ascending order; -1 = noise).
   kOpLabelsReply = 0x91,
+  /// Points reply. Payload: u16 dim, u32 count, count u32 gids
+  /// (ascending), count*dim f64 coords in the same order.
+  kOpPointsReply = 0x92,
+  /// Edge-list reply. Payload: u32 count, count * {u32 u, u32 v, f64 w}
+  /// with gid endpoints.
+  kOpEdgesReply = 0x93,
+  /// kNN reply. Payload: u32 count, u32 k, count*k f64 sorted squared
+  /// distances (+inf-padded past the dataset size).
+  kOpKnnReply = 0x94,
 };
 
 // ---- Little-endian scalar packing (the snapshot store already commits

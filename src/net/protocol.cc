@@ -70,20 +70,6 @@ std::vector<std::vector<double>> RowsFrom(const std::vector<Point<D>>& pts) {
   return rows;
 }
 
-/// Generated points as runtime rows, for the batch-dynamic insert path.
-/// Empty when the kind is unknown.
-std::vector<std::vector<double>> GenRows(int dim, const std::string& kind,
-                                         size_t n, uint64_t seed) {
-  switch (dim) {
-#define PARHC_GEN_CASE(D) \
-  case D:                 \
-    return RowsFrom(GenTyped<D>(kind, n, seed));
-    PARHC_FOR_EACH_DIM(PARHC_GEN_CASE)
-#undef PARHC_GEN_CASE
-    default: return {};
-  }
-}
-
 bool Generate(DatasetRegistry& reg, const std::string& name, int dim,
               const std::string& kind, size_t n, uint64_t seed) {
   if (kind != "uniform" && kind != "varden" && kind != "levy" &&
@@ -101,12 +87,86 @@ bool Generate(DatasetRegistry& reg, const std::string& name, int dim,
   }
 }
 
+// `stats` is deliberately absent below: the REPL's batch output (including
+// `help`) is pinned byte-for-byte to the pre-refactor implementation by
+// tests/protocol_golden_test.cc. The verb is documented in README
+// "Network serving" and protocol.h. `hello` and `cluster` are likewise
+// absent for the same reason.
+std::string HelpText() {
+  return
+      "commands:\n"
+      "  gen <name> <dim> <uniform|varden|levy|gauss|embed> <n> [seed]\n"
+      "  load <name> <csv|bin|snap> <path>\n"
+      "  save <name> <dir>\n"
+      "  dyn <name> <dim>\n"
+      "  insert <name> <coords...>\n"
+      "  geninsert <name> <dim> <kind> <n> [seed]\n"
+      "  delete <name> <gid> [gid ...]\n"
+      "  list | drop <name>\n"
+      "  emst <name> [eps <e>]\n"
+      "  slink <name> <k>\n"
+      "  hdbscan <name> <minPts>\n"
+      "  dbscan <name> <minPts> <eps>\n"
+      "  reach <name> <minPts>\n"
+      "  clusters <name> <minPts> <minClusterSize>\n"
+      "  help | quit\n";
+}
+
+}  // namespace
+
+std::vector<std::vector<double>> GenerateRows(int dim,
+                                              const std::string& kind,
+                                              size_t n, uint64_t seed) {
+  switch (dim) {
+#define PARHC_GEN_CASE(D) \
+  case D:                 \
+    return RowsFrom(GenTyped<D>(kind, n, seed));
+    PARHC_FOR_EACH_DIM(PARHC_GEN_CASE)
+#undef PARHC_GEN_CASE
+    default: return {};
+  }
+}
+
+std::string ProtocolDims() {
+  std::string out;
+#define PARHC_DIM_ITEM(D)            \
+  if (!out.empty()) out += ',';      \
+  out += std::to_string(D);
+  PARHC_FOR_EACH_DIM(PARHC_DIM_ITEM)
+#undef PARHC_DIM_ITEM
+  return out;
+}
+
+std::string HelloLine(const char* role) {
+  return StrPrintf("ok hello proto=%d role=%s dims=%s\n", kProtocolVersion,
+                   role, ProtocolDims().c_str());
+}
+
+std::string ProtocolHelpText() { return HelpText(); }
+
+uint64_t ExtractTraceSuffix(std::string* line) {
+  size_t pos = line->rfind(" trace=");
+  if (pos == std::string::npos) return 0;
+  size_t digits = pos + 7;
+  if (digits >= line->size() || line->size() - digits > 20) return 0;
+  uint64_t id = 0;
+  for (size_t i = digits; i < line->size(); ++i) {
+    char c = (*line)[i];
+    if (c < '0' || c > '9') return 0;  // not the final token: keep the line
+    id = id * 10 + static_cast<uint64_t>(c - '0');
+  }
+  if (id == 0) return 0;
+  line->erase(pos);
+  return id;
+}
+
 // Hot path under pipelined load: snprintf into a stack buffer, no
 // ostringstream. `%.6g` is byte-identical to `ostream << double` at the
 // default precision (what the original REPL printed through
 // ostringstream) — pinned by tests/protocol_golden_test.cc.
-std::string FormatResponse(const std::string& what, const std::string& name,
-                           const EngineResponse& r, bool show_timing) {
+std::string FormatQueryResponse(const std::string& what,
+                                const std::string& name,
+                                const EngineResponse& r, bool show_timing) {
   if (!r.ok) {
     return StrPrintf("err %s %s: %s\n", what.c_str(), name.c_str(),
                      r.error.c_str());
@@ -146,29 +206,7 @@ std::string FormatResponse(const std::string& what, const std::string& name,
                    JoinKeys(r.reused).c_str(), tail);
 }
 
-// `stats` is deliberately absent below: the REPL's batch output (including
-// `help`) is pinned byte-for-byte to the pre-refactor implementation by
-// tests/protocol_golden_test.cc. The verb is documented in README
-// "Network serving" and protocol.h.
-std::string HelpText() {
-  return
-      "commands:\n"
-      "  gen <name> <dim> <uniform|varden|levy|gauss|embed> <n> [seed]\n"
-      "  load <name> <csv|bin|snap> <path>\n"
-      "  save <name> <dir>\n"
-      "  dyn <name> <dim>\n"
-      "  insert <name> <coords...>\n"
-      "  geninsert <name> <dim> <kind> <n> [seed]\n"
-      "  delete <name> <gid> [gid ...]\n"
-      "  list | drop <name>\n"
-      "  emst <name> [eps <e>]\n"
-      "  slink <name> <k>\n"
-      "  hdbscan <name> <minPts>\n"
-      "  dbscan <name> <minPts> <eps>\n"
-      "  reach <name> <minPts>\n"
-      "  clusters <name> <minPts> <minClusterSize>\n"
-      "  help | quit\n";
-}
+namespace {
 
 // ---- Fast query-line parser (the inline cache-hit path) ----
 //
@@ -296,8 +334,8 @@ bool ProtocolSession::TryHandleCachedQuery(const std::string& line,
   // Same verb echo HandleLine produces (the verb is t[0] by construction).
   size_t b = line.find_first_not_of(" \t\n\v\f\r");
   size_t e = line.find_first_of(" \t\n\v\f\r", b);
-  *out = FormatResponse(line.substr(b, e - b), req.dataset, r,
-                        opts_.show_timing);
+  *out = FormatQueryResponse(line.substr(b, e - b), req.dataset, r,
+                             opts_.show_timing);
   return true;
 }
 
@@ -312,24 +350,30 @@ std::string VerbOf(const WireMessage& msg) {
 ProtocolResult ProtocolSession::HandleLine(const std::string& line) {
   // Standalone front-ends (the REPL, direct test drivers) have no
   // scheduler minting trace ids; give each request its own id and
-  // `request:<verb>` span here. TCP workers arrive with an id already
-  // installed (scheduler.cc), so this is one relaxed load on that path.
+  // `request:<verb>` span here, joining a propagated " trace=<id>" suffix
+  // when a router hop carried one. TCP workers arrive with the suffix
+  // already stripped and an id installed (server.cc/scheduler.cc), so
+  // that path is one relaxed load.
   obs::Tracer& tracer = obs::Tracer::Get();
-  if (tracer.enabled() && obs::CurrentTraceId() == 0) {
-    obs::TraceContext ctx(tracer.MintTraceId());
-    size_t b = line.find_first_not_of(" \t");
-    size_t e = line.find_first_of(" \t", b);
-    std::string_view verb =
-        b == std::string::npos
-            ? std::string_view()
-            : std::string_view(line.data() + b,
-                               (e == std::string::npos ? line.size() : e) - b);
-    obs::Span span(
-        obs::VerbCounters::kRequestSpanNames[obs::VerbCounters::IndexOf(verb)],
-        "net");
-    return DispatchLine(line);
-  }
-  return DispatchLine(line);
+  if (obs::CurrentTraceId() != 0) return DispatchLine(line);
+  // Strip unconditionally, so untraced front-ends still parse forwarded
+  // lines.
+  std::string stripped = line;
+  uint64_t propagated = ExtractTraceSuffix(&stripped);
+  if (propagated == 0 && !tracer.enabled()) return DispatchLine(stripped);
+  obs::TraceContext ctx(propagated ? propagated : tracer.MintTraceId());
+  size_t b = stripped.find_first_not_of(" \t");
+  size_t e = stripped.find_first_of(" \t", b);
+  std::string_view verb =
+      b == std::string::npos
+          ? std::string_view()
+          : std::string_view(stripped.data() + b,
+                             (e == std::string::npos ? stripped.size() : e) -
+                                 b);
+  obs::Span span(
+      obs::VerbCounters::kRequestSpanNames[obs::VerbCounters::IndexOf(verb)],
+      "net");
+  return DispatchLine(stripped);
 }
 
 ProtocolResult ProtocolSession::DispatchLine(const std::string& line) {
@@ -343,6 +387,8 @@ ProtocolResult ProtocolSession::DispatchLine(const std::string& line) {
       res.quit = true;
     } else if (cmd == "help") {
       res.out = HelpText();
+    } else if (cmd == "hello") {
+      res.out = HelloLine("engine");
     } else if (cmd == "stats") {
       res.out = "ok stats ";
       if (opts_.stats_source) {
@@ -476,7 +522,7 @@ ProtocolResult ProtocolSession::DispatchLine(const std::string& line) {
       // effect, so a typo doesn't leave a spurious empty dataset behind.
       // (Executor task: generators issue parallel work; see `gen` above.)
       std::vector<std::vector<double>> rows = engine_.RunExternal(
-          [&] { return GenRows(dim, kind, n, seed); });
+          [&] { return GenerateRows(dim, kind, n, seed); });
       if (rows.empty()) {
         res.out = StrPrintf("err geninsert: unknown kind %s\n", kind.c_str());
         return res;
@@ -577,8 +623,8 @@ ProtocolResult ProtocolSession::DispatchLine(const std::string& line) {
                             cmd.c_str());
         return res;
       }
-      res.out = FormatResponse(cmd, req.dataset, engine_.Run(req),
-                               opts_.show_timing);
+      res.out = FormatQueryResponse(cmd, req.dataset, engine_.Run(req),
+                                    opts_.show_timing);
     } else if (cmd == "metrics") {
       std::string mode;
       ss >> mode;
@@ -725,6 +771,105 @@ ProtocolResult ProtocolSession::HandleFrame(uint8_t opcode,
       PutU32(&reply, static_cast<uint32_t>(r.labels.size()));
       for (int32_t l : r.labels) PutU32(&reply, static_cast<uint32_t>(l));
       res.out = EncodeFrame(kOpLabelsReply, reply);
+    } else if (opcode == kOpExportPoints) {
+      std::string name = rd.GetBytes(rd.GetU16());
+      if (!rd.ok() || name.empty() || rd.remaining() != 0) {
+        res.out = "err export: malformed frame payload\n";
+        return res;
+      }
+      int dim = 0;
+      std::vector<uint32_t> gids;
+      std::vector<double> coords;
+      std::string err = engine_.ExportDataset(name, &dim, &gids, &coords);
+      if (!err.empty()) {
+        res.out = StrPrintf("err export %s: %s\n", name.c_str(), err.c_str());
+        return res;
+      }
+      std::string reply;
+      reply.reserve(6 + gids.size() * 4 + coords.size() * 8);
+      PutU16(&reply, static_cast<uint16_t>(dim));
+      PutU32(&reply, static_cast<uint32_t>(gids.size()));
+      for (uint32_t g : gids) PutU32(&reply, g);
+      for (double v : coords) PutF64(&reply, v);
+      res.out = EncodeFrame(kOpPointsReply, reply);
+    } else if (opcode == kOpExportMst) {
+      std::string name = rd.GetBytes(rd.GetU16());
+      if (!rd.ok() || name.empty() || rd.remaining() != 0) {
+        res.out = "err export: malformed frame payload\n";
+        return res;
+      }
+      EngineRequest req;
+      req.type = QueryType::kEmst;
+      req.dataset = name;
+      EngineResponse r = engine_.Run(req);
+      if (!r.ok) {
+        res.out = StrPrintf("err export %s: %s\n", name.c_str(),
+                            r.error.c_str());
+        return res;
+      }
+      // MST endpoints are dense point indices; rewrite to global ids so
+      // the router can merge edge lists across workers (point_ids is null
+      // for static datasets, where dense index == gid).
+      size_t count = r.mst ? r.mst->size() : 0;
+      std::string reply;
+      reply.reserve(4 + count * 16);
+      PutU32(&reply, static_cast<uint32_t>(count));
+      for (size_t i = 0; i < count; ++i) {
+        const WeightedEdge& e = (*r.mst)[i];
+        PutU32(&reply, r.point_ids ? (*r.point_ids)[e.u] : e.u);
+        PutU32(&reply, r.point_ids ? (*r.point_ids)[e.v] : e.v);
+        PutF64(&reply, e.w);
+      }
+      res.out = EncodeFrame(kOpEdgesReply, reply);
+    } else if (opcode == kOpKnnQuery) {
+      std::string name = rd.GetBytes(rd.GetU16());
+      uint32_t k = rd.GetU32();
+      int dim = static_cast<int>(rd.GetU16());
+      uint32_t count = rd.GetU32();
+      if (!rd.ok() || name.empty() || k == 0 || dim <= 0 || count == 0 ||
+          rd.remaining() != static_cast<size_t>(count) * dim * sizeof(double)) {
+        res.out = "err knn: malformed frame payload\n";
+        return res;
+      }
+      std::vector<double> coords(static_cast<size_t>(count) * dim);
+      for (double& v : coords) v = rd.GetF64();
+      std::vector<double> rows;
+      std::string err = engine_.KnnForQueries(name, k, coords, count, &rows);
+      if (!err.empty()) {
+        res.out = StrPrintf("err knn %s: %s\n", name.c_str(), err.c_str());
+        return res;
+      }
+      std::string reply;
+      reply.reserve(8 + rows.size() * 8);
+      PutU32(&reply, count);
+      PutU32(&reply, k);
+      for (double v : rows) PutF64(&reply, v);
+      res.out = EncodeFrame(kOpKnnReply, reply);
+    } else if (opcode == kOpShardMrMst) {
+      std::string name = rd.GetBytes(rd.GetU16());
+      uint32_t count = rd.GetU32();
+      if (!rd.ok() || name.empty() ||
+          rd.remaining() != static_cast<size_t>(count) * sizeof(double)) {
+        res.out = "err mrmst: malformed frame payload\n";
+        return res;
+      }
+      std::vector<double> core(count);
+      for (double& v : core) v = rd.GetF64();
+      std::vector<WeightedEdge> edges;
+      std::string err = engine_.ShardMrMst(name, core, &edges);
+      if (!err.empty()) {
+        res.out = StrPrintf("err mrmst %s: %s\n", name.c_str(), err.c_str());
+        return res;
+      }
+      std::string reply;
+      reply.reserve(4 + edges.size() * 16);
+      PutU32(&reply, static_cast<uint32_t>(edges.size()));
+      for (const WeightedEdge& e : edges) {
+        PutU32(&reply, e.u);
+        PutU32(&reply, e.v);
+        PutF64(&reply, e.w);
+      }
+      res.out = EncodeFrame(kOpEdgesReply, reply);
     } else {
       res.out = StrPrintf("err frame: unknown opcode 0x%02x\n", opcode);
     }

@@ -54,7 +54,9 @@
 // artifact build.
 #pragma once
 
+#include <cstdint>
 #include <string>
+#include <vector>
 
 #include "engine/engine.h"
 #include "net/frame.h"
@@ -63,6 +65,12 @@
 
 namespace parhc {
 namespace net {
+
+/// Spoken protocol revision, reported by the `hello` handshake and the
+/// netserver banner. Bump on any incompatible change to the request
+/// language or frame payloads; the router refuses upstreams whose hello
+/// reports a different version (src/cluster/upstream.h).
+inline constexpr int kProtocolVersion = 1;
 
 struct ProtocolOptions {
   /// Appends " secs=<wall clock>" to query responses (the REPL's historical
@@ -84,7 +92,29 @@ struct ProtocolResult {
   bool quit = false;
 };
 
-class ProtocolSession {
+/// What the TCP server needs from a session: execute one wire message,
+/// optionally answer warm reads inline on the event loop. Implemented by
+/// ProtocolSession (engine worker) and cluster::RouterSession (router
+/// tier); NetServer accepts any implementation through a SessionFactory
+/// (server.h).
+class SessionHandler {
+ public:
+  virtual ~SessionHandler() = default;
+
+  /// Executes one decoded wire message (text line or binary frame).
+  virtual ProtocolResult Handle(const WireMessage& msg) = 0;
+
+  /// Inline fast path for the event loop: when the line can be answered
+  /// without blocking, sets *out to the exact bytes Handle would produce
+  /// and returns true. Default: nothing is inline-answerable.
+  virtual bool TryHandleInline(const std::string& line, std::string* out) {
+    (void)line;
+    (void)out;
+    return false;
+  }
+};
+
+class ProtocolSession : public SessionHandler {
  public:
   explicit ProtocolSession(ClusteringEngine& engine,
                            ProtocolOptions opts = {})
@@ -109,9 +139,13 @@ class ProtocolSession {
   ProtocolResult HandleFrame(uint8_t opcode, const std::string& payload);
 
   /// Dispatches a decoded wire message to HandleLine/HandleFrame.
-  ProtocolResult Handle(const WireMessage& msg) {
+  ProtocolResult Handle(const WireMessage& msg) override {
     return msg.binary ? HandleFrame(msg.opcode, msg.payload)
                       : HandleLine(msg.text);
+  }
+
+  bool TryHandleInline(const std::string& line, std::string* out) override {
+    return TryHandleCachedQuery(line, out);
   }
 
  private:
@@ -131,6 +165,42 @@ class ProtocolSession {
 /// First whitespace-delimited token of a text line ("frame" for binary
 /// messages) — the verb named in `err busy <verb>` load-shed replies.
 std::string VerbOf(const WireMessage& msg);
+
+// ---- Helpers shared with the router tier (src/cluster/) ----
+
+/// Formats a query response line ("ok <what> <name> mst_edges=... ..."),
+/// byte-identical to what the single-node verbs print (golden-pinned).
+/// The router formats its merged answers through this so a sharded
+/// response's numeric fields match a single-node engine bit for bit.
+std::string FormatQueryResponse(const std::string& what,
+                                const std::string& name,
+                                const EngineResponse& r, bool show_timing);
+
+/// The `help` verb's text (golden-pinned; the router serves the same).
+std::string ProtocolHelpText();
+
+/// The `hello` handshake reply for `role`:
+///   "ok hello proto=<v> role=<role> dims=<d1,d2,...>\n"
+std::string HelloLine(const char* role);
+
+/// Comma-joined registry-hosted dimensions (the hello dim caps).
+std::string ProtocolDims();
+
+/// Strips a trailing " trace=<id>" suffix from a request line and returns
+/// the id (0 when absent/malformed, line untouched). The router appends
+/// this suffix on router→worker hops so worker spans join the client's
+/// trace; stripping is unconditional so untraced workers still parse
+/// forwarded lines. (A dataset literally named "trace=<digits>" as the
+/// final token would be eaten — accepted, documented quirk.)
+uint64_t ExtractTraceSuffix(std::string* line);
+
+/// Generated points as runtime rows (the `gen`/`geninsert` generators);
+/// empty when the kind or dim is unknown. Callers that issue this from a
+/// serving path should wrap it in ClusteringEngine::RunExternal — the
+/// generators issue parallel scheduler work.
+std::vector<std::vector<double>> GenerateRows(int dim,
+                                              const std::string& kind,
+                                              size_t n, uint64_t seed);
 
 }  // namespace net
 }  // namespace parhc

@@ -77,6 +77,27 @@ std::string DatasetOf(const WireMessage& msg, int verb_idx) {
   return text.substr(b, e == std::string::npos ? std::string::npos : e - b);
 }
 
+/// The built-in factory behind the engine-reference constructor: plain
+/// ProtocolSessions over one engine.
+class EngineSessionFactory final : public SessionFactory {
+ public:
+  explicit EngineSessionFactory(ClusteringEngine& engine) : engine_(engine) {}
+
+  std::shared_ptr<SessionHandler> NewSession(
+      const SessionContext& ctx) override {
+    ProtocolOptions popts;
+    popts.show_timing = ctx.show_timing;
+    popts.stats_source = ctx.stats_source;
+    popts.obs = ctx.obs;
+    return std::make_shared<ProtocolSession>(engine_, popts);
+  }
+
+  ClusteringEngine* engine() override { return &engine_; }
+
+ private:
+  ClusteringEngine& engine_;
+};
+
 }  // namespace
 
 struct NetServer::Impl {
@@ -85,8 +106,8 @@ struct NetServer::Impl {
     uint64_t id = 0;
     FrameSplitter in{/*allow_binary=*/true};
     std::string out;
-    std::shared_ptr<ProtocolSession> session;  // outlives the conn: jobs
-                                               // in flight hold a ref
+    std::shared_ptr<SessionHandler> session;  // outlives the conn: jobs
+                                              // in flight hold a ref
     Clock::time_point last_active;
     uint64_t submitted = 0;
     uint64_t completed = 0;
@@ -102,7 +123,8 @@ struct NetServer::Impl {
     bool flush_pending = false; ///< in DrainCompletions' touched set
   };
 
-  ClusteringEngine& engine;
+  std::unique_ptr<SessionFactory> owned_factory;  ///< engine-ctor only
+  SessionFactory& factory;
   NetServerOptions opts;
 
   int listen_fd = -1;
@@ -137,8 +159,11 @@ struct NetServer::Impl {
   std::atomic<uint64_t> bytes_in{0};
   std::atomic<uint64_t> bytes_out{0};
 
-  Impl(ClusteringEngine& e, NetServerOptions o)
-      : engine(e), opts(std::move(o)) {}
+  Impl(std::unique_ptr<SessionFactory> owned, SessionFactory* external,
+       NetServerOptions o)
+      : owned_factory(std::move(owned)),
+        factory(owned_factory ? *owned_factory : *external),
+        opts(std::move(o)) {}
 
   ~Impl() {
     for (auto& [fd, conn] : conns) ::close(fd);
@@ -188,11 +213,11 @@ struct NetServer::Impl {
       auto conn = std::make_unique<Conn>();
       conn->fd = fd;
       conn->id = next_conn_id++;
-      ProtocolOptions popts;
-      popts.show_timing = opts.show_timing;
-      popts.stats_source = owner;
-      popts.obs = &obs;
-      conn->session = std::make_shared<ProtocolSession>(engine, popts);
+      SessionContext ctx;
+      ctx.show_timing = opts.show_timing;
+      ctx.stats_source = owner;
+      ctx.obs = &obs;
+      conn->session = factory.NewSession(ctx);
       conn->last_active = Clock::now();
       by_id[conn->id] = conn.get();
       poller->Add(fd, /*readable=*/true, /*writable=*/false);
@@ -235,13 +260,17 @@ struct NetServer::Impl {
     while (!c->stop_parsing && !c->read_paused) {
       WireMessage msg;
       if (!c->in.Next(&msg)) break;
+      // A router hop carries the client's trace id as a " trace=<id>"
+      // line suffix; strip it before parsing so verbs/datasets/replies
+      // are unchanged, and thread it through to the request span.
+      uint64_t propagated = msg.binary ? 0 : ExtractTraceSuffix(&msg.text);
       if (!msg.binary && c->submitted == c->completed &&
           inline_budget > 0) {
         // Nothing of this connection is queued or in flight, so an
         // inline answer cannot overtake an earlier response.
         std::string reply;
         auto t0 = Clock::now();
-        if (c->session->TryHandleCachedQuery(msg.text, &reply)) {
+        if (c->session->TryHandleInline(msg.text, &reply)) {
           --inline_budget;
           inline_served.fetch_add(1, std::memory_order_relaxed);
           auto t1 = Clock::now();
@@ -256,7 +285,8 @@ struct NetServer::Impl {
             // No queue, no workers: the whole request is one span, reusing
             // the latency measurement's timestamps.
             tracer.RecordSpan(obs::VerbCounters::kRequestSpanNames[vi],
-                              "net", tracer.MintTraceId(),
+                              "net",
+                              propagated ? propagated : tracer.MintTraceId(),
                               obs::ToTraceNs(t0), obs::ToTraceNs(t1));
           }
           if (us >= obs.slowlog.threshold_us()) {
@@ -287,7 +317,11 @@ struct NetServer::Impl {
       tag.verb = obs::VerbCounters::IndexOf(verb);
       tag.dataset = DatasetOf(*m, tag.verb);
       obs::Tracer& tracer = obs::Tracer::Get();
-      if (tracer.enabled()) tag.trace_id = tracer.MintTraceId();
+      if (propagated) {
+        tag.trace_id = propagated;
+      } else if (tracer.enabled()) {
+        tag.trace_id = tracer.MintTraceId();
+      }
       int verb_idx = tag.verb;
       size_t pending = sched->Submit(
           c->id, "err busy " + verb + "\n",
@@ -479,7 +513,14 @@ struct NetServer::Impl {
 };
 
 NetServer::NetServer(ClusteringEngine& engine, NetServerOptions opts)
-    : impl_(std::make_unique<Impl>(engine, std::move(opts))) {
+    : impl_(std::make_unique<Impl>(
+          std::make_unique<EngineSessionFactory>(engine), nullptr,
+          std::move(opts))) {
+  impl_->owner = this;
+}
+
+NetServer::NetServer(SessionFactory& factory, NetServerOptions opts)
+    : impl_(std::make_unique<Impl>(nullptr, &factory, std::move(opts))) {
   impl_->owner = this;
 }
 
@@ -555,12 +596,15 @@ std::string NetServer::Start() {
   // Impl / the engine, which outlive every scrape).
   im.obs.slowlog.set_threshold_us(im.opts.slow_query_us);
   if (im.opts.trace) obs::Tracer::Get().Enable();
-  im.engine.set_slowlog(&im.obs.slowlog);
+  if (ClusteringEngine* eng = im.factory.engine()) {
+    eng->set_slowlog(&im.obs.slowlog);
+    obs::RegisterEngineMetrics(im.obs.metrics, *eng);
+  }
   obs::RegisterServerMetrics(im.obs.metrics, *this, &im.sched->latency(),
                              &im.verbs);
-  obs::RegisterEngineMetrics(im.obs.metrics, im.engine);
   obs::RegisterAlgorithmMetrics(im.obs.metrics);
   obs::RegisterObsMetrics(im.obs.metrics, im.obs.slowlog);
+  im.factory.RegisterMetrics(im.obs);
 
   if (im.opts.install_signal_handlers) {
     g_signal_wake_fd.store(im.wake_w, std::memory_order_relaxed);

@@ -48,12 +48,42 @@
 #include <string>
 
 #include "engine/engine.h"
+#include "net/protocol.h"
 #include "net/stats.h"
 #include "obs/observability.h"
 #include "obs/verb_counters.h"
 
 namespace parhc {
 namespace net {
+
+/// What the server hands a SessionFactory for each accepted connection.
+struct SessionContext {
+  bool show_timing = true;
+  const ServerStatsSource* stats_source = nullptr;  ///< the server itself
+  obs::Observability* obs = nullptr;                ///< server-lifetime
+};
+
+/// Builds one SessionHandler per accepted connection, so the same event
+/// loop + scheduler serves different request executors: the engine worker
+/// (built-in; see the engine-reference NetServer constructor) or the
+/// router tier (cluster::RouterSessionFactory). The factory must outlive
+/// the server; NewSession runs on the event-loop thread.
+class SessionFactory {
+ public:
+  virtual ~SessionFactory() = default;
+
+  virtual std::shared_ptr<SessionHandler> NewSession(
+      const SessionContext& ctx) = 0;
+
+  /// The engine behind the sessions, when there is one: Start() points
+  /// the slow-query log at it and registers its metric sources. Null for
+  /// engineless tiers (the router).
+  virtual ClusteringEngine* engine() { return nullptr; }
+
+  /// Hook for extra metric sources (e.g. per-upstream counters),
+  /// registered once during Start().
+  virtual void RegisterMetrics(obs::Observability& obs) { (void)obs; }
+};
 
 struct NetServerOptions {
   std::string bind_addr = "127.0.0.1";
@@ -75,6 +105,11 @@ class NetServer final : public ServerStatsSource {
  public:
   /// The engine must outlive the server. Serving starts at Start().
   NetServer(ClusteringEngine& engine, NetServerOptions opts);
+
+  /// Serves sessions built by `factory` (which must outlive the server)
+  /// instead of the built-in engine-backed ProtocolSession.
+  NetServer(SessionFactory& factory, NetServerOptions opts);
+
   ~NetServer() override;
 
   NetServer(const NetServer&) = delete;

@@ -51,6 +51,8 @@ enum class SnapshotKind : uint16_t {
   kShard = 6,       ///< dynamic shard payload; count = total points,
                     ///< param = shard uid, aux = content id
   kManifest = 7,    ///< whole-dataset manifest; count = live points
+  kClusterMap = 8,  ///< router sharding map (cluster/placement.h);
+                    ///< count = gid watermark, param = worker count
 };
 
 /// Section ids within a snapshot file (header table `id`).
@@ -70,6 +72,9 @@ enum class SectionId : uint32_t {
   kShardGids = 13,   ///< uint32[count] global ids, ascending
   kShardDead = 14,   ///< uint8[count] tombstone bitmap
   kManifestData = 15,///< manifest byte stream (see manifest.h)
+  kClusterOwner = 16,///< uint32[count] gid -> owning worker index
+  kClusterLocal = 17,///< uint32[count] gid -> per-worker local gid
+  kClusterDead = 18, ///< uint8[count] gid tombstone bitmap
 };
 
 #pragma pack(push, 1)
